@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``benchmarks/test_figNN.py`` regenerates one paper figure at a
+reduced scale and asserts the figure's *shape* (orderings, collapse
+factors, crossovers — see DESIGN.md §3). Absolute MB/s are not asserted:
+the substrate is a simulator, not the authors' testbed.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` (default),
+``quick``, or ``full``.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import FULL, QUICK, SMOKE
+
+_SCALES = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale benches run at."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={name!r}; choose from {sorted(_SCALES)}")
+
+
+def run_once(benchmark, runner, scale):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(runner, args=(scale,), iterations=1,
+                              rounds=1)

@@ -1,0 +1,26 @@
+"""Ablation bench: filesystem fragmentation vs stream detection.
+
+Shape: contiguous files stream near disk speed with a high staged-hit
+fraction; sub-read-ahead fragmentation collapses both (the extent
+boundaries break device-level sequentiality and poison the coalesced
+fetches).
+"""
+
+from repro.experiments.ext_fragmentation import run
+from conftest import run_once
+
+
+def test_ablation_fragmentation(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    throughput = result.get("throughput (MB/s)")
+    staged = result.get("staged-hit fraction")
+    # Contiguous files: the server works (fast, mostly from memory).
+    assert throughput.y_at("contiguous") > 25
+    assert staged.y_at("contiguous") > 0.85
+    # Fragmentation at/below the read-ahead size erodes both badly.
+    assert throughput.y_at("contiguous") > \
+        4.0 * throughput.y_at("512K")
+    assert staged.y_at("512K") < staged.y_at("contiguous")
+    # Coarse fragmentation (extents >> R) is nearly harmless.
+    assert throughput.y_at("8M") > 0.8 * throughput.y_at("contiguous")

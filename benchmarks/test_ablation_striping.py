@@ -1,0 +1,85 @@
+"""Ablation bench: JBOD vs RAID-0 under two workload shapes.
+
+The classic trade-off, on the 8-disk node: striping multiplies a single
+stream's bandwidth (every spindle serves its chunks), while for many
+concurrent streams JBOD isolation avoids the stripe's
+every-disk-seeks-for-every-request behaviour.
+"""
+
+from repro.io import IOKind, IORequest
+from repro.node import StripedVolume, build_node, medium_topology
+from repro.disk import WD800JD
+from repro.disk.mechanics import RotationMode
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+
+def _node(sim):
+    return build_node(sim, medium_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+
+
+def _single_big_stream(striped: bool) -> float:
+    """One reader issuing 8 MB requests; returns MB/s."""
+    sim = Simulator()
+    node = _node(sim)
+    device = StripedVolume(sim, node, node.disk_ids,
+                           chunk_bytes=1 * MiB) if striped else node
+    total = 256 * MiB
+    done = {}
+
+    def client(sim):
+        offset = 0
+        while offset < total:
+            yield device.submit(IORequest(kind=IOKind.READ, disk_id=0,
+                                          offset=offset, size=8 * MiB))
+            offset += 8 * MiB
+        done["t"] = sim.now
+
+    sim.process(client(sim))
+    sim.run()
+    return total / done["t"] / MiB
+
+
+def _many_small_streams(striped: bool) -> float:
+    """64 concurrent 64K readers; returns MB/s over a fixed window."""
+    sim = Simulator()
+    node = _node(sim)
+    device = StripedVolume(sim, node, node.disk_ids,
+                           chunk_bytes=256 * KiB) if striped else node
+    num_streams = 64
+    capacity = device.capacity_bytes
+    spacing = capacity // num_streams
+    spacing -= spacing % (64 * KiB)
+    progress = [0]
+
+    def client(sim, base, disk):
+        offset = base
+        while True:
+            yield device.submit(IORequest(kind=IOKind.READ,
+                                          disk_id=disk, offset=offset,
+                                          size=64 * KiB))
+            progress[0] += 64 * KiB
+            offset += 64 * KiB
+
+    for stream in range(num_streams):
+        disk = 0 if striped else node.disk_ids[stream % 8]
+        base = (stream * spacing) if striped else \
+            ((stream // 8) * (node.capacity_bytes // 8)
+             // (64 * KiB) * (64 * KiB))
+        sim.process(client(sim, base, disk))
+    sim.run(until=3.0)
+    return progress[0] / 3.0 / MiB
+
+
+def test_ablation_striping_tradeoff(benchmark):
+    def all_four():
+        return (_single_big_stream(False), _single_big_stream(True),
+                _many_small_streams(False), _many_small_streams(True))
+
+    jbod_one, raid_one, jbod_many, raid_many = benchmark.pedantic(
+        all_four, iterations=1, rounds=1)
+    # One big stream: RAID-0 multiplies bandwidth.
+    assert raid_one > 2.5 * jbod_one
+    # Many small streams: JBOD's isolation wins.
+    assert jbod_many > 1.5 * raid_many

@@ -1,0 +1,28 @@
+"""Bench: extension — the insensitivity summary (server vs baselines).
+
+Shape: direct access and the anticipatory OS stack collapse with stream
+count; both server configurations stay within a band of the single-
+stream maximum out to 300 streams.
+"""
+
+from repro.experiments.ext_insensitivity import run
+from conftest import run_once
+
+
+def test_ext_insensitivity(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    direct = result.get("direct access")
+    anticipatory = result.get("anticipatory OS stack")
+    big_server = result.get("server D=S R=8M")
+    small_server = result.get("server D=1 N=128")
+    # Baselines collapse hard by 300 streams.
+    assert direct.y_at(1) > 5.0 * direct.y_at(300)
+    assert anticipatory.y_at(1) > 3.0 * anticipatory.y_at(300)
+    # The server holds a healthy fraction of its single-stream value.
+    for server in (big_server, small_server):
+        assert server.y_at(300) > 0.5 * server.y_at(1)
+        assert server.y_at(300) > 25
+    # And dominates both baselines at scale.
+    assert big_server.y_at(300) > 4.0 * max(direct.y_at(300),
+                                            anticipatory.y_at(300))

@@ -1,0 +1,23 @@
+"""Bench: Figure 1 — 60-disk throughput collapse.
+
+Shape: aggregate throughput rises with request size, and collapses by
+>=2x as total streams grow from 60 to 500.
+"""
+
+from repro.analysis import monotone_increasing
+from repro.experiments.fig01_collapse import run
+from conftest import run_once
+
+
+def test_fig01_collapse(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    sixty = result.get("60 streams")
+    five_hundred = result.get("500 streams")
+    # Larger requests help at low stream counts.
+    assert monotone_increasing(sixty.ys, tolerance=0.25)
+    # The collapse: 60 streams vastly outperform 500 at large requests.
+    assert sixty.y_at("256K") > 2.0 * five_hundred.y_at("256K")
+    # Every curve is positive and below any physical ceiling.
+    for series in result.series:
+        assert all(0 < y < 60 * 65 for y in series.ys)

@@ -1,0 +1,27 @@
+"""Bench: Figure 2 — Linux I/O schedulers, one disk, 4K reads.
+
+Shape: all schedulers degrade sharply past ~16-32 streams; anticipatory
+leads at moderate stream counts; anticipatory loses ~4x from its plateau
+by 256 streams.
+"""
+
+from repro.experiments.fig02_schedulers import run
+from conftest import run_once
+
+
+def test_fig02_schedulers(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    anticipatory = result.get("anticipatory")
+    cfq = result.get("cfq")
+    noop = result.get("noop")
+    # Anticipation batching dominates FIFO at moderate stream counts.
+    for streams in (4, 8, 16, 32):
+        assert anticipatory.y_at(streams) > 1.5 * noop.y_at(streams)
+        assert cfq.y_at(streams) > 1.2 * noop.y_at(streams)
+    # The collapse: anticipatory loses >=3x from its plateau by 256.
+    plateau = max(anticipatory.y_at(s) for s in (8, 16, 32))
+    assert plateau > 3.0 * anticipatory.y_at(256)
+    # CFQ collapses too.
+    cfq_plateau = max(cfq.y_at(s) for s in (8, 16, 32))
+    assert cfq_plateau > 3.0 * cfq.y_at(256)

@@ -1,0 +1,26 @@
+"""Bench: Figure 4 — request size vs throughput with no prefetch.
+
+Shape: throughput grows with request size for every stream count; a
+single stream vastly outperforms many streams (each multi-stream request
+pays a seek); multi-stream curves cluster together.
+"""
+
+from repro.analysis import monotone_increasing
+from repro.experiments.fig04_reqsize import run
+from conftest import run_once
+
+
+def test_fig04_request_size(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    single = result.get("1 streams")
+    hundred = result.get("100 streams")
+    # Larger requests amortise mechanics for everyone.
+    for series in result.series:
+        assert monotone_increasing(series.ys, tolerance=0.2)
+    # The collapse at 64K: one stream >> one hundred.
+    assert single.y_at("64K") > 3.0 * hundred.y_at("64K")
+    # Multi-stream curves cluster (10 vs 100 within ~3x at 64K+).
+    ten = result.get("10 streams")
+    assert hundred.y_at("256K") < 3.0 * ten.y_at("256K")
+    assert ten.y_at("256K") < 3.0 * hundred.y_at("256K")

@@ -1,0 +1,27 @@
+"""Bench: Figure 5 — xdd on a single (modelled) real disk.
+
+Shape: same collapse as Figure 4, but small requests fare better at low
+stream counts because the real disk's segment size is fixed (the drive
+still prefetches a full segment).
+"""
+
+from repro.experiments.fig04_reqsize import run as run_fig04
+from repro.experiments.fig05_xdd_single import run
+from conftest import run_once
+
+
+def test_fig05_xdd_single_disk(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    single = result.get("1 streams")
+    ten = result.get("10 streams")
+    thirty = result.get("30 streams")
+    # Single stream saturates the disk for 64K+ requests.
+    assert single.y_at("64K") > 45
+    # Collapse with stream count at small requests.
+    assert ten.y_at("8K") > 3.0 * thirty.y_at("8K")
+    # The paper's observation vs Figure 4: fixed segments make small
+    # requests relatively fast at low stream counts.
+    fig04 = run_fig04(scale)
+    assert single.y_at("8K") > fig04.get("1 streams").y_at("8K") * 0.9
+    assert ten.y_at("8K") > fig04.get("10 streams").y_at("8K") * 2.0

@@ -1,0 +1,29 @@
+"""Bench: Figure 7 — read-ahead under a fixed 8 MB cache.
+
+Shape: bigger segments help while segments outnumber streams, and
+collapse once streams exceed the segment count (prefetched data evicted
+before use) — the diagonal cliff across the configurations.
+"""
+
+from repro.experiments.fig07_readahead_fixed_cache import run
+from conftest import run_once
+
+
+def test_fig07_fixed_cache_readahead(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    ten = result.get("10 streams")
+    hundred = result.get("100 streams")
+    # 10 streams fit in 16 segments: 16x512K beats tiny segments...
+    assert ten.y_at("16x512K") > 1.5 * ten.y_at("128x64K")
+    # ...but exceed 8 segments: the 8x1M configuration thrashes.
+    assert ten.y_at("16x512K") > 2.5 * ten.y_at("8x1M")
+    # 100 streams > 8 segments at 8x1M: thrash, big segments lose.
+    assert hundred.y_at("128x64K") > 2.0 * hundred.y_at("8x1M")
+    # The cliff moves with stream count: 50 streams still fit in 64
+    # segments but not in 16.
+    fifty = result.get("50 streams")
+    assert fifty.y_at("64x128K") > 2.0 * fifty.y_at("16x512K")
+    # One stream never thrashes: flat and high everywhere.
+    one = result.get("1 streams")
+    assert min(one.ys) > 0.7 * max(one.ys)

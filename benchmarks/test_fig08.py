@@ -1,0 +1,26 @@
+"""Bench: Figure 8 — controller-level prefetching (128 MB cache).
+
+Shape: moderate prefetch lifts multi-stream throughput several-fold; at
+4 MB prefetch with 60-100 streams the 32-extent cache thrashes and
+throughput collapses towards zero.
+"""
+
+from repro.experiments.fig08_controller_prefetch import run
+from conftest import run_once
+
+
+def test_fig08_controller_prefetch(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    ten = result.get("10 streams")
+    sixty = result.get("60 streams")
+    hundred = result.get("100 streams")
+    # Controller prefetch rescues 10 streams (paper: ~10 -> ~40 MB/s).
+    assert ten.y_at("2M") > 3.0 * ten.y_at("64K")
+    # The cliff: 4 MB prefetch with 60+ streams collapses towards zero.
+    assert sixty.y_at("4M") < 3.0
+    assert hundred.y_at("4M") < 3.0
+    assert sixty.y_at("512K") > 5.0 * sixty.y_at("4M")
+    # One stream is insensitive to controller prefetch size.
+    one = result.get("1 streams")
+    assert min(one.ys) > 0.7 * max(one.ys)

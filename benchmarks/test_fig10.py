@@ -1,0 +1,27 @@
+"""Bench: Figure 10 — the headline result.
+
+Shape: with R = 8M the stream server holds the disk near its single-
+stream maximum for 10-100 streams (insensitivity), improving on the
+no-read-ahead baseline by >=4x at 100 streams; throughput orders by R.
+"""
+
+from repro.experiments.fig10_readahead import run
+from conftest import run_once
+
+
+def test_fig10_server_readahead(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    big = next(s for s in result.series if s.label.startswith("R = 8M"))
+    none = result.get("No read-ahead")
+    # Insensitivity: R=8M stays within a tight band across stream counts.
+    assert min(big.ys) > 0.6 * max(big.ys)
+    assert min(big.ys) > 30  # near the ~55 MB/s disk maximum
+    # The headline >=4x improvement at 100 streams.
+    assert big.y_at(100) > 4.0 * none.y_at(100)
+    # Monotone ordering in R at 100 streams.
+    by_r = [next(s for s in result.series if s.label.startswith(prefix))
+            for prefix in ("R = 8M", "R = 2M", "R = 1M", "R = 512K",
+                           "R = 128K")]
+    values = [series.y_at(100) for series in by_r]
+    assert values == sorted(values, reverse=True)

@@ -1,0 +1,27 @@
+"""Bench: Figure 11 — memory size vs throughput.
+
+Shape: read-ahead size matters more than dispatch width — R=8M with
+memory for one or two dispatched streams beats R=256K with every stream
+dispatched; a single stream is insensitive to everything.
+"""
+
+from repro.experiments.fig11_memory import run
+from conftest import run_once
+
+
+def test_fig11_memory_size(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    s100_big_r = result.get("S = 100 (RA = 8M)")
+    s100_small_r = result.get("S = 100 (RA = 256K)")
+    # The paper's key point: R=8M at minimal memory (D=1..2) beats
+    # R=256K with all 100 streams dispatched at any memory size.
+    assert s100_big_r.y_at(8) > 1.5 * max(s100_small_r.ys)
+    # A single stream needs neither memory nor read-ahead.
+    one = result.get("S = 1 (RA = 256K)")
+    assert min(one.ys) > 0.8 * max(one.ys)
+    assert min(one.ys) > 40
+    # Memory size itself has only a mild effect at fixed (S, R).
+    for series in result.series:
+        if len(series.ys) >= 2:
+            assert min(series.ys) > 0.5 * max(series.ys)

@@ -1,0 +1,28 @@
+"""Bench: Figure 12 — 8-disk setup with D = S.
+
+Shape: read-ahead orders the curves, none reach the ~450 MB/s ceiling,
+and the no-read-ahead baseline collapses once streams exceed the disk
+cache's segments.
+"""
+
+from repro.experiments.fig12_multidisk import run
+from conftest import run_once
+
+CEILING_MB = 450.0
+
+
+def test_fig12_eight_disks(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    none = result.get("No read-ahead")
+    small = result.get("R = 512K")
+    big = result.get("R = 2M")
+    # Ordering by read-ahead at every stream count.
+    for streams in (30, 60, 100):
+        assert big.y_at(streams) > small.y_at(streams)
+        assert small.y_at(streams) > 3.0 * none.y_at(streams)
+    # Everything stays below the hardware ceiling.
+    for series in result.series:
+        assert max(series.ys) < CEILING_MB
+    # The baseline collapse past the drive cache's segment count.
+    assert none.y_at(10) > 3.0 * none.y_at(30)

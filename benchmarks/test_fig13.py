@@ -1,0 +1,23 @@
+"""Bench: Figure 13 — small dispatch set on 8 disks.
+
+Shape: D = #disks with N = 128 beats Figure 12's D = S at every stream
+count and lands in the vicinity of 80% of the ~450 MB/s ceiling.
+"""
+
+from repro.experiments.fig13_dispatch_staging import run
+from conftest import run_once
+
+CEILING_MB = 450.0
+
+
+def test_fig13_dispatch_vs_staging(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    small_d = result.get("R = 512K, D = #disks, N = 128")
+    d_equals_s = result.get("R = 512K, from Figure 12 (D = S)")
+    # The small dispatch set wins at every stream count.
+    for streams in (10, 30, 60, 100):
+        assert small_d.y_at(streams) > 1.2 * d_equals_s.y_at(streams)
+    # And reaches a healthy fraction of the hardware ceiling.
+    assert max(small_d.ys) > 0.55 * CEILING_MB
+    assert max(small_d.ys) < CEILING_MB

@@ -1,0 +1,23 @@
+"""Bench: Figure 14 — single disk, D = 1, N = 128.
+
+Shape: a one-slot dispatch set with long residencies matches the
+all-dispatched big-R configurations of Figure 10 while pinning a fraction
+of the memory — and stays insensitive to the stream count.
+"""
+
+from repro.experiments.fig14_single_small_dispatch import run
+from conftest import run_once
+
+
+def test_fig14_small_dispatch_single_disk(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    small_d = result.get("R = 512K, D = 1, N = 128")
+    fig10_2m = result.get("R = 2M, from Figure 10")
+    # Comparable to the memory-hungry Figure 10 configuration.
+    for streams in (30, 60, 100):
+        assert small_d.y_at(streams) > 0.6 * fig10_2m.y_at(streams)
+    # Insensitive to the number of streams.
+    assert min(small_d.ys) > 0.5 * max(small_d.ys)
+    # Well above the ~3.5 MB/s no-read-ahead collapse level.
+    assert min(small_d.ys) > 15

@@ -1,0 +1,28 @@
+"""Bench: Figure 15 — average stream response time.
+
+Shape: response time is driven primarily by the number of streams
+(orders of magnitude between S=1 and S=100); at a fixed stream count,
+larger read-ahead does not hurt — and generally improves — the mean.
+"""
+
+from repro.experiments.fig15_latency import run
+from conftest import run_once
+
+
+def test_fig15_response_time(benchmark, scale):
+    result = run_once(benchmark, run, scale)
+
+    def series(streams, memory_mb):
+        return result.get(f"S = {streams} (M = {memory_mb}MBytes)")
+
+    # Stream count dominates: each decade of streams costs >=5x latency.
+    for memory in (64, 256):
+        assert series(10, memory).y_at("1M") > \
+            5.0 * series(1, memory).y_at("1M")
+        assert series(100, memory).y_at("1M") > \
+            5.0 * series(10, memory).y_at("1M")
+    # At S=100, big read-ahead improves the mean response time.
+    s100 = series(100, 256)
+    assert s100.y_at("8M") < s100.y_at("256K")
+    # A single stream stays near disk latency regardless of read-ahead.
+    assert max(series(1, 256).ys) < 10.0  # ms

@@ -1,0 +1,78 @@
+"""Micro-benchmarks: kernel event rate, cache ops, classifier routing.
+
+These are conventional pytest-benchmark timings (many rounds) for the
+hot paths every experiment leans on; regressions here inflate every
+figure's wall-clock cost.
+"""
+
+from repro.core import SequentialClassifier, ServerParams
+from repro.disk.cache import SegmentedCache
+from repro.io import IOKind, IORequest
+from repro.sim import Simulator
+from repro.units import KiB
+
+
+def test_micro_kernel_timeout_churn(benchmark):
+    """Schedule-and-run 10k timeout events."""
+    def churn():
+        sim = Simulator()
+
+        def ticker(sim):
+            for _ in range(10_000):
+                yield sim.timeout(0.001)
+
+        sim.process(ticker(sim))
+        sim.run()
+        return sim.now
+
+    result = benchmark(churn)
+    assert result > 9.9
+
+
+def test_micro_segmented_cache_lookup(benchmark):
+    """Hit-path lookups against a populated 128-segment cache."""
+    cache = SegmentedCache(num_segments=128, segment_sectors=512)
+    for index in range(128):
+        segment = cache.allocate(index * 10_000)
+        cache.fill(segment, 512)
+
+    def lookups():
+        hits = 0
+        for index in range(128):
+            for probe in range(4):
+                hits += cache.lookup(index * 10_000 + probe * 100, 64) == 64
+        return hits
+
+    assert benchmark(lookups) == 512
+
+
+def test_micro_cache_allocate_evict(benchmark):
+    """Allocation/eviction churn (the thrash path)."""
+    cache = SegmentedCache(num_segments=32, segment_sectors=512)
+
+    def churn():
+        for index in range(1000):
+            segment = cache.allocate(index * 4096)
+            cache.fill(segment, 512)
+        return cache.stats.evictions
+
+    assert benchmark(churn) > 0
+
+
+def test_micro_classifier_routing(benchmark):
+    """Hot-path routing of an established stream."""
+    classifier = SequentialClassifier(ServerParams())
+
+    def route_run():
+        offset = 0
+        routed = 0
+        for i in range(500):
+            request = IORequest(kind=IOKind.READ, disk_id=0,
+                                offset=offset, size=64 * KiB)
+            if classifier.route(request, now=float(i)) is not None:
+                routed += 1
+            offset += 64 * KiB
+        return routed
+
+    # After detection (2 misses), everything routes.
+    assert benchmark(route_run) >= 400

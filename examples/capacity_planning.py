@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Capacity planning: choosing D, R, N, M for a storage node.
+
+Given a node (disks + host memory) and an expected stream population,
+sweep the server's parameter space and report throughput, worst-stream
+latency, and the memory each configuration actually pins. Shows the
+paper's Section 5.4 trade-off live: a small dispatch set with long
+residencies matches huge-memory configurations at a fraction of M.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core import ServerParams, StreamServer
+from repro.disk import WD800JD
+from repro.node import base_topology, build_node
+from repro.sim import Simulator
+from repro.units import GiB, KiB, MiB, format_size
+from repro.workload import ClientFleet, uniform_streams
+
+NUM_STREAMS = 60
+REQUEST_SIZE = 64 * KiB
+DURATION = 6.0
+
+#: Candidate configurations: (label, ServerParams).
+CANDIDATES = [
+    ("all dispatched, R=512K",
+     ServerParams(read_ahead=512 * KiB, dispatch_width=NUM_STREAMS,
+                  requests_per_residency=1,
+                  memory_budget=NUM_STREAMS * 512 * KiB)),
+    ("all dispatched, R=8M",
+     ServerParams(read_ahead=8 * MiB, dispatch_width=NUM_STREAMS,
+                  requests_per_residency=1,
+                  memory_budget=NUM_STREAMS * 8 * MiB)),
+    ("D=4, N=32, R=1M",
+     ServerParams(read_ahead=1 * MiB, dispatch_width=4,
+                  requests_per_residency=32, memory_budget=256 * MiB)),
+    ("D=1, N=128, R=512K",
+     ServerParams(read_ahead=512 * KiB, dispatch_width=1,
+                  requests_per_residency=128, memory_budget=128 * MiB)),
+    ("autotuned",
+     ServerParams.autotune(num_disks=1, memory_bytes=1 * GiB)),
+]
+
+
+def evaluate(params: ServerParams):
+    sim = Simulator()
+    node = build_node(sim, base_topology(disk_spec=WD800JD, seed=3))
+    server = StreamServer(sim, node, params)
+    specs = uniform_streams(NUM_STREAMS, node.disk_ids,
+                            node.capacity_bytes,
+                            request_size=REQUEST_SIZE)
+    report = ClientFleet(sim, server, specs).run(
+        duration=DURATION, warmup=1.5, settle_requests=5)
+    return report, server.buffered.peak_in_use
+
+
+def main() -> None:
+    print(f"Planning for {NUM_STREAMS} streams on one WD800JD "
+          f"(max ~55-60 MB/s)\n")
+    print(f"{'configuration':26s} {'MB/s':>7} {'mean lat':>9} "
+          f"{'M budget':>9} {'M peak':>8}")
+    for label, params in CANDIDATES:
+        report, peak = evaluate(params)
+        print(f"{label:26s} {report.throughput_mb:>7.1f} "
+              f"{report.mean_latency * 1e3:>7.1f}ms "
+              f"{format_size(params.memory_budget):>9} "
+              f"{format_size(peak):>8}")
+    print("\nReading the table: the 'D=1, N=128' row shows the paper's "
+          "point —\nthroughput comparable to 'all dispatched, R=8M' "
+          "while pinning a fraction\nof the memory (compare 'M peak').")
+
+
+if __name__ == "__main__":
+    main()

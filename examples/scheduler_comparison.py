@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""OS I/O scheduler shoot-out (the Figure 2 stack, interactively sized).
+
+Runs 4 KB readers through the page cache and each Linux-style scheduler
+(noop / deadline / anticipatory / CFQ) over one disk, printing aggregate
+throughput and mean read latency per scheduler and stream count —
+including deadline, which the paper's figure omits.
+
+Run:  python examples/scheduler_comparison.py
+"""
+
+from repro.disk import DISKSIM_GENERIC, DiskDrive, DriveConfig
+from repro.experiments.fig02_schedulers import client_turnaround
+from repro.host import BlockLayer, BufferCache, make_scheduler
+from repro.sim import Simulator
+from repro.units import GiB, KiB, MiB
+from repro.workload import run_xdd
+
+SCHEDULERS = ["noop", "deadline", "anticipatory", "cfq"]
+STREAM_COUNTS = [1, 8, 32, 128]
+DURATION = 3.0
+
+
+def run(scheduler_name: str, num_streams: int):
+    sim = Simulator()
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      config=DriveConfig(seed=num_streams))
+    layer = BlockLayer(sim, drive, make_scheduler(scheduler_name))
+    cache = BufferCache(sim, layer, capacity_bytes=256 * MiB)
+    return run_xdd(sim, cache, num_streams=num_streams,
+                   block_size=4 * KiB, per_stream_bytes=4 * GiB,
+                   duration=DURATION,
+                   think_time=client_turnaround(num_streams),
+                   settle_blocks=96)
+
+
+def main() -> None:
+    print("4K sequential readers through the buffer cache, one disk\n")
+    header = f"{'streams':>8}" + "".join(
+        f"{name:>15}" for name in SCHEDULERS)
+    print(header + "      (MB/s | mean ms)")
+    for num_streams in STREAM_COUNTS:
+        cells = []
+        for scheduler_name in SCHEDULERS:
+            report = run(scheduler_name, num_streams)
+            cells.append(f"{report.throughput_mb:6.1f}|"
+                         f"{report.mean_latency * 1e3:5.1f}")
+        print(f"{num_streams:>8}" + "".join(f"{c:>15}" for c in cells))
+    print("\nAnticipatory and CFQ batch each stream's readahead windows "
+          "and dominate\nuntil per-process turnaround outgrows their idle "
+          "windows at high stream counts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Trace capture and replay, over JBOD and RAID-0.
+
+Demonstrates the workload-portability path: synthesise a trace from a
+parametric fleet, save/load it as CSV, then replay the *same* trace
+against two back-ends — the plain node and a striped volume — with and
+without the stream server. One trace, four configurations, comparable
+numbers.
+
+Run:  python examples/trace_replay.py
+"""
+
+import io
+
+from repro.core import ServerParams, StreamServer
+from repro.disk import WD800JD
+from repro.node import StripedVolume, build_node, medium_topology
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+from repro.workload import (
+    StreamSpec,
+    TraceReplayer,
+    load_trace,
+    record_fleet_trace,
+    save_trace,
+)
+
+NUM_STREAMS = 160          # 20 per disk: past the drive cache's segments
+REQUESTS_PER_STREAM = 32
+REQUEST_SIZE = 64 * KiB
+
+
+def make_trace() -> str:
+    """Synthesise the workload trace and round-trip it through CSV."""
+    per_disk = NUM_STREAMS // 8
+    stride = 80 * 10**9 // per_disk
+    stride -= stride % REQUEST_SIZE
+    specs = [StreamSpec(stream_id=s, disk_id=s % 8,
+                        start_offset=(s // 8) * stride,
+                        request_size=REQUEST_SIZE)
+             for s in range(NUM_STREAMS)]
+    entries = record_fleet_trace(specs, REQUESTS_PER_STREAM)
+    buffer = io.StringIO()
+    save_trace(entries, buffer)
+    return buffer.getvalue()
+
+
+def replay(trace_text: str, striped: bool, with_server: bool) -> float:
+    sim = Simulator()
+    node = build_node(sim, medium_topology(disk_spec=WD800JD, seed=13))
+    entries = load_trace(io.StringIO(trace_text))
+    if striped:
+        volume = StripedVolume(sim, node, node.disk_ids,
+                               chunk_bytes=256 * KiB)
+        # Re-target the per-disk trace onto the volume's flat space:
+        # each source disk gets its own virtual region, so streams stay
+        # disjoint and sequential.
+        region = volume.capacity_bytes // 8
+        region -= region % REQUEST_SIZE
+        entries = [e.__class__(time=e.time, kind=e.kind, disk_id=0,
+                               offset=e.disk_id * region + e.offset,
+                               size=e.size, stream_id=e.stream_id)
+                   for e in entries]
+        device = volume
+    else:
+        device = node
+    if with_server:
+        device = StreamServer(sim, device, ServerParams(
+            read_ahead=2 * MiB, dispatch_width=NUM_STREAMS,
+            memory_budget=NUM_STREAMS * 2 * MiB))
+    replayer = TraceReplayer(sim, device, entries, open_loop=False)
+    done = replayer.start()
+    sim.run_until_event(done, limit=600.0)
+    return replayer.throughput(sim.now) / MiB
+
+
+def main() -> None:
+    trace_text = make_trace()
+    total_mb = NUM_STREAMS * REQUESTS_PER_STREAM * REQUEST_SIZE // MiB
+    print(f"Trace: {NUM_STREAMS} streams x {REQUESTS_PER_STREAM} x "
+          f"{REQUEST_SIZE // KiB}K = {total_mb} MB, "
+          f"{len(trace_text.splitlines())} records\n")
+    print(f"{'backend':24s} {'plain MB/s':>11} {'+server MB/s':>13}")
+    for striped, label in ((False, "JBOD (8 disks)"),
+                           (True, "RAID-0 (8 disks)")):
+        plain = replay(trace_text, striped, with_server=False)
+        served = replay(trace_text, striped, with_server=True)
+        print(f"{label:24s} {plain:>11.1f} {served:>13.1f}")
+    print("\nThe same portable CSV trace drives every configuration; the "
+          "server's\ncoalescing wins on both backends.")
+
+
+if __name__ == "__main__":
+    main()

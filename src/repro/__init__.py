@@ -1,0 +1,45 @@
+"""streamsched: reproduction of "Reducing Disk I/O Performance
+Sensitivity for Large Numbers of Sequential Streams" (ICDCS 2009).
+
+Top-level convenience exports; see README.md for a tour and DESIGN.md
+for the architecture and experiment index.
+"""
+
+from repro.core import ServerParams, StreamServer
+from repro.disk import DISKSIM_GENERIC, WD800JD, DiskDrive, DiskSpec
+from repro.io import BlockDevice, IOKind, IORequest
+from repro.node import (
+    HostParams,
+    StorageNode,
+    base_topology,
+    build_node,
+    large_topology,
+    medium_topology,
+)
+from repro.sim import Simulator
+from repro.workload import ClientFleet, StreamSpec, uniform_streams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockDevice",
+    "ClientFleet",
+    "DISKSIM_GENERIC",
+    "DiskDrive",
+    "DiskSpec",
+    "HostParams",
+    "IOKind",
+    "IORequest",
+    "ServerParams",
+    "Simulator",
+    "StorageNode",
+    "StreamServer",
+    "StreamSpec",
+    "WD800JD",
+    "base_topology",
+    "build_node",
+    "large_topology",
+    "medium_topology",
+    "uniform_streams",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Result aggregation and reporting for experiments."""
+
+from repro.analysis.markdown import markdown_table
+from repro.analysis.metrics import ExperimentResult, Series, SeriesPoint
+from repro.analysis.reporting import (
+    format_table,
+    max_drop_factor,
+    monotone_decreasing,
+    monotone_increasing,
+    series_ratio,
+)
+from repro.analysis.verify import verify_result
+
+__all__ = [
+    "ExperimentResult",
+    "Series",
+    "SeriesPoint",
+    "format_table",
+    "markdown_table",
+    "max_drop_factor",
+    "monotone_decreasing",
+    "monotone_increasing",
+    "series_ratio",
+    "verify_result",
+]

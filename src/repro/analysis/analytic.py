@@ -1,0 +1,128 @@
+"""Closed-form performance model, for cross-checking the simulator.
+
+Back-of-envelope versions of the paper's arguments:
+
+* interleaved sequential streams pay one seek + half a rotation per
+  coalesced request of size R, so per-disk throughput is
+  ``R / (seek(S) + T_rev/2 + R / media_rate)``;
+* the seek distance between successively serviced streams is roughly the
+  stream spacing, ``capacity / S`` (the paper's layout), through the
+  calibrated √distance curve.
+
+Tests assert the simulator lands within a band of these predictions for
+mid-range configurations — a guard against silent timing regressions in
+any of the stacked components.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import SeekModel
+from repro.disk.specs import DiskSpec
+from repro.units import SECTOR_BYTES
+
+__all__ = ["AnalyticDiskModel", "Prediction"]
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One analytic estimate."""
+
+    throughput: float       # bytes/s
+    per_request_time: float  # seconds per coalesced request
+    seek_time: float         # seconds of that spent seeking
+
+    @property
+    def throughput_mb(self) -> float:
+        """MBytes/s, the paper's unit."""
+        return self.throughput / (1024 * 1024)
+
+
+class AnalyticDiskModel:
+    """Closed-form throughput estimates for one disk spec."""
+
+    def __init__(self, spec: DiskSpec):
+        self.spec = spec
+        outer_spt = max(1, round(
+            spec.outer_media_rate * spec.rotation_time_s / SECTOR_BYTES))
+        inner_spt = max(1, round(
+            spec.inner_media_rate * spec.rotation_time_s / SECTOR_BYTES))
+        self.geometry = DiskGeometry.from_capacity(
+            spec.capacity_bytes, heads=spec.heads,
+            num_zones=spec.num_zones, outer_spt=outer_spt,
+            inner_spt=inner_spt)
+        self.seek_model = SeekModel(spec.single_cylinder_seek_s,
+                                    spec.average_seek_s,
+                                    self.geometry.cylinders)
+
+    @property
+    def mean_media_rate(self) -> float:
+        """Capacity-weighted mean media rate (bytes/s)."""
+        total = 0.0
+        for zone in self.geometry.zones:
+            rate = (zone.sectors_per_track * SECTOR_BYTES
+                    / self.spec.rotation_time_s)
+            total += rate * zone.sector_count
+        return total / self.geometry.total_sectors
+
+    def stream_spacing_cylinders(self, num_streams: int) -> int:
+        """Cylinder distance between adjacent streams (paper layout)."""
+        if num_streams < 1:
+            raise ValueError(f"num_streams must be >= 1: {num_streams}")
+        return max(1, self.geometry.cylinders // num_streams)
+
+    def interleaved_throughput(self, num_streams: int,
+                               request_bytes: int,
+                               outer_zone: bool = True) -> Prediction:
+        """Throughput of ``num_streams`` interleaved with ``request_bytes``
+        per disk visit (the coalesced size: R for the server, the request
+        size for raw access).
+
+        Model: per visit = seek(spacing) + half a rotation + transfer.
+        """
+        if request_bytes < 1:
+            raise ValueError(f"request_bytes must be >= 1: "
+                             f"{request_bytes}")
+        if num_streams == 1:
+            media = (self.spec.outer_media_rate if outer_zone
+                     else self.mean_media_rate)
+            per_request = request_bytes / media
+            return Prediction(throughput=media,
+                              per_request_time=per_request,
+                              seek_time=0.0)
+        seek = self.seek_model.seek_time(
+            self.stream_spacing_cylinders(num_streams))
+        rotation = self.spec.rotation_time_s / 2.0
+        media = (self.spec.outer_media_rate if outer_zone
+                 else self.mean_media_rate)
+        transfer = request_bytes / media
+        per_request = seek + rotation + transfer
+        return Prediction(throughput=request_bytes / per_request,
+                          per_request_time=per_request,
+                          seek_time=seek)
+
+    def utilisation(self, num_streams: int, request_bytes: int) -> float:
+        """Fraction of peak media rate the configuration achieves."""
+        prediction = self.interleaved_throughput(num_streams,
+                                                 request_bytes)
+        return prediction.throughput / self.spec.outer_media_rate
+
+    def read_ahead_for_utilisation(self, num_streams: int,
+                                   target: float) -> int:
+        """Smallest power-of-two R reaching ``target`` utilisation.
+
+        The inversion behind the paper's "R = 8M suffices" observation.
+        """
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"target must be in (0,1): {target}")
+        read_ahead = 64 * 1024
+        while read_ahead < 2**40:
+            if self.utilisation(num_streams, read_ahead) >= target:
+                return read_ahead
+            read_ahead *= 2
+        raise ValueError(
+            f"target utilisation {target} unreachable at "
+            f"{num_streams} streams")

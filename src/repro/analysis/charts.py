@@ -1,0 +1,59 @@
+"""ASCII charts for terminal-friendly result inspection.
+
+No plotting dependencies: a horizontal bar chart per series, scaled to a
+fixed width, good enough to eyeball a figure's shape in CI logs and the
+examples' output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import ExperimentResult, Series
+
+__all__ = ["bar_chart", "result_chart"]
+
+_BLOCKS = "▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, maximum: float, width: int) -> str:
+    if maximum <= 0:
+        return ""
+    fraction = max(0.0, min(1.0, value / maximum))
+    eighths = round(fraction * width * 8)
+    full, remainder = divmod(eighths, 8)
+    bar = "█" * full
+    if remainder:
+        bar += _BLOCKS[remainder - 1]
+    return bar
+
+
+def bar_chart(series: Series, width: int = 40,
+              unit: str = "") -> str:
+    """One series as labelled horizontal bars."""
+    if not series.points:
+        return f"{series.label}: (no data)"
+    maximum = max(series.ys)
+    label_width = max(len(str(x)) for x in series.xs)
+    lines = [series.label]
+    for point in series.points:
+        bar = _bar(point.y, maximum, width)
+        lines.append(f"  {str(point.x).rjust(label_width)} "
+                     f"{bar:<{width}} {point.y:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def result_chart(result: ExperimentResult, width: int = 40) -> str:
+    """Every series of a result, bars scaled to the global maximum."""
+    lines: List[str] = [f"{result.experiment_id}: {result.title} "
+                        f"[{result.y_label}]"]
+    maximum = max((max(s.ys) for s in result.series if s.points),
+                  default=0.0)
+    for series in result.series:
+        lines.append(series.label)
+        label_width = max((len(str(x)) for x in series.xs), default=1)
+        for point in series.points:
+            bar = _bar(point.y, maximum, width)
+            lines.append(f"  {str(point.x).rjust(label_width)} "
+                         f"{bar:<{width}} {point.y:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Markdown rendering of experiment results (feeds EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.metrics import ExperimentResult
+
+__all__ = ["markdown_table"]
+
+
+def markdown_table(result: ExperimentResult, precision: int = 1) -> str:
+    """Render a result as a GitHub-flavoured markdown table."""
+    xs: List = []
+    for series in result.series:
+        for x in series.xs:
+            if x not in xs:
+                xs.append(x)
+    header = [result.x_label] + result.labels
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "---|" * len(header)]
+    for x in xs:
+        row = [str(x)]
+        for series in result.series:
+            try:
+                row.append(f"{series.y_at(x):.{precision}f}")
+            except KeyError:
+                row.append("—")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Typed containers for experiment results.
+
+Every experiment produces an :class:`ExperimentResult`: named series of
+(x, y) points matching one paper figure's axes, so benches, docs, and
+shape checks all consume the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+__all__ = ["ExperimentResult", "Series", "SeriesPoint"]
+
+XValue = Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One measurement: x (figure's x-axis value) → y (figure's y-axis)."""
+
+    x: XValue
+    y: float
+
+
+@dataclass
+class Series:
+    """One labelled curve of a figure."""
+
+    label: str
+    points: List[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x: XValue, y: float) -> None:
+        """Append a point."""
+        self.points.append(SeriesPoint(x, y))
+
+    @property
+    def xs(self) -> List[XValue]:
+        """X values in insertion order."""
+        return [p.x for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        """Y values in insertion order."""
+        return [p.y for p in self.points]
+
+    def y_at(self, x: XValue) -> float:
+        """The y value measured at ``x`` (KeyError if absent)."""
+        for point in self.points:
+            if point.x == x:
+                return point.y
+        raise KeyError(f"no point at x={x!r} in series {self.label!r}")
+
+
+@dataclass
+class ExperimentResult:
+    """All series of one reproduced figure."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def new_series(self, label: str) -> Series:
+        """Create, register, and return a new series."""
+        series = Series(label)
+        self.series.append(series)
+        return series
+
+    def get(self, label: str) -> Series:
+        """Series by exact label (KeyError if absent)."""
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(
+            f"no series {label!r}; have {[s.label for s in self.series]}")
+
+    @property
+    def labels(self) -> List[str]:
+        """Series labels in insertion order."""
+        return [s.label for s in self.series]
+
+    def as_dict(self) -> Dict[str, Dict[XValue, float]]:
+        """{series label: {x: y}} for serialisation and assertions."""
+        return {s.label: dict(zip(s.xs, s.ys)) for s in self.series}

@@ -1,0 +1,91 @@
+"""Tables and shape checks over experiment results.
+
+The reproduction validates *shapes* — who wins, by what factor, where the
+cliff is — rather than absolute MB/s, so the checks here are the ones
+DESIGN.md's experiment index lists per figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.metrics import ExperimentResult, Series
+
+__all__ = [
+    "format_table",
+    "max_drop_factor",
+    "monotone_decreasing",
+    "monotone_increasing",
+    "series_ratio",
+]
+
+
+def format_table(result: ExperimentResult, precision: int = 2) -> str:
+    """Render a result as a fixed-width ASCII table (x rows × series)."""
+    xs: List = []
+    for series in result.series:
+        for x in series.xs:
+            if x not in xs:
+                xs.append(x)
+    header = [result.x_label] + result.labels
+    rows = [header]
+    for x in xs:
+        row = [str(x)]
+        for series in result.series:
+            try:
+                row.append(f"{series.y_at(x):.{precision}f}")
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(header))]
+    lines = [f"{result.experiment_id}: {result.title} "
+             f"[{result.y_label}]"]
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def monotone_decreasing(values: Sequence[float],
+                        tolerance: float = 0.05) -> bool:
+    """Non-increasing within a relative tolerance (noise allowance)."""
+    for earlier, later in zip(values, values[1:]):
+        if later > earlier * (1 + tolerance):
+            return False
+    return True
+
+
+def monotone_increasing(values: Sequence[float],
+                        tolerance: float = 0.05) -> bool:
+    """Non-decreasing within a relative tolerance."""
+    for earlier, later in zip(values, values[1:]):
+        if later < earlier * (1 - tolerance):
+            return False
+    return True
+
+
+def max_drop_factor(values: Sequence[float]) -> float:
+    """max(values) / min(values): the figure's collapse magnitude."""
+    if not values:
+        raise ValueError("empty series")
+    lowest = min(values)
+    if lowest <= 0:
+        return float("inf")
+    return max(values) / lowest
+
+
+def series_ratio(numerator: Series, denominator: Series) -> List[float]:
+    """Pointwise ratio at shared x values (who-wins-by-how-much)."""
+    shared = [x for x in numerator.xs if x in denominator.xs]
+    if not shared:
+        raise ValueError(
+            f"series {numerator.label!r} and {denominator.label!r} share "
+            f"no x values")
+    return [numerator.y_at(x) / denominator.y_at(x)
+            if denominator.y_at(x) > 0 else float("inf")
+            for x in shared]

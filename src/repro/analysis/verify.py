@@ -1,0 +1,214 @@
+"""Per-figure shape verification.
+
+Each checker takes the figure's :class:`ExperimentResult` and returns a
+list of human-readable violations (empty = the figure's shape holds).
+These encode DESIGN.md §3's shape criteria once, used by the experiment
+runner's ``--check`` flag; the benchmarks assert the same facts with
+pytest granularity.
+
+Thresholds are deliberately looser than the benchmark asserts: the
+runner may be invoked at SMOKE scale where noise is higher.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.analysis.metrics import ExperimentResult, Series
+
+__all__ = ["CHECKERS", "verify_result"]
+
+
+def _ratio_at_least(violations: List[str], label: str, numerator: float,
+                    denominator: float, factor: float) -> None:
+    if denominator <= 0 or numerator < factor * denominator:
+        violations.append(
+            f"{label}: expected >= {factor}x ({numerator:.2f} vs "
+            f"{denominator:.2f})")
+
+
+def _series_starting(result: ExperimentResult, prefix: str) -> Series:
+    for series in result.series:
+        if series.label.startswith(prefix):
+            return series
+    raise KeyError(f"no series starting with {prefix!r} in "
+                   f"{result.labels}")
+
+
+def check_fig01(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    sixty = result.get("60 streams")
+    five_hundred = result.get("500 streams")
+    _ratio_at_least(violations, "collapse 60 vs 500 streams @256K",
+                    sixty.y_at("256K"), five_hundred.y_at("256K"), 1.5)
+    if sixty.y_at("256K") <= sixty.y_at("8K"):
+        violations.append("request size should help at 60 streams")
+    return violations
+
+
+def check_fig02(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    anticipatory = result.get("anticipatory")
+    plateau = max(anticipatory.y_at(s) for s in (8, 16, 32))
+    _ratio_at_least(violations, "anticipatory collapse by 256 streams",
+                    plateau, anticipatory.y_at(256), 0.0)
+    if plateau < 2.5 * anticipatory.y_at(256):
+        violations.append(
+            f"anticipatory should lose >=2.5x by 256 streams "
+            f"({plateau:.1f} -> {anticipatory.y_at(256):.1f})")
+    noop = result.get("noop")
+    for streams in (8, 16):
+        _ratio_at_least(violations, f"AS vs noop @{streams}",
+                        anticipatory.y_at(streams), noop.y_at(streams),
+                        1.3)
+    return violations
+
+
+def check_fig04(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    single = result.get("1 streams")
+    hundred = result.get("100 streams")
+    _ratio_at_least(violations, "1 vs 100 streams @64K",
+                    single.y_at("64K"), hundred.y_at("64K"), 2.5)
+    for series in result.series:
+        if series.ys[-1] < series.ys[0]:
+            violations.append(
+                f"{series.label}: throughput should rise with request "
+                f"size")
+    return violations
+
+
+def check_fig05(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    single = result.get("1 streams")
+    thirty = result.get("30 streams")
+    if single.y_at("64K") < 40:
+        violations.append("single stream should saturate at 64K+")
+    _ratio_at_least(violations, "10 vs 30 streams @8K (segment cliff)",
+                    result.get("10 streams").y_at("8K"),
+                    thirty.y_at("8K"), 2.5)
+    return violations
+
+
+def check_fig06(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    series = result.get("30 streams")
+    _ratio_at_least(violations, "segment-size climb",
+                    max(series.ys), series.y_at("32K"), 2.5)
+    return violations
+
+
+def check_fig07(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    ten = result.get("10 streams")
+    hundred = result.get("100 streams")
+    _ratio_at_least(violations, "10 streams: 16x512K vs 8x1M (thrash)",
+                    ten.y_at("16x512K"), ten.y_at("8x1M"), 2.0)
+    _ratio_at_least(violations, "100 streams: tiny vs big segments",
+                    hundred.y_at("128x64K"), hundred.y_at("8x1M"), 1.5)
+    return violations
+
+
+def check_fig08(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    sixty = result.get("60 streams")
+    if sixty.y_at("4M") > 5.0:
+        violations.append(
+            f"60 streams @4M prefetch should collapse towards zero "
+            f"(got {sixty.y_at('4M'):.1f})")
+    ten = result.get("10 streams")
+    _ratio_at_least(violations, "10 streams: 2M vs 64K prefetch",
+                    ten.y_at("2M"), ten.y_at("64K"), 2.5)
+    return violations
+
+
+def check_fig10(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    big = _series_starting(result, "R = 8M")
+    none = result.get("No read-ahead")
+    if min(big.ys) < 0.5 * max(big.ys):
+        violations.append("R=8M should be ~flat across stream counts")
+    _ratio_at_least(violations, "R=8M vs no-RA @100 streams",
+                    big.y_at(100), none.y_at(100), 4.0)
+    return violations
+
+
+def check_fig11(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    big_r = result.get("S = 100 (RA = 8M)")
+    small_r = result.get("S = 100 (RA = 256K)")
+    _ratio_at_least(violations,
+                    "R=8M minimal memory vs R=256K any memory",
+                    big_r.ys[0], max(small_r.ys), 1.3)
+    return violations
+
+
+def check_fig12(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    for series in result.series:
+        if max(series.ys) >= 450:
+            violations.append(f"{series.label}: exceeds the 450 MB/s "
+                              f"ceiling")
+    _ratio_at_least(violations, "R=2M vs R=512K @100 streams/disk",
+                    result.get("R = 2M").y_at(100),
+                    result.get("R = 512K").y_at(100), 1.1)
+    return violations
+
+
+def check_fig13(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    small_d = _series_starting(result, "R = 512K, D = #disks")
+    baseline = _series_starting(result, "R = 512K, from Figure 12")
+    for streams in (10, 30, 60):
+        _ratio_at_least(violations, f"small-D vs D=S @{streams}",
+                        small_d.y_at(streams), baseline.y_at(streams),
+                        1.1)
+    return violations
+
+
+def check_fig14(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    small_d = _series_starting(result, "R = 512K, D = 1")
+    if min(small_d.ys) < 10:
+        violations.append("D=1/N=128 should stay well above the "
+                          "collapse level")
+    return violations
+
+
+def check_fig15(result: ExperimentResult) -> List[str]:
+    violations: List[str] = []
+    for memory in (64,):
+        one = result.get(f"S = 1 (M = {memory}MBytes)")
+        hundred = result.get(f"S = 100 (M = {memory}MBytes)")
+        _ratio_at_least(violations, "latency: S=100 vs S=1",
+                        hundred.y_at("1M"), one.y_at("1M"), 10.0)
+    s100 = result.get("S = 100 (M = 256MBytes)")
+    if s100.y_at("8M") > s100.y_at("256K"):
+        violations.append("larger R should improve S=100 mean latency")
+    return violations
+
+
+#: figure id -> checker.
+CHECKERS: Dict[str, Callable[[ExperimentResult], List[str]]] = {
+    "fig01": check_fig01,
+    "fig02": check_fig02,
+    "fig04": check_fig04,
+    "fig05": check_fig05,
+    "fig06": check_fig06,
+    "fig07": check_fig07,
+    "fig08": check_fig08,
+    "fig10": check_fig10,
+    "fig11": check_fig11,
+    "fig12": check_fig12,
+    "fig13": check_fig13,
+    "fig14": check_fig14,
+    "fig15": check_fig15,
+}
+
+
+def verify_result(result: ExperimentResult) -> List[str]:
+    """Run the figure's checker; unknown figures verify trivially."""
+    checker = CHECKERS.get(result.experiment_id)
+    if checker is None:
+        return []
+    return checker(result)

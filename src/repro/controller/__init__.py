@@ -1,0 +1,19 @@
+"""Disk controller model.
+
+A controller hosts several disks behind SATA ports, owns a bounded command
+queue, an optional prefetching cache (the Figure 8 knob), and an aggregate
+bandwidth ceiling (the Broadcom BC4810 in the paper sustains ~450 MB/s
+across its eight ports).
+"""
+
+from repro.controller.bus import HostBus, SataPort
+from repro.controller.cache import PrefetchCache
+from repro.controller.controller import ControllerSpec, DiskController
+
+__all__ = [
+    "ControllerSpec",
+    "DiskController",
+    "HostBus",
+    "PrefetchCache",
+    "SataPort",
+]

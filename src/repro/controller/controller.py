@@ -1,0 +1,219 @@
+"""The disk controller: queue, optional prefetch cache, bandwidth ceiling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.controller.bus import HostBus, SataPort
+from repro.controller.cache import PrefetchCache
+from repro.disk.drive import DiskDrive
+from repro.io import IORequest, stamp_submit
+from repro.sim import Resource, Simulator
+from repro.sim.events import Event
+from repro.sim.stats import StatsRegistry
+from repro.units import MiB, US
+
+__all__ = ["ControllerSpec", "DiskController"]
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """Static controller description.
+
+    Defaults model the paper's Broadcom BC4810: 8-port entry-level SATA
+    RAID controller sustaining ~450 MB/s, with a command queue in the
+    128-entry range and (configurably) a prefetching cache — Figure 8
+    studies a 128 MB cache with prefetch sizes from 64 KB to 4 MB.
+    """
+
+    name: str = "bc4810"
+    num_ports: int = 8
+    queue_depth: int = 128
+    cache_bytes: int = 0
+    prefetch_bytes: int = 0
+    aggregate_bandwidth: float = 450.0 * MiB
+    port_bandwidth: float = 150.0 * MiB
+    request_overhead_s: float = 20 * US
+    #: Commands the firmware processes concurrently per port. Entry-level
+    #: controllers (the BC4810 class) handle one command per disk at a
+    #: time — cache hits for a disk queue FIFO behind an in-progress
+    #: prefetch fetch for that disk, which is what lets large controller
+    #: prefetch sizes thrash (Figure 8's 4 MB cliff). Ports are
+    #: independent, so multi-disk aggregate bandwidth is unaffected.
+    port_concurrency: int = 1
+
+    def with_prefetch(self, cache_bytes: int,
+                      prefetch_bytes: int) -> "ControllerSpec":
+        """Copy with the prefetching cache configured."""
+        from dataclasses import replace
+        return replace(self, cache_bytes=cache_bytes,
+                       prefetch_bytes=prefetch_bytes)
+
+
+class DiskController:
+    """A controller hosting up to ``spec.num_ports`` disks.
+
+    Implements :class:`repro.io.BlockDevice` over the union of its disks:
+    ``submit`` routes by ``request.disk_id`` (global ids; the controller
+    is built with an explicit id→drive mapping).
+
+    Read path: admission (bounded queue) → command processing → cache
+    lookup → either serve from cache, join an in-flight extent fetch, or
+    fetch (an extent when prefetching, else the request itself) from the
+    disk — then cross the shared host bus and complete.
+    """
+
+    def __init__(self, sim: Simulator, spec: ControllerSpec,
+                 disks: Dict[int, DiskDrive], name: str = ""):
+        if not disks:
+            raise ValueError("controller needs at least one disk")
+        if len(disks) > spec.num_ports:
+            raise ValueError(
+                f"{len(disks)} disks exceed {spec.num_ports} ports")
+        self.sim = sim
+        self.spec = spec
+        self.name = name or spec.name
+        self.disks = dict(disks)
+        self.ports = {disk_id: SataPort(sim, bandwidth=spec.port_bandwidth,
+                                        name=f"{self.name}.port{disk_id}",
+                                        pipe=drive.interface)
+                      for disk_id, drive in disks.items()}
+        self.cache = PrefetchCache(cache_bytes=spec.cache_bytes,
+                                   prefetch_bytes=spec.prefetch_bytes)
+        self.bus = HostBus(sim, bandwidth=spec.aggregate_bandwidth,
+                           name=f"{self.name}.bus")
+        self._admission = Resource(sim, capacity=spec.queue_depth,
+                                   name=f"{self.name}.queue")
+        self._cpu = Resource(sim, capacity=1, name=f"{self.name}.cpu")
+        if spec.port_concurrency < 1:
+            raise ValueError(
+                f"port_concurrency must be >= 1: {spec.port_concurrency}")
+        self._port_slots = {
+            disk_id: Resource(sim, capacity=spec.port_concurrency,
+                              name=f"{self.name}.slot{disk_id}")
+            for disk_id in disks
+        }
+        self.stats = StatsRegistry()
+        capacities = {d.capacity_bytes for d in self.disks.values()}
+        if len(capacities) != 1:
+            raise ValueError("controller disks must be homogeneous")
+        #: Per-disk addressable bytes (BlockDevice protocol).
+        self.capacity_bytes = capacities.pop()
+
+    # -- BlockDevice protocol -------------------------------------------------
+    def submit(self, request: IORequest) -> Event:
+        """Route ``request`` to its disk; returns the completion event."""
+        if request.disk_id not in self.disks:
+            raise ValueError(
+                f"{request!r}: disk {request.disk_id} not on {self.name}")
+        stamp_submit(request, self.sim.now)
+        event = self.sim.event(name=f"ctl{request.request_id}")
+        self.sim.process(self._handle(request, event),
+                         name=f"{self.name}.req{request.request_id}")
+        return event
+
+    @property
+    def queue_in_use(self) -> int:
+        """Occupied queue entries (admitted, not yet completed)."""
+        return self._admission.in_use
+
+    # -- request handling ---------------------------------------------------------
+    def _handle(self, request: IORequest, event: Event):
+        grant = self._admission.request()
+        yield grant
+        try:
+            yield from self._charge_cpu()
+            if request.is_read:
+                yield from self._handle_read(request)
+            else:
+                yield from self._handle_write(request)
+            request.complete_time = self.sim.now
+            self.stats.counter("completed").add(request.size)
+            self.stats.latency("latency").observe(request.latency)
+            event.succeed(request)
+        finally:
+            self._admission.release()
+
+    def _charge_cpu(self):
+        grant = self._cpu.request()
+        yield grant
+        try:
+            yield self.sim.timeout(self.spec.request_overhead_s)
+        finally:
+            self._cpu.release()
+
+    def _handle_read(self, request: IORequest):
+        # One firmware command slot per port: a cache-hit check for a
+        # disk waits behind an in-progress fetch for that disk.
+        slot = self._port_slots[request.disk_id]
+        grant = slot.request()
+        yield grant
+        try:
+            if self.cache.covers(request.disk_id, request.offset,
+                                 request.size):
+                self.stats.counter("cache_hits").add(request.size)
+            elif self.cache.enabled:
+                yield from self._fetch_through_extent(request)
+            else:
+                disk_event = self.disks[request.disk_id].submit(request)
+                yield disk_event
+        finally:
+            slot.release()
+        yield from self.bus.transfer(request.size)
+
+    def _fetch_through_extent(self, request: IORequest):
+        """Fetch the aligned extent(s) covering the request, coalescing
+        with identical in-flight fetches from other streams."""
+        extent_offset, extent_size = self.cache.extent_of(request.offset)
+        end = request.offset + request.size
+        while extent_offset < end:
+            size = min(extent_size, self.capacity_bytes - extent_offset)
+            if size <= 0:
+                break
+            if not self.cache.peek(request.disk_id, extent_offset, size):
+                yield from self._fetch_extent(request, extent_offset, size)
+            extent_offset += extent_size
+
+    def _fetch_extent(self, request: IORequest, extent_offset: int,
+                      size: int):
+        key = (request.disk_id, extent_offset)
+        pending = self.cache.in_flight.get(key)
+        if pending is not None:
+            yield pending
+            return
+        done = self.sim.event(name=f"{self.name}.extent")
+        self.cache.in_flight[key] = done
+        try:
+            extent = request.derive(extent_offset, size)
+            extent.stream_id = None
+            # Wire time is charged by the drive: hits cross its interface
+            # pipe, misses overlap the (slower) media read.
+            disk_event = self.disks[request.disk_id].submit(extent)
+            yield disk_event
+            self.cache.insert_extent(request.disk_id, extent_offset, size)
+            self.stats.counter("prefetched").add(size)
+        finally:
+            del self.cache.in_flight[key]
+            done.succeed()
+
+    def _handle_write(self, request: IORequest):
+        self.cache.invalidate(request.disk_id, request.offset, request.size)
+        yield from self.bus.transfer(request.size)
+        slot = self._port_slots[request.disk_id]
+        grant = slot.request()
+        yield grant
+        try:
+            disk_event = self.disks[request.disk_id].submit(request)
+            yield disk_event
+        finally:
+            slot.release()
+
+    # -- reporting -----------------------------------------------------------------
+    def throughput(self, elapsed: float) -> float:
+        """Completed bytes per second over ``elapsed``."""
+        return self.stats.counter("completed").throughput(elapsed)
+
+    def __repr__(self) -> str:
+        return (f"<DiskController {self.name!r} disks={sorted(self.disks)} "
+                f"queue={self._admission.in_use}/{self.spec.queue_depth}>")

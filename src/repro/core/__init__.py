@@ -1,0 +1,48 @@
+"""The paper's contribution: a host-level stream-aware storage server.
+
+The server transparently (1) detects sequential streams with small
+dynamically-allocated region bitmaps, (2) coalesces each stream's small
+requests into large read-ahead requests of size ``R`` issued from a bounded
+*dispatch set* of ``D`` streams (``N`` requests per residency, round-robin
+rotation), and (3) stages prefetched data in a memory-bounded *buffered
+set* (``M ≥ D·R·N``) from which client requests complete.
+
+Public surface: :class:`~repro.core.server.StreamServer` +
+:class:`~repro.core.params.ServerParams`.
+"""
+
+from repro.core.bitmap import BitmapTable, RegionBitmap
+from repro.core.buffered_set import BufferedSet, StreamBuffer
+from repro.core.classifier import SequentialClassifier
+from repro.core.dispatch import DispatchSet
+from repro.core.params import ServerParams
+from repro.core.policies import (
+    OffsetAwarePolicy,
+    ReplacementPolicy,
+    RoundRobinPolicy,
+    make_replacement_policy,
+)
+from repro.core.server import StreamServer
+from repro.core.static_bitmap import CoarseBitmapClassifier
+from repro.core.stream import StreamQueue, StreamState
+from repro.core.writeback import WriteCoalescer, WriteCoalescerParams
+
+__all__ = [
+    "BitmapTable",
+    "BufferedSet",
+    "CoarseBitmapClassifier",
+    "DispatchSet",
+    "OffsetAwarePolicy",
+    "RegionBitmap",
+    "ReplacementPolicy",
+    "RoundRobinPolicy",
+    "SequentialClassifier",
+    "ServerParams",
+    "StreamBuffer",
+    "StreamQueue",
+    "StreamServer",
+    "StreamState",
+    "WriteCoalescer",
+    "WriteCoalescerParams",
+    "make_replacement_policy",
+]

@@ -1,0 +1,149 @@
+"""Dynamically-allocated region bitmaps for sequential-stream detection.
+
+The paper rejects one whole-disk bitmap (too large at one bit per block)
+in favour of small bitmaps allocated on demand around the first request
+to a region: a bitmap covers blocks ``[B - w, B + w]`` and each arriving
+request sets the bits it spans. Once the number of set bits crosses a
+threshold the region is declared sequential.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["BitmapTable", "RegionBitmap"]
+
+
+class RegionBitmap:
+    """One window of blocks around an anchor block.
+
+    Python ints are the bitmap (arbitrary precision, popcount via
+    ``int.bit_count``), so a 65-block window costs one small object.
+    """
+
+    __slots__ = ("start_block", "num_blocks", "bits", "created_at",
+                 "last_touch")
+
+    def __init__(self, anchor_block: int, window_blocks: int,
+                 now: float = 0.0):
+        if window_blocks < 1:
+            raise ValueError(f"window must be >= 1 block: {window_blocks}")
+        self.start_block = max(0, anchor_block - window_blocks)
+        self.num_blocks = anchor_block + window_blocks + 1 - self.start_block
+        self.bits = 0
+        self.created_at = now
+        self.last_touch = now
+
+    @property
+    def end_block(self) -> int:
+        """One past the last covered block."""
+        return self.start_block + self.num_blocks
+
+    def covers(self, block: int) -> bool:
+        """True when ``block`` falls inside this window."""
+        return self.start_block <= block < self.end_block
+
+    def set_range(self, first_block: int, count: int, now: float) -> int:
+        """Set bits for ``count`` blocks from ``first_block`` (clipped).
+
+        Returns the resulting popcount.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1: {count}")
+        lo = max(first_block, self.start_block)
+        hi = min(first_block + count, self.end_block)
+        if lo < hi:
+            width = hi - lo
+            self.bits |= ((1 << width) - 1) << (lo - self.start_block)
+            self.last_touch = now
+        return self.popcount
+
+    @property
+    def popcount(self) -> int:
+        """Number of set bits."""
+        return self.bits.bit_count()
+
+    def __repr__(self) -> str:
+        return (f"<RegionBitmap [{self.start_block},{self.end_block}) "
+                f"set={self.popcount}>")
+
+
+class BitmapTable:
+    """Per-disk collections of region bitmaps with expiry.
+
+    Lookup is by (disk, block): bitmaps are indexed by start block in a
+    sorted list per disk. Windows have bounded width, so the containing
+    bitmap (if any) is found with one bisect and a short backward scan.
+    Overlapping windows are allowed; the most recently allocated wins.
+    """
+
+    def __init__(self, window_blocks: int, interval: float):
+        if window_blocks < 1:
+            raise ValueError(f"window must be >= 1 block: {window_blocks}")
+        if interval <= 0:
+            raise ValueError(f"interval must be positive: {interval}")
+        self.window_blocks = window_blocks
+        self.interval = interval
+        self._tables: Dict[int, List[Tuple[int, int, RegionBitmap]]] = {}
+        self._next_id = 0
+        self.allocated = 0
+        self.expired = 0
+
+    def find(self, disk_id: int, block: int) -> Optional[RegionBitmap]:
+        """The newest live bitmap covering ``block``, or None."""
+        table = self._tables.get(disk_id)
+        if not table:
+            return None
+        max_width = 2 * self.window_blocks + 1
+        position = bisect_right(table, (block, float("inf"), None))  # type: ignore[arg-type]
+        best: Optional[Tuple[int, RegionBitmap]] = None
+        while position > 0:
+            start, bitmap_id, bitmap = table[position - 1]
+            if block - start >= max_width:
+                break
+            if bitmap.covers(block) and (best is None
+                                         or bitmap_id > best[0]):
+                best = (bitmap_id, bitmap)
+            position -= 1
+        return best[1] if best else None
+
+    def allocate(self, disk_id: int, anchor_block: int,
+                 now: float) -> RegionBitmap:
+        """Create a bitmap centred on ``anchor_block``."""
+        bitmap = RegionBitmap(anchor_block, self.window_blocks, now=now)
+        table = self._tables.setdefault(disk_id, [])
+        insort(table, (bitmap.start_block, self._next_id, bitmap))
+        self._next_id += 1
+        self.allocated += 1
+        return bitmap
+
+    def remove(self, disk_id: int, bitmap: RegionBitmap) -> None:
+        """Drop a specific bitmap (e.g. once its stream is classified)."""
+        table = self._tables.get(disk_id, [])
+        for index, (_start, _bid, candidate) in enumerate(table):
+            if candidate is bitmap:
+                del table[index]
+                return
+        raise ValueError("bitmap not present")
+
+    def expire(self, now: float) -> int:
+        """Recycle bitmaps idle past the interval; returns count dropped."""
+        dropped = 0
+        for disk_id, table in self._tables.items():
+            keep = [entry for entry in table
+                    if now - entry[2].last_touch < self.interval]
+            dropped += len(table) - len(keep)
+            self._tables[disk_id] = keep
+        self.expired += dropped
+        return dropped
+
+    @property
+    def live_count(self) -> int:
+        """Bitmaps currently allocated."""
+        return sum(len(t) for t in self._tables.values())
+
+    def memory_bytes(self) -> int:
+        """Rough memory footprint: one bit per covered block."""
+        return sum((2 * self.window_blocks + 1 + 7) // 8 * len(t)
+                   for t in self._tables.values())

@@ -1,0 +1,220 @@
+"""The buffered set: staged read-ahead data awaiting consumption.
+
+Each dispatched read-ahead request owns a :class:`StreamBuffer` covering
+its byte range. Client requests complete from filled buffers; requests
+arriving while the fetch is in flight attach to the buffer and complete
+when it fills. Total buffer memory is bounded by ``M``; the garbage
+collector reclaims buffers nobody read (a stream that stopped, a region
+misclassified as sequential).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.io import IORequest
+from repro.sim.events import Event
+
+__all__ = ["BufferedSet", "StreamBuffer"]
+
+_buffer_ids = itertools.count(1)
+
+
+class StreamBuffer:
+    """One staged extent of a stream.
+
+    ``filled`` flips when the disk read completes; ``consumed_until`` is
+    the high-water byte the client has read (buffers are consumed in
+    order because streams are sequential).
+    """
+
+    __slots__ = ("buffer_id", "stream_id", "disk_id", "offset", "size",
+                 "filled", "consumed_until", "created_at", "last_access",
+                 "waiters")
+
+    def __init__(self, stream_id: int, disk_id: int, offset: int,
+                 size: int, now: float):
+        if size <= 0:
+            raise ValueError(f"buffer size must be positive: {size}")
+        self.buffer_id = next(_buffer_ids)
+        self.stream_id = stream_id
+        self.disk_id = disk_id
+        self.offset = offset
+        self.size = size
+        self.filled = False
+        self.consumed_until = offset
+        self.created_at = now
+        self.last_access = now
+        #: (request, event) pairs to complete when the buffer fills.
+        self.waiters: List[Tuple[IORequest, Event]] = []
+
+    @property
+    def end(self) -> int:
+        """One past the last byte staged."""
+        return self.offset + self.size
+
+    @property
+    def fully_consumed(self) -> bool:
+        """True once the client has read everything staged here."""
+        return self.filled and self.consumed_until >= self.end
+
+    def contains(self, offset: int, size: int) -> bool:
+        """Whole byte range inside this buffer?"""
+        return self.offset <= offset and offset + size <= self.end
+
+    def __repr__(self) -> str:
+        state = "filled" if self.filled else "in-flight"
+        return (f"<Buffer#{self.buffer_id} s{self.stream_id} "
+                f"[{self.offset},{self.end}) {state}>")
+
+
+class BufferedSet:
+    """All staged buffers, bounded by the memory budget ``M``."""
+
+    def __init__(self, memory_budget: int, on_change=None):
+        if memory_budget < 0:
+            raise ValueError(f"negative memory budget: {memory_budget}")
+        self.memory_budget = memory_budget
+        #: Optional callback(delta_buffers) invoked on allocate/release,
+        #: used to mirror buffer counts into the host cost model and to
+        #: wake memory waiters.
+        self.on_change = on_change
+        self.in_use = 0
+        self._buffers: Dict[int, StreamBuffer] = {}
+        #: stream_id -> buffer ids, oldest first (streams consume in order).
+        self._by_stream: Dict[int, List[int]] = {}
+        self.peak_in_use = 0
+        self.allocated_total = 0
+        self.reclaimed_unread = 0
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    @property
+    def available(self) -> int:
+        """Bytes of budget not currently staged."""
+        return self.memory_budget - self.in_use
+
+    def can_allocate(self, size: int) -> bool:
+        """Would ``size`` more staged bytes fit in the budget?"""
+        return self.in_use + size <= self.memory_budget
+
+    def allocate(self, stream_id: int, disk_id: int, offset: int,
+                 size: int, now: float) -> StreamBuffer:
+        """Reserve a buffer for an in-flight read-ahead request."""
+        if not self.can_allocate(size):
+            raise MemoryError(
+                f"buffered set over budget: {self.in_use} + {size} > "
+                f"{self.memory_budget}")
+        buffer = StreamBuffer(stream_id, disk_id, offset, size, now)
+        self._buffers[buffer.buffer_id] = buffer
+        self._by_stream.setdefault(stream_id, []).append(buffer.buffer_id)
+        self.in_use += size
+        self.allocated_total += 1
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        if self.on_change is not None:
+            self.on_change(+1)
+        return buffer
+
+    def mark_filled(self, buffer: StreamBuffer,
+                    now: float) -> List[Tuple[IORequest, Event]]:
+        """Record fill completion; returns waiters to complete."""
+        buffer.filled = True
+        buffer.last_access = now
+        waiters, buffer.waiters = buffer.waiters, []
+        return waiters
+
+    # -- lookup ---------------------------------------------------------------
+    def find(self, disk_id: int, offset: int,
+             size: int) -> Optional[StreamBuffer]:
+        """The buffer containing the byte range, if any.
+
+        Scans only buffers of streams on the same disk; a stream holds at
+        most a residency's worth of buffers, so this stays small.
+        """
+        for buffer in self._buffers.values():
+            if buffer.disk_id == disk_id and buffer.contains(offset, size):
+                return buffer
+        return None
+
+    def find_in_stream(self, stream_id: int, offset: int,
+                       size: int) -> Optional[StreamBuffer]:
+        """Like :meth:`find` but scoped to one stream's few buffers —
+        the hot path once the classifier has routed a request."""
+        for buffer_id in self._by_stream.get(stream_id, ()):
+            buffer = self._buffers[buffer_id]
+            if buffer.contains(offset, size):
+                return buffer
+        return None
+
+    def consume(self, buffer: StreamBuffer, offset: int, size: int,
+                now: float) -> bool:
+        """Advance the consumption high-water; free if fully consumed.
+
+        Returns True when the buffer was released.
+        """
+        buffer.last_access = now
+        buffer.consumed_until = max(buffer.consumed_until, offset + size)
+        if buffer.fully_consumed:
+            self._release(buffer)
+            return True
+        return False
+
+    # -- reclamation -----------------------------------------------------------
+    def _release(self, buffer: StreamBuffer) -> None:
+        removed = self._buffers.pop(buffer.buffer_id, None)
+        if removed is None:
+            return
+        self.in_use -= buffer.size
+        siblings = self._by_stream.get(buffer.stream_id)
+        if siblings is not None:
+            siblings.remove(buffer.buffer_id)
+            if not siblings:
+                del self._by_stream[buffer.stream_id]
+        if self.on_change is not None:
+            self.on_change(-1)
+
+    def discard(self, buffer: StreamBuffer) -> List[Tuple[IORequest, Event]]:
+        """Drop a buffer regardless of state (fetch-failure path).
+
+        Returns its unserved waiters so the caller can fail them.
+        """
+        waiters, buffer.waiters = buffer.waiters, []
+        self._release(buffer)
+        return waiters
+
+    def release_stream(self, stream_id: int) -> int:
+        """Drop all buffers of one stream; returns bytes reclaimed."""
+        reclaimed = 0
+        for buffer_id in list(self._by_stream.get(stream_id, [])):
+            buffer = self._buffers[buffer_id]
+            if not buffer.fully_consumed:
+                self.reclaimed_unread += 1
+            reclaimed += buffer.size
+            self._release(buffer)
+        return reclaimed
+
+    def collect(self, now: float, timeout: float) -> int:
+        """Reclaim filled buffers idle for longer than ``timeout``.
+
+        In-flight buffers are never collected (the completion path still
+        owns them). Returns bytes reclaimed.
+        """
+        reclaimed = 0
+        for buffer in list(self._buffers.values()):
+            if buffer.filled and now - buffer.last_access >= timeout:
+                if not buffer.fully_consumed:
+                    self.reclaimed_unread += 1
+                reclaimed += buffer.size
+                self._release(buffer)
+        return reclaimed
+
+    def stream_buffers(self, stream_id: int) -> Iterable[StreamBuffer]:
+        """This stream's live buffers, oldest first."""
+        return [self._buffers[buffer_id]
+                for buffer_id in self._by_stream.get(stream_id, [])]
+
+    def __repr__(self) -> str:
+        return (f"<BufferedSet {len(self._buffers)} buffers "
+                f"{self.in_use}/{self.memory_budget} bytes>")

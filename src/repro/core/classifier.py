@@ -1,0 +1,131 @@
+"""Request classification: detecting sequential streams.
+
+Two-level routing, mirroring the paper's Section 4.1:
+
+1. **Known streams** — a request continuing an existing stream (exact
+   next offset, or within the near-sequential gap tolerance) routes to
+   that stream's queue in O(1).
+2. **Unknown requests** — the region bitmap around the request's block is
+   updated; when its popcount crosses the threshold a new stream is
+   created and read-ahead enabled for it. Until then the caller issues
+   the request directly to the disk.
+
+Out-of-order requests and re-reads simply fail to match and go direct —
+"this mechanism ignores out of order requests [and] multiple requests to
+the same block" (the paper, verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.bitmap import BitmapTable
+from repro.core.params import ServerParams
+from repro.core.stream import StreamQueue
+from repro.io import IORequest
+
+__all__ = ["SequentialClassifier"]
+
+
+class SequentialClassifier:
+    """Stateful request → stream routing and stream detection."""
+
+    def __init__(self, params: ServerParams):
+        self.params = params
+        self.bitmaps = BitmapTable(
+            window_blocks=params.classifier_window_blocks,
+            interval=params.classifier_interval)
+        #: (disk_id, client_next_offset) -> stream: the O(1) hot path.
+        self._by_next: Dict[Tuple[int, int], StreamQueue] = {}
+        #: All live streams by id.
+        self.streams: Dict[int, StreamQueue] = {}
+        self.detected = 0
+        self.routed = 0
+        self.direct = 0
+
+    # -- routing ---------------------------------------------------------------
+    def route(self, request: IORequest,
+              now: float) -> Optional[StreamQueue]:
+        """Return the stream this read continues, or None (go direct).
+
+        A matching stream's expected-next index is advanced to the
+        request's end.
+        """
+        if not request.is_read:
+            self.direct += 1
+            return None
+        key = (request.disk_id, request.offset)
+        stream = self._by_next.get(key)
+        if stream is None and self.params.gap_tolerance:
+            stream = self._match_with_gap(request)
+        if stream is not None:
+            self._advance(stream, request.end)
+            stream.touch(now)
+            self.routed += 1
+            return stream
+        detected = self._observe_unknown(request, now)
+        if detected is not None:
+            self.detected += 1
+            self.routed += 1
+            return detected
+        self.direct += 1
+        return None
+
+    def _match_with_gap(self, request: IORequest) -> Optional[StreamQueue]:
+        for stream in self.streams.values():
+            if stream.matches(request, self.params.gap_tolerance) \
+                    and stream.client_next != request.offset:
+                return stream
+        return None
+
+    def _advance(self, stream: StreamQueue, new_next: int) -> None:
+        # fetch_next is owned by the dispatcher's pump — only the client
+        # expectation moves here.
+        self._by_next.pop((stream.disk_id, stream.client_next), None)
+        stream.client_next = new_next
+        self._by_next[(stream.disk_id, new_next)] = stream
+
+    # -- detection ----------------------------------------------------------------
+    def _observe_unknown(self, request: IORequest,
+                         now: float) -> Optional[StreamQueue]:
+        """Update the region bitmap; create a stream on threshold.
+
+        The newly created stream starts at the request's *end*: the
+        request itself is serviced directly while read-ahead takes over
+        from there.
+        """
+        block_size = self.params.classifier_block
+        first_block = request.offset // block_size
+        span = (request.end - 1) // block_size - first_block + 1
+        bitmap = self.bitmaps.find(request.disk_id, first_block)
+        if bitmap is None:
+            bitmap = self.bitmaps.allocate(request.disk_id, first_block, now)
+        popcount = bitmap.set_range(first_block, span, now)
+        if popcount < self.params.classifier_threshold:
+            return None
+        stream = StreamQueue(request.disk_id, request.end, now,
+                             client_id=request.stream_id)
+        self.streams[stream.stream_id] = stream
+        self._by_next[(stream.disk_id, stream.client_next)] = stream
+        self.bitmaps.remove(request.disk_id, bitmap)
+        return stream
+
+    # -- maintenance ----------------------------------------------------------------
+    def drop_stream(self, stream: StreamQueue) -> None:
+        """Forget a stream (GC of inactive streams)."""
+        self.streams.pop(stream.stream_id, None)
+        self._by_next.pop((stream.disk_id, stream.client_next), None)
+
+    def expire_bitmaps(self, now: float) -> int:
+        """Recycle stale region bitmaps; returns count dropped."""
+        return self.bitmaps.expire(now)
+
+    @property
+    def live_streams(self) -> int:
+        """Number of currently tracked streams."""
+        return len(self.streams)
+
+    def __repr__(self) -> str:
+        return (f"<SequentialClassifier streams={len(self.streams)} "
+                f"bitmaps={self.bitmaps.live_count} "
+                f"detected={self.detected}>")

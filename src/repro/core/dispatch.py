@@ -1,0 +1,128 @@
+"""The dispatch set: which streams are generating disk requests.
+
+At most ``D`` streams are dispatched at a time; each remains until it has
+issued ``N`` read-ahead requests (its *residency*), then rotates out for
+the next waiting stream under the replacement policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.core.policies import ReplacementPolicy, RoundRobinPolicy
+from repro.core.stream import StreamQueue, StreamState
+
+__all__ = ["DispatchSet"]
+
+
+class DispatchSet:
+    """Membership management for dispatched streams."""
+
+    def __init__(self, width: int, requests_per_residency: int,
+                 policy: Optional[ReplacementPolicy] = None):
+        if width < 1:
+            raise ValueError(f"dispatch width must be >= 1: {width}")
+        if requests_per_residency < 1:
+            raise ValueError(
+                f"requests_per_residency must be >= 1: "
+                f"{requests_per_residency}")
+        self.width = width
+        self.requests_per_residency = requests_per_residency
+        self.policy = policy or RoundRobinPolicy()
+        self._members: Dict[int, StreamQueue] = {}
+        self._waiting: Deque[StreamQueue] = deque()
+        #: Per-disk last dispatched offset, for offset-aware policies.
+        self.last_offset: Dict[int, int] = {}
+        self.admissions = 0
+        self.rotations = 0
+
+    # -- membership -------------------------------------------------------------
+    @property
+    def members(self) -> List[StreamQueue]:
+        """Currently dispatched streams."""
+        return list(self._members.values())
+
+    @property
+    def free_slots(self) -> int:
+        """Dispatch slots not in use."""
+        return self.width - len(self._members)
+
+    @property
+    def waiting_count(self) -> int:
+        """Streams queued for admission."""
+        return len(self._waiting)
+
+    def is_member(self, stream: StreamQueue) -> bool:
+        """Is the stream currently dispatched?"""
+        return stream.stream_id in self._members
+
+    def is_waiting(self, stream: StreamQueue) -> bool:
+        """Is the stream queued for admission?"""
+        return any(s.stream_id == stream.stream_id for s in self._waiting)
+
+    def enqueue(self, stream: StreamQueue) -> None:
+        """Put a stream on the admission queue (idempotent)."""
+        if self.is_member(stream) or self.is_waiting(stream):
+            return
+        stream.state = StreamState.WAITING
+        self._waiting.append(stream)
+
+    def admit_next(self) -> Optional[StreamQueue]:
+        """Admit one waiting stream if a slot is free.
+
+        Admission is disk-balanced: candidates are the waiting streams
+        targeting the disks with the fewest dispatched members, and the
+        replacement policy chooses among those. This keeps every spindle
+        busy when ``D = #disks`` (Figure 13's configuration) instead of
+        letting FIFO order stack several streams on one disk.
+        """
+        if not self._waiting or self.free_slots <= 0:
+            return None
+        load: Dict[int, int] = {}
+        for member in self._members.values():
+            load[member.disk_id] = load.get(member.disk_id, 0) + 1
+        lightest = min(load.get(s.disk_id, 0) for s in self._waiting)
+        candidates = [s for s in self._waiting
+                      if load.get(s.disk_id, 0) == lightest]
+        index = self.policy.select(candidates,
+                                   context={"last_offset": self.last_offset})
+        stream = candidates[index]
+        self._waiting.remove(stream)
+        stream.state = StreamState.DISPATCHED
+        stream.issued_in_residency = 0
+        self._members[stream.stream_id] = stream
+        self.admissions += 1
+        return stream
+
+    def record_issue(self, stream: StreamQueue, offset: int) -> None:
+        """Account one read-ahead issue for a member stream."""
+        if not self.is_member(stream):
+            raise ValueError(f"{stream!r} not in dispatch set")
+        stream.issued_in_residency += 1
+        stream.total_issued += 1
+        self.last_offset[stream.disk_id] = offset
+
+    def residency_expired(self, stream: StreamQueue) -> bool:
+        """Has the stream used up its N issues?"""
+        return stream.issued_in_residency >= self.requests_per_residency
+
+    def rotate_out(self, stream: StreamQueue) -> None:
+        """Remove a member (residency over, stream dead, or stalled)."""
+        removed = self._members.pop(stream.stream_id, None)
+        if removed is None:
+            return
+        stream.state = StreamState.BUFFERED
+        self.rotations += 1
+
+    def drop_waiting(self, stream: StreamQueue) -> None:
+        """Remove a stream from the admission queue (GC path)."""
+        try:
+            self._waiting.remove(stream)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:
+        return (f"<DispatchSet {len(self._members)}/{self.width} "
+                f"waiting={len(self._waiting)} N="
+                f"{self.requests_per_residency}>")

@@ -1,0 +1,89 @@
+"""Dispatch-set replacement policies.
+
+The paper uses round-robin ("involved policies are possible ... we
+currently use a simple round-robin policy") and sketches an offset-aware
+alternative that favours streams near the disk head; both are implemented
+so the ablation benchmark can compare them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional, Sequence
+
+from repro.core.stream import StreamQueue
+
+__all__ = [
+    "OffsetAwarePolicy",
+    "ReplacementPolicy",
+    "RoundRobinPolicy",
+    "make_replacement_policy",
+]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Chooses which waiting stream enters the dispatch set next."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def select(self, waiting: Sequence[StreamQueue],
+               context: Optional[Dict] = None) -> int:
+        """Index into ``waiting`` of the stream to admit."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class RoundRobinPolicy(ReplacementPolicy):
+    """FIFO over the waiting list — the paper's default."""
+
+    name = "round-robin"
+
+    def select(self, waiting: Sequence[StreamQueue],
+               context: Optional[Dict] = None) -> int:
+        if not waiting:
+            raise ValueError("select() on empty waiting list")
+        return 0
+
+
+class OffsetAwarePolicy(ReplacementPolicy):
+    """Admit the waiting stream whose next fetch is nearest the last
+    dispatched position on its disk (reduces inter-stream seeks).
+
+    ``context`` carries ``{"last_offset": {disk_id: byte_offset}}`` from
+    the dispatcher; disks never dispatched fall back to offset order.
+    """
+
+    name = "offset-aware"
+
+    def select(self, waiting: Sequence[StreamQueue],
+               context: Optional[Dict] = None) -> int:
+        if not waiting:
+            raise ValueError("select() on empty waiting list")
+        last_offsets = (context or {}).get("last_offset", {})
+
+        def distance(stream: StreamQueue) -> int:
+            anchor = last_offsets.get(stream.disk_id, 0)
+            return abs(stream.fetch_next - anchor)
+
+        best = min(range(len(waiting)), key=lambda i: distance(waiting[i]))
+        return best
+
+
+_POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    "rr": RoundRobinPolicy,
+    OffsetAwarePolicy.name: OffsetAwarePolicy,
+    "offset": OffsetAwarePolicy,
+}
+
+
+def make_replacement_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from "
+            f"{sorted(set(_POLICIES))}") from None

@@ -1,0 +1,373 @@
+"""The stream-aware storage server (Figure 9's architecture).
+
+Request path::
+
+    client → [classifier] ──direct──────────────→ device
+                 │ (sequential stream)
+                 ▼
+           [stream queue] ←── pending requests
+                 │
+           [dispatch set: ≤ D streams, N issues each, policy rotation]
+                 │ R-sized coalesced reads
+                 ▼
+               device ──fills──→ [buffered set: ≤ M bytes] ──completes──→ client
+
+The completion path gives priority to the issue path: a filled buffer
+first admits/pumps waiting streams (so disks never idle on completion
+processing) and then completes the client requests it covers — the
+paper's Section 4.2 ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.buffered_set import BufferedSet, StreamBuffer
+from repro.core.classifier import SequentialClassifier
+from repro.core.dispatch import DispatchSet
+from repro.core.gc import GarbageCollector
+from repro.core.params import ServerParams
+from repro.core.policies import ReplacementPolicy
+from repro.core.stream import StreamQueue
+from repro.io import BlockDevice, IOKind, IORequest, stamp_submit
+from repro.sim import Simulator
+from repro.sim.events import Event
+from repro.sim.stats import StatsRegistry
+
+__all__ = ["ServerReport", "StreamServer"]
+
+
+@dataclass(frozen=True)
+class ServerReport:
+    """Diagnostic snapshot of a running :class:`StreamServer`.
+
+    ``staged_hit_fraction`` is the share of client requests completed
+    from the buffered set — the paper's "serviced directly from memory"
+    category (§5.5); high values mean the coalescing is doing its job.
+    """
+
+    live_streams: int
+    dispatched_streams: int
+    waiting_streams: int
+    live_buffers: int
+    memory_in_use: int
+    memory_peak: int
+    completed_requests: int
+    completed_bytes: int
+    staged_hit_fraction: float
+    direct_fraction: float
+    readahead_issued_bytes: int
+    detected_streams: int
+    gc_cycles: int
+
+    def __str__(self) -> str:
+        return (
+            f"streams: {self.live_streams} live "
+            f"({self.dispatched_streams} dispatched, "
+            f"{self.waiting_streams} waiting), "
+            f"buffers: {self.live_buffers} "
+            f"({self.memory_in_use / 2**20:.1f} MB in use, "
+            f"peak {self.memory_peak / 2**20:.1f} MB), "
+            f"completed: {self.completed_requests} reqs "
+            f"({self.staged_hit_fraction:.0%} staged, "
+            f"{self.direct_fraction:.0%} direct)")
+
+
+class StreamServer:
+    """Host-level sequential-stream server over any block device.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    device:
+        Downstream :class:`~repro.io.BlockDevice` — a raw drive, a
+        controller, or a whole storage node.
+    params:
+        The D/R/N/M configuration (see :class:`ServerParams`).
+    policy:
+        Dispatch-set replacement policy (default round-robin).
+    """
+
+    def __init__(self, sim: Simulator, device: BlockDevice,
+                 params: Optional[ServerParams] = None,
+                 policy: Optional[ReplacementPolicy] = None,
+                 classifier: Optional[SequentialClassifier] = None,
+                 name: str = "server"):
+        self.sim = sim
+        self.device = device
+        self.params = params or ServerParams()
+        self.name = name
+        self.capacity_bytes = device.capacity_bytes
+        #: Pluggable for the ablation variants (CoarseBitmapClassifier).
+        self.classifier = classifier or SequentialClassifier(self.params)
+        self.buffered = BufferedSet(self.params.memory_budget,
+                                    on_change=self._buffers_changed)
+        self.dispatch = DispatchSet(
+            width=self.params.effective_dispatch_width,
+            requests_per_residency=self.params.requests_per_residency,
+            policy=policy)
+        self.gc = GarbageCollector(self)
+        self.stats = StatsRegistry()
+        self._memory_waiters: list[Event] = []
+        self.write_coalescer = None
+        if self.params.coalesce_writes:
+            from repro.core.writeback import (
+                WriteCoalescer,
+                WriteCoalescerParams,
+            )
+            self.write_coalescer = WriteCoalescer(
+                sim, device,
+                WriteCoalescerParams(
+                    coalesce_bytes=self.params.write_coalesce_bytes,
+                    memory_budget=self.params.write_memory_budget),
+                name=f"{name}.wback")
+
+    # -- host cost-model mirroring ------------------------------------------
+    def _buffers_changed(self, delta: int) -> None:
+        register = getattr(self.device, "register_buffers", None)
+        if register is not None:
+            register(delta)
+        if delta < 0 and self._memory_waiters:
+            waiters, self._memory_waiters = self._memory_waiters, []
+            for waiter in waiters:
+                waiter.succeed()
+
+    # -- BlockDevice protocol ---------------------------------------------------
+    def submit(self, request: IORequest) -> Event:
+        """Accept a client request; returns its completion event."""
+        stamp_submit(request, self.sim.now)
+        event = self.sim.event(name=f"srv{request.request_id}")
+        if not request.is_read:
+            if self.write_coalescer is not None:
+                return self.write_coalescer.write(request)
+            self._issue_direct(request, event)
+            return event
+        if self.params.read_ahead == 0:
+            self._issue_direct(request, event)
+            return event
+        stream = self.classifier.route(request, self.sim.now)
+        self.gc.ensure_running()
+        if stream is None:
+            self._issue_direct(request, event)
+            return event
+        if request.end <= stream.fetch_next:
+            # Within fetched/in-flight ranges: find the buffer holding
+            # the request's last byte (fills are in order, so once it
+            # fills everything before it has too). The buffer — not the
+            # filled_until counter — is the source of truth: GC may have
+            # reclaimed staged data the counter still remembers.
+            buffer = self.buffered.find_in_stream(
+                stream.stream_id, request.end - 1, 1)
+            if buffer is None:
+                # Data was fetched but reclaimed before this read (GC,
+                # memory pressure): fall back to a direct read.
+                self.stats.counter("reclaimed_misses").add(request.size)
+                self._issue_direct(request, event)
+            elif buffer.filled:
+                self._complete_from_memory(stream, request, event)
+            else:
+                # The covering fetch is in flight: wait for it.
+                buffer.waiters.append((request, event))
+                self.stats.counter("attached").add(request.size)
+        else:
+            # Beyond the fetch frontier: queue on the stream and make
+            # sure it is (or becomes) dispatched.
+            stream.pending.append((request, event))
+            if not self.dispatch.is_member(stream):
+                self.dispatch.enqueue(stream)
+            self._admit_streams()
+        return event
+
+    # -- direct path ------------------------------------------------------------
+    def _issue_direct(self, request: IORequest, event: Event) -> None:
+        self.stats.counter("direct").add(request.size)
+
+        def relay(sim):
+            try:
+                yield self.device.submit(request)
+            except Exception as exc:  # device fault: surface to client
+                self.stats.counter("device_errors").add(request.size)
+                event.fail(exc)
+                return
+            self._finish(request, event)
+
+        self.sim.process(relay(self.sim), name=f"{self.name}.direct")
+
+    # -- staged completions --------------------------------------------------------
+    def _complete_from_memory(self, stream: StreamQueue, request: IORequest,
+                              event: Event) -> None:
+        self._consume(stream, request)
+        self.stats.counter("staged_hits").add(request.size)
+
+        def copy(sim):
+            yield sim.timeout(self.params.completion_copy_s)
+            self._finish(request, event)
+
+        self.sim.process(copy(self.sim), name=f"{self.name}.copy")
+
+    def _consume(self, stream: StreamQueue, request: IORequest) -> None:
+        """Advance consumption over the stream's buffers (in order)."""
+        for buffer in list(self.buffered.stream_buffers(stream.stream_id)):
+            if buffer.offset >= request.end:
+                break
+            upto = min(buffer.end, request.end)
+            self.buffered.consume(buffer, buffer.offset,
+                                  upto - buffer.offset, self.sim.now)
+
+    def _finish(self, request: IORequest, event: Event) -> None:
+        request.complete_time = self.sim.now
+        self.stats.counter("completed").add(request.size)
+        self.stats.latency("latency").observe(request.latency)
+        event.succeed(request)
+
+    # -- dispatching --------------------------------------------------------------
+    def _admit_streams(self) -> None:
+        """Fill free dispatch slots and start their pumps."""
+        while True:
+            stream = self.dispatch.admit_next()
+            if stream is None:
+                return
+            self.sim.process(self._pump(stream),
+                             name=f"{self.name}.pump{stream.stream_id}")
+
+    def _pump(self, stream: StreamQueue):
+        """One dispatch-set residency: issue up to N read-ahead requests."""
+        params = self.params
+        while (self.dispatch.is_member(stream)
+               and not self.dispatch.residency_expired(stream)):
+            size = min(params.read_ahead,
+                       self.capacity_bytes - stream.fetch_next)
+            if size <= 0:
+                break  # stream ran off the end of the disk
+            while not self.buffered.can_allocate(size):
+                waiter = self.sim.event(name=f"{self.name}.mem")
+                self._memory_waiters.append(waiter)
+                yield waiter
+                if not self.dispatch.is_member(stream):
+                    return
+            offset = stream.fetch_next
+            buffer = self.buffered.allocate(stream.stream_id,
+                                            stream.disk_id, offset, size,
+                                            self.sim.now)
+            stream.fetch_next = offset + size
+            self.dispatch.record_issue(stream, offset)
+            fetch = IORequest(kind=IOKind.READ, disk_id=stream.disk_id,
+                              offset=offset, size=size,
+                              stream_id=stream.client_id)
+            fetch.annotations["core.readahead"] = stream.stream_id
+            self.stats.counter("readahead_issued").add(size)
+            try:
+                yield self.device.submit(fetch)
+            except Exception as exc:  # device fault mid-fetch
+                self.stats.counter("device_errors").add(size)
+                self._abort_fetch(stream, buffer, exc)
+                break
+            self._buffer_filled(stream, buffer)
+        self._rotate(stream)
+
+    def _abort_fetch(self, stream: StreamQueue, buffer: StreamBuffer,
+                     exc: Exception) -> None:
+        """A read-ahead fetch failed: fail its waiters, drop the buffer.
+
+        Pending requests beyond the failed range fail too — their data
+        can only arrive through the fetch path that just broke; the
+        stream itself survives and may be re-dispatched by new requests.
+        """
+        for _request, event in self.buffered.discard(buffer):
+            event.fail(exc)
+        while stream.pending:
+            _request, event = stream.pending.popleft()
+            event.fail(exc)
+        stream.fetch_next = min(stream.fetch_next, buffer.offset)
+
+    def _buffer_filled(self, stream: StreamQueue,
+                       buffer: StreamBuffer) -> None:
+        """Completion path: issue-path work first, then client completions."""
+        waiters = self.buffered.mark_filled(buffer, self.sim.now)
+        if self.buffered.find_in_stream(stream.stream_id, buffer.offset,
+                                        1) is buffer:
+            stream.filled_until = max(stream.filled_until, buffer.end)
+        # Issue path gets priority (Section 4.2): admit/refill before
+        # completing clients.
+        self._admit_streams()
+        for request, event in waiters:
+            self._consume(stream, request)
+            self.stats.counter("staged_hits").add(request.size)
+            self._finish_later(request, event)
+        while stream.pending:
+            request, event = stream.pending[0]
+            if request.end > stream.filled_until:
+                break
+            stream.pending.popleft()
+            self._consume(stream, request)
+            self.stats.counter("staged_hits").add(request.size)
+            self._finish_later(request, event)
+
+    def _finish_later(self, request: IORequest, event: Event) -> None:
+        def copy(sim):
+            yield sim.timeout(self.params.completion_copy_s)
+            self._finish(request, event)
+
+        self.sim.process(copy(self.sim), name=f"{self.name}.copy")
+
+    def _rotate(self, stream: StreamQueue) -> None:
+        """End of residency: leave the dispatch set, requeue if needed.
+
+        A stream with clients still waiting competes for a slot again
+        immediately; an idle one re-enters through ``submit`` the next
+        time a request outruns its staged data.
+        """
+        self.dispatch.rotate_out(stream)
+        if stream.has_demand and stream.fetch_next < self.capacity_bytes:
+            self.dispatch.enqueue(stream)
+        elif stream.has_demand:
+            # The stream ran off the end of the disk with clients still
+            # queued: read-ahead cannot serve them, so hand them to the
+            # direct path rather than leaving them parked forever.
+            while stream.pending:
+                request, event = stream.pending.popleft()
+                self._issue_direct(request, event)
+        self._admit_streams()
+
+    # -- reporting -------------------------------------------------------------------
+    def throughput(self, elapsed: float) -> float:
+        """Client-visible completed bytes per second."""
+        return self.stats.counter("completed").throughput(elapsed)
+
+    def report(self) -> "ServerReport":
+        """Point-in-time diagnostic snapshot (see :class:`ServerReport`)."""
+        completed = self.stats.counter("completed")
+        staged = self.stats.counter("staged_hits")
+        direct = self.stats.counter("direct")
+        return ServerReport(
+            live_streams=self.classifier.live_streams,
+            dispatched_streams=len(self.dispatch.members),
+            waiting_streams=self.dispatch.waiting_count,
+            live_buffers=len(self.buffered),
+            memory_in_use=self.buffered.in_use,
+            memory_peak=self.buffered.peak_in_use,
+            completed_requests=completed.count,
+            completed_bytes=completed.total_bytes,
+            staged_hit_fraction=(staged.count / completed.count
+                                 if completed.count else 0.0),
+            direct_fraction=(direct.count / completed.count
+                             if completed.count else 0.0),
+            readahead_issued_bytes=self.stats.counter(
+                "readahead_issued").total_bytes,
+            detected_streams=self.classifier.detected,
+            gc_cycles=self.gc.cycles,
+        )
+
+    @property
+    def memory_in_use(self) -> int:
+        """Bytes currently staged in the buffered set."""
+        return self.buffered.in_use
+
+    def __repr__(self) -> str:
+        return (f"<StreamServer D={self.dispatch.width} "
+                f"R={self.params.read_ahead} "
+                f"N={self.params.requests_per_residency} "
+                f"M={self.params.memory_budget} "
+                f"streams={self.classifier.live_streams}>")

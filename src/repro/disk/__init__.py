@@ -1,0 +1,50 @@
+"""Disk drive model (DiskSim substitute).
+
+Implements an analytic-mechanics disk drive with:
+
+* zoned geometry — outer zones hold more sectors per track and therefore
+  transfer faster (:mod:`repro.disk.geometry`);
+* a three-parameter seek-time curve, rotational latency, and zoned media
+  transfer (:mod:`repro.disk.mechanics`);
+* a **segmented on-disk cache** with per-segment read-ahead — the structure
+  whose thrashing the paper analyses in Figures 4–7
+  (:mod:`repro.disk.cache`);
+* an internal request queue with pluggable scheduling (FCFS/SSTF/LOOK)
+  (:mod:`repro.disk.queue`);
+* the :class:`~repro.disk.drive.DiskDrive` tying these together behind the
+  :class:`~repro.io.BlockDevice` protocol;
+* spec presets, including the paper's WD Caviar SE WD800JD
+  (:mod:`repro.disk.specs`).
+"""
+
+from repro.disk.cache import CacheStats, SegmentedCache
+from repro.disk.drive import DiskDrive, DriveConfig
+from repro.disk.geometry import DiskGeometry, Zone
+from repro.disk.mechanics import Mechanics, RotationMode, SeekModel
+from repro.disk.queue import (
+    FCFSPolicy,
+    LookPolicy,
+    QueuePolicy,
+    SSTFPolicy,
+    make_policy,
+)
+from repro.disk.specs import DISKSIM_GENERIC, WD800JD, DiskSpec
+
+__all__ = [
+    "CacheStats",
+    "DISKSIM_GENERIC",
+    "DiskDrive",
+    "DiskGeometry",
+    "DiskSpec",
+    "DriveConfig",
+    "FCFSPolicy",
+    "LookPolicy",
+    "Mechanics",
+    "QueuePolicy",
+    "RotationMode",
+    "SSTFPolicy",
+    "SeekModel",
+    "WD800JD",
+    "Zone",
+    "make_policy",
+]

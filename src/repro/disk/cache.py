@@ -1,0 +1,254 @@
+"""Segmented cache used by disks and controllers.
+
+Real disk caches are divided into *segments*: chunks of contiguous data,
+managed LRU. A read miss allocates a segment and the drive may keep reading
+past the demand range to fill it (read-ahead). The cache's behaviour under
+many sequential streams — each stream pinning a segment, thrashing once
+streams outnumber segments — is the mechanism behind the paper's Figures
+4–8, so this module tracks prefetch-efficiency statistics explicitly.
+
+Addresses here are sectors; callers convert from bytes at the boundary.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_right, insort
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["CacheStats", "Segment", "SegmentedCache"]
+
+
+@dataclass
+class CacheStats:
+    """Aggregate counters for one cache instance.
+
+    ``wasted_prefetch_sectors`` counts sectors that were prefetched into a
+    segment but evicted before any lookup touched them — the thrashing
+    signal.
+    """
+
+    lookups: int = 0
+    full_hits: int = 0
+    partial_hits: int = 0
+    misses: int = 0
+    hit_sectors: int = 0
+    inserted_sectors: int = 0
+    prefetched_sectors: int = 0
+    evictions: int = 0
+    wasted_prefetch_sectors: int = 0
+    invalidated_sectors: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that were full hits."""
+        return self.full_hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def prefetch_efficiency(self) -> float:
+        """Fraction of prefetched sectors not known to be wasted."""
+        if not self.prefetched_sectors:
+            return 1.0
+        return 1.0 - self.wasted_prefetch_sectors / self.prefetched_sectors
+
+
+class Segment:
+    """One cache segment: a contiguous run of valid sectors.
+
+    ``used_high`` is the high-water mark (relative to ``start``) of sectors
+    returned to lookups; sectors past it at eviction time were prefetched
+    for nothing.
+    """
+
+    __slots__ = ("segment_id", "start", "count", "used_high", "prefetched")
+
+    def __init__(self, segment_id: int):
+        self.segment_id = segment_id
+        self.start = 0
+        self.count = 0
+        self.used_high = 0
+        self.prefetched = 0
+
+    @property
+    def end(self) -> int:
+        """One past the last valid sector."""
+        return self.start + self.count
+
+    def __repr__(self) -> str:
+        return (f"<Segment#{self.segment_id} [{self.start},{self.end}) "
+                f"used={self.used_high}>")
+
+
+class SegmentedCache:
+    """LRU cache of ``num_segments`` segments of ``segment_sectors`` each.
+
+    Segments hold arbitrary (unaligned) contiguous sector runs: a segment
+    is bound to a start sector at allocation and only ever extended at its
+    end (by demand fill or read-ahead), which keeps the start-sorted index
+    stable.
+    """
+
+    def __init__(self, num_segments: int, segment_sectors: int):
+        if num_segments < 1:
+            raise ValueError(f"num_segments must be >= 1: {num_segments}")
+        if segment_sectors < 1:
+            raise ValueError(
+                f"segment_sectors must be >= 1: {segment_sectors}")
+        self.num_segments = num_segments
+        self.segment_sectors = segment_sectors
+        self.stats = CacheStats()
+        self._ids = itertools.count()
+        #: LRU order: oldest first. Maps segment_id -> Segment.
+        self._lru: "OrderedDict[int, Segment]" = OrderedDict()
+        #: start-sorted index of live segments: (start, segment_id) tuples.
+        self._index: List[Tuple[int, int]] = []
+        self._free_slots = num_segments
+
+    # -- derived sizes ---------------------------------------------------------
+    @property
+    def capacity_sectors(self) -> int:
+        """Total sectors the cache can hold."""
+        return self.num_segments * self.segment_sectors
+
+    @property
+    def live_segments(self) -> int:
+        """Segments currently holding data."""
+        return len(self._lru)
+
+    def cached_sectors(self) -> int:
+        """Sectors currently valid across all segments."""
+        return sum(seg.count for seg in self._lru.values())
+
+    # -- lookup ------------------------------------------------------------------
+    def lookup(self, start: int, nsectors: int) -> int:
+        """Return how many sectors from ``start`` are cached (prefix).
+
+        Touches the LRU position and used-high-water of every segment that
+        contributes, and classifies the lookup in :attr:`stats`. Coverage
+        chains across contiguous segments.
+        """
+        if nsectors < 1:
+            raise ValueError(f"nsectors must be >= 1: {nsectors}")
+        self.stats.lookups += 1
+        covered = 0
+        while covered < nsectors:
+            segment = self._segment_containing(start + covered)
+            if segment is None:
+                break
+            take = min(segment.end - (start + covered), nsectors - covered)
+            covered += take
+            segment.used_high = max(segment.used_high,
+                                    start + covered - segment.start)
+            self._lru.move_to_end(segment.segment_id)
+        if covered == nsectors:
+            self.stats.full_hits += 1
+        elif covered:
+            self.stats.partial_hits += 1
+        else:
+            self.stats.misses += 1
+        self.stats.hit_sectors += covered
+        return covered
+
+    def peek(self, start: int, nsectors: int) -> int:
+        """Coverage check without touching LRU or stats."""
+        covered = 0
+        while covered < nsectors:
+            segment = self._segment_containing(start + covered)
+            if segment is None:
+                break
+            covered += min(segment.end - (start + covered),
+                           nsectors - covered)
+        return covered
+
+    def _segment_containing(self, sector: int) -> Optional[Segment]:
+        # Only segments with start in (sector - segment_sectors, sector]
+        # can cover the sector, so the backward scan is bounded.
+        position = bisect_right(self._index, (sector, float("inf")))
+        while position > 0:
+            start, segment_id = self._index[position - 1]
+            if sector - start >= self.segment_sectors:
+                return None
+            segment = self._lru[segment_id]
+            if segment.start <= sector < segment.end:
+                return segment
+            position -= 1
+        return None
+
+    # -- allocation & fill -----------------------------------------------------
+    def allocate(self, start: int) -> Segment:
+        """Claim a segment bound to ``start`` (evicting LRU if needed).
+
+        Returns a *fresh* segment object every time: a reference to an
+        evicted segment stays dead, so stale fills (e.g. a read-ahead
+        racing an eviction) are detected instead of corrupting the cache.
+        """
+        if start < 0:
+            raise ValueError(f"negative start sector: {start}")
+        if self._free_slots > 0:
+            self._free_slots -= 1
+        else:
+            _sid, victim = self._lru.popitem(last=False)
+            self._retire(victim)
+        segment = Segment(next(self._ids))
+        segment.start = start
+        self._lru[segment.segment_id] = segment
+        insort(self._index, (start, segment.segment_id))
+        return segment
+
+    def fill(self, segment: Segment, nsectors: int,
+             prefetch: bool = False) -> None:
+        """Extend ``segment`` by ``nsectors`` of newly read data."""
+        if nsectors < 0:
+            raise ValueError(f"negative fill: {nsectors}")
+        if segment.segment_id not in self._lru:
+            raise ValueError(f"fill on evicted {segment!r}")
+        if segment.count + nsectors > self.segment_sectors:
+            raise ValueError(
+                f"fill overflows segment: {segment.count} + {nsectors} > "
+                f"{self.segment_sectors}")
+        segment.count += nsectors
+        self.stats.inserted_sectors += nsectors
+        if prefetch:
+            segment.prefetched += nsectors
+            self.stats.prefetched_sectors += nsectors
+        self._lru.move_to_end(segment.segment_id)
+
+    def is_live(self, segment: Segment) -> bool:
+        """True while ``segment`` has not been evicted or invalidated."""
+        return segment.segment_id in self._lru
+
+    def space_left(self, segment: Segment) -> int:
+        """Unwritten sectors remaining in ``segment``."""
+        return self.segment_sectors - segment.count
+
+    # -- invalidation & eviction ---------------------------------------------
+    def invalidate(self, start: int, nsectors: int) -> None:
+        """Drop any cached data overlapping ``[start, start + nsectors)``.
+
+        Overlapping segments are dropped whole — disks invalidate at
+        segment granularity on writes.
+        """
+        end = start + nsectors
+        victims = [seg for seg in self._lru.values()
+                   if seg.start < end and start < seg.end]
+        for segment in victims:
+            self.stats.invalidated_sectors += segment.count
+            del self._lru[segment.segment_id]
+            self._index.remove((segment.start, segment.segment_id))
+            segment.count = 0
+            self._free_slots += 1
+
+    def _retire(self, segment: Segment) -> None:
+        """Book-keeping when LRU eviction reclaims ``segment``."""
+        self.stats.evictions += 1
+        unused_prefetch = min(segment.prefetched,
+                              segment.count - segment.used_high)
+        if unused_prefetch > 0:
+            self.stats.wasted_prefetch_sectors += unused_prefetch
+        self._index.remove((segment.start, segment.segment_id))
+
+    def __repr__(self) -> str:
+        return (f"<SegmentedCache {self.live_segments}/{self.num_segments} "
+                f"x {self.segment_sectors} sectors>")

@@ -1,0 +1,456 @@
+"""The disk drive: queue + mechanics + segmented cache + interface.
+
+Timing model (see DESIGN.md §4):
+
+* A **cache hit** bypasses the mechanics entirely: the request pays command
+  overhead plus an interface transfer (shared SATA pipe).
+* A **miss** holds the head (one mechanical timeline per drive): seek to the
+  missing range's cylinder, rotational latency (zero when the media position
+  is already contiguous), media transfer at the zone's rate, then the drive
+  keeps reading into the allocated cache segment (read-ahead) *while still
+  holding the head* — the demand portion completes to the host in parallel.
+
+That last point is what lets a single sequential stream run at full media
+rate with synchronous requests, while many interleaved streams pay a seek
+per segment fill — the phenomenon the paper studies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.disk.cache import SegmentedCache
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import Mechanics, RotationMode, SeekModel
+from repro.disk.queue import QueuePolicy, make_policy
+from repro.disk.specs import DiskSpec
+from repro.io import IORequest, stamp_submit
+from repro.sim import Pipe, Simulator
+from repro.sim.events import Event
+from repro.sim.stats import StatsRegistry
+from repro.units import SECTOR_BYTES, sectors
+
+__all__ = ["DiskDrive", "DriveConfig"]
+
+
+@dataclass
+class DriveConfig:
+    """Runtime configuration for a :class:`DiskDrive`.
+
+    Attributes
+    ----------
+    scheduler:
+        Internal queue policy name: 'fcfs', 'sstf' or 'look'.
+    rotation_mode:
+        Deterministic (EXPECTED) or sampled (UNIFORM) rotational latency.
+    seed:
+        RNG seed for sampled rotational latency.
+    trace:
+        Optional :class:`repro.sim.trace.Tracer`.
+    """
+
+    scheduler: str = "look"
+    rotation_mode: RotationMode = RotationMode.UNIFORM
+    seed: Optional[int] = 0
+    trace: object = None
+
+
+class _Queued:
+    """A pending command: request + completion event + cached cylinder."""
+
+    __slots__ = ("request", "event", "cylinder")
+
+    def __init__(self, request: IORequest, event: Event, cylinder: int):
+        self.request = request
+        self.event = event
+        self.cylinder = cylinder
+
+
+class DiskDrive:
+    """A single disk drive implementing :class:`repro.io.BlockDevice`.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    spec:
+        Static drive description (geometry, seek curve, cache layout...).
+    config:
+        Runtime knobs; defaults are sensible.
+    name:
+        Label for stats/tracing (default: spec name).
+    """
+
+    def __init__(self, sim: Simulator, spec: DiskSpec,
+                 config: Optional[DriveConfig] = None, name: str = ""):
+        self.sim = sim
+        self.spec = spec
+        self.config = config or DriveConfig()
+        self.name = name or spec.name
+        outer_spt = max(
+            1, round(spec.outer_media_rate * spec.rotation_time_s
+                     / SECTOR_BYTES))
+        inner_spt = max(
+            1, round(spec.inner_media_rate * spec.rotation_time_s
+                     / SECTOR_BYTES))
+        self.geometry = DiskGeometry.from_capacity(
+            spec.capacity_bytes, heads=spec.heads,
+            num_zones=spec.num_zones, outer_spt=outer_spt,
+            inner_spt=inner_spt)
+        self.mechanics = Mechanics(
+            self.geometry, rpm=spec.rpm,
+            seek_model=SeekModel(spec.single_cylinder_seek_s,
+                                 spec.average_seek_s,
+                                 self.geometry.cylinders),
+            rotation_mode=self.config.rotation_mode,
+            seed=self.config.seed,
+            track_switch_time=spec.track_switch_s)
+        segment_sectors = max(1, spec.segment_bytes // SECTOR_BYTES)
+        self.cache = SegmentedCache(num_segments=spec.cache_segments,
+                                    segment_sectors=segment_sectors)
+        self.interface = Pipe(sim, bandwidth=spec.interface_rate,
+                              name=f"{self.name}.sata")
+        self.stats = StatsRegistry()
+        # Commands the firmware can reorder (bounded by spec.queue_depth)...
+        self._active: List[_Queued] = []
+        # ...and the FIFO backlog behind them (host/driver queue).
+        self._waiting: deque[_Queued] = deque()
+        self._policy: QueuePolicy = make_policy(self.config.scheduler)
+        self._head_cylinder = 0
+        self._media_end_lba: Optional[int] = None
+        self._worker_running = False
+        self.busy_time = 0.0
+        # Idle-time sequential prefetch state: the segment at the media
+        # position (if any) and a credit that allows at most one idle
+        # segment per serviced command or cache hit (prevents runaway
+        # prefetch when the host stops reading).
+        self._tail_segment = None
+        self._idle_credit = 0
+        self._idle_chunk_sectors = max(
+            1, (64 * 1024) // SECTOR_BYTES)
+        # Write-back cache state: FIFO of dirty (start_lba, nsectors)
+        # runs awaiting background destage, and flush barriers.
+        self._dirty: deque[tuple[int, int]] = deque()
+        self._dirty_sectors = 0
+        self._flush_waiters: List[Event] = []
+
+    # -- BlockDevice protocol -------------------------------------------------
+    @property
+    def capacity_bytes(self) -> int:
+        """Addressable bytes (actual fitted geometry, ≈ spec capacity)."""
+        return self.geometry.capacity_bytes
+
+    def submit(self, request: IORequest) -> Event:
+        """Queue ``request``; returns its completion event.
+
+        Read requests fully covered by the cache complete without touching
+        the mechanics (fast path).
+        """
+        start_lba = sectors(request.offset)
+        nsectors = sectors(request.size)
+        if request.offset + request.size > self.capacity_bytes:
+            raise ValueError(
+                f"{request!r} beyond capacity {self.capacity_bytes}")
+        stamp_submit(request, self.sim.now)
+        event = self.sim.event(name=f"io{request.request_id}")
+        if request.is_read and (
+                self.cache.lookup(start_lba, nsectors) == nsectors
+                or self._dirty_covers(start_lba, nsectors)):
+            request.annotations["disk.hit"] = "submit"
+            self.sim.process(self._complete(request, event),
+                             name=f"{self.name}.hit")
+            # A consuming stream re-arms idle read-ahead.
+            self._idle_credit = 1
+            self._kick_worker()
+            return event
+        if not request.is_read and self._absorb_write(request, event,
+                                                      start_lba, nsectors):
+            return event
+        queued = _Queued(request, event,
+                         self.geometry.cylinder_of_lba(start_lba))
+        self._waiting.append(queued)
+        self._kick_worker()
+        return event
+
+    def _kick_worker(self) -> None:
+        if not self._worker_running:
+            self._worker_running = True
+            self.sim.process(self._worker(), name=f"{self.name}.worker")
+
+    def _dirty_covers(self, start_lba: int, nsectors: int) -> bool:
+        """Whole range inside one not-yet-destaged dirty run? (WCE
+        drives serve such reads from the write buffer.)"""
+        return any(run_start <= start_lba
+                   and start_lba + nsectors <= run_start + run_len
+                   for run_start, run_len in self._dirty)
+
+    def _absorb_write(self, request: IORequest, event: Event,
+                      start_lba: int, nsectors: int) -> bool:
+        """Write-back fast path: absorb the write into the dirty buffer.
+
+        Returns False (caller queues a media write) when write caching is
+        off or the dirty budget is exhausted.
+        """
+        budget = self.spec.write_cache_bytes // SECTOR_BYTES
+        if budget <= 0 or self._dirty_sectors + nsectors > budget:
+            return False
+        self.cache.invalidate(start_lba, nsectors)
+        self._dirty.append((start_lba, nsectors))
+        self._dirty_sectors += nsectors
+        request.annotations["disk.wce"] = True
+        self.stats.counter("write_absorbed").add(request.size)
+        self.sim.process(self._complete(request, event),
+                         name=f"{self.name}.wce")
+        self._kick_worker()
+        return True
+
+    def flush(self) -> Event:
+        """Barrier: fires once all dirty write data has reached media."""
+        event = self.sim.event(name=f"{self.name}.flush")
+        if not self._dirty:
+            event.succeed()
+        else:
+            self._flush_waiters.append(event)
+            self._kick_worker()
+        return event
+
+    @property
+    def queue_length(self) -> int:
+        """Currently pending (not yet serviced) commands."""
+        return len(self._waiting) + len(self._active)
+
+    # -- service paths -----------------------------------------------------------
+    def _worker(self):
+        """Mechanical timeline: service pending commands one at a time.
+
+        The firmware only reorders within its small internal queue
+        (``spec.queue_depth`` commands); the backlog drains into it FIFO.
+        This bounded reorder window is what makes cache segments mortal
+        under many streams — with an unbounded window the head would
+        always favour the freshly prefetched stream and segments would
+        never thrash.
+        """
+        while True:
+            if self._waiting or self._active:
+                while (self._waiting
+                       and len(self._active) < self.spec.queue_depth):
+                    self._active.append(self._waiting.popleft())
+                index = self._policy.select(
+                    [q.cylinder for q in self._active], self._head_cylinder)
+                queued = self._active.pop(index)
+                started = self.sim.now
+                yield from self._service(queued)
+                self.busy_time += self.sim.now - started
+                self._idle_credit = 1
+            elif self._dirty:
+                # Destage dirty write data at lower priority than reads.
+                started = self.sim.now
+                yield from self._destage_one()
+                self.busy_time += self.sim.now - started
+            elif self._idle_credit > 0 and self._can_idle_prefetch():
+                started = self.sim.now
+                yield from self._idle_prefetch()
+                self.busy_time += self.sim.now - started
+            else:
+                break
+        self._worker_running = False
+
+    def _destage_one(self):
+        """Write the oldest dirty run to media and release its budget."""
+        start_lba, nsectors = self._dirty.popleft()
+        yield from self._position(start_lba)
+        yield self.sim.timeout(
+            self.mechanics.transfer_time(start_lba, nsectors))
+        self._advance_media(start_lba, nsectors)
+        self._dirty_sectors -= nsectors
+        self.stats.counter("media_write").add(nsectors * SECTOR_BYTES)
+        self.stats.counter("destaged").add(nsectors * SECTOR_BYTES)
+        if not self._dirty and self._flush_waiters:
+            waiters, self._flush_waiters = self._flush_waiters, []
+            for waiter in waiters:
+                waiter.succeed()
+
+    def _can_idle_prefetch(self) -> bool:
+        """True when the tail segment can be extended into a new one."""
+        if self.spec.read_ahead_bytes == 0 or self._media_end_lba is None:
+            return False
+        tail = self._tail_segment
+        return (tail is not None and self.cache.is_live(tail)
+                and tail.end == self._media_end_lba)
+
+    def _idle_prefetch(self):
+        """Continue sequential read-ahead while the queue is idle.
+
+        Reads one further segment in interruptible chunks: a command
+        arriving mid-prefetch stops the run at the next chunk boundary —
+        real firmware aborts read-ahead for new work the same way.
+        """
+        self._idle_credit = 0
+        start = self._media_end_lba
+        remaining = min(self.cache.segment_sectors,
+                        self.geometry.total_sectors - start)
+        if remaining <= 0:
+            return
+        segment = self.cache.allocate(start)
+        self._tail_segment = segment
+        while remaining > 0 and not (self._waiting or self._active):
+            chunk = min(self._idle_chunk_sectors, remaining)
+            yield self.sim.timeout(
+                self.mechanics.transfer_time(self._media_end_lba, chunk))
+            if not self.cache.is_live(segment):
+                return
+            self.cache.fill(segment, chunk, prefetch=True)
+            self._advance_media(self._media_end_lba, chunk)
+            self.stats.counter("readahead").add(chunk * SECTOR_BYTES)
+            remaining -= chunk
+
+    def _service(self, queued: _Queued):
+        request = queued.request
+        start_lba = sectors(request.offset)
+        nsectors = sectors(request.size)
+        if request.is_read:
+            yield from self._service_read(request, queued.event,
+                                          start_lba, nsectors)
+        else:
+            yield from self._service_write(request, queued.event,
+                                           start_lba, nsectors)
+
+    def _service_read(self, request: IORequest, event: Event,
+                      start_lba: int, nsectors: int):
+        covered = self.cache.lookup(start_lba, nsectors)
+        if covered == nsectors:
+            # Filled (e.g. by read-ahead) while waiting in the queue.
+            request.annotations["disk.hit"] = "queue"
+            self.sim.process(self._complete(request, event),
+                             name=f"{self.name}.hit")
+            return
+        missing_start = start_lba + covered
+        missing = nsectors - covered
+        yield from self._position(missing_start)
+        transfer = self.mechanics.transfer_time(missing_start, missing)
+        yield self.sim.timeout(transfer)
+        self._advance_media(missing_start, missing)
+        segment = self._insert_demand(missing_start, missing)
+        self._tail_segment = segment
+        self.stats.counter("media_read").add(missing * SECTOR_BYTES)
+        # Demand satisfied: complete to the host while read-ahead continues.
+        # The interface transfer overlapped the (slower) media read.
+        self.sim.process(self._complete(request, event,
+                                        charge_interface=False),
+                         name=f"{self.name}.done")
+        if segment is not None:
+            yield from self._read_ahead(segment)
+
+    def _service_write(self, request: IORequest, event: Event,
+                       start_lba: int, nsectors: int):
+        self.cache.invalidate(start_lba, nsectors)
+        yield from self._position(start_lba)
+        transfer = self.mechanics.transfer_time(start_lba, nsectors)
+        yield self.sim.timeout(transfer)
+        self._advance_media(start_lba, nsectors)
+        self.stats.counter("media_write").add(nsectors * SECTOR_BYTES)
+        self.sim.process(self._complete(request, event),
+                         name=f"{self.name}.done")
+
+    def _position(self, target_lba: int):
+        """Seek + rotational latency to reach ``target_lba``.
+
+        In POSITIONED rotation mode the rotational wait is computed
+        *after* the seek completes — the platter kept spinning while the
+        arm moved.
+        """
+        if self._media_end_lba == target_lba:
+            # Head is already streaming here: no seek, no rotation.
+            return
+        target_cylinder = self.geometry.cylinder_of_lba(target_lba)
+        distance = abs(target_cylinder - self._head_cylinder)
+        seek = self.mechanics.seek_model.seek_time(distance)
+        self.stats.counter("seeks").add()
+        self.stats.latency("seek_time").observe(seek)
+        if seek > 0:
+            yield self.sim.timeout(seek)
+        if self.config.rotation_mode is RotationMode.POSITIONED:
+            rotation = self.mechanics.rotational_latency(
+                now=self.sim.now, target_lba=target_lba)
+        else:
+            rotation = self.mechanics.rotational_latency()
+        if rotation > 0:
+            yield self.sim.timeout(rotation)
+
+    def _advance_media(self, start_lba: int, nsectors: int) -> None:
+        end = start_lba + nsectors
+        self._media_end_lba = end if end < self.geometry.total_sectors \
+            else None
+        last = min(end, self.geometry.total_sectors) - 1
+        self._head_cylinder = self.geometry.cylinder_of_lba(last)
+
+    def _insert_demand(self, start_lba: int, nsectors: int):
+        """Cache the demand data; returns the segment for read-ahead.
+
+        When the demand exceeds one segment, only the tail fits — that is
+        the part a sequential stream will extend, so keep it.
+        """
+        capacity = self.cache.segment_sectors
+        if nsectors >= capacity:
+            segment = self.cache.allocate(start_lba + nsectors - capacity)
+            self.cache.fill(segment, capacity)
+            return segment
+        segment = self.cache.allocate(start_lba)
+        self.cache.fill(segment, nsectors)
+        return segment
+
+    def _read_ahead(self, segment):
+        """Continue reading into ``segment`` while holding the head."""
+        if self._media_end_lba is None:
+            return
+        space = self.cache.space_left(segment)
+        target = self.spec.read_ahead_bytes
+        if target is not None:
+            space = min(space, target // SECTOR_BYTES)
+        space = min(space,
+                    self.geometry.total_sectors - self._media_end_lba)
+        if space <= 0:
+            return
+        start = self._media_end_lba
+        if segment.end != start:
+            # Demand was tail-inserted from a multi-segment read and the
+            # segment is full, or positions diverged: nothing to extend.
+            return
+        transfer = self.mechanics.transfer_time(start, space)
+        yield self.sim.timeout(transfer)
+        self._advance_media(start, space)
+        if self.cache.is_live(segment):
+            self.cache.fill(segment, space, prefetch=True)
+        self.stats.counter("readahead").add(space * SECTOR_BYTES)
+
+    def _complete(self, request: IORequest, event: Event,
+                  charge_interface: bool = True):
+        """Command overhead (+ interface transfer), then fire completion.
+
+        Misses skip the interface charge: the transfer streams off the
+        platter concurrently with the media read, and the interface is
+        always faster than the media here.
+        """
+        yield self.sim.timeout(self.spec.command_overhead_s)
+        if charge_interface:
+            yield from self.interface.transfer(request.size)
+        request.complete_time = self.sim.now
+        self.stats.counter("completed").add(request.size)
+        self.stats.latency("latency").observe(request.latency)
+        if self.config.trace is not None:
+            self.config.trace.emit(self.sim.now, self.name, "complete",
+                                   (request.request_id, request.offset,
+                                    request.size))
+        event.succeed(request)
+
+    # -- reporting ------------------------------------------------------------------
+    def throughput(self, elapsed: float) -> float:
+        """Completed bytes per second over ``elapsed`` seconds."""
+        return self.stats.counter("completed").throughput(elapsed)
+
+    def __repr__(self) -> str:
+        return (f"<DiskDrive {self.name!r} "
+                f"{self.capacity_bytes / 1e9:.1f} GB "
+                f"pending={len(self._pending)}>")

@@ -1,0 +1,179 @@
+"""Zoned disk geometry and LBA → physical mapping.
+
+A drive is modelled as ``heads`` recording surfaces over a run of cylinders
+split into zones. Within a zone every track holds the same number of
+sectors; outer zones hold more, so their media transfer rate is higher.
+LBAs are laid out cylinder-major from the outermost cylinder inward, which
+is how real drives map logical blocks (low LBAs are fast).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.units import SECTOR_BYTES
+
+__all__ = ["DiskGeometry", "Zone"]
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A run of cylinders sharing a sectors-per-track value.
+
+    Attributes
+    ----------
+    index:
+        Zone number, 0 = outermost.
+    start_cylinder / cylinder_count:
+        Cylinder range ``[start_cylinder, start_cylinder + cylinder_count)``.
+    sectors_per_track:
+        Sectors on each track in this zone.
+    start_lba:
+        First LBA mapped into this zone (cumulative over outer zones).
+    heads:
+        Surfaces per cylinder (copied from the geometry for convenience).
+    """
+
+    index: int
+    start_cylinder: int
+    cylinder_count: int
+    sectors_per_track: int
+    start_lba: int
+    heads: int
+
+    @property
+    def sectors_per_cylinder(self) -> int:
+        """Sectors across all surfaces of one cylinder."""
+        return self.sectors_per_track * self.heads
+
+    @property
+    def sector_count(self) -> int:
+        """Total sectors mapped into this zone."""
+        return self.cylinder_count * self.sectors_per_cylinder
+
+    @property
+    def end_lba(self) -> int:
+        """One past the last LBA of the zone."""
+        return self.start_lba + self.sector_count
+
+    @property
+    def end_cylinder(self) -> int:
+        """One past the last cylinder of the zone."""
+        return self.start_cylinder + self.cylinder_count
+
+
+class DiskGeometry:
+    """Immutable zoned layout with fast LBA↔cylinder mapping.
+
+    Parameters
+    ----------
+    heads:
+        Number of recording surfaces.
+    zones:
+        Outer-to-inner zone descriptions as
+        ``(cylinder_count, sectors_per_track)`` pairs.
+    """
+
+    def __init__(self, heads: int,
+                 zones: Sequence[tuple[int, int]]):
+        if heads < 1:
+            raise ValueError(f"heads must be >= 1, got {heads}")
+        if not zones:
+            raise ValueError("geometry needs at least one zone")
+        self.heads = heads
+        self.zones: List[Zone] = []
+        cylinder = 0
+        lba = 0
+        for index, (cylinder_count, spt) in enumerate(zones):
+            if cylinder_count < 1 or spt < 1:
+                raise ValueError(
+                    f"zone {index}: counts must be >= 1 "
+                    f"(cylinders={cylinder_count}, spt={spt})")
+            zone = Zone(index=index, start_cylinder=cylinder,
+                        cylinder_count=cylinder_count,
+                        sectors_per_track=spt, start_lba=lba, heads=heads)
+            self.zones.append(zone)
+            cylinder += cylinder_count
+            lba += zone.sector_count
+        self.cylinders = cylinder
+        self.total_sectors = lba
+        self._zone_lba_starts = [z.start_lba for z in self.zones]
+        self._zone_cyl_starts = [z.start_cylinder for z in self.zones]
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Addressable bytes."""
+        return self.total_sectors * SECTOR_BYTES
+
+    # -- mapping -------------------------------------------------------------
+    def zone_of_lba(self, lba: int) -> Zone:
+        """Zone containing ``lba``."""
+        self._check_lba(lba)
+        return self.zones[bisect_right(self._zone_lba_starts, lba) - 1]
+
+    def zone_of_cylinder(self, cylinder: int) -> Zone:
+        """Zone containing ``cylinder``."""
+        if not 0 <= cylinder < self.cylinders:
+            raise ValueError(
+                f"cylinder {cylinder} out of range [0, {self.cylinders})")
+        return self.zones[bisect_right(self._zone_cyl_starts, cylinder) - 1]
+
+    def cylinder_of_lba(self, lba: int) -> int:
+        """Cylinder holding ``lba``."""
+        zone = self.zone_of_lba(lba)
+        return (zone.start_cylinder
+                + (lba - zone.start_lba) // zone.sectors_per_cylinder)
+
+    def sectors_per_track_at(self, lba: int) -> int:
+        """Sectors per track of the zone containing ``lba``."""
+        return self.zone_of_lba(lba).sectors_per_track
+
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self.total_sectors:
+            raise ValueError(
+                f"LBA {lba} out of range [0, {self.total_sectors})")
+
+    # -- construction helpers --------------------------------------------------
+    @classmethod
+    def from_capacity(cls, capacity_bytes: int, heads: int = 4,
+                      num_zones: int = 16, outer_spt: int = 900,
+                      inner_spt: int = 540) -> "DiskGeometry":
+        """Build a geometry of roughly ``capacity_bytes``.
+
+        Sectors-per-track declines linearly from ``outer_spt`` to
+        ``inner_spt`` across ``num_zones`` zones of equal cylinder count;
+        the innermost zone is trimmed/extended so total capacity lands
+        within one cylinder of the request.
+        """
+        if capacity_bytes < SECTOR_BYTES:
+            raise ValueError(f"capacity too small: {capacity_bytes}")
+        if num_zones < 1:
+            raise ValueError(f"num_zones must be >= 1, got {num_zones}")
+        if inner_spt > outer_spt:
+            raise ValueError("inner_spt must not exceed outer_spt")
+        target_sectors = capacity_bytes // SECTOR_BYTES
+        if num_zones == 1:
+            spts = [outer_spt]
+        else:
+            step = (outer_spt - inner_spt) / (num_zones - 1)
+            spts = [max(1, round(outer_spt - step * i))
+                    for i in range(num_zones)]
+        mean_sectors_per_cylinder = heads * sum(spts) / len(spts)
+        cylinders_per_zone = max(
+            1, round(target_sectors / (mean_sectors_per_cylinder * num_zones)))
+        zones = [(cylinders_per_zone, spt) for spt in spts]
+        mapped = sum(c * heads * spt for c, spt in zones)
+        # Trim or extend the innermost zone to approach the target.
+        inner_cyl_sectors = heads * spts[-1]
+        deficit_cylinders = round((target_sectors - mapped)
+                                  / inner_cyl_sectors)
+        last_count = max(1, zones[-1][0] + deficit_cylinders)
+        zones[-1] = (last_count, spts[-1])
+        return cls(heads=heads, zones=zones)
+
+    def __repr__(self) -> str:
+        return (f"<DiskGeometry {self.capacity_bytes / 1e9:.1f} GB "
+                f"heads={self.heads} cylinders={self.cylinders} "
+                f"zones={len(self.zones)}>")

@@ -1,0 +1,112 @@
+"""Disk-internal request scheduling policies.
+
+The drive keeps a small queue of pending commands and picks the next one
+to service given the current head position. Three classic policies are
+provided; the policy only *selects* — timing lives in the drive.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+__all__ = [
+    "FCFSPolicy",
+    "LookPolicy",
+    "QueuePolicy",
+    "SSTFPolicy",
+    "make_policy",
+]
+
+
+class QueuePolicy(abc.ABC):
+    """Selects which pending request the head services next.
+
+    Implementations receive the pending requests' target cylinders (in
+    arrival order) and the current head cylinder, and return the index of
+    the chosen request.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, cylinders: Sequence[int], head_cylinder: int) -> int:
+        """Index into ``cylinders`` of the request to service next."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class FCFSPolicy(QueuePolicy):
+    """First-come first-served: arrival order, no reordering."""
+
+    name = "fcfs"
+
+    def select(self, cylinders: Sequence[int], head_cylinder: int) -> int:
+        if not cylinders:
+            raise ValueError("select() on empty queue")
+        return 0
+
+
+class SSTFPolicy(QueuePolicy):
+    """Shortest seek time first: nearest cylinder wins (FIFO tiebreak)."""
+
+    name = "sstf"
+
+    def select(self, cylinders: Sequence[int], head_cylinder: int) -> int:
+        if not cylinders:
+            raise ValueError("select() on empty queue")
+        best_index = 0
+        best_distance = abs(cylinders[0] - head_cylinder)
+        for index in range(1, len(cylinders)):
+            distance = abs(cylinders[index] - head_cylinder)
+            if distance < best_distance:
+                best_index, best_distance = index, distance
+        return best_index
+
+
+class LookPolicy(QueuePolicy):
+    """LOOK elevator: sweep in one direction, reverse at the last request.
+
+    Stateful: remembers the sweep direction between selections.
+    """
+
+    name = "look"
+
+    def __init__(self):
+        self._ascending = True
+
+    def select(self, cylinders: Sequence[int], head_cylinder: int) -> int:
+        if not cylinders:
+            raise ValueError("select() on empty queue")
+        ahead: List[int] = []
+        behind: List[int] = []
+        for index, cylinder in enumerate(cylinders):
+            if self._ascending:
+                (ahead if cylinder >= head_cylinder else behind).append(index)
+            else:
+                (ahead if cylinder <= head_cylinder else behind).append(index)
+        candidates = ahead
+        if not candidates:
+            self._ascending = not self._ascending
+            candidates = behind
+        # Nearest in the sweep direction; FIFO tiebreak via min scan order.
+        return min(candidates,
+                   key=lambda i: abs(cylinders[i] - head_cylinder))
+
+
+_POLICIES = {
+    FCFSPolicy.name: FCFSPolicy,
+    SSTFPolicy.name: SSTFPolicy,
+    LookPolicy.name: LookPolicy,
+}
+
+
+def make_policy(name: str) -> QueuePolicy:
+    """Instantiate a policy by name ('fcfs', 'sstf', 'look')."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown queue policy {name!r}; "
+            f"choose from {sorted(_POLICIES)}") from None

@@ -1,0 +1,149 @@
+"""Disk drive specification presets.
+
+Numbers for the WD800JD come from the paper (Section 5) and the drive's
+datasheet; the generic spec mirrors the paper's DiskSim base configuration
+(Section 3) with an 8 MByte cache whose segmentation the experiments vary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import KiB, MS, MiB
+
+__all__ = ["DISKSIM_GENERIC", "WD800JD", "DiskSpec"]
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Static description of a disk drive model.
+
+    Attributes
+    ----------
+    name:
+        Model label for reports.
+    capacity_bytes:
+        Addressable capacity (geometry is fitted to approximate it).
+    rpm:
+        Spindle speed.
+    heads:
+        Recording surfaces.
+    num_zones:
+        Zone count for the fitted geometry.
+    single_cylinder_seek_s / average_seek_s:
+        Datasheet seek characteristics calibrating the seek curve.
+    outer_media_rate / inner_media_rate:
+        Sustained media rates (bytes/s) at the outermost/innermost zone.
+    cache_bytes / cache_segments:
+        On-disk cache size and default segmentation.
+    read_ahead_bytes:
+        Default drive read-ahead past a demand miss; ``None`` means "fill
+        the rest of the segment" (typical firmware behaviour).
+    interface_rate:
+        Host interface bandwidth (bytes/s), e.g. SATA-1 150 MB/s.
+    command_overhead_s:
+        Fixed controller/firmware overhead charged per command.
+    track_switch_s:
+        Head settle charged per track boundary during media transfer.
+    queue_depth:
+        Advisory device queue depth (enforced by the layer above).
+    """
+
+    name: str
+    capacity_bytes: int
+    rpm: float
+    heads: int
+    num_zones: int
+    single_cylinder_seek_s: float
+    average_seek_s: float
+    outer_media_rate: float
+    inner_media_rate: float
+    cache_bytes: int
+    cache_segments: int
+    read_ahead_bytes: int | None
+    interface_rate: float
+    command_overhead_s: float
+    track_switch_s: float
+    queue_depth: int
+    #: Dirty-data budget for write-back caching (0 = write-through, the
+    #: default; the paper's workloads are read-dominated). When positive,
+    #: writes that fit complete at interface speed and destage to media
+    #: in the background at lower priority than reads.
+    write_cache_bytes: int = 0
+
+    def with_write_cache(self, write_cache_bytes: int) -> "DiskSpec":
+        """Copy with write-back caching en/disabled."""
+        return replace(self, write_cache_bytes=write_cache_bytes)
+
+    def with_cache(self, cache_bytes: int | None = None,
+                   cache_segments: int | None = None,
+                   read_ahead_bytes: int | None | str = "keep") -> "DiskSpec":
+        """Copy with a different cache organisation.
+
+        ``read_ahead_bytes`` keeps the current value unless given
+        (``None`` is meaningful: fill-segment).
+        """
+        kwargs: dict = {}
+        if cache_bytes is not None:
+            kwargs["cache_bytes"] = cache_bytes
+        if cache_segments is not None:
+            kwargs["cache_segments"] = cache_segments
+        if read_ahead_bytes != "keep":
+            kwargs["read_ahead_bytes"] = read_ahead_bytes
+        return replace(self, **kwargs)
+
+    @property
+    def segment_bytes(self) -> int:
+        """Bytes per cache segment."""
+        return self.cache_bytes // self.cache_segments
+
+    @property
+    def rotation_time_s(self) -> float:
+        """Seconds per revolution."""
+        return 60.0 / self.rpm
+
+
+#: The paper's real-system disk: WD Caviar SE WD800JD — 80 GB, 7200 RPM,
+#: 8.9 ms average seek, 8 MB cache, SATA-1. The paper measures 55–60 MB/s
+#: maximum application-level throughput; the outer-zone media rate is set
+#: to reproduce that envelope.
+WD800JD = DiskSpec(
+    name="WD800JD",
+    capacity_bytes=80 * 10**9,
+    rpm=7200.0,
+    heads=4,
+    num_zones=16,
+    single_cylinder_seek_s=0.8 * MS,
+    average_seek_s=8.9 * MS,
+    outer_media_rate=60.0 * MiB,
+    inner_media_rate=35.0 * MiB,
+    cache_bytes=8 * MiB,
+    cache_segments=16,
+    read_ahead_bytes=None,
+    interface_rate=150.0 * MiB,
+    command_overhead_s=0.1 * MS,
+    track_switch_s=0.3 * MS,
+    queue_depth=4,
+)
+
+#: Base configuration for the simulation study (Section 3): a commodity
+#: drive with an 8 MB cache whose segment size / count / read-ahead the
+#: experiments sweep. 32 segments of 256 KiB is the neutral default.
+DISKSIM_GENERIC = DiskSpec(
+    name="disksim-generic",
+    capacity_bytes=80 * 10**9,
+    rpm=7200.0,
+    heads=4,
+    num_zones=16,
+    single_cylinder_seek_s=0.8 * MS,
+    average_seek_s=8.9 * MS,
+    outer_media_rate=60.0 * MiB,
+    inner_media_rate=35.0 * MiB,
+    cache_bytes=8 * MiB,
+    cache_segments=32,
+    read_ahead_bytes=None,
+    interface_rate=150.0 * MiB,
+    command_overhead_s=0.1 * MS,
+    track_switch_s=0.3 * MS,
+    queue_depth=8,
+)

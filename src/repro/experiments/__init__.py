@@ -1,0 +1,56 @@
+"""Experiment runners: one module per paper figure.
+
+Each module exposes ``run(scale) -> ExperimentResult``; the registry maps
+experiment ids to runners so benches, examples, and the CLI runner share
+one catalogue. See DESIGN.md §3 for the figure-by-figure index.
+"""
+
+from repro.experiments.base import FULL, QUICK, SMOKE, ExperimentScale
+from repro.experiments import (
+    fig01_collapse,
+    fig02_schedulers,
+    fig04_reqsize,
+    fig05_xdd_single,
+    fig06_segsize,
+    fig07_readahead_fixed_cache,
+    fig08_controller_prefetch,
+    fig10_readahead,
+    fig11_memory,
+    fig12_multidisk,
+    fig13_dispatch_staging,
+    fig14_single_small_dispatch,
+    fig15_latency,
+)
+
+from repro.experiments import (
+    ext_fragmentation,
+    ext_insensitivity,
+    ext_latency_breakdown,
+)
+
+#: Experiment id -> runner(scale) -> ExperimentResult (paper figures).
+EXPERIMENTS = {
+    "fig01": fig01_collapse.run,
+    "fig02": fig02_schedulers.run,
+    "fig04": fig04_reqsize.run,
+    "fig05": fig05_xdd_single.run,
+    "fig06": fig06_segsize.run,
+    "fig07": fig07_readahead_fixed_cache.run,
+    "fig08": fig08_controller_prefetch.run,
+    "fig10": fig10_readahead.run,
+    "fig11": fig11_memory.run,
+    "fig12": fig12_multidisk.run,
+    "fig13": fig13_dispatch_staging.run,
+    "fig14": fig14_single_small_dispatch.run,
+    "fig15": fig15_latency.run,
+}
+
+#: Beyond-the-paper experiments (DESIGN.md §5).
+EXTENSIONS = {
+    "ext-fragmentation": ext_fragmentation.run,
+    "ext-insensitivity": ext_insensitivity.run,
+    "ext-latency-breakdown": ext_latency_breakdown.run,
+}
+
+__all__ = ["EXPERIMENTS", "EXTENSIONS", "ExperimentScale", "FULL",
+           "QUICK", "SMOKE"]

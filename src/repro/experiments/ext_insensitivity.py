@@ -1,0 +1,98 @@
+"""Extension experiment — the insensitivity summary chart.
+
+Not a paper figure, but the paper's thesis on one axis: aggregate
+throughput vs stream count (1–300) on a single disk for four systems —
+raw disk access, the anticipatory OS stack, and the stream server in its
+two characteristic configurations (all-dispatched big-R, and small-D
+long-residency). The server curves should stay flat where everything
+else collapses.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentResult
+from repro.core import ServerParams
+from repro.disk import DISKSIM_GENERIC, DiskDrive, DriveConfig
+from repro.disk.specs import WD800JD
+from repro.experiments.base import (
+    QUICK,
+    ExperimentScale,
+    measure,
+    server_wrapper,
+)
+from repro.experiments.fig02_schedulers import client_turnaround
+from repro.host import BlockLayer, BufferCache, make_scheduler
+from repro.node import base_topology
+from repro.sim import Simulator
+from repro.units import GiB, KiB, MiB
+from repro.workload import run_xdd, uniform_streams
+
+__all__ = ["run", "STREAM_COUNTS"]
+
+STREAM_COUNTS = [1, 10, 30, 100, 300]
+REQUEST_SIZE = 64 * KiB
+
+
+def _direct(scale, num_streams):
+    topology = base_topology(disk_spec=WD800JD, seed=num_streams)
+    return measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            num_streams, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE)).throughput_mb
+
+
+def _server(scale, num_streams, small_dispatch):
+    if small_dispatch:
+        params = ServerParams(read_ahead=512 * KiB, dispatch_width=1,
+                              requests_per_residency=128,
+                              memory_budget=1 * GiB)
+    else:
+        params = ServerParams(read_ahead=8 * MiB,
+                              dispatch_width=num_streams,
+                              requests_per_residency=1,
+                              memory_budget=max(num_streams * 8 * MiB,
+                                                8 * MiB))
+    topology = base_topology(disk_spec=WD800JD, seed=num_streams)
+    return measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            num_streams, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE),
+        wrap_device=server_wrapper(params)).throughput_mb
+
+
+def _anticipatory(scale, num_streams):
+    sim = Simulator()
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      config=DriveConfig(seed=num_streams))
+    layer = BlockLayer(sim, drive, make_scheduler("anticipatory"))
+    cache = BufferCache(sim, layer, capacity_bytes=256 * MiB)
+    report = run_xdd(sim, cache, num_streams=num_streams,
+                     block_size=4 * KiB, per_stream_bytes=4 * GiB,
+                     duration=scale.duration,
+                     think_time=client_turnaround(num_streams),
+                     settle_blocks=96)
+    return report.throughput_mb
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    """Four-system comparison across stream counts."""
+    result = ExperimentResult(
+        experiment_id="ext-insensitivity",
+        title="Stream-count insensitivity: server vs baselines (1 disk)",
+        x_label="streams",
+        y_label="MBytes/s",
+        notes="extension: the paper's thesis on one axis")
+
+    systems = [
+        ("direct access", lambda s: _direct(scale, s)),
+        ("anticipatory OS stack", lambda s: _anticipatory(scale, s)),
+        ("server D=S R=8M", lambda s: _server(scale, s, False)),
+        ("server D=1 N=128", lambda s: _server(scale, s, True)),
+    ]
+    for label, runner in systems:
+        series = result.new_series(label)
+        for num_streams in STREAM_COUNTS:
+            series.add(num_streams, runner(num_streams))
+    return result

@@ -1,0 +1,83 @@
+"""Extension experiment — response-time breakdown (the paper's §5.5).
+
+The paper observes that "within each stream, request response times can
+be divided in two broad categories: requests that require disk I/O and
+requests that may be serviced directly from memory", and that with large
+read-ahead most requests fall in the fast category. This experiment
+quantifies it: for each (S, R) we report the memory-served fraction and
+the p50/p99 client latencies.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentResult
+from repro.core import ServerParams, StreamServer
+from repro.disk.specs import WD800JD
+from repro.experiments.base import QUICK, ExperimentScale
+from repro.node import base_topology, build_node
+from repro.sim import Simulator
+from repro.sim.stats import LatencySampler
+from repro.units import KiB, MiB, format_size
+from repro.workload import ClientFleet, uniform_streams
+
+__all__ = ["run", "READ_AHEADS", "STREAM_COUNTS"]
+
+READ_AHEADS = [256 * KiB, 1 * MiB, 8 * MiB]
+STREAM_COUNTS = [10, 100]
+REQUEST_SIZE = 64 * KiB
+
+
+def _measure(scale, num_streams, read_ahead):
+    sim = Simulator()
+    node = build_node(sim, base_topology(disk_spec=WD800JD,
+                                         seed=num_streams))
+    params = ServerParams(read_ahead=read_ahead,
+                          dispatch_width=num_streams,
+                          requests_per_residency=1,
+                          memory_budget=max(num_streams * read_ahead,
+                                            8 * MiB))
+    server = StreamServer(sim, node, params)
+    specs = uniform_streams(num_streams, node.disk_ids,
+                            node.capacity_bytes,
+                            request_size=REQUEST_SIZE)
+    fleet = ClientFleet(sim, server, specs)
+    report = fleet.run(duration=scale.duration, warmup=scale.warmup,
+                       settle_requests=5)
+    merged = LatencySampler("merged")
+    for client in fleet.clients:
+        for sample in client.latency._reservoir:
+            merged.observe(sample)
+    staged = server.stats.counter("staged_hits").count
+    total = server.stats.counter("completed").count
+    return {
+        "memory_fraction": staged / total if total else 0.0,
+        "p50_ms": merged.percentile(0.50) * 1e3,
+        "p99_ms": merged.percentile(0.99) * 1e3,
+        "mean_ms": report.mean_latency * 1e3,
+    }
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    """One series per metric, x = (S, R) configuration label."""
+    result = ExperimentResult(
+        experiment_id="ext-latency-breakdown",
+        title="Response-time breakdown: memory-served fraction and "
+              "percentiles",
+        x_label="S / R",
+        y_label="see series (fraction or msec)",
+        notes="extension quantifying the paper's §5.5 two-category "
+              "observation")
+
+    fraction = result.new_series("memory-served fraction")
+    p50 = result.new_series("p50 (ms)")
+    p99 = result.new_series("p99 (ms)")
+    mean = result.new_series("mean (ms)")
+    for num_streams in STREAM_COUNTS:
+        for read_ahead in READ_AHEADS:
+            label = f"S={num_streams} R={format_size(read_ahead)}"
+            metrics = _measure(scale, num_streams, read_ahead)
+            fraction.add(label, metrics["memory_fraction"])
+            p50.add(label, metrics["p50_ms"])
+            p99.add(label, metrics["p99_ms"])
+            mean.add(label, metrics["mean_ms"])
+    return result

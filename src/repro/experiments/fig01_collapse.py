@@ -1,0 +1,46 @@
+"""Figure 1 — throughput collapse on a 60-disk setup.
+
+Aggregate throughput vs request size (8K–256K) for 60/100/300/500 total
+sequential streams, serviced directly by the node (no stream server).
+The paper's point: as streams grow, throughput drops by 2–5x.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentResult
+from repro.disk.specs import DISKSIM_GENERIC
+from repro.experiments.base import QUICK, ExperimentScale, measure, \
+    spread_streams
+from repro.node import large_topology
+from repro.units import KiB, format_size
+
+__all__ = ["run"]
+
+REQUEST_SIZES = [8 * KiB, 16 * KiB, 64 * KiB, 128 * KiB, 256 * KiB]
+STREAM_COUNTS = [60, 100, 300, 500]
+NUM_DISKS = 60
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    """Reproduce Figure 1's four curves."""
+    result = ExperimentResult(
+        experiment_id="fig01",
+        title="Throughput collapse for multiple sequential streams "
+              f"({NUM_DISKS} disks)",
+        x_label="request size",
+        y_label="MBytes/s",
+        notes="direct access, no stream server; drive read-ahead on")
+
+    for total_streams in STREAM_COUNTS:
+        series = result.new_series(f"{total_streams} streams")
+        for request_size in REQUEST_SIZES:
+            topology = large_topology(NUM_DISKS,
+                                      disk_spec=DISKSIM_GENERIC,
+                                      seed=total_streams)
+            report = measure(
+                topology, scale,
+                specs_for=lambda node, rs=request_size, ts=total_streams:
+                    spread_streams(ts, node.disk_ids, node.capacity_bytes,
+                                   request_size=rs))
+            series.add(format_size(request_size), report.throughput_mb)
+    return result

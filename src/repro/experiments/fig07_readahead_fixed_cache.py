@@ -1,0 +1,59 @@
+"""Figure 7 — read-ahead under a fixed 8 MB disk cache.
+
+The cache is re-organised as {128x64K, 64x128K, 32x256K, 16x512K, 8x1M}
+(segments x segment size). Larger segments amortise seeks better *while
+segments outnumber streams*; once streams exceed segments, prefetched
+data is reclaimed before use and throughput collapses below the
+no-prefetch level.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentResult
+from repro.disk.specs import DISKSIM_GENERIC
+from repro.experiments.base import QUICK, ExperimentScale, measure
+from repro.node import base_topology
+from repro.units import KiB, MiB, format_size
+from repro.workload import uniform_streams
+
+__all__ = ["run", "CONFIGURATIONS"]
+
+#: (num_segments, segment_size) keeping 8 MB total.
+CONFIGURATIONS = [
+    (128, 64 * KiB),
+    (64, 128 * KiB),
+    (32, 256 * KiB),
+    (16, 512 * KiB),
+    (8, 1 * MiB),
+]
+STREAM_COUNTS = [1, 10, 20, 30, 50, 100]
+REQUEST_SIZE = 64 * KiB
+CACHE_BYTES = 8 * MiB
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    """Reproduce Figure 7's six stream-count curves."""
+    result = ExperimentResult(
+        experiment_id="fig07",
+        title="Effect of read-ahead on throughput (8 MB cache, "
+              "#segments x segment size)",
+        x_label="#segments x segment size",
+        y_label="MBytes/s",
+        notes="collapse expected once streams exceed segment count")
+
+    for num_streams in STREAM_COUNTS:
+        series = result.new_series(f"{num_streams} streams")
+        for num_segments, segment_size in CONFIGURATIONS:
+            spec = DISKSIM_GENERIC.with_cache(
+                cache_bytes=CACHE_BYTES,
+                cache_segments=num_segments,
+                read_ahead_bytes=None)
+            topology = base_topology(disk_spec=spec, seed=num_streams)
+            report = measure(
+                topology, scale,
+                specs_for=lambda node, ns=num_streams: uniform_streams(
+                    ns, node.disk_ids, node.capacity_bytes,
+                    request_size=REQUEST_SIZE))
+            label = f"{num_segments}x{format_size(segment_size)}"
+            series.add(label, report.throughput_mb)
+    return result

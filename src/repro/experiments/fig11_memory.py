@@ -1,0 +1,63 @@
+"""Figure 11 — effect of storage-node memory size on throughput.
+
+``D`` is derived from the memory: ``D = M / (R·N)``, ``N = 1``. The
+paper's key observation: a large read-ahead with memory for only one or
+two dispatched streams (R = 8M, M = 16M) still beats dispatching all 100
+streams with small read-ahead (R = 256K, M = 256 x 100) — read-ahead
+matters more than dispatch width.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentResult
+from repro.core import ServerParams
+from repro.disk.specs import WD800JD
+from repro.experiments.base import (
+    QUICK,
+    ExperimentScale,
+    measure,
+    server_wrapper,
+)
+from repro.node import base_topology
+from repro.units import KiB, MiB, format_size
+from repro.workload import uniform_streams
+
+__all__ = ["run", "MEMORY_SIZES", "READ_AHEADS", "STREAM_COUNTS"]
+
+MEMORY_SIZES = [8 * MiB, 16 * MiB, 64 * MiB, 128 * MiB, 256 * MiB]
+READ_AHEADS = [8 * MiB, 1 * MiB, 256 * KiB]
+STREAM_COUNTS = [1, 10, 100]
+REQUEST_SIZE = 64 * KiB
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    """Reproduce Figure 11's S x R curves over memory size."""
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Effect of storage memory size (D = M/(R*N), N = 1)",
+        x_label="memory (MB)",
+        y_label="MBytes/s",
+        notes="dispatch width derived from the memory budget")
+
+    for num_streams in STREAM_COUNTS:
+        for read_ahead in READ_AHEADS:
+            series = result.new_series(
+                f"S = {num_streams} (RA = {format_size(read_ahead)})")
+            for memory in MEMORY_SIZES:
+                if memory < read_ahead:
+                    continue  # cannot hold even one dispatched stream
+                params = ServerParams(read_ahead=read_ahead,
+                                      dispatch_width=None,
+                                      requests_per_residency=1,
+                                      memory_budget=memory)
+                topology = base_topology(disk_spec=WD800JD,
+                                         seed=num_streams)
+                report = measure(
+                    topology, scale,
+                    specs_for=lambda node, ns=num_streams:
+                        uniform_streams(ns, node.disk_ids,
+                                        node.capacity_bytes,
+                                        request_size=REQUEST_SIZE),
+                    wrap_device=server_wrapper(params))
+                series.add(memory // MiB, report.throughput_mb)
+    return result

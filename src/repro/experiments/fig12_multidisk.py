@@ -1,0 +1,65 @@
+"""Figure 12 — 8-disk setup with every stream dispatched (D = S).
+
+The paper's medium configuration (2 controllers x 4 disks): with all
+streams dispatched (``D = S``, ``M = D·R·N``, ``N = 1``), aggregate
+throughput degrades as per-disk streams grow, staying far below the
+~450 MB/s hardware ceiling regardless of read-ahead — many concurrent
+large requests cost seeks and buffer management.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentResult
+from repro.core import ServerParams
+from repro.disk.specs import WD800JD
+from repro.experiments.base import (
+    QUICK,
+    ExperimentScale,
+    measure,
+    server_wrapper,
+)
+from repro.node import medium_topology
+from repro.units import KiB, MiB, format_size
+from repro.workload import uniform_streams
+
+__all__ = ["run", "READ_AHEADS", "STREAM_COUNTS"]
+
+READ_AHEADS = [0, 512 * KiB, 1 * MiB, 2 * MiB]
+STREAM_COUNTS = [10, 30, 60, 100]  # per disk; x8 total
+REQUEST_SIZE = 64 * KiB
+NUM_DISKS = 8
+
+
+def _params(read_ahead: int, total_streams: int) -> ServerParams:
+    if read_ahead == 0:
+        return ServerParams(read_ahead=0, memory_budget=0)
+    return ServerParams(read_ahead=read_ahead,
+                        dispatch_width=total_streams,
+                        requests_per_residency=1,
+                        memory_budget=total_streams * read_ahead)
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    """Reproduce Figure 12's read-ahead curves on 8 disks."""
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title="Throughput for an 8-disk setup (D = S, M = D*R*N, N = 1)",
+        x_label="streams per disk",
+        y_label="MBytes/s",
+        notes="2 controllers x 4 WD800JD")
+
+    for read_ahead in READ_AHEADS:
+        label = (f"R = {format_size(read_ahead)}" if read_ahead
+                 else "No read-ahead")
+        series = result.new_series(label)
+        for per_disk in STREAM_COUNTS:
+            total = per_disk * NUM_DISKS
+            topology = medium_topology(disk_spec=WD800JD, seed=per_disk)
+            report = measure(
+                topology, scale,
+                specs_for=lambda node, ns=per_disk: uniform_streams(
+                    ns, node.disk_ids, node.capacity_bytes,
+                    request_size=REQUEST_SIZE),
+                wrap_device=server_wrapper(_params(read_ahead, total)))
+            series.add(per_disk, report.throughput_mb)
+    return result

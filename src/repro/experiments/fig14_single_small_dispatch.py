@@ -1,0 +1,67 @@
+"""Figure 14 — single-disk throughput with a small dispatch set.
+
+``D = 1``, ``N = 128``, ``R = 512K``: one stream at a time issues a 64 MB
+run. Compared with Figure 10 (all streams dispatched with big R), this
+achieves comparable or slightly better throughput with far less memory —
+lower buffer-management overhead, same seek amortisation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentResult
+from repro.core import ServerParams
+from repro.disk.specs import WD800JD
+from repro.experiments.base import (
+    QUICK,
+    ExperimentScale,
+    measure,
+    server_wrapper,
+)
+from repro.experiments import fig10_readahead
+from repro.node import base_topology
+from repro.units import GiB, KiB, MiB
+from repro.workload import uniform_streams
+
+__all__ = ["run", "STREAM_COUNTS"]
+
+STREAM_COUNTS = [10, 30, 60, 100]
+REQUEST_SIZE = 64 * KiB
+READ_AHEAD = 512 * KiB
+RESIDENCY = 128
+
+
+def run(scale: ExperimentScale = QUICK,
+        include_fig10_baselines: bool = True) -> ExperimentResult:
+    """Reproduce Figure 14: D=1/N=128 vs Figure 10's D=S curves."""
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="Single-disk throughput with a small dispatch set",
+        x_label="streams per disk",
+        y_label="MBytes/s",
+        notes=f"D = 1, N = {RESIDENCY}, R = 512K, M = staged*N*R")
+
+    params = ServerParams(read_ahead=READ_AHEAD,
+                          dispatch_width=1,
+                          requests_per_residency=RESIDENCY,
+                          memory_budget=1 * GiB)
+    series = result.new_series(f"R = 512K, D = 1, N = {RESIDENCY}")
+    for num_streams in STREAM_COUNTS:
+        topology = base_topology(disk_spec=WD800JD, seed=num_streams)
+        report = measure(
+            topology, scale,
+            specs_for=lambda node, ns=num_streams: uniform_streams(
+                ns, node.disk_ids, node.capacity_bytes,
+                request_size=REQUEST_SIZE),
+            wrap_device=server_wrapper(params))
+        series.add(num_streams, report.throughput_mb)
+
+    if include_fig10_baselines:
+        fig10 = fig10_readahead.run(scale)
+        for read_ahead in (2 * MiB, 8 * MiB):
+            label = next(l for l in fig10.labels
+                         if l.startswith(f"R = {read_ahead // MiB}M"))
+            baseline = result.new_series(
+                f"R = {read_ahead // MiB}M, from Figure 10")
+            for point in fig10.get(label).points:
+                baseline.add(point.x, point.y)
+    return result

@@ -1,0 +1,62 @@
+"""Figure 15 — average stream response time.
+
+Mean client-side latency vs read-ahead size for S ∈ {1, 10, 100} and
+memory M ∈ {8, 64, 256 MB} (D = M/(R·N), N = 1, 64 KB requests). The
+paper's findings: response time is driven primarily by the number of
+streams; at a fixed S, *larger* read-ahead improves the mean (most
+requests then complete from memory).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentResult
+from repro.core import ServerParams
+from repro.disk.specs import WD800JD
+from repro.experiments.base import QUICK, ExperimentScale
+from repro.node import base_topology, build_node
+from repro.sim import Simulator
+from repro.units import KiB, MiB, format_size
+from repro.workload import ClientFleet, uniform_streams
+
+__all__ = ["run", "MEMORY_SIZES", "READ_AHEADS", "STREAM_COUNTS"]
+
+READ_AHEADS = [256 * KiB, 1 * MiB, 8 * MiB]
+STREAM_COUNTS = [1, 10, 100]
+MEMORY_SIZES = [8 * MiB, 64 * MiB, 256 * MiB]
+REQUEST_SIZE = 64 * KiB
+
+
+def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
+    """Reproduce Figure 15's latency curves (ms, vs read-ahead)."""
+    result = ExperimentResult(
+        experiment_id="fig15",
+        title="Average stream response time",
+        x_label="read-ahead",
+        y_label="msec",
+        notes="mean client-side latency; D = M/(R*N), N = 1")
+
+    from repro.core import StreamServer
+    for num_streams in STREAM_COUNTS:
+        for memory in MEMORY_SIZES:
+            series = result.new_series(
+                f"S = {num_streams} (M = {memory // MiB}MBytes)")
+            for read_ahead in READ_AHEADS:
+                if memory < read_ahead:
+                    continue
+                sim = Simulator()
+                node = build_node(sim, base_topology(
+                    disk_spec=WD800JD, seed=num_streams))
+                params = ServerParams(read_ahead=read_ahead,
+                                      dispatch_width=None,
+                                      requests_per_residency=1,
+                                      memory_budget=memory)
+                server = StreamServer(sim, node, params)
+                specs = uniform_streams(num_streams, node.disk_ids,
+                                        node.capacity_bytes,
+                                        request_size=REQUEST_SIZE)
+                report = ClientFleet(sim, server, specs).run(
+                    duration=scale.duration, warmup=scale.warmup,
+                    settle_requests=5)
+                series.add(format_size(read_ahead),
+                           report.mean_latency * 1e3)
+    return result

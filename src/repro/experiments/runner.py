@@ -1,0 +1,70 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner               # all figures, quick
+    python -m repro.experiments.runner fig10 fig13   # a subset
+    python -m repro.experiments.runner --scale full  # paper-grade runs
+
+Prints each figure's series as an ASCII table; this is what populated
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.experiments import EXPERIMENTS, EXTENSIONS, FULL, QUICK, SMOKE
+
+_SCALES = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    catalogue = {**EXPERIMENTS, **EXTENSIONS}
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's figures on the simulator.")
+    parser.add_argument("figures", nargs="*",
+                        help=f"figure ids (default: the paper figures "
+                             f"{sorted(EXPERIMENTS)}; extensions: "
+                             f"{sorted(EXTENSIONS)})")
+    parser.add_argument("--scale", choices=sorted(_SCALES),
+                        default="quick",
+                        help="simulated seconds per measured point")
+    parser.add_argument("--check", action="store_true",
+                        help="verify each figure's shape against the "
+                             "paper's claims (exit 1 on violations)")
+    arguments = parser.parse_args(argv)
+
+    requested = arguments.figures or sorted(EXPERIMENTS)
+    unknown = [f for f in requested if f not in catalogue]
+    if unknown:
+        parser.error(f"unknown figure ids: {unknown}; "
+                     f"choose from {sorted(catalogue)}")
+    scale = _SCALES[arguments.scale]
+    failures = 0
+    for figure_id in requested:
+        started = time.time()
+        result = catalogue[figure_id](scale)
+        print(format_table(result))
+        print(f"[{figure_id}: {time.time() - started:.1f}s wall, "
+              f"scale={scale.name}]")
+        if arguments.check:
+            from repro.analysis.verify import verify_result
+            violations = verify_result(result)
+            if violations:
+                failures += 1
+                for violation in violations:
+                    print(f"  SHAPE VIOLATION: {violation}")
+            else:
+                print(f"  shape check: OK")
+        print()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Host-side OS substrate: block layer, buffer cache, I/O schedulers.
+
+These model the Linux 2.6.11-era I/O path the paper's Figure 2 measures:
+xdd readers → page cache with per-stream readahead windows → an I/O
+scheduler (noop / deadline / anticipatory / CFQ) → the disk.
+"""
+
+from repro.host.block_layer import BlockLayer
+from repro.host.buffer_cache import BufferCache, ReadaheadParams
+from repro.host.filesystem import Extent, ExtentFile, ExtentFilesystem
+from repro.host.schedulers import (
+    AnticipatoryScheduler,
+    CFQScheduler,
+    DeadlineScheduler,
+    Dispatch,
+    Idle,
+    IOScheduler,
+    NoopScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "AnticipatoryScheduler",
+    "BlockLayer",
+    "BufferCache",
+    "CFQScheduler",
+    "DeadlineScheduler",
+    "Dispatch",
+    "Extent",
+    "ExtentFile",
+    "ExtentFilesystem",
+    "Idle",
+    "IOScheduler",
+    "NoopScheduler",
+    "ReadaheadParams",
+    "make_scheduler",
+]

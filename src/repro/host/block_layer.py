@@ -1,0 +1,130 @@
+"""The block layer: a scheduler-driven dispatcher over a block device.
+
+Owns the request queue for one device, asks the scheduler what to do
+whenever the device has capacity, honours deliberate idling (anticipatory,
+CFQ ``slice_idle``), and completes merged requests alongside their
+carriers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.host.schedulers.base import Dispatch, Idle, IOScheduler
+from repro.io import BlockDevice, IORequest, stamp_submit
+from repro.sim import Simulator
+from repro.sim.events import Event
+from repro.sim.stats import StatsRegistry
+
+__all__ = ["BlockLayer"]
+
+
+class BlockLayer:
+    """Dispatch requests to ``device`` in the order ``scheduler`` decides.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    device:
+        Any :class:`~repro.io.BlockDevice` (drive, controller, node).
+    scheduler:
+        The I/O scheduler instance (owned exclusively by this layer).
+    dispatch_depth:
+        Concurrent requests allowed at the device. Depth 1 models the
+        pre-NCQ SATA stacks of the paper's era; the scheduler sees every
+        scheduling decision.
+    """
+
+    def __init__(self, sim: Simulator, device: BlockDevice,
+                 scheduler: IOScheduler, dispatch_depth: int = 1,
+                 name: str = "blk"):
+        if dispatch_depth < 1:
+            raise ValueError(f"dispatch_depth must be >= 1: {dispatch_depth}")
+        self.sim = sim
+        self.device = device
+        self.scheduler = scheduler
+        self.dispatch_depth = dispatch_depth
+        self.name = name
+        self.capacity_bytes = device.capacity_bytes
+        self.in_flight = 0
+        self.stats = StatsRegistry()
+        self._completions: dict[int, Event] = {}
+        self._wake: Optional[Event] = None
+        self._dispatcher_running = False
+
+    # -- BlockDevice protocol -----------------------------------------------
+    def submit(self, request: IORequest) -> Event:
+        """Queue ``request`` with the scheduler; returns completion event."""
+        stamp_submit(request, self.sim.now)
+        event = self.sim.event(name=f"blk{request.request_id}")
+        self._completions[request.request_id] = event
+        self.scheduler.add(request, self.sim.now)
+        self._kick()
+        return event
+
+    # -- dispatcher ------------------------------------------------------------
+    def _kick(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        if not self._dispatcher_running:
+            self._dispatcher_running = True
+            self.sim.process(self._dispatcher(), name=f"{self.name}.disp")
+
+    def _dispatcher(self):
+        while True:
+            if self.in_flight >= self.dispatch_depth:
+                yield self._make_wake()
+                continue
+            decision = self.scheduler.decide(self.sim.now)
+            if isinstance(decision, Dispatch):
+                self._issue(decision.request)
+                continue
+            if isinstance(decision, Idle):
+                delay = max(0.0, decision.until - self.sim.now)
+                self.stats.counter("idle_waits").add()
+                wake = self._make_wake()
+                yield self.sim.any_of([wake, self.sim.timeout(delay)])
+                continue
+            # Nothing queued: park until work or a completion arrives.
+            if self.in_flight == 0 and len(self.scheduler) == 0:
+                self._dispatcher_running = False
+                self._wake = None
+                return
+            yield self._make_wake()
+
+    def _make_wake(self) -> Event:
+        self._wake = self.sim.event(name=f"{self.name}.wake")
+        return self._wake
+
+    def _issue(self, request: IORequest) -> None:
+        self.in_flight += 1
+        self.stats.counter("dispatched").add(request.size)
+
+        def waiter(sim):
+            yield self.device.submit(request)
+            self.in_flight -= 1
+            self.scheduler.on_complete(request, sim.now)
+            self._finish(request)
+            self._kick()
+
+        self.sim.process(waiter(self.sim), name=f"{self.name}.wait")
+
+    def _finish(self, request: IORequest) -> None:
+        """Complete the request and any requests merged into it."""
+        for absorbed in request.annotations.pop("merged", []):
+            absorbed.complete_time = self.sim.now
+            self.stats.counter("completed").add(absorbed.size)
+            event = self._completions.pop(absorbed.request_id, None)
+            if event is not None:
+                event.succeed(absorbed)
+        request.complete_time = self.sim.now
+        self.stats.counter("completed").add(request.size)
+        self.stats.latency("latency").observe(request.latency)
+        event = self._completions.pop(request.request_id, None)
+        if event is not None:
+            event.succeed(request)
+
+    def __repr__(self) -> str:
+        return (f"<BlockLayer {self.name!r} {self.scheduler.name} "
+                f"queued={len(self.scheduler)} in_flight={self.in_flight}>")

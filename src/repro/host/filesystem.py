@@ -1,0 +1,162 @@
+"""A minimal ext3-like filesystem model: files as extents in block groups.
+
+The paper's Figure 2 measures xdd over ext3 files. What matters to the
+I/O path is *layout*: ext3 scatters files across block groups (128 MB
+regions) to keep each file's blocks contiguous while spreading unrelated
+files over the disk — which is exactly why many sequential file readers
+turn into far-apart sequential device streams.
+
+This model provides that mapping: :meth:`create` allocates a file as one
+or more extents (contiguous runs) inside block groups chosen round-robin,
+and :meth:`map` translates file offsets to device offsets. An optional
+fragmentation knob splits files into multiple extents with gaps, for
+studying how fragmentation erodes sequential detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.units import KiB, MiB, SECTOR_BYTES
+
+__all__ = ["Extent", "ExtentFile", "ExtentFilesystem"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """One contiguous run of a file on the device."""
+
+    file_offset: int
+    device_offset: int
+    length: int
+
+    @property
+    def file_end(self) -> int:
+        return self.file_offset + self.length
+
+
+@dataclass
+class ExtentFile:
+    """A named file: ordered, non-overlapping extents."""
+
+    name: str
+    size: int
+    extents: List[Extent] = field(default_factory=list)
+
+    def map(self, offset: int, size: int) -> List[Tuple[int, int]]:
+        """File byte range → [(device_offset, length), ...] pieces."""
+        if offset < 0 or size <= 0 or offset + size > self.size:
+            raise ValueError(
+                f"range [{offset}, {offset + size}) outside file "
+                f"{self.name!r} of size {self.size}")
+        pieces = []
+        position = offset
+        remaining = size
+        for extent in self.extents:
+            if position >= extent.file_end:
+                continue
+            if remaining <= 0:
+                break
+            within = position - extent.file_offset
+            take = min(extent.length - within, remaining)
+            pieces.append((extent.device_offset + within, take))
+            position += take
+            remaining -= take
+        if remaining:
+            raise RuntimeError(
+                f"file {self.name!r} has a hole at {position}")
+        return pieces
+
+
+class ExtentFilesystem:
+    """Block-group allocator over a flat device address space.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Device size.
+    block_group_bytes:
+        Region granularity (ext3: 128 MB).
+    fragment_every:
+        When positive, files split into extents of at most this many
+        bytes, each placed in the *next* block group — a worst-case
+        fragmentation model. 0 = contiguous files (fresh ext3).
+    """
+
+    def __init__(self, capacity_bytes: int,
+                 block_group_bytes: int = 128 * MiB,
+                 fragment_every: int = 0):
+        if capacity_bytes < block_group_bytes:
+            raise ValueError("capacity below one block group")
+        if block_group_bytes < 1 * MiB:
+            raise ValueError(
+                f"block groups must be >= 1 MiB: {block_group_bytes}")
+        if fragment_every < 0 or fragment_every % SECTOR_BYTES:
+            raise ValueError(
+                f"fragment_every must be sector-aligned >= 0: "
+                f"{fragment_every}")
+        self.capacity_bytes = capacity_bytes
+        self.block_group_bytes = block_group_bytes
+        self.fragment_every = fragment_every
+        self.num_groups = capacity_bytes // block_group_bytes
+        #: Next free byte within each block group.
+        self._group_cursor: Dict[int, int] = {}
+        self._next_group = 0
+        self.files: Dict[str, ExtentFile] = {}
+
+    # -- allocation -----------------------------------------------------------
+    def create(self, name: str, size: int) -> ExtentFile:
+        """Allocate a file of ``size`` bytes; returns its extent map."""
+        if name in self.files:
+            raise ValueError(f"file exists: {name!r}")
+        if size <= 0 or size % SECTOR_BYTES:
+            raise ValueError(
+                f"size must be sector-aligned and positive: {size}")
+        file = ExtentFile(name=name, size=size)
+        remaining = size
+        file_offset = 0
+        while remaining > 0:
+            piece = remaining if not self.fragment_every \
+                else min(self.fragment_every, remaining)
+            device_offset = self._allocate_run(piece)
+            file.extents.append(Extent(file_offset=file_offset,
+                                       device_offset=device_offset,
+                                       length=piece))
+            file_offset += piece
+            remaining -= piece
+        self.files[name] = file
+        return file
+
+    def _allocate_run(self, length: int) -> int:
+        """First-fit a contiguous run, advancing round-robin over groups."""
+        if length > self.block_group_bytes:
+            raise ValueError(
+                f"extent {length} exceeds block group "
+                f"{self.block_group_bytes} (fragment the file)")
+        for attempt in range(self.num_groups):
+            group = (self._next_group + attempt) % self.num_groups
+            cursor = self._group_cursor.get(group, 0)
+            if cursor + length <= self.block_group_bytes:
+                self._group_cursor[group] = cursor + length
+                self._next_group = (group + 1) % self.num_groups
+                return group * self.block_group_bytes + cursor
+        raise MemoryError("filesystem full")
+
+    # -- lookup --------------------------------------------------------------
+    def map(self, name: str, offset: int,
+            size: int) -> List[Tuple[int, int]]:
+        """File range → device pieces (see :meth:`ExtentFile.map`)."""
+        try:
+            file = self.files[name]
+        except KeyError:
+            raise FileNotFoundError(name) from None
+        return file.map(offset, size)
+
+    def used_bytes(self) -> int:
+        """Total allocated bytes."""
+        return sum(f.size for f in self.files.values())
+
+    def __repr__(self) -> str:
+        return (f"<ExtentFilesystem files={len(self.files)} "
+                f"used={self.used_bytes()}/{self.capacity_bytes}>")

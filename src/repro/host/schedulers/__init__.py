@@ -1,0 +1,37 @@
+"""OS I/O schedulers (the paper's Figure 2 baselines)."""
+
+from repro.host.schedulers.base import Dispatch, Idle, IOScheduler
+from repro.host.schedulers.noop import NoopScheduler
+from repro.host.schedulers.deadline import DeadlineScheduler
+from repro.host.schedulers.anticipatory import AnticipatoryScheduler
+from repro.host.schedulers.cfq import CFQScheduler
+
+__all__ = [
+    "AnticipatoryScheduler",
+    "CFQScheduler",
+    "DeadlineScheduler",
+    "Dispatch",
+    "Idle",
+    "IOScheduler",
+    "NoopScheduler",
+    "make_scheduler",
+]
+
+_SCHEDULERS = {
+    "noop": NoopScheduler,
+    "deadline": DeadlineScheduler,
+    "anticipatory": AnticipatoryScheduler,
+    "as": AnticipatoryScheduler,
+    "cfq": CFQScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> IOScheduler:
+    """Instantiate a scheduler by its Linux elevator name."""
+    try:
+        cls = _SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from "
+            f"{sorted(set(_SCHEDULERS))}") from None
+    return cls(**kwargs)

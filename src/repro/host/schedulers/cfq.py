@@ -1,0 +1,123 @@
+"""The Completely Fair Queueing (CFQ) scheduler.
+
+One queue per stream (process); the active queue owns the disk for a time
+slice, and CFQ idles briefly on an empty-but-active queue (``slice_idle``)
+so a synchronous reader keeps its slice — the same deceptive-idleness
+counter-measure as anticipatory, bounded per-slice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Optional
+
+from repro.host.schedulers.base import Dispatch, Idle, IOScheduler
+from repro.io import IORequest
+
+__all__ = ["CFQScheduler"]
+
+#: Queue key used for requests with no stream identity.
+_ANONYMOUS = -1
+
+
+class CFQScheduler(IOScheduler):
+    """Round-robin time slices over per-stream queues.
+
+    Parameters
+    ----------
+    slice_sync:
+        Service slice per stream (Linux ``slice_sync`` ≈ 100 ms).
+    slice_idle:
+        Idle window kept for an active-but-empty queue (Linux default
+        8 ms).
+    """
+
+    name = "cfq"
+
+    def __init__(self, slice_sync: float = 0.1, slice_idle: float = 0.008):
+        super().__init__()
+        if slice_sync <= 0 or slice_idle < 0:
+            raise ValueError("cfq parameters out of range")
+        self.slice_sync = slice_sync
+        self.slice_idle = slice_idle
+        #: Round-robin service order; OrderedDict gives O(1) rotation.
+        self._queues: "OrderedDict[int, Deque[IORequest]]" = OrderedDict()
+        self._active: Optional[int] = None
+        self._slice_end = 0.0
+        self._idle_until = 0.0
+        #: Per-stream think-time EWMA (see anticipatory): idling is not
+        #: armed for streams that predictably outwait ``slice_idle``.
+        self._last_completion: dict[int, float] = {}
+        self._think_ewma: dict[int, float] = {}
+        self.slice_switches = 0
+
+    def _queue_key(self, request: IORequest) -> int:
+        return request.stream_id if request.stream_id is not None \
+            else _ANONYMOUS
+
+    def add(self, request: IORequest, now: float) -> None:
+        key = self._queue_key(request)
+        if key in self._last_completion:
+            gap = now - self._last_completion.pop(key)
+            previous = self._think_ewma.get(key, gap)
+            self._think_ewma[key] = 0.75 * previous + 0.25 * gap
+        if key not in self._queues:
+            self._queues[key] = deque()
+        self._queues[key].append(request)
+        self.queued += 1
+
+    def on_complete(self, request: IORequest, now: float) -> None:
+        key = self._queue_key(request)
+        self._last_completion[key] = now
+        if key == self._active:
+            # Completion re-arms the idle window for the active stream —
+            # unless the stream's think time predictably outlasts it.
+            if self._think_ewma.get(key, 0.0) <= self.slice_idle:
+                self._idle_until = now + self.slice_idle
+            else:
+                self._idle_until = now
+
+    def decide(self, now: float):
+        if self.queued == 0 and self._active is None:
+            return None
+        if self._active is not None:
+            queue = self._queues.get(self._active)
+            slice_alive = now < self._slice_end
+            if slice_alive and queue:
+                return self._dispatch_from(self._active)
+            if slice_alive and self.queued and now < self._idle_until:
+                # Active stream may be about to issue its next sync read.
+                return Idle(self._idle_until)
+            if slice_alive and not self.queued:
+                if now < self._idle_until:
+                    return Idle(self._idle_until)
+                self._expire_active()
+                return None
+            self._expire_active()
+        # Activate the next non-empty queue in round-robin order.
+        for key in list(self._queues):
+            if self._queues[key]:
+                self._activate(key, now)
+                return self._dispatch_from(key)
+        return None
+
+    def _dispatch_from(self, key: int) -> Dispatch:
+        request = self._queues[key].popleft()
+        self.queued -= 1
+        self.dispatched += 1
+        return Dispatch(request)
+
+    def _activate(self, key: int, now: float) -> None:
+        self._active = key
+        self._slice_end = now + self.slice_sync
+        self._idle_until = now + self.slice_idle
+        self.slice_switches += 1
+        # Rotate: the activated queue moves to the back of the RR order.
+        self._queues.move_to_end(key)
+
+    def _expire_active(self) -> None:
+        if self._active is not None:
+            queue = self._queues.get(self._active)
+            if queue is not None and not queue:
+                del self._queues[self._active]
+            self._active = None

@@ -1,0 +1,52 @@
+"""The noop elevator: FIFO with back-merging.
+
+Linux's ``noop`` keeps arrival order but still merges contiguous
+requests — the paper's Figure 2 calls it the "Simple Elevator (Noop)"
+scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.host.schedulers.base import Dispatch, IOScheduler
+from repro.io import IORequest
+
+__all__ = ["NoopScheduler"]
+
+
+class NoopScheduler(IOScheduler):
+    """FIFO dispatch; contiguous same-direction requests back-merge.
+
+    A merged victim is completed by the block layer when its carrier
+    completes (it is recorded in the carrier's ``annotations``).
+    """
+
+    name = "noop"
+
+    def __init__(self, merge: bool = True):
+        super().__init__()
+        self.merge = merge
+        self._fifo: Deque[IORequest] = deque()
+        self.merges = 0
+
+    def add(self, request: IORequest, now: float) -> None:
+        if self.merge and self._fifo:
+            tail = self._fifo[-1]
+            if (tail.kind is request.kind
+                    and request.adjacent_after(tail)):
+                # Grow the tail request; remember the absorbed one.
+                tail.size += request.size
+                tail.annotations.setdefault("merged", []).append(request)
+                self.merges += 1
+                return
+        self._fifo.append(request)
+        self.queued += 1
+
+    def decide(self, now: float) -> Optional[Dispatch]:
+        if not self._fifo:
+            return None
+        self.queued -= 1
+        self.dispatched += 1
+        return Dispatch(self._fifo.popleft())

@@ -1,0 +1,160 @@
+"""The storage node: controllers plus a host-side cost model.
+
+The host charges CPU time per I/O. The completion-path cost grows with the
+number of live I/O buffers (pending-list scans, select() fd sets, buffer
+registry churn in the paper's user-level server), which is why dispatching
+from *all* streams at once (Figure 12, ``D = S``) stays below the hardware
+ceiling while a small dispatch set (Figure 13, ``D = #disks``) does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.controller.controller import DiskController
+from repro.io import IORequest, stamp_submit
+from repro.sim import Resource, Simulator
+from repro.sim.events import Event
+from repro.sim.stats import StatsRegistry
+from repro.units import GiB, US
+
+__all__ = ["HostParams", "StorageNode"]
+
+
+@dataclass(frozen=True)
+class HostParams:
+    """Host CPU/memory cost model.
+
+    Attributes
+    ----------
+    cpus:
+        Host processors available to the I/O path (the paper's node has
+        two Opteron 242s).
+    submit_cost_s:
+        CPU time to issue one request (syscall + async submission).
+    completion_base_s:
+        Fixed CPU time to reap one completion.
+    completion_per_buffer_s:
+        Extra completion cost per live I/O buffer — the O(n) component
+        of buffer management.
+    memory_bytes:
+        Host memory available for I/O buffering (advisory: the stream
+        server sizes its buffered set against it).
+    """
+
+    cpus: int = 2
+    submit_cost_s: float = 3 * US
+    completion_base_s: float = 20 * US
+    completion_per_buffer_s: float = 1.5 * US
+    memory_bytes: int = 1 * GiB
+
+
+class StorageNode:
+    """A host with one or more controllers, as one block device.
+
+    ``submit`` routes by global ``disk_id``; completions pay the host
+    cost model. Layers that stage their own buffers (the stream-aware
+    server's buffered set) register them via :meth:`register_buffers` so
+    the completion cost reflects total buffer-management load.
+    """
+
+    def __init__(self, sim: Simulator,
+                 controllers: Sequence[DiskController],
+                 host: Optional[HostParams] = None, name: str = "node"):
+        if not controllers:
+            raise ValueError("node needs at least one controller")
+        self.sim = sim
+        self.controllers = list(controllers)
+        self.host = host or HostParams()
+        self.name = name
+        self._route: Dict[int, DiskController] = {}
+        for controller in self.controllers:
+            for disk_id in controller.disks:
+                if disk_id in self._route:
+                    raise ValueError(
+                        f"disk {disk_id} on two controllers")
+                self._route[disk_id] = controller
+        capacities = {c.capacity_bytes for c in self.controllers}
+        if len(capacities) != 1:
+            raise ValueError("controllers must host homogeneous disks")
+        #: Per-disk addressable bytes (BlockDevice protocol).
+        self.capacity_bytes = capacities.pop()
+        self._cpu = Resource(sim, capacity=self.host.cpus,
+                             name=f"{name}.cpu")
+        self.outstanding = 0
+        self._external_buffers = 0
+        self.stats = StatsRegistry()
+
+    # -- buffer registry -----------------------------------------------------
+    @property
+    def live_buffers(self) -> int:
+        """Outstanding node requests plus externally registered buffers."""
+        return self.outstanding + self._external_buffers
+
+    def register_buffers(self, count: int) -> None:
+        """Add ``count`` externally managed I/O buffers to the load model."""
+        if self._external_buffers + count < 0:
+            raise ValueError("unregistering more buffers than registered")
+        self._external_buffers += count
+
+    @property
+    def num_disks(self) -> int:
+        """Total disks across all controllers."""
+        return len(self._route)
+
+    @property
+    def disk_ids(self) -> List[int]:
+        """Sorted global disk ids."""
+        return sorted(self._route)
+
+    def drive(self, disk_id: int):
+        """The :class:`~repro.disk.drive.DiskDrive` behind ``disk_id``."""
+        return self._route[disk_id].disks[disk_id]
+
+    # -- BlockDevice protocol ----------------------------------------------------
+    def submit(self, request: IORequest) -> Event:
+        """Issue ``request``; completion pays the host cost model."""
+        controller = self._route.get(request.disk_id)
+        if controller is None:
+            raise ValueError(f"{request!r}: unknown disk {request.disk_id}")
+        stamp_submit(request, self.sim.now)
+        event = self.sim.event(name=f"node{request.request_id}")
+        self.sim.process(self._handle(controller, request, event),
+                         name=f"{self.name}.req{request.request_id}")
+        return event
+
+    def _handle(self, controller: DiskController, request: IORequest,
+                event: Event):
+        yield from self._charge_cpu(self.host.submit_cost_s)
+        self.outstanding += 1
+        try:
+            yield controller.submit(request)
+        finally:
+            self.outstanding -= 1
+        completion_cost = (self.host.completion_base_s
+                           + self.host.completion_per_buffer_s
+                           * self.live_buffers)
+        yield from self._charge_cpu(completion_cost)
+        request.complete_time = self.sim.now
+        self.stats.counter("completed").add(request.size)
+        self.stats.latency("latency").observe(request.latency)
+        event.succeed(request)
+
+    def _charge_cpu(self, cost: float):
+        grant = self._cpu.request()
+        yield grant
+        try:
+            yield self.sim.timeout(cost)
+        finally:
+            self._cpu.release()
+
+    # -- reporting -----------------------------------------------------------------
+    def throughput(self, elapsed: float) -> float:
+        """Completed bytes per second over ``elapsed``."""
+        return self.stats.counter("completed").throughput(elapsed)
+
+    def __repr__(self) -> str:
+        return (f"<StorageNode {self.name!r} "
+                f"controllers={len(self.controllers)} "
+                f"disks={self.num_disks}>")

@@ -1,0 +1,103 @@
+"""Topology builders for the paper's storage-node configurations.
+
+Section 3 uses three I/O hierarchies:
+
+* **base** — one controller, one disk (Figures 4, 6, 7, 8, 10, 14, 15);
+* **medium** — two controllers with four disks each, the real testbed
+  (Figures 12, 13);
+* **large** — sixteen controllers hosting up to four disks each; the
+  60-disk variant behind Figure 1 uses fifteen full controllers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.controller.controller import ControllerSpec, DiskController
+from repro.disk.drive import DiskDrive, DriveConfig
+from repro.disk.mechanics import RotationMode
+from repro.disk.specs import DISKSIM_GENERIC, DiskSpec
+from repro.node.node import HostParams, StorageNode
+from repro.sim import Simulator
+
+__all__ = [
+    "NodeTopology",
+    "base_topology",
+    "build_node",
+    "large_topology",
+    "medium_topology",
+]
+
+
+@dataclass
+class NodeTopology:
+    """Declarative description of a storage node.
+
+    ``disks_per_controller`` entries define one controller each; global
+    disk ids are assigned densely in declaration order.
+    """
+
+    disk_spec: DiskSpec = field(default_factory=lambda: DISKSIM_GENERIC)
+    controller_spec: ControllerSpec = field(
+        default_factory=ControllerSpec)
+    disks_per_controller: List[int] = field(default_factory=lambda: [1])
+    host: HostParams = field(default_factory=HostParams)
+    rotation_mode: RotationMode = RotationMode.UNIFORM
+    seed: int = 0
+
+    @property
+    def num_disks(self) -> int:
+        """Total disks in the topology."""
+        return sum(self.disks_per_controller)
+
+
+def base_topology(disk_spec: Optional[DiskSpec] = None,
+                  **kwargs) -> NodeTopology:
+    """One controller, one disk."""
+    return NodeTopology(disk_spec=disk_spec or DISKSIM_GENERIC,
+                        disks_per_controller=[1], **kwargs)
+
+
+def medium_topology(disk_spec: Optional[DiskSpec] = None,
+                    **kwargs) -> NodeTopology:
+    """Two controllers x four disks: the paper's real 8-disk testbed."""
+    return NodeTopology(disk_spec=disk_spec or DISKSIM_GENERIC,
+                        disks_per_controller=[4, 4], **kwargs)
+
+
+def large_topology(num_disks: int = 60,
+                   disk_spec: Optional[DiskSpec] = None,
+                   **kwargs) -> NodeTopology:
+    """Up to 16 controllers x 4 disks (default: the 60-disk Figure 1 rig)."""
+    if not 1 <= num_disks <= 64:
+        raise ValueError(f"num_disks must be in [1, 64]: {num_disks}")
+    full, remainder = divmod(num_disks, 4)
+    per_controller = [4] * full + ([remainder] if remainder else [])
+    return NodeTopology(disk_spec=disk_spec or DISKSIM_GENERIC,
+                        disks_per_controller=per_controller, **kwargs)
+
+
+def build_node(sim: Simulator, topology: NodeTopology,
+               name: str = "node") -> StorageNode:
+    """Instantiate drives, controllers, and the node from a topology.
+
+    Each drive gets a distinct RNG seed derived from the topology seed so
+    rotational latencies are independent but the whole node is
+    reproducible.
+    """
+    controllers = []
+    disk_id = 0
+    for controller_index, count in enumerate(topology.disks_per_controller):
+        disks = {}
+        for _ in range(count):
+            config = DriveConfig(rotation_mode=topology.rotation_mode,
+                                 seed=topology.seed * 1009 + disk_id)
+            disks[disk_id] = DiskDrive(sim, topology.disk_spec,
+                                       config=config,
+                                       name=f"disk{disk_id}")
+            disk_id += 1
+        controllers.append(DiskController(
+            sim, topology.controller_spec, disks,
+            name=f"{name}.ctl{controller_index}"))
+    return StorageNode(sim, controllers, host=topology.host, name=name)

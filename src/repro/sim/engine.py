@@ -1,0 +1,149 @@
+"""The simulator core: clock, event heap, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    ProcessGenerator,
+    Timeout,
+)
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """An unhandled exception escaped a process with no waiter."""
+
+
+class Simulator:
+    """Discrete-event simulator with a float-seconds clock.
+
+    Events scheduled for the same instant are processed in FIFO order of
+    scheduling, which makes runs deterministic.
+
+    Parameters
+    ----------
+    start_time:
+        Initial clock value in seconds (default ``0.0``).
+    trace:
+        Optional :class:`repro.sim.trace.Tracer` receiving kernel records.
+    """
+
+    def __init__(self, start_time: float = 0.0, trace: Any = None):
+        self.now: float = float(start_time)
+        self.trace = trace
+        self._heap: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._failures: list[Process] = []
+        self._active = True
+
+    # -- factory helpers -----------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a pending :class:`Event` owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None,
+                name: str = "") -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start ``generator`` as a process; returns the joinable Process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event], name: str = "") -> AllOf:
+        """Event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events, name=name)
+
+    def any_of(self, events: Iterable[Event], name: str = "") -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events, name=name)
+
+    # -- kernel internals ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        """Place a triggered event on the heap ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative schedule delay: {delay}")
+        self._sequence += 1
+        heapq.heappush(self._heap, (self.now + delay, self._sequence, event))
+
+    def _register_failure(self, process: Process) -> None:
+        """Remember a failed process so unhandled errors surface in run()."""
+        self._failures.append(process)
+
+    # -- running ----------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        """Number of triggered-but-unprocessed events."""
+        return len(self._heap)
+
+    def peek(self) -> float:
+        """Time of the next event, or ``float('inf')`` when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        if self.trace is not None:
+            self.trace.kernel(self.now, event)
+        event._process_callbacks()
+        self._raise_orphans()
+
+    def _raise_orphans(self) -> None:
+        """Raise for failed processes whose exception nobody consumed."""
+        if not self._failures:
+            return
+        failures, self._failures = self._failures, []
+        for process in failures:
+            # A waiter registered during callback processing absorbs it.
+            if process.callbacks:
+                continue
+            raise SimulationError(
+                f"unhandled exception in process {process.name!r}"
+            ) from process.value
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or the clock passes ``until``.
+
+        Returns the final clock value. When ``until`` is given the clock is
+        advanced exactly to it even if the last event fired earlier.
+        """
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception if it failed, or ``TimeoutError`` if
+        ``limit`` seconds of simulated time pass first.
+        """
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError(
+                    f"simulation drained before {event!r} fired"
+                )
+            if limit is not None and self._heap[0][0] > limit:
+                raise TimeoutError(
+                    f"{event!r} not processed by simulated t={limit}"
+                )
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value
+
+    def __repr__(self) -> str:
+        return f"<Simulator t={self.now:g} queued={len(self._heap)}>"

@@ -1,0 +1,336 @@
+"""Event primitives for the discrete-event kernel.
+
+Everything a process can ``yield`` is an :class:`Event`. An event moves
+through three states:
+
+* *pending* — created, not yet triggered;
+* *triggered* — scheduled on the simulator's event heap with a value;
+* *processed* — callbacks ran, waiting processes resumed.
+
+Events are single-shot: triggering a triggered event raises
+:class:`EventAlreadyTriggered`.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import Any, Callable, Generator, Iterable, Optional
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "EventAlreadyTriggered",
+    "Interrupt",
+    "Process",
+    "ProcessGenerator",
+    "Timeout",
+]
+
+#: Type of the generator a :class:`Process` runs.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when an event is triggered (succeed/fail) more than once."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the interrupter's reason object.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Optional label used in tracing and ``repr``.
+    """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_state")
+
+    PENDING = 0
+    TRIGGERED = 1
+    PROCESSED = 2
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        #: callables invoked with the event when it is processed
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state = Event.PENDING
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._state >= Event.TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run and waiters resumed."""
+        return self._state == Event.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (result or exception)."""
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._state != Event.PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._state = Event.TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception, raised in waiting processes."""
+        if self._state != Event.PENDING:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._state = Event.TRIGGERED
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- kernel hook ---------------------------------------------------------
+    def _process_callbacks(self) -> None:
+        """Run callbacks exactly once; called by the simulator core."""
+        self._state = Event.PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = {0: "pending", 1: "triggered", 2: "processed"}[self._state]
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 name: str = ""):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=name or f"timeout({delay:g})")
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._state = Event.TRIGGERED
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; itself an event that fires when it returns.
+
+    The process's value is the generator's return value; an uncaught
+    exception inside the generator fails the process event (and propagates
+    to the simulator if nobody is waiting).
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_interrupts", "_started")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"process() needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=name or getattr(
+            generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: list[Interrupt] = []
+        self._started = False
+        # Bootstrap: resume on the next kernel step.
+        bootstrap = Event(sim, name=f"init:{self.name}")
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._ok = True
+        bootstrap._state = Event.TRIGGERED
+        sim._schedule(bootstrap, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == Event.PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        Interrupting a finished process is a no-op.
+        """
+        if not self.is_alive:
+            return
+        self._interrupts.append(Interrupt(cause))
+        if self._waiting_on is not None:
+            target, self._waiting_on = self._waiting_on, None
+            # Detach: the process no longer cares about that event.
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        wakeup = Event(self.sim, name=f"interrupt:{self.name}")
+        wakeup.callbacks.append(self._resume)
+        wakeup._ok = True
+        wakeup._state = Event.TRIGGERED
+        self.sim._schedule(wakeup, 0.0)
+
+    # -- kernel stepping ----------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the trigger's value or exception."""
+        self._waiting_on = None
+        while True:
+            try:
+                if self._interrupts and self._started:
+                    # Interrupts can only be thrown into a generator that
+                    # has reached its first yield; ones arriving earlier
+                    # wait for the wakeup after the bootstrap resume.
+                    interrupt = self._interrupts.pop(0)
+                    target = self.generator.throw(interrupt)
+                elif trigger._ok:
+                    target = self.generator.send(
+                        trigger._value if self._started else None)
+                    self._started = True
+                else:
+                    target = self.generator.throw(trigger._value)
+            except StopIteration as stop:
+                self._finish(True, stop.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - process failure
+                self._finish(False, exc)
+                return
+
+            if not isinstance(target, Event):
+                exc = TypeError(
+                    f"process {self.name!r} yielded non-event "
+                    f"{target!r}; yield Event/Timeout/Process"
+                )
+                trigger = Event(self.sim)
+                trigger._ok = False
+                trigger._value = exc
+                continue
+            if target.processed:
+                # Already done: loop immediately with its value.
+                trigger = target
+                continue
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+            return
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        if self._state != Event.PENDING:
+            return
+        self._ok = ok
+        self._value = value
+        self._state = Event.TRIGGERED
+        if not ok:
+            self.sim._register_failure(self)
+        self.sim._schedule(self, 0.0)
+
+
+class Condition(Event):
+    """Base for composite events over a set of child events."""
+
+    __slots__ = ("events", "_pending_count")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event],
+                 name: str = ""):
+        super().__init__(sim, name=name)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise ValueError("condition mixes events from simulators")
+        self._pending_count = 0
+        for event in self.events:
+            if event.processed:
+                self._child_done(event)
+            else:
+                self._pending_count += 1
+                event.callbacks.append(self._child_done)
+        self._check_initial()
+
+    def _check_initial(self) -> None:
+        """Trigger immediately if the condition already holds."""
+        raise NotImplementedError
+
+    def _child_done(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e.triggered and e._ok}
+
+
+class AllOf(Condition):
+    """Fires when *all* child events have fired; value maps event→value.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ()
+
+    def _check_initial(self) -> None:
+        if not self.events and self._state == Event.PENDING:
+            self.succeed({})
+
+    def _child_done(self, event: Event) -> None:
+        if self._state != Event.PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending_count -= 1
+        if self._pending_count <= 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Fires when *any* child event fires; value maps fired event→value."""
+
+    __slots__ = ()
+
+    def _check_initial(self) -> None:
+        if self._state == Event.PENDING:
+            done = [e for e in self.events if e.processed]
+            if done:
+                self.succeed({e: e._value for e in done})
+            elif not self.events:
+                self.succeed({})
+
+    def _child_done(self, event: Event) -> None:
+        if self._state != Event.PENDING:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed({event: event._value})

@@ -1,0 +1,209 @@
+"""Contention primitives: Resource, Store, Pipe.
+
+These model the queueing points in a storage stack:
+
+* :class:`Resource` — a counted semaphore (e.g. a disk head, a tag queue).
+* :class:`Store` — a FIFO buffer of items (e.g. a request queue).
+* :class:`Pipe` — a byte pipe with finite bandwidth (e.g. a SATA link).
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+__all__ = ["Pipe", "Resource", "Store"]
+
+
+class Resource:
+    """A semaphore with ``capacity`` slots and a FIFO wait queue.
+
+    Usage pattern inside a process::
+
+        grant = resource.request()
+        yield grant
+        try:
+            ...  # hold the resource
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of processes waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that fires when a slot is granted."""
+        grant = Event(self.sim, name=f"grant:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            grant.succeed(self)
+        else:
+            self._waiters.append(grant)
+        return grant
+
+    def release(self) -> None:
+        """Free one slot, waking the longest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the slot straight to the next waiter.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+    def __repr__(self) -> str:
+        return (f"<Resource {self.name!r} {self._in_use}/{self.capacity}"
+                f" queued={len(self._waiters)}>")
+
+
+class Store:
+    """A FIFO buffer of items with optional capacity.
+
+    ``put`` blocks when the store is full; ``get`` blocks when empty.
+    An optional ``priority`` key on get is intentionally *not* provided:
+    scheduling policies live in the disk/host layers, not the kernel.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None,
+                 name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` is accepted."""
+        done = Event(self.sim, name=f"put:{self.name}")
+        if self._getters:
+            # Direct hand-off: never buffers, preserves FIFO.
+            self._getters.popleft().succeed(item)
+            done.succeed(item)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            done.succeed(item)
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def get(self) -> Event:
+        """Return an event that fires with the oldest item."""
+        want = Event(self.sim, name=f"get:{self.name}")
+        if self._items:
+            want.succeed(self._items.popleft())
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(want)
+        return want
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_waiting_putter()
+        return item
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and (
+                self.capacity is None or len(self._items) < self.capacity):
+            done, item = self._putters.popleft()
+            self._items.append(item)
+            done.succeed(item)
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity is None else str(self.capacity)
+        return f"<Store {self.name!r} {len(self._items)}/{cap}>"
+
+
+class Pipe:
+    """A shared byte pipe with a fixed bandwidth in bytes/second.
+
+    Transfers are serialised FIFO: a transfer of ``nbytes`` holds the pipe
+    for ``nbytes / bandwidth`` seconds. This deliberately models a
+    store-and-forward link (SATA, PCI-X burst) rather than fair sharing;
+    fair sharing at these timescales gives the same aggregate numbers but
+    costs far more events.
+    """
+
+    def __init__(self, sim: "Simulator", bandwidth: float,
+                 per_transfer_overhead: float = 0.0, name: str = ""):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if per_transfer_overhead < 0:
+            raise ValueError("per_transfer_overhead must be >= 0")
+        self.sim = sim
+        self.bandwidth = float(bandwidth)
+        self.per_transfer_overhead = float(per_transfer_overhead)
+        self.name = name
+        self._lock = Resource(sim, capacity=1, name=f"pipe:{name}")
+        self.bytes_moved = 0
+        self.transfers = 0
+        self.busy_time = 0.0
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Pure service time for ``nbytes`` (no queueing)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        return self.per_transfer_overhead + nbytes / self.bandwidth
+
+    def transfer(self, nbytes: int):
+        """Process generator: move ``nbytes`` through the pipe.
+
+        Usage: ``yield from pipe.transfer(nbytes)`` or
+        ``yield sim.process(pipe.transfer(nbytes))``.
+        """
+        grant = self._lock.request()
+        yield grant
+        try:
+            service = self.transfer_time(nbytes)
+            yield self.sim.timeout(service)
+            self.bytes_moved += nbytes
+            self.transfers += 1
+            self.busy_time += service
+        finally:
+            self._lock.release()
+
+    @property
+    def utilization_to(self) -> Callable[[float], float]:
+        """Return a function mapping elapsed seconds → utilisation fraction."""
+        def util(elapsed: float) -> float:
+            return self.busy_time / elapsed if elapsed > 0 else 0.0
+        return util
+
+    def __repr__(self) -> str:
+        return (f"<Pipe {self.name!r} {self.bandwidth / 1e6:.0f} MB/s "
+                f"moved={self.bytes_moved}>")

@@ -1,0 +1,287 @@
+"""Metric collection for simulations.
+
+All metrics are pull-based and cheap to update: experiments run millions of
+events, so per-sample work is a couple of float ops. Aggregation happens at
+report time.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "IntervalRate",
+    "LatencySampler",
+    "StatsRegistry",
+    "TimeWeightedGauge",
+]
+
+
+class Counter:
+    """A monotonically increasing count with an optional byte payload."""
+
+    __slots__ = ("name", "count", "total_bytes")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+        self.total_bytes = 0
+
+    def add(self, nbytes: int = 0) -> None:
+        """Record one occurrence carrying ``nbytes`` bytes."""
+        self.count += 1
+        self.total_bytes += nbytes
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter into this one."""
+        self.count += other.count
+        self.total_bytes += other.total_bytes
+
+    def throughput(self, elapsed: float) -> float:
+        """Bytes per second over ``elapsed`` seconds."""
+        return self.total_bytes / elapsed if elapsed > 0 else 0.0
+
+    def rate(self, elapsed: float) -> float:
+        """Occurrences per second over ``elapsed`` seconds."""
+        return self.count / elapsed if elapsed > 0 else 0.0
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name!r} n={self.count} bytes={self.total_bytes}>"
+
+
+class TimeWeightedGauge:
+    """Tracks a level over time and reports its time-weighted mean.
+
+    Used for queue depths, memory in use, dispatch-set occupancy.
+    """
+
+    __slots__ = ("name", "_level", "_last_time", "_area", "_start",
+                 "max_level", "min_level")
+
+    def __init__(self, name: str = "", start_time: float = 0.0,
+                 level: float = 0.0):
+        self.name = name
+        self._level = level
+        self._last_time = start_time
+        self._start = start_time
+        self._area = 0.0
+        self.max_level = level
+        self.min_level = level
+
+    @property
+    def level(self) -> float:
+        """Current instantaneous level."""
+        return self._level
+
+    def set(self, now: float, level: float) -> None:
+        """Move the gauge to ``level`` at simulated time ``now``."""
+        if now < self._last_time:
+            raise ValueError(
+                f"gauge time going backwards: {now} < {self._last_time}")
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level = level
+        self.max_level = max(self.max_level, level)
+        self.min_level = min(self.min_level, level)
+
+    def adjust(self, now: float, delta: float) -> None:
+        """Add ``delta`` to the level at time ``now``."""
+        self.set(now, self._level + delta)
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Time-weighted mean level from start to ``now`` (default: last)."""
+        end = self._last_time if now is None else now
+        span = end - self._start
+        if span <= 0:
+            return self._level
+        area = self._area + self._level * (end - self._last_time)
+        return area / span
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name!r} level={self._level:g}>"
+
+
+class LatencySampler:
+    """Streaming latency statistics: count/mean/variance/min/max + reservoir.
+
+    Keeps a bounded reservoir for percentile estimates so memory stays flat
+    even over millions of samples (simple systematic thinning: once full,
+    every k-th sample replaces a slot round-robin — adequate for the smooth
+    latency distributions here and fully deterministic).
+    """
+
+    __slots__ = ("name", "count", "_mean", "_m2", "min", "max",
+                 "_reservoir", "_capacity", "_stride", "_cursor")
+
+    def __init__(self, name: str = "", reservoir: int = 4096):
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._reservoir: List[float] = []
+        self._capacity = reservoir
+        self._stride = 1
+        self._cursor = 0
+
+    def observe(self, value: float) -> None:
+        """Record one latency sample (seconds)."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(value)
+        else:
+            if self.count % self._stride == 0:
+                self._reservoir[self._cursor] = value
+                self._cursor += 1
+                if self._cursor >= self._capacity:
+                    self._cursor = 0
+                    self._stride = min(self._stride * 2, 1 << 20)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0.0 when empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of all samples."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-quantile (q in [0, 1]) from the reservoir."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def __repr__(self) -> str:
+        return (f"<LatencySampler {self.name!r} n={self.count} "
+                f"mean={self.mean * 1e3:.3f}ms>")
+
+
+class Histogram:
+    """Fixed-bucket histogram with explicit upper bounds."""
+
+    __slots__ = ("name", "bounds", "counts", "overflow")
+
+    def __init__(self, bounds: Iterable[float], name: str = ""):
+        self.name = name
+        self.bounds = sorted(bounds)
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bound")
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+
+    def observe(self, value: float) -> None:
+        """Count ``value`` into its bucket (bounds are inclusive uppers)."""
+        index = bisect_left(self.bounds, value)
+        if index >= len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+
+    @property
+    def total(self) -> int:
+        """Total observations including overflow."""
+        return sum(self.counts) + self.overflow
+
+    def as_rows(self) -> List[Tuple[float, int]]:
+        """(upper_bound, count) rows, plus (inf, overflow) if nonzero."""
+        rows = list(zip(self.bounds, self.counts))
+        if self.overflow:
+            rows.append((math.inf, self.overflow))
+        return rows
+
+
+class IntervalRate:
+    """Windowed throughput: bytes recorded per fixed interval.
+
+    Used to drop warm-up intervals and to check steady state.
+    """
+
+    __slots__ = ("interval", "_windows", "_current_start")
+
+    def __init__(self, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self._windows: Dict[int, int] = {}
+        self._current_start = 0.0
+
+    def record(self, now: float, nbytes: int) -> None:
+        """Attribute ``nbytes`` to the window containing ``now``."""
+        window = int(now / self.interval)
+        self._windows[window] = self._windows.get(window, 0) + nbytes
+
+    def rates(self) -> List[Tuple[float, float]]:
+        """(window_start_time, bytes_per_second) for every touched window."""
+        return [(w * self.interval, b / self.interval)
+                for w, b in sorted(self._windows.items())]
+
+    def steady_rate(self, skip_windows: int = 1) -> float:
+        """Mean rate after dropping the first ``skip_windows`` windows."""
+        rows = self.rates()[skip_windows:]
+        if not rows:
+            return 0.0
+        return sum(rate for _start, rate in rows) / len(rows)
+
+
+class StatsRegistry:
+    """A named bag of metrics so components can expose them uniformly."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, TimeWeightedGauge] = {}
+        self.latencies: Dict[str, LatencySampler] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str, start_time: float = 0.0) -> TimeWeightedGauge:
+        """Get or create the named gauge."""
+        if name not in self.gauges:
+            self.gauges[name] = TimeWeightedGauge(name, start_time=start_time)
+        return self.gauges[name]
+
+    def latency(self, name: str) -> LatencySampler:
+        """Get or create the named latency sampler."""
+        if name not in self.latencies:
+            self.latencies[name] = LatencySampler(name)
+        return self.latencies[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat name→value view for quick assertions and reports."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[f"{name}.count"] = counter.count
+            out[f"{name}.bytes"] = counter.total_bytes
+        for name, gauge in self.gauges.items():
+            out[f"{name}.level"] = gauge.level
+            out[f"{name}.mean"] = gauge.mean()
+        for name, sampler in self.latencies.items():
+            out[f"{name}.n"] = sampler.count
+            out[f"{name}.mean"] = sampler.mean
+        return out

@@ -1,0 +1,107 @@
+"""Structured tracing for simulations.
+
+Tracing is opt-in: the default simulator runs with ``trace=None`` and pays
+nothing. A :class:`Tracer` collects bounded, typed records that tests and
+debugging sessions can filter.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Iterable, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the record.
+    source:
+        Component name emitting the record ("kernel", "disk0", ...).
+    kind:
+        Event kind ("issue", "complete", "seek", "hit", "evict", ...).
+    detail:
+        Free-form payload; kept small (ids and numbers, not objects).
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: Any = None
+
+
+class Tracer:
+    """Bounded in-memory trace buffer with optional live sinks.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained (oldest dropped first). ``None`` keeps all;
+        only use unbounded capacity in short tests.
+    kinds:
+        Optional whitelist of record kinds to retain.
+    """
+
+    def __init__(self, capacity: Optional[int] = 100_000,
+                 kinds: Optional[Iterable[str]] = None):
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._kinds = set(kinds) if kinds is not None else None
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+        self.dropped = 0
+        self.kernel_steps = 0
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Register a callable invoked for every retained record."""
+        self._sinks.append(sink)
+
+    def emit(self, time: float, source: str, kind: str,
+             detail: Any = None) -> None:
+        """Record one entry (filtered by the kind whitelist)."""
+        if self._kinds is not None and kind not in self._kinds:
+            self.dropped += 1
+            return
+        record = TraceRecord(time=time, source=source, kind=kind,
+                             detail=detail)
+        self._records.append(record)
+        for sink in self._sinks:
+            sink(record)
+
+    def kernel(self, time: float, event: Any) -> None:
+        """Hook called by the simulator on every processed event."""
+        self.kernel_steps += 1
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self, source: Optional[str] = None,
+                kind: Optional[str] = None) -> List[TraceRecord]:
+        """Retained records, optionally filtered by source and kind."""
+        out = []
+        for record in self._records:
+            if source is not None and record.source != source:
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            out.append(record)
+        return out
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent (optionally kind-filtered) record, or None."""
+        if kind is None:
+            return self._records[-1] if self._records else None
+        for record in reversed(self._records):
+            if record.kind == kind:
+                return record
+        return None
+
+    def clear(self) -> None:
+        """Drop all retained records."""
+        self._records.clear()
+        self.dropped = 0

@@ -1,0 +1,130 @@
+"""Size/time units and parsing helpers used across the package.
+
+Conventions (see DESIGN.md §4):
+
+* sizes are integer **bytes**,
+* disk addresses are integer **sectors** of 512 bytes at the disk layer and
+  bytes at the host API,
+* time is float **seconds**.
+
+The paper mixes KBytes/MBytes freely; these helpers keep call sites honest.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "SECTOR_BYTES",
+    "MS",
+    "US",
+    "bytes_to_mb",
+    "mb_per_s",
+    "parse_size",
+    "format_size",
+    "format_rate",
+    "sectors",
+    "sector_bytes",
+]
+
+#: One kibibyte. The paper's "KBytes" are binary units (request sizes like
+#: 64K, 128K are powers of two).
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Classic 512-byte disk sector, matching the WD800JD era.
+SECTOR_BYTES = 512
+
+#: Milliseconds / microseconds expressed in seconds.
+MS = 1e-3
+US = 1e-6
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]i?B?|B)?\s*$",
+    re.IGNORECASE,
+)
+
+_UNIT_FACTOR = {
+    "": 1,
+    "B": 1,
+    "K": KiB, "KB": KiB, "KIB": KiB,
+    "M": MiB, "MB": MiB, "MIB": MiB,
+    "G": GiB, "GB": GiB, "GIB": GiB,
+    "T": 1024 * GiB, "TB": 1024 * GiB, "TIB": 1024 * GiB,
+}
+
+
+def parse_size(text: Union[str, int]) -> int:
+    """Parse ``"64K"``, ``"8M"``, ``"1.5G"`` or a plain int into bytes.
+
+    >>> parse_size("64K")
+    65536
+    >>> parse_size(4096)
+    4096
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"negative size: {text}")
+        return text
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"cannot parse size {text!r}")
+    number = float(match.group("num"))
+    unit = (match.group("unit") or "").upper()
+    factor = _UNIT_FACTOR.get(unit)
+    if factor is None:
+        raise ValueError(f"unknown size unit in {text!r}")
+    result = number * factor
+    if result != int(result):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(result)
+
+
+def format_size(nbytes: int) -> str:
+    """Human-readable binary size: 65536 -> '64K'."""
+    if nbytes < 0:
+        raise ValueError(f"negative size: {nbytes}")
+    for factor, suffix in ((GiB, "G"), (MiB, "M"), (KiB, "K")):
+        if nbytes >= factor and nbytes % factor == 0:
+            return f"{nbytes // factor}{suffix}"
+        if nbytes >= factor:
+            return f"{nbytes / factor:.1f}{suffix}"
+    return f"{nbytes}B"
+
+
+def bytes_to_mb(nbytes: float) -> float:
+    """Bytes → MBytes (binary), the unit the paper's y-axes use."""
+    return nbytes / MiB
+
+
+def mb_per_s(nbytes: float, elapsed: float) -> float:
+    """Throughput in MBytes/s over ``elapsed`` seconds."""
+    return bytes_to_mb(nbytes) / elapsed if elapsed > 0 else 0.0
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Human-readable rate: 52428800 -> '50.0 MB/s'."""
+    return f"{bytes_to_mb(bytes_per_second):.1f} MB/s"
+
+
+def sectors(nbytes: int) -> int:
+    """Bytes → whole sectors; rejects unaligned sizes.
+
+    Disk-layer code requires sector alignment so that cache-segment and
+    geometry arithmetic stays exact.
+    """
+    if nbytes % SECTOR_BYTES:
+        raise ValueError(f"{nbytes} bytes is not sector-aligned")
+    return nbytes // SECTOR_BYTES
+
+
+def sector_bytes(nsectors: int) -> int:
+    """Sectors → bytes."""
+    if nsectors < 0:
+        raise ValueError(f"negative sector count: {nsectors}")
+    return nsectors * SECTOR_BYTES

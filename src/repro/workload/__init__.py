@@ -1,0 +1,30 @@
+"""Workload generation: sequential streams, clients, xdd, mixed loads."""
+
+from repro.workload.client import ClientFleet, FleetReport, StreamClient
+from repro.workload.generators import StreamSpec, uniform_streams
+from repro.workload.mixed import random_requests, zipf_requests
+from repro.workload.trace import (
+    TraceRecordEntry,
+    TraceReplayer,
+    load_trace,
+    record_fleet_trace,
+    save_trace,
+)
+from repro.workload.xdd import XddReport, run_xdd
+
+__all__ = [
+    "ClientFleet",
+    "FleetReport",
+    "StreamClient",
+    "StreamSpec",
+    "TraceRecordEntry",
+    "TraceReplayer",
+    "XddReport",
+    "load_trace",
+    "random_requests",
+    "record_fleet_trace",
+    "run_xdd",
+    "save_trace",
+    "uniform_streams",
+    "zipf_requests",
+]

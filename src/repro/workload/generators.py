@@ -1,0 +1,102 @@
+"""Stream placement: the paper's workload layout.
+
+Section 5: "we distribute the available streams uniformly on the disks:
+each stream is placed ``disksize/#streams`` blocks away from the previous
+one." Streams issue synchronous fixed-size sequential reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.io import IOKind
+from repro.units import KiB, SECTOR_BYTES
+
+__all__ = ["StreamSpec", "uniform_streams"]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One emulated stream.
+
+    Attributes
+    ----------
+    stream_id:
+        Client-side stream identity (drives the classifier and CFQ).
+    disk_id:
+        Target disk.
+    start_offset:
+        First byte read.
+    request_size:
+        Fixed size of every request.
+    total_bytes:
+        Bytes the stream reads before finishing (``None`` = run until the
+        simulation clock stops it).
+    outstanding:
+        Maximum in-flight requests (the paper uses 1).
+    think_time:
+        Client-side delay between a completion and the next issue.
+    kind:
+        READ for the paper's workloads; WRITE supported for extensions.
+    """
+
+    stream_id: int
+    disk_id: int
+    start_offset: int
+    request_size: int
+    total_bytes: Optional[int] = None
+    outstanding: int = 1
+    think_time: float = 0.0
+    kind: IOKind = IOKind.READ
+
+    def __post_init__(self):
+        if self.request_size <= 0 or self.request_size % SECTOR_BYTES:
+            raise ValueError(
+                f"request_size must be sector-aligned: {self.request_size}")
+        if self.start_offset < 0 or self.start_offset % SECTOR_BYTES:
+            raise ValueError(
+                f"start_offset must be sector-aligned: {self.start_offset}")
+        if self.outstanding < 1:
+            raise ValueError(f"outstanding must be >= 1: {self.outstanding}")
+        if self.think_time < 0:
+            raise ValueError(f"negative think_time: {self.think_time}")
+        if self.total_bytes is not None and self.total_bytes < 1:
+            raise ValueError(f"total_bytes must be >= 1: {self.total_bytes}")
+
+
+def uniform_streams(num_streams: int, disk_ids: Sequence[int],
+                    disk_capacity: int, request_size: int = 64 * KiB,
+                    total_bytes: Optional[int] = None,
+                    outstanding: int = 1,
+                    think_time: float = 0.0) -> List[StreamSpec]:
+    """Place ``num_streams`` per *disk*, spaced ``capacity/num_streams``.
+
+    Matches the paper's layout: every disk carries the same stream count,
+    streams on a disk are spaced uniformly across its surface, and stream
+    ids are globally unique.
+    """
+    if num_streams < 1:
+        raise ValueError(f"num_streams must be >= 1: {num_streams}")
+    if not disk_ids:
+        raise ValueError("need at least one disk")
+    spacing = disk_capacity // num_streams
+    spacing -= spacing % request_size
+    if spacing < request_size:
+        raise ValueError(
+            f"{num_streams} streams of {request_size}-byte requests do "
+            f"not fit in {disk_capacity} bytes")
+    specs: List[StreamSpec] = []
+    stream_id = 0
+    for disk_id in disk_ids:
+        for index in range(num_streams):
+            specs.append(StreamSpec(
+                stream_id=stream_id,
+                disk_id=disk_id,
+                start_offset=index * spacing,
+                request_size=request_size,
+                total_bytes=total_bytes,
+                outstanding=outstanding,
+                think_time=think_time))
+            stream_id += 1
+    return specs

@@ -1,0 +1,94 @@
+"""Tests for result containers, tables, and shape checks."""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    Series,
+    format_table,
+    max_drop_factor,
+    monotone_decreasing,
+    monotone_increasing,
+    series_ratio,
+)
+
+
+def make_result():
+    result = ExperimentResult(experiment_id="figX", title="Demo",
+                              x_label="streams", y_label="MB/s")
+    a = result.new_series("fast")
+    a.add(1, 50.0)
+    a.add(10, 45.0)
+    b = result.new_series("slow")
+    b.add(1, 40.0)
+    b.add(10, 10.0)
+    return result
+
+
+def test_series_accessors():
+    series = Series("s")
+    series.add(1, 2.0)
+    series.add(2, 4.0)
+    assert series.xs == [1, 2]
+    assert series.ys == [2.0, 4.0]
+    assert series.y_at(2) == 4.0
+    with pytest.raises(KeyError):
+        series.y_at(99)
+
+
+def test_result_get_and_labels():
+    result = make_result()
+    assert result.labels == ["fast", "slow"]
+    assert result.get("fast").y_at(1) == 50.0
+    with pytest.raises(KeyError):
+        result.get("missing")
+
+
+def test_result_as_dict():
+    data = make_result().as_dict()
+    assert data["slow"][10] == 10.0
+
+
+def test_format_table_contains_all_cells():
+    table = format_table(make_result())
+    assert "figX" in table
+    assert "fast" in table and "slow" in table
+    assert "50.00" in table and "10.00" in table
+
+
+def test_format_table_missing_cells_dashed():
+    result = make_result()
+    result.get("fast").add(100, 44.0)  # only in one series
+    table = format_table(result)
+    assert "-" in table.splitlines()[-1]
+
+
+def test_monotone_checks():
+    assert monotone_decreasing([50, 45, 30, 10])
+    assert not monotone_decreasing([10, 50])
+    assert monotone_decreasing([50, 51], tolerance=0.05)  # within noise
+    assert monotone_increasing([1, 2, 3])
+    assert not monotone_increasing([3, 1])
+
+
+def test_max_drop_factor():
+    assert max_drop_factor([50, 10]) == pytest.approx(5.0)
+    assert max_drop_factor([10]) == 1.0
+    assert max_drop_factor([5, 0.0]) == float("inf")
+    with pytest.raises(ValueError):
+        max_drop_factor([])
+
+
+def test_series_ratio():
+    result = make_result()
+    ratios = series_ratio(result.get("fast"), result.get("slow"))
+    assert ratios == [pytest.approx(50 / 40), pytest.approx(4.5)]
+
+
+def test_series_ratio_requires_shared_xs():
+    a = Series("a")
+    a.add(1, 1.0)
+    b = Series("b")
+    b.add(2, 1.0)
+    with pytest.raises(ValueError):
+        series_ratio(a, b)

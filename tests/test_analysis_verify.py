@@ -1,0 +1,81 @@
+"""Tests for the per-figure shape checkers."""
+
+import pytest
+
+from repro.analysis import ExperimentResult
+from repro.analysis.verify import CHECKERS, verify_result
+
+
+def result_like_fig10(headline_flat=True, improvement=10.0):
+    result = ExperimentResult(experiment_id="fig10", title="t",
+                              x_label="streams", y_label="MB/s")
+    big = result.new_series("R = 8M (M = S x 8M)")
+    none = result.new_series("No read-ahead")
+    for streams in (10, 30, 60, 100):
+        big_value = 45.0 if headline_flat else (45.0 if streams == 10
+                                                else 10.0)
+        big.add(streams, big_value)
+        none.add(streams, big.y_at(streams) / improvement)
+    return result
+
+
+def test_checkers_cover_every_figure():
+    assert set(CHECKERS) == {
+        "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08",
+        "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+
+
+def test_fig10_checker_passes_good_shape():
+    assert verify_result(result_like_fig10()) == []
+
+
+def test_fig10_checker_flags_collapse():
+    violations = verify_result(result_like_fig10(headline_flat=False))
+    assert any("flat" in v for v in violations)
+
+
+def test_fig10_checker_flags_weak_improvement():
+    violations = verify_result(result_like_fig10(improvement=2.0))
+    assert any("no-RA" in v for v in violations)
+
+
+def test_unknown_figure_verifies_trivially():
+    result = ExperimentResult(experiment_id="ext-whatever", title="t",
+                              x_label="x", y_label="y")
+    assert verify_result(result) == []
+
+
+def test_fig07_checker():
+    result = ExperimentResult(experiment_id="fig07", title="t",
+                              x_label="config", y_label="MB/s")
+    for label, good_big in (("10 streams", False),
+                            ("100 streams", False)):
+        series = result.new_series(label)
+        series.add("128x64K", 10.0)
+        series.add("16x512K", 20.0 if label == "10 streams" else 5.0)
+        series.add("8x1M", 2.0)
+    assert verify_result(result) == []
+    # Break the thrash cliff: big segments suddenly great at 100 streams.
+    result.get("100 streams").points[-1] = \
+        type(result.get("100 streams").points[-1])("8x1M", 50.0)
+    assert verify_result(result) != []
+
+
+def test_fig12_checker_flags_ceiling_violation():
+    result = ExperimentResult(experiment_id="fig12", title="t",
+                              x_label="s", y_label="MB/s")
+    for label, value in (("No read-ahead", 30.0), ("R = 512K", 200.0),
+                         ("R = 1M", 260.0), ("R = 2M", 500.0)):
+        series = result.new_series(label)
+        for streams in (10, 30, 60, 100):
+            series.add(streams, value)
+    violations = verify_result(result)
+    assert any("ceiling" in v for v in violations)
+
+
+def test_smoke_scale_results_pass_their_checkers():
+    """End-to-end: a couple of real runs satisfy their own checkers."""
+    from repro.experiments import EXPERIMENTS, SMOKE
+    for figure_id in ("fig04", "fig06"):
+        result = EXPERIMENTS[figure_id](SMOKE)
+        assert verify_result(result) == [], figure_id

@@ -1,0 +1,96 @@
+"""Tests for the closed-form model, including sim-vs-analytic
+cross-checks — the guard against silent timing regressions."""
+
+import pytest
+
+from repro.analysis.analytic import AnalyticDiskModel
+from repro.core import ServerParams, StreamServer
+from repro.disk import WD800JD
+from repro.disk.mechanics import RotationMode
+from repro.node import base_topology, build_node
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+from repro.workload import ClientFleet, uniform_streams
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AnalyticDiskModel(WD800JD)
+
+
+def test_single_stream_is_media_rate(model):
+    prediction = model.interleaved_throughput(1, 64 * KiB)
+    assert prediction.throughput == pytest.approx(60 * MiB, rel=0.02)
+    assert prediction.seek_time == 0.0
+
+
+def test_throughput_increases_with_request_size(model):
+    small = model.interleaved_throughput(30, 64 * KiB)
+    big = model.interleaved_throughput(30, 8 * MiB)
+    assert big.throughput > 5 * small.throughput
+
+
+def test_more_streams_shorter_seeks(model):
+    few = model.interleaved_throughput(10, 1 * MiB)
+    many = model.interleaved_throughput(100, 1 * MiB)
+    assert many.seek_time < few.seek_time
+
+
+def test_mean_media_rate_between_zones(model):
+    assert 35 * MiB < model.mean_media_rate < 60 * MiB
+
+
+def test_read_ahead_for_utilisation_matches_paper(model):
+    """~90% utilisation at 100 streams needs single-digit-MB read-ahead
+    — the paper's 8 MB finding."""
+    needed = model.read_ahead_for_utilisation(100, 0.85)
+    assert 2 * MiB <= needed <= 16 * MiB
+
+
+def test_validation(model):
+    with pytest.raises(ValueError):
+        model.interleaved_throughput(0, 64 * KiB)
+    with pytest.raises(ValueError):
+        model.interleaved_throughput(10, 0)
+    with pytest.raises(ValueError):
+        model.read_ahead_for_utilisation(10, 1.5)
+    with pytest.raises(ValueError):
+        model.stream_spacing_cylinders(0)
+
+
+# ---------------------------------------------------------------------------
+# Simulation vs analytic cross-checks
+# ---------------------------------------------------------------------------
+
+def _simulated_server_throughput(num_streams, read_ahead):
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    server = StreamServer(sim, node, ServerParams(
+        read_ahead=read_ahead, dispatch_width=num_streams,
+        requests_per_residency=1,
+        memory_budget=num_streams * read_ahead))
+    specs = uniform_streams(num_streams, node.disk_ids,
+                            node.capacity_bytes, request_size=64 * KiB)
+    report = ClientFleet(sim, server, specs).run(
+        duration=6.0, warmup=1.0, settle_requests=5)
+    return report.throughput
+
+
+@pytest.mark.parametrize("num_streams,read_ahead", [
+    (30, 1 * MiB),
+    (30, 8 * MiB),
+    (100, 2 * MiB),
+])
+def test_simulation_matches_analytic_band(model, num_streams, read_ahead):
+    """The full stack lands within ±40% of the closed form.
+
+    The analytic model ignores command/bus overheads, drive idle
+    prefetch, LOOK reordering, and host costs, so a generous band is
+    correct; a regression that doubles or halves throughput still trips
+    it.
+    """
+    predicted = model.interleaved_throughput(num_streams,
+                                             read_ahead).throughput
+    simulated = _simulated_server_throughput(num_streams, read_ahead)
+    assert 0.6 * predicted < simulated < 1.4 * predicted

@@ -1,0 +1,127 @@
+"""Tests for the buffer cache's buffered-write / writeback path."""
+
+import pytest
+
+from repro.disk import DISKSIM_GENERIC, DiskDrive, DriveConfig
+from repro.disk.mechanics import RotationMode
+from repro.host import BlockLayer, BufferCache, ReadaheadParams, \
+    make_scheduler
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+
+def make_stack(sim, capacity=16 * MiB, readahead=None):
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      config=DriveConfig(rotation_mode=RotationMode.EXPECTED))
+    layer = BlockLayer(sim, drive, make_scheduler("noop"))
+    cache = BufferCache(sim, layer, capacity_bytes=capacity,
+                        readahead=readahead)
+    return cache, layer, drive
+
+
+def test_buffered_write_completes_without_disk():
+    sim = Simulator()
+    cache, layer, _drive = make_stack(sim)
+    event = cache.write(1, 0, 0, 16 * KiB)
+    sim.run(until=0.0001)
+    assert event.processed
+    assert cache.dirty_pages == 4
+    assert layer.stats.counter("dispatched").count == 0  # not yet
+
+
+def test_background_flusher_writes_back():
+    sim = Simulator()
+    params = ReadaheadParams(writeback_period=0.2)
+    cache, layer, drive = make_stack(sim, readahead=params)
+    sim.run_until_event(cache.write(1, 0, 0, 64 * KiB), limit=1.0)
+    sim.run()  # flusher drains
+    assert cache.dirty_pages == 0
+    assert drive.stats.counter("media_write").total_bytes == 64 * KiB
+    # Contiguous dirty pages went as one coalesced write.
+    assert cache.stats.counter("writeback_io").count == 1
+
+
+def test_write_after_write_coalesces_runs():
+    sim = Simulator()
+    cache, _layer, _drive = make_stack(sim)
+    for index in range(8):
+        sim.run_until_event(cache.write(1, 0, index * 4 * KiB, 4 * KiB),
+                            limit=1.0)
+    assert cache.dirty_pages == 8
+    barrier = cache.sync()
+    sim.run_until_event(barrier, limit=10.0)
+    assert cache.dirty_pages == 0
+    assert cache.stats.counter("writeback_io").count == 1  # one 32K run
+
+
+def test_dirty_throttling_blocks_writer():
+    sim = Simulator()
+    params = ReadaheadParams(dirty_ratio=0.1, writeback_period=10.0)
+    cache, _layer, drive = make_stack(sim, capacity=1 * MiB,
+                                      readahead=params)
+    # Limit = 25 pages; write far more: the writer must stall on
+    # synchronous writeback.
+    event = cache.write(1, 0, 0, 512 * KiB)  # 128 pages
+    sim.run_until_event(event, limit=30.0)
+    assert event.value is None
+    assert cache.dirty_pages <= int(cache.capacity_pages * 0.1)
+    assert drive.stats.counter("media_write").total_bytes > 0
+
+
+def test_sync_barrier_on_clean_cache():
+    sim = Simulator()
+    cache, _layer, _drive = make_stack(sim)
+    barrier = cache.sync()
+    sim.run(until=0.001)
+    assert barrier.processed
+
+
+def test_read_after_buffered_write_hits():
+    sim = Simulator()
+    cache, layer, _drive = make_stack(sim)
+    sim.run_until_event(cache.write(1, 0, 0, 16 * KiB), limit=1.0)
+    before = layer.stats.counter("dispatched").count
+    sim.run_until_event(cache.read(1, 0, 0, 16 * KiB), limit=1.0)
+    assert layer.stats.counter("dispatched").count == before  # cache hit
+    assert cache.stats.counter("hits").total_bytes == 16 * KiB
+
+
+def test_dirty_pages_survive_read_pressure():
+    """Reads that churn the cache never evict dirty pages silently."""
+    sim = Simulator()
+    params = ReadaheadParams(dirty_ratio=0.5, writeback_period=30.0)
+    cache, _layer, drive = make_stack(sim, capacity=256 * KiB,
+                                      readahead=params)
+    sim.run_until_event(cache.write(1, 0, 0, 64 * KiB), limit=1.0)
+    dirty_before = cache.dirty_pages
+
+    def churner(sim):
+        offset = 10 * 10**9 - 10 * 10**9 % (4 * KiB)
+        for _ in range(200):
+            yield cache.read(2, 0, offset, 4 * KiB)
+            offset += 4 * KiB
+
+    process = sim.process(churner(sim))
+    sim.run_until_event(process, limit=60.0)
+    # Dirty pages still tracked (or already written back) — never lost.
+    written = drive.stats.counter("media_write").total_bytes
+    assert cache.dirty_pages * 4 * KiB + written >= dirty_before * 4 * KiB
+    assert cache.stats.counter("dirty_evictions").count == 0
+    sim.run()
+    assert drive.stats.counter("media_write").total_bytes == 64 * KiB
+
+
+def test_write_validation():
+    sim = Simulator()
+    cache, _layer, _drive = make_stack(sim)
+    with pytest.raises(ValueError):
+        cache.write(1, 0, 0, 0)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        ReadaheadParams(dirty_ratio=0.0)
+    with pytest.raises(ValueError):
+        ReadaheadParams(dirty_ratio=1.0)
+    with pytest.raises(ValueError):
+        ReadaheadParams(writeback_period=0)

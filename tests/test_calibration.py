@@ -1,0 +1,125 @@
+"""Calibration anchors: the numbers the whole reproduction hangs on.
+
+Each test pins one physical quantity of the modelled hardware to its
+datasheet/paper value. If any of these drift, every figure's absolute
+level moves — catch it here, with a named anchor, rather than in a
+mysterious bench failure.
+"""
+
+import pytest
+
+from repro.analysis.analytic import AnalyticDiskModel
+from repro.controller import ControllerSpec
+from repro.disk import DISKSIM_GENERIC, WD800JD, DiskDrive, DriveConfig
+from repro.disk.mechanics import RotationMode
+from repro.io import IOKind, IORequest
+from repro.node import build_node, medium_topology
+from repro.sim import Simulator
+from repro.units import KiB, MS, MiB
+from repro.workload import ClientFleet, uniform_streams
+
+
+def test_anchor_wd800jd_capacity():
+    sim = Simulator()
+    drive = DiskDrive(sim, WD800JD)
+    assert abs(drive.capacity_bytes - 80e9) / 80e9 < 0.01
+
+
+def test_anchor_rotation_7200rpm():
+    assert WD800JD.rotation_time_s == pytest.approx(60.0 / 7200.0)
+
+
+def test_anchor_average_seek_8_9ms():
+    """Random seeks average ~8.9 ms through the calibrated curve."""
+    model = AnalyticDiskModel(WD800JD)
+    import numpy as np
+    rng = np.random.default_rng(0)
+    cylinders = model.geometry.cylinders
+    samples = rng.integers(0, cylinders, size=(4000, 2))
+    times = [model.seek_model.seek_time(abs(int(a) - int(b)))
+             for a, b in samples if a != b]
+    assert sum(times) / len(times) == pytest.approx(8.9 * MS, rel=0.05)
+
+
+def test_anchor_full_stroke_realistic():
+    model = AnalyticDiskModel(WD800JD)
+    assert 12 * MS < model.seek_model.full_stroke_time < 25 * MS
+
+
+def test_anchor_single_stream_55_60_mb():
+    """The paper measures 55-60 MB/s application-level maximum."""
+    sim = Simulator()
+    drive = DiskDrive(sim, WD800JD, config=DriveConfig(
+        rotation_mode=RotationMode.EXPECTED))
+    done = {}
+
+    def client(sim):
+        offset = 0
+        while offset < 64 * MiB:
+            yield drive.submit(IORequest(kind=IOKind.READ, disk_id=0,
+                                         offset=offset, size=64 * KiB))
+            offset += 64 * KiB
+        done["t"] = sim.now
+
+    sim.process(client(sim))
+    sim.run()
+    rate = 64 * MiB / done["t"] / MiB
+    assert 50 < rate <= 62
+
+
+def test_anchor_cache_8mb():
+    sim = Simulator()
+    drive = DiskDrive(sim, WD800JD)
+    assert drive.cache.capacity_sectors * 512 == pytest.approx(
+        8 * MiB, rel=0.01)
+
+
+def test_anchor_sata_interface_150():
+    assert WD800JD.interface_rate == 150 * MiB
+
+
+def test_anchor_controller_ceiling_450():
+    assert ControllerSpec().aggregate_bandwidth == 450 * MiB
+
+
+def test_anchor_8_disk_node_aggregate():
+    """Eight streaming disks approach (but cannot exceed) 2x450 MB/s;
+    with one stream per disk they stream near 8 x 55."""
+    sim = Simulator()
+    node = build_node(sim, medium_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    specs = uniform_streams(1, node.disk_ids, node.capacity_bytes,
+                            request_size=256 * KiB)
+    report = ClientFleet(sim, node, specs).run(duration=4.0, warmup=1.0)
+    assert 350 < report.throughput_mb < 520
+
+
+def test_anchor_collapse_factor_paper_band():
+    """Raw 100-stream collapse lands in the single-digit MB/s band the
+    paper's baseline exhibits."""
+    sim = Simulator()
+    drive = DiskDrive(sim, WD800JD, config=DriveConfig(
+        rotation_mode=RotationMode.EXPECTED))
+    spacing = drive.capacity_bytes // 100
+    spacing -= spacing % (64 * KiB)
+    progress = [0]
+
+    def client(sim, base):
+        offset = base
+        while True:
+            yield drive.submit(IORequest(kind=IOKind.READ, disk_id=0,
+                                         offset=offset, size=64 * KiB))
+            progress[0] += 64 * KiB
+            offset += 64 * KiB
+
+    for stream in range(100):
+        sim.process(client(sim, stream * spacing))
+    sim.run(until=4.0)
+    rate = progress[0] / 4.0 / MiB
+    assert 2 < rate < 12
+
+
+def test_anchor_generic_spec_segments():
+    assert DISKSIM_GENERIC.cache_segments == 32
+    assert DISKSIM_GENERIC.segment_bytes == 256 * KiB
+    assert WD800JD.cache_segments == 16

@@ -1,0 +1,99 @@
+"""Tests for ASCII charts and the server diagnostic report."""
+
+import pytest
+
+from repro.analysis import ExperimentResult
+from repro.analysis.charts import bar_chart, result_chart
+from repro.core import ServerParams, StreamServer
+from repro.core.server import ServerReport
+from repro.disk import WD800JD
+from repro.disk.mechanics import RotationMode
+from repro.io import IOKind, IORequest
+from repro.node import base_topology, build_node
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+
+def make_result():
+    result = ExperimentResult(experiment_id="figX", title="Demo",
+                              x_label="streams", y_label="MB/s")
+    series = result.new_series("fast")
+    series.add(1, 50.0)
+    series.add(10, 25.0)
+    series.add(100, 0.0)
+    return result
+
+
+def test_bar_chart_scales_to_max():
+    chart = bar_chart(make_result().series[0], width=10)
+    lines = chart.splitlines()
+    assert lines[0] == "fast"
+    assert "50.0" in lines[1]
+    # Full-scale bar for the max, ~half for 25, empty for 0.
+    assert lines[1].count("█") == 10
+    assert 4 <= lines[2].count("█") <= 6
+    assert "█" not in lines[3]
+
+
+def test_bar_chart_empty_series():
+    from repro.analysis.metrics import Series
+    assert "(no data)" in bar_chart(Series("empty"))
+
+
+def test_result_chart_includes_all_series():
+    result = make_result()
+    other = result.new_series("slow")
+    other.add(1, 10.0)
+    chart = result_chart(result)
+    assert "fast" in chart and "slow" in chart
+    assert chart.splitlines()[0].startswith("figX")
+
+
+def test_bar_chart_unit_suffix():
+    chart = bar_chart(make_result().series[0], unit=" MB/s")
+    assert "50.0 MB/s" in chart
+
+
+# ---------------------------------------------------------------------------
+# ServerReport
+# ---------------------------------------------------------------------------
+
+def test_server_report_snapshot():
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    server = StreamServer(sim, node, ServerParams(
+        read_ahead=1 * MiB, memory_budget=32 * MiB))
+
+    def client(sim):
+        offset = 0
+        for _ in range(32):
+            yield server.submit(IORequest(
+                kind=IOKind.READ, disk_id=0, offset=offset,
+                size=64 * KiB, stream_id=1))
+            offset += 64 * KiB
+
+    process = sim.process(client(sim))
+    sim.run_until_event(process, limit=30.0)
+    report = server.report()
+    assert isinstance(report, ServerReport)
+    assert report.live_streams == 1
+    assert report.detected_streams == 1
+    assert report.completed_requests == 32
+    assert report.completed_bytes == 32 * 64 * KiB
+    assert report.staged_hit_fraction > 0.8
+    assert report.direct_fraction < 0.2
+    assert report.memory_peak >= 1 * MiB
+    text = str(report)
+    assert "streams: 1 live" in text
+    assert "staged" in text
+
+
+def test_server_report_empty_server():
+    sim = Simulator()
+    node = build_node(sim, base_topology())
+    server = StreamServer(sim, node)
+    report = server.report()
+    assert report.completed_requests == 0
+    assert report.staged_hit_fraction == 0.0
+    assert "0 reqs" in str(report)

@@ -1,0 +1,148 @@
+"""Unit and property tests for region bitmaps and the bitmap table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmap import BitmapTable, RegionBitmap
+
+
+# ---------------------------------------------------------------------------
+# RegionBitmap
+# ---------------------------------------------------------------------------
+
+def test_window_covers_anchor_region():
+    bitmap = RegionBitmap(anchor_block=100, window_blocks=32)
+    assert bitmap.start_block == 68
+    assert bitmap.end_block == 133
+    assert bitmap.covers(100)
+    assert bitmap.covers(68)
+    assert bitmap.covers(132)
+    assert not bitmap.covers(67)
+    assert not bitmap.covers(133)
+
+
+def test_window_clipped_at_disk_start():
+    bitmap = RegionBitmap(anchor_block=5, window_blocks=32)
+    assert bitmap.start_block == 0
+    assert bitmap.covers(0)
+
+
+def test_set_range_counts_bits():
+    bitmap = RegionBitmap(anchor_block=100, window_blocks=32, now=1.0)
+    assert bitmap.set_range(100, 1, now=2.0) == 1
+    assert bitmap.set_range(101, 2, now=3.0) == 3
+    assert bitmap.last_touch == 3.0
+
+
+def test_set_range_idempotent_per_block():
+    """Multiple requests to the same block set one bit (paper: ignored)."""
+    bitmap = RegionBitmap(anchor_block=100, window_blocks=32)
+    bitmap.set_range(100, 1, now=0.0)
+    bitmap.set_range(100, 1, now=0.0)
+    assert bitmap.popcount == 1
+
+
+def test_set_range_clips_to_window():
+    bitmap = RegionBitmap(anchor_block=100, window_blocks=4)
+    # Window covers [96, 105); setting [90, 110) only sets 9 bits.
+    assert bitmap.set_range(90, 20, now=0.0) == 9
+
+
+def test_set_range_outside_window_noop():
+    bitmap = RegionBitmap(anchor_block=100, window_blocks=4)
+    assert bitmap.set_range(500, 3, now=0.0) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RegionBitmap(anchor_block=0, window_blocks=0)
+    bitmap = RegionBitmap(anchor_block=10, window_blocks=4)
+    with pytest.raises(ValueError):
+        bitmap.set_range(10, 0, now=0.0)
+
+
+@given(anchor=st.integers(min_value=0, max_value=10_000),
+       window=st.integers(min_value=1, max_value=64),
+       sets=st.lists(st.tuples(st.integers(min_value=0, max_value=10_100),
+                               st.integers(min_value=1, max_value=16)),
+                     max_size=30))
+@settings(max_examples=60)
+def test_property_popcount_matches_reference(anchor, window, sets):
+    bitmap = RegionBitmap(anchor, window)
+    reference = set()
+    for first, count in sets:
+        bitmap.set_range(first, count, now=0.0)
+        for block in range(first, first + count):
+            if bitmap.covers(block):
+                reference.add(block)
+    assert bitmap.popcount == len(reference)
+
+
+# ---------------------------------------------------------------------------
+# BitmapTable
+# ---------------------------------------------------------------------------
+
+def test_table_find_after_allocate():
+    table = BitmapTable(window_blocks=32, interval=10.0)
+    bitmap = table.allocate(disk_id=0, anchor_block=100, now=0.0)
+    assert table.find(0, 100) is bitmap
+    assert table.find(0, 90) is bitmap
+    assert table.find(0, 500) is None
+    assert table.find(1, 100) is None  # other disk
+
+
+def test_table_newest_overlapping_wins():
+    table = BitmapTable(window_blocks=32, interval=10.0)
+    table.allocate(0, 100, now=0.0)
+    newer = table.allocate(0, 110, now=1.0)
+    assert table.find(0, 110) is newer
+
+
+def test_table_expiry():
+    table = BitmapTable(window_blocks=32, interval=5.0)
+    bitmap = table.allocate(0, 100, now=0.0)
+    assert table.expire(now=3.0) == 0
+    bitmap.set_range(100, 1, now=4.0)  # touch extends life
+    assert table.expire(now=8.0) == 0
+    assert table.expire(now=9.5) == 1
+    assert table.find(0, 100) is None
+    assert table.live_count == 0
+
+
+def test_table_remove():
+    table = BitmapTable(window_blocks=8, interval=10.0)
+    bitmap = table.allocate(0, 50, now=0.0)
+    table.remove(0, bitmap)
+    assert table.find(0, 50) is None
+    with pytest.raises(ValueError):
+        table.remove(0, bitmap)
+
+
+def test_table_memory_is_small():
+    """The paper's point: dynamic bitmaps stay tiny vs one per-disk bitmap."""
+    table = BitmapTable(window_blocks=32, interval=10.0)
+    for i in range(1000):  # a thousand active regions
+        table.allocate(0, i * 10_000, now=0.0)
+    # 65 bits ≈ 9 bytes per region → ~9 KB for 1000 regions.
+    assert table.memory_bytes() < 16 * 1024
+
+
+def test_table_validation():
+    with pytest.raises(ValueError):
+        BitmapTable(window_blocks=0, interval=1.0)
+    with pytest.raises(ValueError):
+        BitmapTable(window_blocks=8, interval=0.0)
+
+
+@given(blocks=st.lists(st.integers(min_value=0, max_value=100_000),
+                       min_size=1, max_size=50))
+@settings(max_examples=40)
+def test_property_find_returns_covering_bitmap(blocks):
+    table = BitmapTable(window_blocks=16, interval=100.0)
+    for block in blocks:
+        found = table.find(0, block)
+        if found is None:
+            found = table.allocate(0, block, now=0.0)
+        assert found.covers(block)
+        found.set_range(block, 1, now=0.0)

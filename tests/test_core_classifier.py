@@ -1,0 +1,163 @@
+"""Tests for sequential-stream classification and routing."""
+
+import pytest
+
+from repro.core import SequentialClassifier, ServerParams
+from repro.io import IOKind, IORequest
+from repro.units import KiB, MiB
+
+
+def params(**kwargs):
+    defaults = dict(classifier_block=64 * KiB, classifier_threshold=3,
+                    classifier_window_blocks=32)
+    defaults.update(kwargs)
+    return ServerParams(**defaults)
+
+
+def read(offset, size=64 * KiB, disk=0, stream=None):
+    return IORequest(kind=IOKind.READ, disk_id=disk, offset=offset,
+                     size=size, stream_id=stream)
+
+
+def write(offset, size=64 * KiB):
+    return IORequest(kind=IOKind.WRITE, disk_id=0, offset=offset, size=size)
+
+
+def sequential_run(classifier, start, count, size=64 * KiB, disk=0):
+    """Feed `count` back-to-back reads; return list of routed streams."""
+    results = []
+    offset = start
+    for i in range(count):
+        results.append(classifier.route(read(offset, size, disk=disk),
+                                        now=float(i)))
+        offset += size
+    return results
+
+
+def test_detection_after_threshold_distinct_blocks():
+    classifier = SequentialClassifier(params())
+    routed = sequential_run(classifier, 0, 5)
+    # First two: unknown (popcount 1, 2). Third: threshold hit → stream.
+    assert routed[0] is None
+    assert routed[1] is None
+    assert routed[2] is not None
+    # Subsequent requests route to the same stream.
+    assert routed[3] is routed[2]
+    assert routed[4] is routed[2]
+    assert classifier.detected == 1
+
+
+def test_detected_stream_starts_at_request_end():
+    classifier = SequentialClassifier(params())
+    routed = sequential_run(classifier, 0, 3)
+    stream = routed[2]
+    assert stream.client_next == 3 * 64 * KiB
+    assert stream.fetch_next == 3 * 64 * KiB
+
+
+def test_repeated_same_block_never_detects():
+    """Paper: multiple requests to the same block are ignored."""
+    classifier = SequentialClassifier(params())
+    for i in range(10):
+        assert classifier.route(read(0), now=float(i)) is None
+    assert classifier.detected == 0
+
+
+def test_out_of_order_requests_go_direct():
+    classifier = SequentialClassifier(params())
+    sequential_run(classifier, 0, 3)  # stream detected at 192K
+    # A backwards request does not match the stream.
+    assert classifier.route(read(64 * KiB), now=10.0) is None
+
+
+def test_writes_always_direct():
+    classifier = SequentialClassifier(params())
+    for i in range(5):
+        assert classifier.route(write(i * 64 * KiB), now=float(i)) is None
+    assert classifier.detected == 0
+
+
+def test_streams_on_different_disks_independent():
+    classifier = SequentialClassifier(params())
+    a = sequential_run(classifier, 0, 4, disk=0)[-1]
+    b = sequential_run(classifier, 0, 4, disk=1)[-1]
+    assert a is not None and b is not None
+    assert a is not b
+    assert a.disk_id == 0 and b.disk_id == 1
+
+
+def test_far_apart_streams_on_same_disk_independent():
+    classifier = SequentialClassifier(params())
+    a = sequential_run(classifier, 0, 4)[-1]
+    b = sequential_run(classifier, 10_000 * MiB, 4)[-1]
+    assert a is not None and b is not None and a is not b
+
+
+def test_random_workload_never_detected():
+    from repro.workload import random_requests
+    classifier = SequentialClassifier(params())
+    for i, request in enumerate(random_requests(
+            300, [0], capacity=80 * 10**9, request_size=64 * KiB, seed=5)):
+        classifier.route(request, now=float(i))
+    assert classifier.detected == 0
+
+
+def test_small_requests_need_more_to_detect():
+    """4K requests set one 64K-block bit each 16 requests."""
+    classifier = SequentialClassifier(params())
+    offset = 0
+    detected_at = None
+    for i in range(64):
+        if classifier.route(read(offset, 4 * KiB), now=float(i)):
+            detected_at = i
+            break
+        offset += 4 * KiB
+    # Needs 3 distinct 64K blocks → detection in the 33rd request region.
+    assert detected_at is not None
+    assert detected_at >= 32
+
+
+def test_gap_tolerance_matches_near_sequential():
+    classifier = SequentialClassifier(params(gap_tolerance=128 * KiB))
+    stream = sequential_run(classifier, 0, 3)[-1]
+    # Skip 64K ahead of expected: still matches with tolerance.
+    skipped = read(stream.client_next + 64 * KiB)
+    assert classifier.route(skipped, now=5.0) is stream
+
+
+def test_no_gap_tolerance_rejects_skips():
+    classifier = SequentialClassifier(params(gap_tolerance=0))
+    stream = sequential_run(classifier, 0, 3)[-1]
+    skipped = read(stream.client_next + 64 * KiB)
+    assert classifier.route(skipped, now=5.0) is not stream
+
+
+def test_drop_stream_unroutes():
+    classifier = SequentialClassifier(params())
+    stream = sequential_run(classifier, 0, 3)[-1]
+    classifier.drop_stream(stream)
+    assert classifier.live_streams == 0
+    follow_on = read(stream.client_next)
+    assert classifier.route(follow_on, now=5.0) is None
+
+
+def test_bitmap_removed_after_detection():
+    classifier = SequentialClassifier(params())
+    sequential_run(classifier, 0, 3)
+    assert classifier.bitmaps.live_count == 0
+
+
+def test_spanning_request_sets_multiple_bits():
+    """One 192K request spans 3 blocks and detects immediately."""
+    classifier = SequentialClassifier(params())
+    stream = classifier.route(read(0, 192 * KiB), now=0.0)
+    assert stream is not None
+
+
+def test_interval_expiry_resets_detection():
+    classifier = SequentialClassifier(params(classifier_interval=1.0))
+    classifier.route(read(0), now=0.0)
+    classifier.route(read(64 * KiB), now=0.1)
+    classifier.expire_bitmaps(now=5.0)  # bits aged out
+    # The third request alone is not enough any more.
+    assert classifier.route(read(128 * KiB), now=5.0) is None

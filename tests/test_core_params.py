@@ -1,0 +1,107 @@
+"""Tests for ServerParams: invariants, derivation, autotuning."""
+
+import pytest
+
+from repro.core import ServerParams
+from repro.units import GiB, KiB, MiB
+
+
+def test_defaults_valid():
+    params = ServerParams()
+    assert params.effective_dispatch_width >= 1
+    assert params.dispatch_memory <= params.memory_budget
+
+
+def test_derived_dispatch_width():
+    params = ServerParams(read_ahead=1 * MiB, requests_per_residency=1,
+                          memory_budget=16 * MiB)
+    assert params.effective_dispatch_width == 16
+
+
+def test_explicit_dispatch_width_kept():
+    params = ServerParams(read_ahead=1 * MiB, dispatch_width=4,
+                          memory_budget=16 * MiB)
+    assert params.effective_dispatch_width == 4
+
+
+def test_residency_bytes():
+    params = ServerParams(read_ahead=512 * KiB, requests_per_residency=128,
+                          memory_budget=512 * MiB)
+    assert params.residency_bytes == 64 * MiB
+
+
+def test_memory_invariant_enforced():
+    # M < R*N is unsatisfiable (no D >= 1 fits).
+    with pytest.raises(ValueError):
+        ServerParams(read_ahead=8 * MiB, requests_per_residency=2,
+                     memory_budget=8 * MiB)
+
+
+def test_zero_read_ahead_is_passthrough_config():
+    params = ServerParams(read_ahead=0)
+    assert params.effective_dispatch_width == 1
+
+
+def test_validated_against_host_memory():
+    params = ServerParams(read_ahead=1 * MiB, memory_budget=64 * MiB)
+    assert params.validated_against(1 * GiB) is params
+    with pytest.raises(ValueError):
+        params.validated_against(32 * MiB)
+
+
+def test_validated_against_checks_drn():
+    params = ServerParams(read_ahead=1 * MiB, dispatch_width=256,
+                          requests_per_residency=1,
+                          memory_budget=64 * MiB)
+    with pytest.raises(ValueError):
+        params.validated_against(1 * GiB)  # D*R*N = 256M > M = 64M
+
+
+def test_field_validation():
+    with pytest.raises(ValueError):
+        ServerParams(read_ahead=-1)
+    with pytest.raises(ValueError):
+        ServerParams(read_ahead=1000)  # unaligned
+    with pytest.raises(ValueError):
+        ServerParams(requests_per_residency=0)
+    with pytest.raises(ValueError):
+        ServerParams(memory_budget=-1)
+    with pytest.raises(ValueError):
+        ServerParams(classifier_block=100)
+    with pytest.raises(ValueError):
+        ServerParams(classifier_window_blocks=0)
+    with pytest.raises(ValueError):
+        ServerParams(classifier_threshold=0)
+    with pytest.raises(ValueError):
+        ServerParams(gap_tolerance=-1)
+    with pytest.raises(ValueError):
+        ServerParams(gc_period=0)
+    with pytest.raises(ValueError):
+        ServerParams(dispatch_width=0)
+
+
+def test_autotune_one_stream_per_disk():
+    params = ServerParams.autotune(num_disks=8, memory_bytes=1 * GiB)
+    assert params.dispatch_width == 8
+    assert params.dispatch_memory <= params.memory_budget
+    assert params.memory_budget <= 1 * GiB
+
+
+def test_autotune_shrinks_residency_under_memory_pressure():
+    params = ServerParams.autotune(num_disks=8, memory_bytes=64 * MiB)
+    assert params.dispatch_memory <= params.memory_budget
+    assert params.requests_per_residency < 128
+
+
+def test_autotune_validation():
+    with pytest.raises(ValueError):
+        ServerParams.autotune(num_disks=0, memory_bytes=1 * GiB)
+    with pytest.raises(ValueError):
+        ServerParams.autotune(num_disks=1, memory_bytes=0)
+
+
+def test_replace():
+    params = ServerParams(read_ahead=1 * MiB)
+    bigger = params.replace(read_ahead=8 * MiB, memory_budget=512 * MiB)
+    assert bigger.read_ahead == 8 * MiB
+    assert params.read_ahead == 1 * MiB  # original untouched

@@ -1,0 +1,251 @@
+"""Integration tests for the StreamServer over a simulated storage node."""
+
+import pytest
+
+from repro.core import ServerParams, StreamServer
+from repro.core.policies import OffsetAwarePolicy
+from repro.disk import WD800JD
+from repro.disk.mechanics import RotationMode
+from repro.io import IOKind, IORequest
+from repro.node import base_topology, build_node, medium_topology
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+from repro.workload import ClientFleet, uniform_streams
+
+
+def make_server(sim, num_disks=1, **param_kwargs):
+    topo = base_topology if num_disks == 1 else medium_topology
+    node = build_node(sim, topo(disk_spec=WD800JD,
+                                rotation_mode=RotationMode.EXPECTED))
+    defaults = dict(read_ahead=1 * MiB, memory_budget=64 * MiB,
+                    requests_per_residency=1)
+    defaults.update(param_kwargs)
+    server = StreamServer(sim, node, ServerParams(**defaults))
+    return server, node
+
+
+def read(offset, size=64 * KiB, disk=0, stream=None):
+    return IORequest(kind=IOKind.READ, disk_id=disk, offset=offset,
+                     size=size, stream_id=stream)
+
+
+def run_stream(sim, server, total, request=64 * KiB, start=0, disk=0,
+               stream=1):
+    latencies = []
+
+    def client(sim):
+        offset = start
+        while offset < start + total:
+            event = server.submit(read(offset, request, disk, stream))
+            completed = yield event
+            latencies.append(completed.latency)
+            offset += request
+
+    process = sim.process(client(sim))
+    sim.run_until_event(process)
+    return latencies
+
+
+def test_single_stream_served_mostly_from_staging():
+    sim = Simulator()
+    server, node = make_server(sim)
+    run_stream(sim, server, total=8 * MiB)
+    stats = server.stats
+    assert stats.counter("staged_hits").count > 100
+    # Only the pre-detection requests went direct.
+    assert stats.counter("direct").count <= 4
+    assert stats.counter("completed").total_bytes == 8 * MiB
+
+
+def test_staged_hits_are_fast():
+    sim = Simulator()
+    server, _node = make_server(sim)
+    latencies = run_stream(sim, server, total=8 * MiB)
+    # Most completions come from memory at ~copy cost, far under disk time.
+    fast = sum(1 for lat in latencies if lat < 0.001)
+    assert fast > len(latencies) * 0.6
+
+
+def test_writes_pass_through():
+    sim = Simulator()
+    server, node = make_server(sim)
+    event = server.submit(IORequest(kind=IOKind.WRITE, disk_id=0,
+                                    offset=0, size=64 * KiB))
+    sim.run_until_event(event)
+    assert server.stats.counter("direct").count == 1
+
+
+def test_random_requests_pass_through():
+    sim = Simulator()
+    server, _node = make_server(sim)
+    from repro.workload import random_requests
+    events = [server.submit(r) for r in random_requests(
+        20, [0], server.capacity_bytes, request_size=64 * KiB, seed=3)]
+    for event in events:
+        sim.run_until_event(event)
+    assert server.stats.counter("direct").count == 20
+    assert server.classifier.detected == 0
+
+
+def test_zero_read_ahead_is_transparent():
+    sim = Simulator()
+    server, _node = make_server(sim, read_ahead=0, memory_budget=0)
+    run_stream(sim, server, total=2 * MiB)
+    assert server.stats.counter("direct").count == 32
+    assert server.classifier.detected == 0
+
+
+def test_memory_budget_respected_under_load():
+    sim = Simulator()
+    server, _node = make_server(sim, read_ahead=1 * MiB,
+                                memory_budget=4 * MiB, dispatch_width=4)
+    specs = uniform_streams(16, [0], server.capacity_bytes,
+                            request_size=64 * KiB, total_bytes=2 * MiB)
+    fleet = ClientFleet(sim, server, specs)
+    fleet.run()
+    assert server.buffered.peak_in_use <= 4 * MiB
+
+
+def test_dispatch_width_bounds_concurrent_fetches():
+    sim = Simulator()
+    server, node = make_server(sim, read_ahead=1 * MiB,
+                               dispatch_width=2, memory_budget=64 * MiB)
+    specs = uniform_streams(8, [0], server.capacity_bytes,
+                            request_size=64 * KiB, total_bytes=1 * MiB)
+    max_members = 0
+
+    def watcher(sim):
+        nonlocal max_members
+        for _ in range(500):
+            max_members = max(max_members,
+                              len(server.dispatch.members))
+            yield sim.timeout(0.002)
+
+    sim.process(watcher(sim))
+    ClientFleet(sim, server, specs).run()
+    assert max_members <= 2
+
+
+def test_improves_throughput_vs_direct_at_many_streams():
+    """The headline: server >> raw node at 100 streams."""
+    def aggregate(server_on):
+        sim = Simulator()
+        server, node = make_server(sim, read_ahead=2 * MiB,
+                                   dispatch_width=100,
+                                   memory_budget=256 * MiB)
+        device = server if server_on else node
+        specs = uniform_streams(100, [0], node.capacity_bytes,
+                                request_size=64 * KiB, total_bytes=None)
+        report = ClientFleet(sim, device, specs).run(duration=10.0,
+                                                     warmup=2.0)
+        return report.throughput_mb
+
+    assert aggregate(True) > 3 * aggregate(False)
+
+
+def test_insensitivity_to_stream_count():
+    """R=8M keeps throughput within a tight band from 10 to 100 streams."""
+    def aggregate(num_streams):
+        sim = Simulator()
+        server, node = make_server(sim, read_ahead=8 * MiB,
+                                   dispatch_width=num_streams,
+                                   memory_budget=1024 * MiB)
+        specs = uniform_streams(num_streams, [0], node.capacity_bytes,
+                                request_size=64 * KiB, total_bytes=None)
+        report = ClientFleet(sim, server, specs).run(
+            duration=10.0, warmup=2.0, settle_requests=5)
+        return report.throughput_mb
+
+    few, many = aggregate(10), aggregate(100)
+    assert many > 0.8 * few
+
+
+def test_gc_reclaims_abandoned_stream():
+    sim = Simulator()
+    server, _node = make_server(sim, gc_period=0.5, buffer_timeout=1.0,
+                                stream_timeout=2.0)
+    run_stream(sim, server, total=1 * MiB)  # stream then goes silent
+    assert server.classifier.live_streams == 1
+    sim.run()  # GC countdowns fire
+    assert server.classifier.live_streams == 0
+    assert server.buffered.in_use == 0
+    assert not server.gc.running
+
+
+def test_gc_does_not_drop_active_stream():
+    sim = Simulator()
+    server, _node = make_server(sim, gc_period=0.2, stream_timeout=1.0)
+
+    def slow_client(sim):
+        offset = 0
+        for _ in range(40):
+            yield server.submit(read(offset, stream=1))
+            offset += 64 * KiB
+            yield sim.timeout(0.3)  # slower than GC period, under timeout
+
+    process = sim.process(slow_client(sim))
+    sim.run_until_event(process)
+    assert server.stats.counter("completed").count == 40
+
+
+def test_reclaimed_data_falls_back_to_direct():
+    sim = Simulator()
+    server, _node = make_server(sim, gc_period=0.2, buffer_timeout=0.5,
+                                stream_timeout=60.0)
+
+    def stop_and_go(sim):
+        offset = 0
+        for _ in range(8):  # get detected, pull some staged data
+            yield server.submit(read(offset, stream=1))
+            offset += 64 * KiB
+        yield sim.timeout(3.0)  # buffers idle out and get collected
+        yield server.submit(read(offset, stream=1))
+
+    process = sim.process(stop_and_go(sim))
+    sim.run_until_event(process)
+    assert server.stats.counter("reclaimed_misses").count >= 1
+
+
+def test_multi_disk_streams_dispatch_per_disk():
+    sim = Simulator()
+    server, node = make_server(sim, num_disks=8, read_ahead=1 * MiB,
+                               dispatch_width=8, memory_budget=64 * MiB)
+    specs = uniform_streams(2, node.disk_ids, node.capacity_bytes,
+                            request_size=64 * KiB, total_bytes=2 * MiB)
+    report = ClientFleet(sim, server, specs).run()
+    assert report.total_bytes == 16 * 2 * MiB
+    # Every disk saw read-ahead traffic.
+    for disk_id in node.disk_ids:
+        assert node.drive(disk_id).stats.counter("completed").count > 0
+
+
+def test_offset_aware_policy_runs():
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    server = StreamServer(
+        sim, node,
+        ServerParams(read_ahead=1 * MiB, dispatch_width=2,
+                     memory_budget=32 * MiB),
+        policy=OffsetAwarePolicy())
+    specs = uniform_streams(6, [0], node.capacity_bytes,
+                            request_size=64 * KiB, total_bytes=1 * MiB)
+    report = ClientFleet(sim, server, specs).run()
+    assert report.total_bytes == 6 * MiB
+
+
+def test_buffers_registered_with_host_model():
+    sim = Simulator()
+    server, node = make_server(sim)
+    seen = []
+
+    def watcher(sim):
+        for _ in range(200):
+            seen.append(node.live_buffers)
+            yield sim.timeout(0.001)
+
+    sim.process(watcher(sim))
+    run_stream(sim, server, total=4 * MiB)
+    assert max(seen) >= 1  # staged buffers visible to the cost model
+    sim.run()
+    assert node.live_buffers == 0  # all unregistered after reclamation

@@ -1,0 +1,143 @@
+"""Tests for the static coarse-bitmap classifier ablation."""
+
+import pytest
+
+from repro.core import CoarseBitmapClassifier, SequentialClassifier, \
+    ServerParams
+from repro.io import IOKind, IORequest
+from repro.units import GiB, KiB, MiB
+
+
+CAPACITY = 80 * 10**9
+
+
+def params(**kwargs):
+    defaults = dict(classifier_block=64 * KiB, classifier_threshold=3)
+    defaults.update(kwargs)
+    return ServerParams(**defaults)
+
+
+def read(offset, size=64 * KiB, disk=0):
+    return IORequest(kind=IOKind.READ, disk_id=disk, offset=offset,
+                     size=size)
+
+
+def feed_sequential(classifier, start, total, size=64 * KiB, disk=0):
+    """Feed sequential reads; returns (requests_until_detect, stream)."""
+    offset = start
+    count = 0
+    while offset + size <= start + total:
+        count += 1
+        stream = classifier.route(read(offset, size, disk=disk),
+                                  now=float(count))
+        if stream is not None:
+            return count, stream
+        offset += size
+    return count, None
+
+
+def test_detects_with_fine_granularity_like_dynamic():
+    coarse = CoarseBitmapClassifier(params(), CAPACITY,
+                                    granularity=64 * KiB)
+    needed, stream = feed_sequential(coarse, 1 * GiB, 16 * MiB)
+    assert stream is not None
+    assert needed <= 4
+
+
+def test_coarse_granularity_detects_later():
+    fine = CoarseBitmapClassifier(params(), CAPACITY,
+                                  granularity=64 * KiB)
+    coarse = CoarseBitmapClassifier(params(), CAPACITY,
+                                    granularity=4 * MiB)
+    fine_needed, _ = feed_sequential(fine, 1 * GiB, 64 * MiB)
+    coarse_needed, coarse_stream = feed_sequential(coarse, 1 * GiB,
+                                                   64 * MiB)
+    assert coarse_stream is not None
+    # 3 consecutive 4 MiB granules need ~8 MiB+ of reads vs ~192 KiB.
+    assert coarse_needed > 10 * fine_needed
+
+
+def test_memory_scales_inversely_with_granularity():
+    fine = CoarseBitmapClassifier(params(), CAPACITY,
+                                  granularity=64 * KiB)
+    coarse = CoarseBitmapClassifier(params(), CAPACITY,
+                                    granularity=16 * MiB)
+    feed_sequential(fine, 0, 1 * MiB)
+    feed_sequential(coarse, 0, 1 * MiB)
+    assert fine.memory_bytes() > 100 * coarse.memory_bytes()
+
+
+def test_dynamic_design_uses_far_less_memory_than_fine_static():
+    """The paper's argument for dynamic region bitmaps, quantified."""
+    dynamic = SequentialClassifier(params())
+    static = CoarseBitmapClassifier(params(), CAPACITY,
+                                    granularity=64 * KiB)
+    for start in range(0, 20):
+        feed_sequential(dynamic, start * GiB, 256 * KiB)
+        feed_sequential(static, start * GiB, 256 * KiB)
+    assert dynamic.bitmaps.memory_bytes() * 100 < static.memory_bytes()
+
+
+def test_routing_identical_once_detected():
+    coarse = CoarseBitmapClassifier(params(), CAPACITY,
+                                    granularity=64 * KiB)
+    _needed, stream = feed_sequential(coarse, 0, 16 * MiB)
+    follow = read(stream.client_next)
+    assert coarse.route(follow, now=100.0) is stream
+
+
+def test_run_cleared_after_detection():
+    """A second stream in the same area must re-establish evidence."""
+    coarse = CoarseBitmapClassifier(params(), CAPACITY,
+                                    granularity=64 * KiB)
+    _needed, first = feed_sequential(coarse, 0, 16 * MiB)
+    coarse.drop_stream(first)
+    # Restarting in the same place is not instantly re-detected.
+    restart = read(0)
+    assert coarse.route(restart, now=200.0) is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CoarseBitmapClassifier(params(), CAPACITY, granularity=4 * KiB)
+    with pytest.raises(ValueError):
+        CoarseBitmapClassifier(params(), 512 * KiB, granularity=1 * MiB)
+
+
+def test_expire_is_noop():
+    coarse = CoarseBitmapClassifier(params(), CAPACITY,
+                                    granularity=1 * MiB)
+    feed_sequential(coarse, 0, 1 * MiB)
+    assert coarse.expire_bitmaps(now=1e9) == 0
+
+
+def test_works_inside_the_server():
+    from repro.core import StreamServer
+    from repro.disk import WD800JD
+    from repro.disk.mechanics import RotationMode
+    from repro.node import base_topology, build_node
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    server_params = ServerParams(read_ahead=1 * MiB,
+                                 memory_budget=32 * MiB)
+    server = StreamServer(
+        sim, node, server_params,
+        classifier=CoarseBitmapClassifier(server_params,
+                                          node.capacity_bytes,
+                                          granularity=64 * KiB))
+    done = []
+
+    def client(sim):
+        offset = 0
+        for _ in range(64):
+            yield server.submit(read(offset))
+            offset += 64 * KiB
+        done.append(True)
+
+    process = sim.process(client(sim))
+    sim.run_until_event(process, limit=60.0)
+    assert done == [True]
+    assert server.stats.counter("staged_hits").count > 30

@@ -1,0 +1,230 @@
+"""Unit and property tests for the segmented disk cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.cache import SegmentedCache
+
+
+def make_cache(segments=4, sectors=100):
+    return SegmentedCache(num_segments=segments, segment_sectors=sectors)
+
+
+def test_empty_cache_misses():
+    cache = make_cache()
+    assert cache.lookup(0, 10) == 0
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_ratio == 0.0
+
+
+def test_insert_then_full_hit():
+    cache = make_cache()
+    segment = cache.allocate(100)
+    cache.fill(segment, 50)
+    assert cache.lookup(100, 50) == 50
+    assert cache.stats.full_hits == 1
+    assert cache.stats.hit_sectors == 50
+
+
+def test_partial_hit_prefix_only():
+    cache = make_cache()
+    segment = cache.allocate(100)
+    cache.fill(segment, 50)
+    # Request extends past cached range: prefix covered.
+    assert cache.lookup(120, 50) == 30
+    assert cache.stats.partial_hits == 1
+
+
+def test_lookup_not_at_segment_start():
+    cache = make_cache()
+    segment = cache.allocate(100)
+    cache.fill(segment, 100)
+    assert cache.lookup(150, 25) == 25
+
+
+def test_lookup_before_segment_misses():
+    cache = make_cache()
+    segment = cache.allocate(100)
+    cache.fill(segment, 50)
+    assert cache.lookup(90, 20) == 0  # starts before cached data
+    assert cache.stats.misses == 1
+
+
+def test_coverage_chains_contiguous_segments():
+    cache = make_cache(segments=2, sectors=100)
+    first = cache.allocate(0)
+    cache.fill(first, 100)
+    second = cache.allocate(100)
+    cache.fill(second, 100)
+    assert cache.lookup(50, 120) == 120
+
+
+def test_lru_eviction_order():
+    cache = make_cache(segments=2, sectors=10)
+    a = cache.allocate(0)
+    cache.fill(a, 10)
+    b = cache.allocate(100)
+    cache.fill(b, 10)
+    cache.lookup(0, 10)        # touch A so B is LRU
+    cache.allocate(200)        # evicts B
+    assert cache.lookup(0, 10) == 10     # A still cached
+    assert cache.lookup(100, 10) == 0    # B gone
+    assert cache.stats.evictions == 1
+
+
+def test_eviction_counts_wasted_prefetch():
+    cache = make_cache(segments=1, sectors=100)
+    segment = cache.allocate(0)
+    cache.fill(segment, 20)                  # demand
+    cache.fill(segment, 80, prefetch=True)   # read-ahead
+    cache.lookup(0, 30)                      # uses 10 of the prefetch
+    cache.allocate(500)                      # evicts; 70 prefetched unused
+    assert cache.stats.wasted_prefetch_sectors == 70
+    assert cache.stats.prefetched_sectors == 80
+    assert cache.stats.prefetch_efficiency == pytest.approx(1 - 70 / 80)
+
+
+def test_fill_overflow_rejected():
+    cache = make_cache(segments=1, sectors=10)
+    segment = cache.allocate(0)
+    cache.fill(segment, 10)
+    with pytest.raises(ValueError):
+        cache.fill(segment, 1)
+
+
+def test_fill_on_evicted_segment_rejected():
+    cache = make_cache(segments=1, sectors=10)
+    segment = cache.allocate(0)
+    cache.fill(segment, 5)
+    cache.allocate(100)  # evicts segment (reuses the object)
+    with pytest.raises(ValueError):
+        cache.fill(segment, 1)
+
+
+def test_invalidate_drops_overlapping():
+    cache = make_cache(segments=3, sectors=10)
+    for start in (0, 10, 100):
+        segment = cache.allocate(start)
+        cache.fill(segment, 10)
+    cache.invalidate(5, 10)  # overlaps [0,10) and [10,20)
+    assert cache.lookup(0, 10) == 0
+    assert cache.lookup(10, 10) == 0
+    assert cache.lookup(100, 10) == 10
+    assert cache.stats.invalidated_sectors == 20
+
+
+def test_peek_does_not_touch_stats_or_lru():
+    cache = make_cache(segments=2, sectors=10)
+    a = cache.allocate(0)
+    cache.fill(a, 10)
+    b = cache.allocate(100)
+    cache.fill(b, 10)
+    assert cache.peek(0, 10) == 10
+    assert cache.stats.lookups == 0
+    # LRU untouched: A is still oldest and gets evicted next.
+    cache.allocate(200)
+    assert cache.peek(0, 10) == 0
+    assert cache.peek(100, 10) == 10
+
+
+def test_space_left_and_capacity():
+    cache = make_cache(segments=3, sectors=50)
+    assert cache.capacity_sectors == 150
+    segment = cache.allocate(0)
+    cache.fill(segment, 20)
+    assert cache.space_left(segment) == 30
+
+
+def test_live_segments_and_cached_sectors():
+    cache = make_cache(segments=4, sectors=10)
+    assert cache.live_segments == 0
+    segment = cache.allocate(0)
+    cache.fill(segment, 7)
+    assert cache.live_segments == 1
+    assert cache.cached_sectors() == 7
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SegmentedCache(0, 10)
+    with pytest.raises(ValueError):
+        SegmentedCache(1, 0)
+    cache = make_cache()
+    with pytest.raises(ValueError):
+        cache.lookup(0, 0)
+    with pytest.raises(ValueError):
+        cache.allocate(-1)
+    segment = cache.allocate(0)
+    with pytest.raises(ValueError):
+        cache.fill(segment, -1)
+
+
+def test_thrashing_when_streams_exceed_segments():
+    """The Fig 7 mechanism: more streams than segments → zero reuse."""
+    cache = make_cache(segments=4, sectors=100)
+    streams = [i * 10_000 for i in range(8)]  # 8 streams, 4 segments
+    hits = 0
+    for round_number in range(5):
+        for base in streams:
+            position = base + round_number * 50
+            if cache.lookup(position, 50) == 50:
+                hits += 1
+            else:
+                segment = cache.allocate(position)
+                cache.fill(segment, 50)
+                cache.fill(segment, 50, prefetch=True)
+    assert hits == 0  # every stream's segment evicted before reuse
+    assert cache.stats.wasted_prefetch_sectors > 0
+
+
+def test_reuse_when_segments_exceed_streams():
+    """Counterpart: fewer streams than segments → prefetch hits."""
+    cache = make_cache(segments=8, sectors=100)
+    streams = [i * 10_000 for i in range(4)]
+    hits = 0
+    for round_number in range(4):
+        for base in streams:
+            position = base + round_number * 50
+            if cache.lookup(position, 50) == 50:
+                hits += 1
+            else:
+                segment = cache.allocate(position)
+                cache.fill(segment, 50)
+                cache.fill(segment, 50, prefetch=True)
+    # After the first miss per stream, every second access hits prefetch.
+    assert hits >= 4
+
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5000),
+              st.integers(min_value=1, max_value=64)),
+    min_size=1, max_size=200))
+@settings(max_examples=50)
+def test_property_lookup_never_exceeds_cached(ops):
+    """Coverage returned is always <= what was actually inserted there."""
+    cache = SegmentedCache(num_segments=4, segment_sectors=64)
+    valid = set()
+    for start, count in ops:
+        covered = cache.lookup(start, count)
+        assert 0 <= covered <= count
+        # Everything reported covered must have been inserted at some point.
+        for sector in range(start, start + covered):
+            assert sector in valid
+        if covered < count:
+            segment = cache.allocate(start)
+            fill = min(count, cache.segment_sectors)
+            cache.fill(segment, fill)
+            valid.update(range(start, start + fill))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=100))
+@settings(max_examples=50)
+def test_property_segment_count_bounded(starts):
+    cache = SegmentedCache(num_segments=5, segment_sectors=10)
+    for start in starts:
+        segment = cache.allocate(start * 1000)
+        cache.fill(segment, 10)
+        assert cache.live_segments <= 5
+        assert cache.cached_sectors() <= cache.capacity_sectors

@@ -1,0 +1,241 @@
+"""Integration tests for the DiskDrive: timing, cache behaviour, throughput.
+
+These tests pin down the physics the experiments rely on:
+
+* single sequential stream ≈ outer-zone media rate,
+* many interleaved streams collapse to seek-bound throughput,
+* read-ahead recovers throughput while segments outnumber streams.
+"""
+
+import pytest
+
+from repro.disk import DISKSIM_GENERIC, WD800JD, DiskDrive, DriveConfig
+from repro.disk.mechanics import RotationMode
+from repro.io import IOKind, IORequest
+from repro.sim import Simulator
+from repro.units import KiB, MiB, MS
+
+
+def make_drive(sim, spec=None, **config_kwargs):
+    config = DriveConfig(rotation_mode=RotationMode.EXPECTED,
+                         **config_kwargs)
+    return DiskDrive(sim, spec or DISKSIM_GENERIC, config=config)
+
+
+def read(disk_id, offset, size, stream=None):
+    return IORequest(kind=IOKind.READ, disk_id=disk_id, offset=offset,
+                     size=size, stream_id=stream)
+
+
+def run_sequential_stream(drive, sim, request_size, total_bytes, offset=0):
+    """Synchronous sequential reader; returns elapsed seconds."""
+    done = {}
+
+    def client(sim):
+        position = offset
+        while position < offset + total_bytes:
+            request = read(0, position, request_size)
+            yield drive.submit(request)
+            position += request_size
+        done["t"] = sim.now
+
+    sim.process(client(sim))
+    sim.run()
+    return done["t"]
+
+
+def test_single_request_timing_includes_mechanics():
+    sim = Simulator()
+    drive = make_drive(sim)
+    event = drive.submit(read(0, 0, 64 * KiB))
+    sim.run()
+    request = event.value
+    # First access: no seek (head at 0), expected rotation 4.17ms,
+    # media + command overhead + interface. Must be in single-digit ms.
+    assert 3 * MS < request.latency < 12 * MS
+
+
+def test_cache_hit_faster_than_miss():
+    sim = Simulator()
+    drive = make_drive(sim)
+    first = drive.submit(read(0, 0, 64 * KiB))
+    sim.run()
+    miss_latency = first.value.latency
+    # Same range again: served from cache (demand insert), no mechanics.
+    second = drive.submit(read(0, 0, 64 * KiB))
+    sim.run()
+    hit_latency = second.value.latency
+    assert hit_latency < miss_latency / 3
+    assert second.value.annotations.get("disk.hit") == "submit"
+
+
+def test_sequential_single_stream_near_media_rate():
+    sim = Simulator()
+    drive = make_drive(sim)
+    total = 32 * MiB
+    elapsed = run_sequential_stream(drive, sim, 64 * KiB, total)
+    rate = total / elapsed / MiB
+    # Outer zone is 60 MB/s; sync client overhead allows some slack.
+    assert 40 < rate <= 62
+
+
+def test_large_requests_also_near_media_rate():
+    sim = Simulator()
+    drive = make_drive(sim)
+    total = 64 * MiB
+    elapsed = run_sequential_stream(drive, sim, 1 * MiB, total)
+    rate = total / elapsed / MiB
+    assert 45 < rate <= 62
+
+
+def test_many_streams_collapse_throughput():
+    """The paper's Figure 1/4 phenomenon, at drive level."""
+    def aggregate_rate(num_streams):
+        sim = Simulator()
+        # Disable read-ahead so each request pays mechanics (Fig 4 setup).
+        spec = DISKSIM_GENERIC.with_cache(read_ahead_bytes=0)
+        drive = make_drive(sim, spec)
+        spacing = drive.capacity_bytes // num_streams
+        spacing -= spacing % (64 * KiB)
+        per_stream = 2 * MiB
+
+        def client(sim, base):
+            position = base
+            while position < base + per_stream:
+                yield drive.submit(read(0, position, 64 * KiB))
+                position += 64 * KiB
+
+        for stream in range(num_streams):
+            sim.process(client(sim, stream * spacing))
+        sim.run()
+        return num_streams * per_stream / sim.now / MiB
+
+    single = aggregate_rate(1)
+    many = aggregate_rate(30)
+    assert single > 3 * many  # collapse by >3x
+
+
+def test_readahead_recovers_interleaved_throughput():
+    """Read-ahead amortises the seek while segments outnumber streams."""
+    def aggregate_rate(read_ahead_on):
+        sim = Simulator()
+        spec = DISKSIM_GENERIC.with_cache(
+            cache_segments=16,
+            read_ahead_bytes=None if read_ahead_on else 0)
+        drive = make_drive(sim, spec)
+        num_streams, per_stream = 8, 4 * MiB
+        spacing = drive.capacity_bytes // num_streams
+        spacing -= spacing % (64 * KiB)
+
+        def client(sim, base):
+            position = base
+            while position < base + per_stream:
+                yield drive.submit(read(0, position, 64 * KiB))
+                position += 64 * KiB
+
+        for stream in range(num_streams):
+            sim.process(client(sim, stream * spacing))
+        sim.run()
+        return num_streams * per_stream / sim.now / MiB
+
+    with_ra = aggregate_rate(True)
+    without_ra = aggregate_rate(False)
+    assert with_ra > 2 * without_ra
+
+
+def test_segment_thrash_destroys_readahead_benefit():
+    """Streams > segments: prefetched data evicted before use (Fig 7)."""
+    def run(num_segments):
+        sim = Simulator()
+        spec = DISKSIM_GENERIC.with_cache(cache_bytes=num_segments * 256 * KiB,
+                                          cache_segments=num_segments)
+        drive = make_drive(sim, spec)
+        num_streams, per_stream = 16, 2 * MiB
+        spacing = drive.capacity_bytes // num_streams
+        spacing -= spacing % (64 * KiB)
+
+        def client(sim, base):
+            position = base
+            while position < base + per_stream:
+                yield drive.submit(read(0, position, 64 * KiB))
+                position += 64 * KiB
+
+        for stream in range(num_streams):
+            sim.process(client(sim, stream * spacing))
+        sim.run()
+        return (num_streams * per_stream / sim.now / MiB,
+                drive.cache.stats.prefetch_efficiency)
+
+    plentiful_rate, plentiful_eff = run(32)   # segments > streams
+    starved_rate, starved_eff = run(8)        # segments < streams
+    assert plentiful_rate > 1.5 * starved_rate
+    assert plentiful_eff > starved_eff
+
+
+def test_write_path_completes_and_invalidates():
+    sim = Simulator()
+    drive = make_drive(sim)
+    # Prime cache.
+    drive.submit(read(0, 0, 64 * KiB))
+    sim.run()
+    assert drive.cache.peek(0, 64 * KiB // 512) > 0
+    write = IORequest(kind=IOKind.WRITE, disk_id=0, offset=0, size=64 * KiB)
+    event = drive.submit(write)
+    sim.run()
+    assert event.value.latency > 0
+    assert drive.cache.peek(0, 64 * KiB // 512) == 0
+    assert drive.stats.counter("media_write").total_bytes == 64 * KiB
+
+
+def test_submit_beyond_capacity_rejected():
+    sim = Simulator()
+    drive = make_drive(sim)
+    with pytest.raises(ValueError):
+        drive.submit(read(0, drive.capacity_bytes, 64 * KiB))
+
+
+def test_queue_reordering_look_beats_fcfs_for_scattered_requests():
+    def total_time(policy):
+        sim = Simulator()
+        spec = DISKSIM_GENERIC.with_cache(read_ahead_bytes=0)
+        drive = make_drive(sim, spec, scheduler=policy)
+        # Scattered positions submitted at once, serviced as one batch.
+        positions = [i * (drive.capacity_bytes // 40) for i in range(32)]
+        positions = [p - p % (64 * KiB) for p in positions]
+        import random
+        random.Random(7).shuffle(positions)
+        for position in positions:
+            drive.submit(read(0, position, 64 * KiB))
+        sim.run()
+        return sim.now
+
+    assert total_time("look") < total_time("fcfs")
+
+
+def test_drive_stats_throughput_accounting():
+    sim = Simulator()
+    drive = make_drive(sim)
+    run_sequential_stream(drive, sim, 64 * KiB, 1 * MiB)
+    assert drive.stats.counter("completed").total_bytes == 1 * MiB
+    assert drive.throughput(sim.now) == pytest.approx(1 * MiB / sim.now)
+    assert drive.busy_time > 0
+
+
+def test_wd800jd_capacity_and_rates():
+    sim = Simulator()
+    drive = make_drive(sim, WD800JD)
+    assert abs(drive.capacity_bytes - 80e9) / 80e9 < 0.01
+    assert drive.mechanics.media_rate_at(0) == pytest.approx(60 * MiB,
+                                                             rel=0.02)
+
+
+def test_deterministic_run_with_seed():
+    def run_once():
+        sim = Simulator()
+        drive = DiskDrive(sim, DISKSIM_GENERIC,
+                          config=DriveConfig(seed=123))
+        elapsed = run_sequential_stream(drive, sim, 64 * KiB, 4 * MiB,
+                                        offset=1 * MiB)
+        return elapsed
+
+    assert run_once() == run_once()

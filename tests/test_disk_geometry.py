@@ -1,0 +1,142 @@
+"""Unit and property tests for zoned disk geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.geometry import DiskGeometry, Zone
+from repro.units import GiB, SECTOR_BYTES
+
+
+def small_geometry():
+    # 3 zones: 10 cyls x 100 spt, 10 x 80, 10 x 60; 2 heads.
+    return DiskGeometry(heads=2, zones=[(10, 100), (10, 80), (10, 60)])
+
+
+def test_total_sectors_sums_zones():
+    geo = small_geometry()
+    assert geo.total_sectors == 2 * (10 * 100 + 10 * 80 + 10 * 60)
+    assert geo.capacity_bytes == geo.total_sectors * SECTOR_BYTES
+    assert geo.cylinders == 30
+
+
+def test_zone_boundaries_contiguous():
+    geo = small_geometry()
+    for earlier, later in zip(geo.zones, geo.zones[1:]):
+        assert earlier.end_lba == later.start_lba
+        assert earlier.end_cylinder == later.start_cylinder
+    assert geo.zones[0].start_lba == 0
+    assert geo.zones[-1].end_lba == geo.total_sectors
+
+
+def test_lba_zero_is_outer_zone():
+    geo = small_geometry()
+    assert geo.zone_of_lba(0).index == 0
+    assert geo.cylinder_of_lba(0) == 0
+
+
+def test_last_lba_is_inner_zone():
+    geo = small_geometry()
+    last = geo.total_sectors - 1
+    assert geo.zone_of_lba(last).index == 2
+    assert geo.cylinder_of_lba(last) == geo.cylinders - 1
+
+
+def test_cylinder_of_lba_monotone():
+    geo = small_geometry()
+    previous = -1
+    for lba in range(0, geo.total_sectors, 137):
+        cylinder = geo.cylinder_of_lba(lba)
+        assert cylinder >= previous
+        previous = cylinder
+
+
+def test_zone_transition_exact():
+    geo = small_geometry()
+    zone0 = geo.zones[0]
+    assert geo.zone_of_lba(zone0.end_lba - 1).index == 0
+    assert geo.zone_of_lba(zone0.end_lba).index == 1
+
+
+def test_out_of_range_lba_rejected():
+    geo = small_geometry()
+    with pytest.raises(ValueError):
+        geo.zone_of_lba(-1)
+    with pytest.raises(ValueError):
+        geo.zone_of_lba(geo.total_sectors)
+    with pytest.raises(ValueError):
+        geo.zone_of_cylinder(geo.cylinders)
+
+
+def test_sectors_per_track_declines_inward():
+    geo = small_geometry()
+    rates = [z.sectors_per_track for z in geo.zones]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        DiskGeometry(heads=0, zones=[(1, 1)])
+    with pytest.raises(ValueError):
+        DiskGeometry(heads=1, zones=[])
+    with pytest.raises(ValueError):
+        DiskGeometry(heads=1, zones=[(0, 10)])
+    with pytest.raises(ValueError):
+        DiskGeometry(heads=1, zones=[(10, 0)])
+
+
+def test_from_capacity_close_to_target():
+    target = 80 * 10**9
+    geo = DiskGeometry.from_capacity(target)
+    assert abs(geo.capacity_bytes - target) / target < 0.01
+
+
+def test_from_capacity_single_zone():
+    geo = DiskGeometry.from_capacity(1 * GiB, num_zones=1, outer_spt=500,
+                                     inner_spt=500)
+    assert len(geo.zones) == 1
+
+
+def test_from_capacity_validation():
+    with pytest.raises(ValueError):
+        DiskGeometry.from_capacity(100)  # < one sector
+    with pytest.raises(ValueError):
+        DiskGeometry.from_capacity(GiB, num_zones=0)
+    with pytest.raises(ValueError):
+        DiskGeometry.from_capacity(GiB, outer_spt=100, inner_spt=200)
+
+
+@given(
+    heads=st.integers(min_value=1, max_value=8),
+    zones=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=50),
+                  st.integers(min_value=1, max_value=200)),
+        min_size=1, max_size=6),
+)
+@settings(max_examples=50)
+def test_property_lba_roundtrip_within_cylinder(heads, zones):
+    """Every LBA maps to a cylinder whose zone actually contains it."""
+    geo = DiskGeometry(heads=heads, zones=zones)
+    step = max(1, geo.total_sectors // 97)
+    for lba in range(0, geo.total_sectors, step):
+        cylinder = geo.cylinder_of_lba(lba)
+        zone = geo.zone_of_lba(lba)
+        assert zone.start_cylinder <= cylinder < zone.end_cylinder
+        # The LBA must fall inside that cylinder's sector span.
+        offset_in_zone = lba - zone.start_lba
+        expected = zone.start_cylinder + offset_in_zone // zone.sectors_per_cylinder
+        assert cylinder == expected
+
+
+@given(
+    capacity_gb=st.integers(min_value=1, max_value=2000),
+    heads=st.integers(min_value=1, max_value=8),
+    num_zones=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=30)
+def test_property_from_capacity_fits(capacity_gb, heads, num_zones):
+    """Fitted geometry lands within 5% of any reasonable target."""
+    target = capacity_gb * 10**9
+    geo = DiskGeometry.from_capacity(target, heads=heads,
+                                     num_zones=num_zones)
+    assert abs(geo.capacity_bytes - target) / target < 0.05

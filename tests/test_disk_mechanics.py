@@ -1,0 +1,154 @@
+"""Unit tests for seek curve, rotation, and media transfer timing."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import Mechanics, RotationMode, SeekModel
+from repro.units import MS, SECTOR_BYTES
+
+
+def make_seek(single=0.8 * MS, average=8.9 * MS, cylinders=50_000):
+    return SeekModel(single, average, cylinders)
+
+
+def test_seek_zero_distance_free():
+    assert make_seek().seek_time(0) == 0.0
+
+
+def test_seek_single_cylinder_calibrated():
+    model = make_seek()
+    assert model.seek_time(1) == pytest.approx(0.8 * MS, rel=1e-9)
+
+
+def test_seek_monotone_in_distance():
+    model = make_seek()
+    times = [model.seek_time(d) for d in (1, 10, 100, 1000, 10_000, 49_999)]
+    assert times == sorted(times)
+
+
+def test_seek_average_matches_random_distance_distribution():
+    """Mean seek over the analytic distance distribution ≈ datasheet avg."""
+    model = make_seek()
+    cylinders = model.max_cylinders
+    # Distance density for uniform random endpoints: f(x) = 2(1-x), x=d/C.
+    steps = 20_000
+    total = 0.0
+    for i in range(1, steps + 1):
+        x = i / steps
+        weight = 2 * (1 - x) / steps
+        total += model.seek_time(max(1, int(x * cylinders))) * weight
+    assert total == pytest.approx(8.9 * MS, rel=0.02)
+
+
+def test_seek_full_stroke_realistic():
+    model = make_seek()
+    # sqrt model with these calibration points gives ~16-17 ms full stroke.
+    assert 12 * MS < model.full_stroke_time < 25 * MS
+
+
+def test_seek_validation():
+    with pytest.raises(ValueError):
+        SeekModel(0.0, 8.9 * MS, 100)
+    with pytest.raises(ValueError):
+        SeekModel(9 * MS, 8 * MS, 100)  # avg below single
+    with pytest.raises(ValueError):
+        SeekModel(1 * MS, 2 * MS, 1)
+    with pytest.raises(ValueError):
+        make_seek().seek_time(-1)
+
+
+@given(d1=st.integers(min_value=0, max_value=49_999),
+       d2=st.integers(min_value=0, max_value=49_999))
+@settings(max_examples=100)
+def test_property_seek_monotone(d1, d2):
+    model = make_seek()
+    lo, hi = sorted((d1, d2))
+    assert model.seek_time(lo) <= model.seek_time(hi)
+
+
+# ---------------------------------------------------------------------------
+# Mechanics
+# ---------------------------------------------------------------------------
+
+def make_mechanics(mode=RotationMode.EXPECTED, seed=7):
+    geo = DiskGeometry(heads=2, zones=[(100, 1000), (100, 600)])
+    seek = SeekModel(0.8 * MS, 8.9 * MS, geo.cylinders)
+    return Mechanics(geo, rpm=7200.0, seek_model=seek,
+                     rotation_mode=mode, seed=seed)
+
+
+def test_rotation_time():
+    mech = make_mechanics()
+    assert mech.rotation_time == pytest.approx(60.0 / 7200.0)
+
+
+def test_rotational_latency_expected_mode():
+    mech = make_mechanics(RotationMode.EXPECTED)
+    assert mech.rotational_latency() == pytest.approx(mech.rotation_time / 2)
+
+
+def test_rotational_latency_uniform_mode_bounded_and_seeded():
+    mech_a = make_mechanics(RotationMode.UNIFORM, seed=42)
+    mech_b = make_mechanics(RotationMode.UNIFORM, seed=42)
+    samples_a = [mech_a.rotational_latency() for _ in range(100)]
+    samples_b = [mech_b.rotational_latency() for _ in range(100)]
+    assert samples_a == samples_b  # deterministic per seed
+    assert all(0.0 <= s < mech_a.rotation_time for s in samples_a)
+    mean = sum(samples_a) / len(samples_a)
+    assert mean == pytest.approx(mech_a.rotation_time / 2, rel=0.3)
+
+
+def test_media_rate_outer_faster_than_inner():
+    mech = make_mechanics()
+    outer = mech.media_rate_at(0)
+    inner = mech.media_rate_at(mech.geometry.total_sectors - 1)
+    assert outer > inner
+    # Rate = spt * 512 / rotation_time exactly.
+    assert outer == pytest.approx(1000 * SECTOR_BYTES / mech.rotation_time)
+
+
+def test_transfer_time_scales_with_sectors():
+    mech = make_mechanics()
+    t1 = mech.transfer_time(0, 100)
+    t2 = mech.transfer_time(0, 200)
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_transfer_time_track_switches():
+    geo = DiskGeometry(heads=1, zones=[(10, 100)])
+    seek = SeekModel(0.8 * MS, 2.0 * MS, geo.cylinders)
+    mech = Mechanics(geo, rpm=6000.0, seek_model=seek,
+                     track_switch_time=1 * MS)
+    # 250 sectors over 100-sector tracks → 2 boundaries crossed.
+    base = 250 * mech.rotation_time / 100
+    assert mech.transfer_time(0, 250) == pytest.approx(base + 2 * MS)
+
+
+def test_transfer_requires_positive_sectors():
+    mech = make_mechanics()
+    with pytest.raises(ValueError):
+        mech.transfer_time(0, 0)
+
+
+def test_seek_between_same_cylinder_free():
+    mech = make_mechanics()
+    assert mech.seek_between(0, 1) == 0.0
+
+
+def test_seek_between_far_lbas_costly():
+    mech = make_mechanics()
+    far = mech.geometry.total_sectors - 1
+    assert mech.seek_between(0, far) > 5 * MS
+
+
+def test_mechanics_validation():
+    geo = DiskGeometry(heads=1, zones=[(10, 100)])
+    seek = SeekModel(0.8 * MS, 2.0 * MS, geo.cylinders)
+    with pytest.raises(ValueError):
+        Mechanics(geo, rpm=0, seek_model=seek)
+    with pytest.raises(ValueError):
+        Mechanics(geo, rpm=7200, seek_model=seek, track_switch_time=-1)

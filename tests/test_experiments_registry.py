@@ -1,0 +1,81 @@
+"""Tests for the experiment registry, runner CLI, and base helpers.
+
+The figure runners themselves are exercised by ``benchmarks/``; here we
+cover the plumbing: registry completeness, CLI argument handling, stream
+spreading, and the tiny end-to-end smoke of one cheap figure.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, FULL, QUICK, SMOKE
+from repro.experiments.base import spread_streams
+from repro.experiments.runner import main
+from repro.units import GiB, KiB
+
+
+def test_registry_covers_every_paper_figure():
+    expected = {"fig01", "fig02", "fig04", "fig05", "fig06", "fig07",
+                "fig08", "fig10", "fig11", "fig12", "fig13", "fig14",
+                "fig15"}
+    assert set(EXPERIMENTS) == expected
+
+
+def test_scales_ordered():
+    assert SMOKE.duration < QUICK.duration < FULL.duration
+    assert SMOKE.warmup < QUICK.warmup < FULL.warmup
+
+
+def test_spread_streams_round_robin_over_disks():
+    specs = spread_streams(10, disk_ids=[0, 1, 2],
+                           disk_capacity=10 * GiB)
+    assert len(specs) == 10
+    disks = [s.disk_id for s in specs]
+    assert disks[:6] == [0, 1, 2, 0, 1, 2]
+    # Per-disk stream counts differ by at most one.
+    counts = {d: disks.count(d) for d in (0, 1, 2)}
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+def test_spread_streams_offsets_spaced():
+    specs = spread_streams(6, disk_ids=[0, 1], disk_capacity=10 * GiB)
+    disk0 = sorted(s.start_offset for s in specs if s.disk_id == 0)
+    assert disk0[0] == 0
+    assert disk0[1] > 1 * GiB  # ~capacity / ceil(6/2)
+    for offset in disk0:
+        assert offset % (64 * KiB) == 0
+
+
+def test_spread_streams_validation():
+    with pytest.raises(ValueError):
+        spread_streams(0, [0], GiB)
+    with pytest.raises(ValueError):
+        spread_streams(1, [], GiB)
+    with pytest.raises(ValueError):
+        spread_streams(10**9, [0], GiB)
+
+
+def test_runner_cli_single_cheap_figure(capsys):
+    exit_code = main(["fig06", "--scale", "smoke"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "fig06" in output
+    assert "MBytes/s" in output
+    assert "segment size" in output
+
+
+def test_runner_cli_rejects_unknown_figure(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_runner_cli_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        main(["fig06", "--scale", "galactic"])
+
+
+def test_experiment_results_are_reproducible():
+    """Same figure, same scale → identical numbers (seeded RNG)."""
+    from repro.experiments.fig06_segsize import run
+    first = run(SMOKE).as_dict()
+    second = run(SMOKE).as_dict()
+    assert first == second

@@ -1,0 +1,158 @@
+"""Failure-injection tests: device faults must surface, not wedge.
+
+A wrapper device fails selected requests; the server must propagate the
+error to exactly the affected clients, reclaim the staged state, and keep
+serving everyone else.
+"""
+
+import pytest
+
+from repro.core import ServerParams, StreamServer
+from repro.disk import WD800JD
+from repro.disk.mechanics import RotationMode
+from repro.io import IOKind, IORequest
+from repro.node import base_topology, build_node
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+
+class DeviceError(IOError):
+    """Injected device failure."""
+
+
+class FaultyDevice:
+    """Wraps a block device, failing requests per a predicate."""
+
+    def __init__(self, sim, inner, should_fail):
+        self.sim = sim
+        self.inner = inner
+        self.should_fail = should_fail
+        self.capacity_bytes = inner.capacity_bytes
+        self.failures = 0
+
+    def register_buffers(self, count):
+        register = getattr(self.inner, "register_buffers", None)
+        if register is not None:
+            register(count)
+
+    def submit(self, request):
+        if self.should_fail(request):
+            self.failures += 1
+            event = self.sim.event()
+            event.fail(DeviceError(f"injected fault on {request!r}"))
+            return event
+        return self.inner.submit(request)
+
+
+def make_stack(sim, should_fail):
+    node = build_node(sim, base_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    faulty = FaultyDevice(sim, node, should_fail)
+    server = StreamServer(sim, faulty, ServerParams(
+        read_ahead=1 * MiB, memory_budget=32 * MiB))
+    return server, faulty
+
+
+def read(offset, size=64 * KiB, stream=1):
+    return IORequest(kind=IOKind.READ, disk_id=0, offset=offset,
+                     size=size, stream_id=stream)
+
+
+def test_direct_path_fault_fails_client_event():
+    sim = Simulator()
+    server, faulty = make_stack(sim, should_fail=lambda r: True)
+    event = server.submit(read(0))
+    with pytest.raises(DeviceError):
+        sim.run_until_event(event, limit=5.0)
+    assert faulty.failures == 1
+    assert server.stats.counter("device_errors").count >= 1
+
+
+def test_fetch_fault_fails_waiting_clients_not_simulation():
+    """A failing read-ahead fetch must fail the attached clients and
+    leave the simulation healthy."""
+    sim = Simulator()
+    # Fail only the large (coalesced) fetches; direct 64K requests pass.
+    server, faulty = make_stack(
+        sim, should_fail=lambda r: r.size > 512 * KiB)
+    failures = []
+    completions = []
+
+    def client(sim):
+        offset = 0
+        for _ in range(10):
+            event = server.submit(read(offset))
+            try:
+                yield event
+                completions.append(offset)
+            except DeviceError:
+                failures.append(offset)
+                return
+            offset += 64 * KiB
+
+    process = sim.process(client(sim))
+    sim.run_until_event(process, limit=30.0)
+    # The first requests (pre-detection, direct) succeed; the first
+    # staged request dies on the injected fetch fault.
+    assert len(completions) >= 2
+    assert len(failures) == 1
+    assert server.buffered.in_use == 0  # aborted buffer reclaimed
+
+
+def test_other_streams_survive_one_streams_fault():
+    sim = Simulator()
+    poison_zone = 40 * 10**9  # faults only in the second disk half
+
+    def should_fail(request):
+        return request.offset >= poison_zone and request.size > 512 * KiB
+
+    server, _faulty = make_stack(sim, should_fail)
+    good, bad = [], []
+
+    def client(sim, start, bucket):
+        offset = start
+        for _ in range(12):
+            try:
+                yield server.submit(read(offset, stream=start))
+            except DeviceError:
+                bucket.append("fault")
+                return
+            offset += 64 * KiB
+        bucket.append("done")
+
+    healthy = sim.process(client(sim, 0, good))
+    doomed = sim.process(client(sim, poison_zone, bad))
+    sim.run_until_event(sim.all_of([healthy, doomed]), limit=60.0)
+    assert good == ["done"]
+    assert bad == ["fault"]
+
+
+def test_stream_recovers_after_transient_fault():
+    sim = Simulator()
+    state = {"armed": True}
+
+    def should_fail(request):
+        if state["armed"] and request.size > 512 * KiB:
+            state["armed"] = False  # fail exactly one fetch
+            return True
+        return False
+
+    server, _faulty = make_stack(sim, should_fail)
+    outcomes = []
+
+    def client(sim):
+        offset = 0
+        for _ in range(20):
+            try:
+                yield server.submit(read(offset))
+                outcomes.append("ok")
+            except DeviceError:
+                outcomes.append("fault")
+            offset += 64 * KiB
+
+    process = sim.process(client(sim))
+    sim.run_until_event(process, limit=60.0)
+    assert outcomes.count("fault") == 1
+    # The stream keeps going after the transient fault.
+    assert outcomes[-1] == "ok"
+    assert outcomes.count("ok") == 19

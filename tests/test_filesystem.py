@@ -1,0 +1,170 @@
+"""Tests for the ext3-like extent filesystem model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host.filesystem import ExtentFilesystem
+from repro.units import GiB, KiB, MiB
+
+
+def make_fs(**kwargs):
+    return ExtentFilesystem(capacity_bytes=10 * GiB, **kwargs)
+
+
+def test_contiguous_file_is_one_extent():
+    fs = make_fs()
+    file = fs.create("a", 10 * MiB)
+    assert len(file.extents) == 1
+    assert file.extents[0].length == 10 * MiB
+
+
+def test_files_land_in_distinct_block_groups():
+    """The ext3 behaviour that scatters streams across the disk."""
+    fs = make_fs(block_group_bytes=128 * MiB)
+    first = fs.create("a", 1 * MiB)
+    second = fs.create("b", 1 * MiB)
+    gap = abs(second.extents[0].device_offset
+              - first.extents[0].device_offset)
+    assert gap >= 127 * MiB  # different 128 MB groups
+
+
+def test_map_simple_range():
+    fs = make_fs()
+    fs.create("a", 10 * MiB)
+    pieces = fs.map("a", 1 * MiB, 64 * KiB)
+    assert len(pieces) == 1
+    device_offset, length = pieces[0]
+    assert length == 64 * KiB
+    # Within the file's extent, shifted by the file offset.
+    assert device_offset == fs.files["a"].extents[0].device_offset \
+        + 1 * MiB
+
+
+def test_fragmented_file_multiple_extents():
+    fs = make_fs(fragment_every=1 * MiB)
+    file = fs.create("frag", 4 * MiB)
+    assert len(file.extents) == 4
+    # Extents are in different groups: sequential file reads become
+    # scattered device reads.
+    offsets = [e.device_offset for e in file.extents]
+    assert len({o // (128 * MiB) for o in offsets}) == 4
+
+
+def test_map_across_extent_boundary():
+    fs = make_fs(fragment_every=1 * MiB)
+    fs.create("frag", 4 * MiB)
+    pieces = fs.map("frag", 1 * MiB - 64 * KiB, 128 * KiB)
+    assert len(pieces) == 2
+    assert sum(length for _o, length in pieces) == 128 * KiB
+
+
+def test_map_validation():
+    fs = make_fs()
+    fs.create("a", 1 * MiB)
+    with pytest.raises(FileNotFoundError):
+        fs.map("missing", 0, 4 * KiB)
+    with pytest.raises(ValueError):
+        fs.map("a", 0, 2 * MiB)  # beyond EOF
+    with pytest.raises(ValueError):
+        fs.map("a", -4096, 4 * KiB)
+
+
+def test_create_validation():
+    fs = make_fs()
+    fs.create("a", 1 * MiB)
+    with pytest.raises(ValueError):
+        fs.create("a", 1 * MiB)  # duplicate
+    with pytest.raises(ValueError):
+        fs.create("b", 0)
+    with pytest.raises(ValueError):
+        fs.create("c", 1000)  # unaligned
+    with pytest.raises(ValueError):
+        fs.create("d", 256 * MiB)  # exceeds a block group, unfragmented
+
+
+def test_filesystem_full():
+    fs = ExtentFilesystem(capacity_bytes=256 * MiB,
+                          block_group_bytes=128 * MiB)
+    fs.create("a", 128 * MiB)
+    fs.create("b", 128 * MiB)
+    with pytest.raises(MemoryError):
+        fs.create("c", 1 * MiB)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ExtentFilesystem(capacity_bytes=64 * MiB,
+                         block_group_bytes=128 * MiB)
+    with pytest.raises(ValueError):
+        ExtentFilesystem(capacity_bytes=GiB, block_group_bytes=512 * KiB)
+    with pytest.raises(ValueError):
+        ExtentFilesystem(capacity_bytes=GiB, fragment_every=1000)
+
+
+@given(sizes=st.lists(st.integers(min_value=1, max_value=64),
+                      min_size=1, max_size=30))
+@settings(max_examples=40)
+def test_property_extents_never_overlap(sizes):
+    """No two allocations ever share device bytes."""
+    fs = ExtentFilesystem(capacity_bytes=10 * GiB,
+                          fragment_every=2 * MiB)
+    allocated = []
+    for index, chunks in enumerate(sizes):
+        size = chunks * 64 * KiB
+        try:
+            file = fs.create(f"f{index}", size)
+        except MemoryError:
+            break
+        for extent in file.extents:
+            allocated.append((extent.device_offset,
+                              extent.device_offset + extent.length))
+    allocated.sort()
+    for (a_start, a_end), (b_start, b_end) in zip(allocated,
+                                                  allocated[1:]):
+        assert a_end <= b_start
+
+
+@given(offset_kib=st.integers(min_value=0, max_value=4000),
+       size_kib=st.integers(min_value=1, max_value=96))
+@settings(max_examples=40)
+def test_property_map_conserves_bytes(offset_kib, size_kib):
+    fs = ExtentFilesystem(capacity_bytes=10 * GiB,
+                          fragment_every=1 * MiB)
+    fs.create("f", 8 * MiB)
+    offset = offset_kib * KiB
+    size = size_kib * KiB
+    if offset + size > 8 * MiB:
+        return
+    pieces = fs.map("f", offset, size)
+    assert sum(length for _o, length in pieces) == size
+    assert all(length > 0 for _o, length in pieces)
+
+
+def test_file_read_through_cache_integration():
+    """Reading a file through the buffer cache via the extent map."""
+    from repro.disk import DISKSIM_GENERIC, DiskDrive, DriveConfig
+    from repro.disk.mechanics import RotationMode
+    from repro.host import BlockLayer, BufferCache, make_scheduler
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      config=DriveConfig(rotation_mode=RotationMode.EXPECTED))
+    layer = BlockLayer(sim, drive, make_scheduler("noop"))
+    cache = BufferCache(sim, layer, capacity_bytes=64 * MiB)
+    fs = ExtentFilesystem(capacity_bytes=drive.capacity_bytes)
+    fs.create("movie", 4 * MiB)
+    read_bytes = [0]
+
+    def reader(sim):
+        offset = 0
+        while offset < 4 * MiB:
+            for device_offset, length in fs.map("movie", offset, 64 * KiB):
+                yield cache.read(1, 0, device_offset, length)
+                read_bytes[0] += length
+            offset += 64 * KiB
+
+    process = sim.process(reader(sim))
+    sim.run_until_event(process, limit=30.0)
+    assert read_bytes[0] == 4 * MiB

@@ -1,0 +1,186 @@
+"""Cross-stack integration tests: every layer composed, invariants held.
+
+These exercise the composition paths the figures rely on:
+client → server → node → controller → drive, and
+client → buffer cache → block layer/scheduler → drive.
+"""
+
+import pytest
+
+from repro.core import ServerParams, StreamServer
+from repro.disk import DISKSIM_GENERIC, WD800JD
+from repro.disk.mechanics import RotationMode
+from repro.host import BlockLayer, BufferCache, make_scheduler
+from repro.io import IOKind, IORequest
+from repro.node import HostParams, base_topology, build_node, \
+    medium_topology
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+from repro.units import KiB, MiB
+from repro.workload import ClientFleet, uniform_streams
+
+
+def test_bytes_conservation_through_full_stack():
+    """Every byte the clients request is completed exactly once, at
+    every layer of the stack."""
+    sim = Simulator()
+    node = build_node(sim, medium_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    server = StreamServer(sim, node, ServerParams(
+        read_ahead=1 * MiB, dispatch_width=8, memory_budget=64 * MiB))
+    specs = uniform_streams(4, node.disk_ids, node.capacity_bytes,
+                            request_size=64 * KiB, total_bytes=2 * MiB)
+    report = ClientFleet(sim, server, specs).run()
+    requested = 4 * 8 * 2 * MiB  # 4 streams x 8 disks x 2 MiB
+    assert report.total_bytes == requested
+    assert server.stats.counter("completed").total_bytes == requested
+    # Node/controller/disk bytes are server fetches + direct requests —
+    # at least the client demand (read-ahead may fetch more, never less).
+    assert node.stats.counter("completed").total_bytes >= requested * 0.9
+
+
+def test_per_stream_progress_fairness_under_server():
+    """Round-robin dispatch keeps the slowest stream within a small
+    factor of the fastest over a fixed window."""
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    server = StreamServer(sim, node, ServerParams(
+        read_ahead=1 * MiB, dispatch_width=20, memory_budget=64 * MiB))
+    specs = uniform_streams(20, node.disk_ids, node.capacity_bytes,
+                            request_size=64 * KiB)
+    report = ClientFleet(sim, server, specs).run(
+        duration=8.0, warmup=1.0, settle_requests=5)
+    fastest = max(report.per_stream_bytes)
+    slowest = min(report.per_stream_bytes)
+    assert slowest > 0
+    assert fastest < 4 * slowest
+
+
+def test_deterministic_full_stack_run():
+    def run_once():
+        sim = Simulator()
+        node = build_node(sim, medium_topology(seed=99))
+        server = StreamServer(sim, node, ServerParams(
+            read_ahead=512 * KiB, memory_budget=32 * MiB))
+        specs = uniform_streams(3, node.disk_ids, node.capacity_bytes,
+                                request_size=64 * KiB,
+                                total_bytes=1 * MiB)
+        report = ClientFleet(sim, server, specs).run()
+        return (report.total_bytes, round(report.elapsed, 9),
+                round(report.mean_latency, 12))
+
+    assert run_once() == run_once()
+
+
+def test_server_over_scheduler_stack_composes():
+    """The server can sit on top of the OS block layer too."""
+    sim = Simulator()
+    from repro.disk import DiskDrive, DriveConfig
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      config=DriveConfig(rotation_mode=RotationMode.EXPECTED))
+    layer = BlockLayer(sim, drive, make_scheduler("deadline"))
+    server = StreamServer(sim, layer, ServerParams(
+        read_ahead=1 * MiB, memory_budget=16 * MiB))
+    done = []
+
+    def client(sim):
+        offset = 0
+        for _ in range(32):
+            yield server.submit(IORequest(
+                kind=IOKind.READ, disk_id=0, offset=offset,
+                size=64 * KiB, stream_id=7))
+            offset += 64 * KiB
+        done.append(True)
+
+    process = sim.process(client(sim))
+    sim.run_until_event(process, limit=60.0)
+    assert done == [True]
+    assert server.stats.counter("staged_hits").count > 10
+
+
+def test_mixed_read_write_workload_through_server():
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    server = StreamServer(sim, node, ServerParams(
+        read_ahead=1 * MiB, memory_budget=32 * MiB,
+        coalesce_writes=True))
+    finished = []
+
+    def reader(sim):
+        offset = 0
+        for _ in range(16):
+            yield server.submit(IORequest(
+                kind=IOKind.READ, disk_id=0, offset=offset,
+                size=64 * KiB, stream_id=1))
+            offset += 64 * KiB
+        finished.append("r")
+
+    def writer(sim):
+        offset = 40 * 10**9 - 40 * 10**9 % (64 * KiB)
+        for _ in range(16):
+            yield server.submit(IORequest(
+                kind=IOKind.WRITE, disk_id=0, offset=offset,
+                size=64 * KiB, stream_id=2))
+            offset += 64 * KiB
+        finished.append("w")
+
+    sim.process(reader(sim))
+    sim.process(writer(sim))
+    barrier = None
+    sim.run(until=30.0)
+    assert sorted(finished) == ["r", "w"]
+    sim.run_until_event(server.write_coalescer.flush_all(), limit=60.0)
+
+
+def test_tracer_records_drive_completions():
+    sim = Simulator()
+    from repro.disk import DiskDrive, DriveConfig
+    tracer = Tracer(capacity=1000)
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      config=DriveConfig(trace=tracer,
+                                         rotation_mode=RotationMode.EXPECTED))
+    for index in range(4):
+        drive.submit(IORequest(kind=IOKind.READ, disk_id=0,
+                               offset=index * 64 * KiB, size=64 * KiB))
+    sim.run()
+    completions = tracer.records(kind="complete")
+    assert len(completions) == 4
+    assert completions[0].time <= completions[-1].time
+
+
+def test_host_cost_model_slows_under_heavy_buffers():
+    """End-to-end: the same workload is slower with a pathological
+    host buffer-management coefficient."""
+    def run(per_buffer_cost):
+        sim = Simulator()
+        host = HostParams(completion_per_buffer_s=per_buffer_cost)
+        node = build_node(sim, base_topology(
+            disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED,
+            host=host))
+        server = StreamServer(sim, node, ServerParams(
+            read_ahead=1 * MiB, dispatch_width=32,
+            memory_budget=64 * MiB))
+        specs = uniform_streams(32, node.disk_ids, node.capacity_bytes,
+                                request_size=64 * KiB)
+        report = ClientFleet(sim, server, specs).run(
+            duration=4.0, warmup=1.0, settle_requests=4)
+        return report.throughput_mb
+
+    assert run(1.5e-6) > 1.3 * run(5e-3)
+
+
+def test_xdd_stack_conserves_bytes():
+    sim = Simulator()
+    from repro.disk import DiskDrive, DriveConfig
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      config=DriveConfig(rotation_mode=RotationMode.EXPECTED))
+    layer = BlockLayer(sim, drive, make_scheduler("cfq"))
+    cache = BufferCache(sim, layer, capacity_bytes=64 * MiB)
+    from repro.workload import run_xdd
+    report = run_xdd(sim, cache, num_streams=4,
+                     per_stream_bytes=1 * MiB)
+    assert report.total_bytes == 4 * MiB
+    # The device fetched at least what the clients consumed.
+    assert layer.stats.counter("completed").total_bytes >= 4 * MiB

@@ -1,0 +1,55 @@
+"""Tests for markdown rendering and the extension-experiment registry."""
+
+import pytest
+
+from repro.analysis import ExperimentResult
+from repro.analysis.markdown import markdown_table
+from repro.experiments import EXTENSIONS, SMOKE
+from repro.experiments.runner import main
+
+
+def make_result():
+    result = ExperimentResult(experiment_id="figX", title="Demo",
+                              x_label="streams", y_label="MB/s")
+    series = result.new_series("a")
+    series.add(1, 12.345)
+    series.add(10, 6.789)
+    other = result.new_series("b")
+    other.add(1, 1.0)
+    return result
+
+
+def test_markdown_table_structure():
+    table = markdown_table(make_result())
+    lines = table.splitlines()
+    assert lines[0] == "| streams | a | b |"
+    assert lines[1] == "|---|---|---|"
+    assert "| 1 | 12.3 | 1.0 |" in lines
+    assert "| 10 | 6.8 | — |" in lines  # missing cell dashed
+
+
+def test_markdown_precision():
+    table = markdown_table(make_result(), precision=3)
+    assert "12.345" in table
+
+
+def test_extensions_registry():
+    assert set(EXTENSIONS) == {"ext-fragmentation", "ext-insensitivity",
+                               "ext-latency-breakdown"}
+
+
+def test_runner_accepts_extension_ids(capsys):
+    exit_code = main(["ext-latency-breakdown", "--scale", "smoke"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "memory-served fraction" in output
+
+
+def test_latency_breakdown_shape():
+    """More read-ahead -> more requests served from memory."""
+    result = EXTENSIONS["ext-latency-breakdown"](SMOKE)
+    fraction = result.get("memory-served fraction")
+    assert fraction.y_at("S=100 R=8M") > fraction.y_at("S=100 R=256K")
+    assert fraction.y_at("S=100 R=8M") > 0.9
+    mean = result.get("mean (ms)")
+    assert mean.y_at("S=100 R=8M") < mean.y_at("S=100 R=256K")

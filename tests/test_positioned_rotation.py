@@ -1,0 +1,108 @@
+"""Tests for POSITIONED rotation: angular-position-accurate latency."""
+
+import pytest
+
+from repro.disk import DISKSIM_GENERIC, DiskDrive, DriveConfig
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import Mechanics, RotationMode, SeekModel
+from repro.io import IOKind, IORequest
+from repro.sim import Simulator
+from repro.units import KiB, MS, MiB
+
+
+def make_mechanics():
+    geo = DiskGeometry(heads=1, zones=[(100, 1000)])
+    seek = SeekModel(0.8 * MS, 5.0 * MS, geo.cylinders)
+    return Mechanics(geo, rpm=6000.0, seek_model=seek,
+                     rotation_mode=RotationMode.POSITIONED)
+
+
+def test_sector_under_head_is_free():
+    mech = make_mechanics()
+    # At t=0 the head is at angle 0; sector 0 is at angle 0.
+    assert mech.rotational_latency(now=0.0, target_lba=0) == pytest.approx(0.0)
+
+
+def test_sector_just_passed_costs_full_rotation():
+    mech = make_mechanics()
+    revolution = mech.rotation_time  # 10 ms at 6000 RPM
+    # Slightly after t=0 the head has passed sector 0: wait ~a whole turn.
+    latency = mech.rotational_latency(now=1e-6, target_lba=0)
+    assert latency == pytest.approx(revolution, rel=1e-3)
+
+
+def test_sector_ahead_costs_its_angle():
+    mech = make_mechanics()
+    # Sector 250 of a 1000-sector track sits a quarter turn ahead.
+    latency = mech.rotational_latency(now=0.0, target_lba=250)
+    assert latency == pytest.approx(mech.rotation_time / 4)
+
+
+def test_latency_bounded_by_one_rotation():
+    mech = make_mechanics()
+    for now in (0.0, 0.0013, 0.0071, 1.2345):
+        for lba in (0, 123, 999, 50_000):
+            latency = mech.rotational_latency(now=now, target_lba=lba)
+            assert 0.0 <= latency < mech.rotation_time + 1e-12
+
+
+def test_positioned_requires_context():
+    mech = make_mechanics()
+    with pytest.raises(ValueError):
+        mech.rotational_latency()
+
+
+def test_other_modes_ignore_context():
+    geo = DiskGeometry(heads=1, zones=[(100, 1000)])
+    seek = SeekModel(0.8 * MS, 5.0 * MS, geo.cylinders)
+    mech = Mechanics(geo, rpm=6000.0, seek_model=seek,
+                     rotation_mode=RotationMode.EXPECTED)
+    assert mech.rotational_latency() == pytest.approx(
+        mech.rotation_time / 2)
+
+
+def test_drive_runs_deterministically_in_positioned_mode():
+    def run_once():
+        sim = Simulator()
+        drive = DiskDrive(sim, DISKSIM_GENERIC, config=DriveConfig(
+            rotation_mode=RotationMode.POSITIONED))
+        latencies = []
+
+        def client(sim):
+            for index in range(8):
+                offset = index * 500 * MiB
+                offset -= offset % (64 * KiB)
+                event = drive.submit(IORequest(
+                    kind=IOKind.READ, disk_id=0, offset=offset,
+                    size=64 * KiB))
+                request = yield event
+                latencies.append(request.latency)
+
+        process = sim.process(client(sim))
+        sim.run_until_event(process)
+        return latencies
+
+    first, second = run_once(), run_once()
+    assert first == second  # fully deterministic, no RNG involved
+    assert all(lat > 0 for lat in first)
+
+
+def test_positioned_sequential_stream_still_fast():
+    """Contiguity short-circuits rotation in every mode."""
+    sim = Simulator()
+    drive = DiskDrive(sim, DISKSIM_GENERIC, config=DriveConfig(
+        rotation_mode=RotationMode.POSITIONED))
+    done = {}
+
+    def client(sim):
+        offset = 0
+        while offset < 16 * MiB:
+            yield drive.submit(IORequest(kind=IOKind.READ, disk_id=0,
+                                         offset=offset, size=64 * KiB))
+            offset += 64 * KiB
+        done["t"] = sim.now
+
+    sim.process(client(sim))
+    sim.run()
+    rate = 16 * MiB / done["t"] / MiB
+    assert rate > 40  # near media rate, like the other modes

@@ -1,0 +1,184 @@
+"""Edge-case tests for OS schedulers and the block layer.
+
+Covers the paths the main scheduler tests skip: write expiry in
+deadline, anonymous streams in CFQ, think-time estimation gates,
+anticipation bookkeeping across mixed traffic, and elevator wrap
+behaviour under churn.
+"""
+
+import pytest
+
+from repro.host.schedulers import (
+    AnticipatoryScheduler,
+    CFQScheduler,
+    DeadlineScheduler,
+    Dispatch,
+    Idle,
+    NoopScheduler,
+)
+from repro.io import IOKind, IORequest
+from repro.units import KiB, MiB
+
+
+def read(offset, size=64 * KiB, stream=None):
+    return IORequest(kind=IOKind.READ, disk_id=0, offset=offset,
+                     size=size, stream_id=stream)
+
+
+def write(offset, size=64 * KiB, stream=None):
+    return IORequest(kind=IOKind.WRITE, disk_id=0, offset=offset,
+                     size=size, stream_id=stream)
+
+
+# ---------------------------------------------------------------------------
+# Deadline: write expiry
+# ---------------------------------------------------------------------------
+
+def test_deadline_write_expiry_looser_than_read():
+    scheduler = DeadlineScheduler(read_expire=0.5, write_expire=5.0)
+    old_write = write(9 * MiB)
+    scheduler.add(old_write, now=0.0)
+    scheduler.add(read(1 * MiB), now=0.6)
+    # At t=1.0 the write (deadline t=5) has NOT expired: sweep order wins.
+    assert scheduler.decide(1.0).request.offset == 1 * MiB
+    # At t=6 it has: it preempts.
+    scheduler.add(read(2 * MiB), now=5.9)
+    assert scheduler.decide(6.0).request is old_write
+
+
+def test_deadline_skips_already_dispatched_expiry_entries():
+    scheduler = DeadlineScheduler(read_expire=0.1)
+    first = read(1 * MiB)
+    second = read(2 * MiB)
+    scheduler.add(first, 0.0)
+    scheduler.add(second, 0.0)
+    assert scheduler.decide(0.0).request is first  # sweep picks it
+    # Later, first's (stale) deadline entry must not be re-dispatched.
+    decision = scheduler.decide(1.0)
+    assert decision.request is second
+
+
+# ---------------------------------------------------------------------------
+# CFQ: anonymous streams, think-time gate
+# ---------------------------------------------------------------------------
+
+def test_cfq_anonymous_requests_share_a_queue():
+    scheduler = CFQScheduler()
+    scheduler.add(read(0, stream=None), 0.0)
+    scheduler.add(read(1 * MiB, stream=None), 0.0)
+    first = scheduler.decide(0.0)
+    second = scheduler.decide(0.0)
+    assert isinstance(first, Dispatch) and isinstance(second, Dispatch)
+
+
+def test_cfq_think_time_gate_disables_idle():
+    scheduler = CFQScheduler(slice_idle=0.008)
+    # Establish a long think time for stream 1 (~50 ms gaps).
+    request = read(0, stream=1)
+    scheduler.add(request, 0.0)
+    scheduler.decide(0.0)
+    scheduler.on_complete(request, 0.001)
+    again = read(64 * KiB, stream=1)
+    scheduler.add(again, 0.051)  # 50 ms think
+    scheduler.decide(0.051)
+    scheduler.on_complete(again, 0.052)
+    # Queue another stream; CFQ must NOT idle for slow-thinking stream 1.
+    scheduler.add(read(50 * MiB, stream=2), 0.053)
+    decision = scheduler.decide(0.053)
+    assert isinstance(decision, Dispatch)
+    assert decision.request.stream_id == 2
+
+
+def test_cfq_empty_decide_returns_none():
+    scheduler = CFQScheduler()
+    assert scheduler.decide(0.0) is None
+
+
+# ---------------------------------------------------------------------------
+# Anticipatory: think gate, mixed traffic, skip counters
+# ---------------------------------------------------------------------------
+
+def test_anticipatory_think_gate_skips_slow_streams():
+    scheduler = AnticipatoryScheduler(antic_timeout=0.0067)
+    request = read(0, stream=1)
+    scheduler.add(request, 0.0)
+    scheduler.decide(0.0)
+    scheduler.on_complete(request, 0.001)
+    # Stream 1 takes 20 ms to come back: recorded think >> window.
+    late = read(64 * KiB, stream=1)
+    scheduler.add(late, 0.021)
+    scheduler.decide(0.021)
+    scheduler.on_complete(late, 0.022)
+    scheduler.add(read(50 * MiB, stream=2), 0.023)
+    decision = scheduler.decide(0.023)
+    assert isinstance(decision, Dispatch)  # no idle for a slow thinker
+    assert scheduler.anticipation_skips >= 1
+
+
+def test_anticipatory_write_in_stream_cancels_anticipation():
+    scheduler = AnticipatoryScheduler()
+    request = read(0, stream=1)
+    scheduler.add(request, 0.0)
+    scheduler.decide(0.0)
+    scheduler.on_complete(request, 0.001)
+    w = write(64 * KiB, stream=1)
+    scheduler.add(w, 0.002)
+    # A queued write does not satisfy read anticipation: AS holds...
+    assert isinstance(scheduler.decide(0.002), Idle)
+    # ...until the window expires, then dispatches the write.
+    decision = scheduler.decide(0.01)
+    assert isinstance(decision, Dispatch)
+    assert decision.request is w
+    scheduler.on_complete(w, 0.011)  # write completion: no anticipation
+    scheduler.add(read(50 * MiB, stream=2), 0.012)
+    assert isinstance(scheduler.decide(0.012), Dispatch)
+
+
+def test_anticipatory_idle_on_empty_queue_keeps_window():
+    scheduler = AnticipatoryScheduler(antic_timeout=0.0067)
+    request = read(0, stream=1)
+    scheduler.add(request, 0.0)
+    scheduler.decide(0.0)
+    scheduler.on_complete(request, 0.001)
+    decision = scheduler.decide(0.002)  # nothing queued yet
+    assert isinstance(decision, Idle)
+    assert decision.until == pytest.approx(0.001 + 0.0067)
+    # Past the window, an empty queue is just empty.
+    assert scheduler.decide(0.05) is None
+
+
+def test_anticipatory_far_request_from_same_stream_not_anticipated():
+    scheduler = AnticipatoryScheduler(near_bytes=1 * MiB)
+    request = read(0, stream=1)
+    scheduler.add(request, 0.0)
+    scheduler.decide(0.0)
+    scheduler.on_complete(request, 0.001)
+    far = read(10 * 1024 * MiB // 1024 * KiB * 16, stream=1)  # ~10 GB away
+    scheduler.add(far, 0.002)
+    decision = scheduler.decide(0.002)
+    # Not "near": anticipation holds (Idle), not instant dispatch of far.
+    assert isinstance(decision, Idle)
+
+
+# ---------------------------------------------------------------------------
+# Noop: merge chains
+# ---------------------------------------------------------------------------
+
+def test_noop_merge_chain_accumulates():
+    scheduler = NoopScheduler()
+    first = read(0, 64 * KiB)
+    scheduler.add(first, 0.0)
+    scheduler.add(read(64 * KiB, 64 * KiB), 0.0)
+    scheduler.add(read(128 * KiB, 64 * KiB), 0.0)
+    assert scheduler.merges == 2
+    decision = scheduler.decide(0.0)
+    assert decision.request.size == 192 * KiB
+    assert len(decision.request.annotations["merged"]) == 2
+
+
+def test_noop_merge_does_not_cross_gap():
+    scheduler = NoopScheduler()
+    scheduler.add(read(0, 64 * KiB), 0.0)
+    scheduler.add(read(256 * KiB, 64 * KiB), 0.0)  # gap
+    assert scheduler.merges == 0
+    assert len(scheduler) == 2

@@ -1,0 +1,295 @@
+"""Unit tests for the OS I/O schedulers (decision logic, no device)."""
+
+import pytest
+
+from repro.host.schedulers import (
+    AnticipatoryScheduler,
+    CFQScheduler,
+    DeadlineScheduler,
+    Dispatch,
+    Idle,
+    NoopScheduler,
+    make_scheduler,
+)
+from repro.host.schedulers.base import ElevatorQueue
+from repro.io import IOKind, IORequest
+from repro.units import KiB, MiB
+
+
+def read(offset, size=64 * KiB, stream=None, disk=0):
+    return IORequest(kind=IOKind.READ, disk_id=disk, offset=offset,
+                     size=size, stream_id=stream)
+
+
+def write(offset, size=64 * KiB, stream=None):
+    return IORequest(kind=IOKind.WRITE, disk_id=0, offset=offset,
+                     size=size, stream_id=stream)
+
+
+# ---------------------------------------------------------------------------
+# ElevatorQueue
+# ---------------------------------------------------------------------------
+
+def test_elevator_sweeps_in_offset_order():
+    elevator = ElevatorQueue()
+    requests = [read(o * MiB) for o in (5, 1, 3)]
+    for request in requests:
+        elevator.add(request)
+    picked = [elevator.pick().offset for _ in range(3)]
+    assert picked == [1 * MiB, 3 * MiB, 5 * MiB]
+
+
+def test_elevator_wraps_clook():
+    elevator = ElevatorQueue()
+    elevator.position = 4 * MiB
+    for offset in (1 * MiB, 6 * MiB):
+        elevator.add(read(offset))
+    assert elevator.pick().offset == 6 * MiB   # ahead of cursor first
+    assert elevator.pick().offset == 1 * MiB   # then wrap to lowest
+
+
+def test_elevator_remove():
+    elevator = ElevatorQueue()
+    target = read(2 * MiB)
+    elevator.add(read(1 * MiB))
+    elevator.add(target)
+    elevator.remove(target)
+    assert len(elevator) == 1
+    assert elevator.pick().offset == 1 * MiB
+
+
+def test_elevator_pick_empty_returns_none():
+    assert ElevatorQueue().pick() is None
+
+
+# ---------------------------------------------------------------------------
+# Noop
+# ---------------------------------------------------------------------------
+
+def test_noop_fifo_order():
+    scheduler = NoopScheduler(merge=False)
+    for offset in (5 * MiB, 1 * MiB, 3 * MiB):
+        scheduler.add(read(offset), now=0.0)
+    order = [scheduler.decide(0.0).request.offset for _ in range(3)]
+    assert order == [5 * MiB, 1 * MiB, 3 * MiB]
+    assert scheduler.decide(0.0) is None
+
+
+def test_noop_back_merge():
+    scheduler = NoopScheduler()
+    first = read(0, 64 * KiB)
+    second = read(64 * KiB, 64 * KiB)
+    scheduler.add(first, 0.0)
+    scheduler.add(second, 0.0)
+    assert scheduler.merges == 1
+    decision = scheduler.decide(0.0)
+    assert decision.request is first
+    assert decision.request.size == 128 * KiB
+    assert decision.request.annotations["merged"] == [second]
+    assert scheduler.decide(0.0) is None
+
+
+def test_noop_no_merge_across_kinds():
+    scheduler = NoopScheduler()
+    scheduler.add(read(0, 64 * KiB), 0.0)
+    scheduler.add(write(64 * KiB, 64 * KiB), 0.0)
+    assert scheduler.merges == 0
+    assert len(scheduler) == 2
+
+
+# ---------------------------------------------------------------------------
+# Deadline
+# ---------------------------------------------------------------------------
+
+def test_deadline_sweep_order_when_fresh():
+    scheduler = DeadlineScheduler()
+    for offset in (5 * MiB, 1 * MiB):
+        scheduler.add(read(offset), now=0.0)
+    assert scheduler.decide(0.0).request.offset == 1 * MiB
+
+
+def test_deadline_expired_request_preempts():
+    scheduler = DeadlineScheduler(read_expire=0.5)
+    late = read(9 * MiB)
+    scheduler.add(late, now=0.0)
+    scheduler.add(read(1 * MiB), now=0.4)
+    # At t=0.6 the 9 MiB request is past its 0.5 s deadline.
+    assert scheduler.decide(0.6).request is late
+    assert scheduler.expired_dispatches == 1
+    assert scheduler.decide(0.6).request.offset == 1 * MiB
+
+
+def test_deadline_validation():
+    with pytest.raises(ValueError):
+        DeadlineScheduler(read_expire=0)
+
+
+# ---------------------------------------------------------------------------
+# Anticipatory
+# ---------------------------------------------------------------------------
+
+def test_anticipatory_idles_for_last_stream():
+    scheduler = AnticipatoryScheduler(antic_timeout=0.006)
+    first = read(0, stream=1)
+    scheduler.add(first, 0.0)
+    assert scheduler.decide(0.0).request is first
+    scheduler.on_complete(first, 0.001)
+    # Another stream's request is queued, but we anticipate stream 1.
+    scheduler.add(read(50 * MiB, stream=2), 0.002)
+    decision = scheduler.decide(0.002)
+    assert isinstance(decision, Idle)
+    assert decision.until == pytest.approx(0.007)
+
+
+def test_anticipatory_dispatches_anticipated_request():
+    scheduler = AnticipatoryScheduler()
+    first = read(0, stream=1)
+    scheduler.add(first, 0.0)
+    scheduler.decide(0.0)
+    scheduler.on_complete(first, 0.001)
+    scheduler.add(read(50 * MiB, stream=2), 0.002)
+    nearby = read(64 * KiB, stream=1)
+    scheduler.add(nearby, 0.003)
+    decision = scheduler.decide(0.003)
+    assert isinstance(decision, Dispatch)
+    assert decision.request is nearby
+    assert scheduler.anticipation_hits == 1
+
+
+def test_anticipatory_times_out_to_elevator():
+    scheduler = AnticipatoryScheduler(antic_timeout=0.006)
+    first = read(0, stream=1)
+    scheduler.add(first, 0.0)
+    scheduler.decide(0.0)
+    scheduler.on_complete(first, 0.001)
+    other = read(50 * MiB, stream=2)
+    scheduler.add(other, 0.002)
+    decision = scheduler.decide(0.010)  # past the window
+    assert isinstance(decision, Dispatch)
+    assert decision.request is other
+    assert scheduler.anticipation_timeouts == 1
+
+
+def test_anticipatory_batch_budget_expires():
+    scheduler = AnticipatoryScheduler(batch_expire=0.1)
+    request = read(0, stream=1)
+    scheduler.add(request, 0.0)
+    scheduler.decide(0.0)
+    scheduler.on_complete(request, 0.0)
+    # Same stream keeps completing past its batch budget.
+    later = read(64 * KiB, stream=1)
+    scheduler.add(later, 0.2)
+    scheduler.decide(0.2)
+    scheduler.on_complete(later, 0.2)  # 0.2 > batch_expire since 0.0
+    scheduler.add(read(50 * MiB, stream=2), 0.21)
+    decision = scheduler.decide(0.21)
+    assert isinstance(decision, Dispatch)  # no Idle: budget exhausted
+
+
+def test_anticipatory_no_anticipation_for_writes():
+    scheduler = AnticipatoryScheduler()
+    request = write(0, stream=1)
+    scheduler.add(request, 0.0)
+    scheduler.decide(0.0)
+    scheduler.on_complete(request, 0.001)
+    scheduler.add(read(50 * MiB, stream=2), 0.002)
+    assert isinstance(scheduler.decide(0.002), Dispatch)
+
+
+def test_anticipatory_validation():
+    with pytest.raises(ValueError):
+        AnticipatoryScheduler(antic_timeout=-1)
+    with pytest.raises(ValueError):
+        AnticipatoryScheduler(batch_expire=0)
+
+
+# ---------------------------------------------------------------------------
+# CFQ
+# ---------------------------------------------------------------------------
+
+def test_cfq_serves_active_stream_within_slice():
+    scheduler = CFQScheduler(slice_sync=0.1)
+    scheduler.add(read(0, stream=1), 0.0)
+    scheduler.add(read(50 * MiB, stream=2), 0.0)
+    scheduler.add(read(64 * KiB, stream=1), 0.0)
+    first = scheduler.decide(0.0)
+    assert first.request.stream_id == 1
+    second = scheduler.decide(0.01)
+    assert second.request.stream_id == 1  # still stream 1's slice
+
+
+def test_cfq_rotates_on_slice_expiry():
+    scheduler = CFQScheduler(slice_sync=0.1)
+    scheduler.add(read(0, stream=1), 0.0)
+    scheduler.add(read(50 * MiB, stream=2), 0.0)
+    scheduler.decide(0.0)
+    scheduler.add(read(64 * KiB, stream=1), 0.05)
+    decision = scheduler.decide(0.2)  # slice expired
+    assert decision.request.stream_id == 2
+
+
+def test_cfq_idles_on_empty_active_queue():
+    scheduler = CFQScheduler(slice_idle=0.008)
+    request = read(0, stream=1)
+    scheduler.add(request, 0.0)
+    scheduler.decide(0.0)
+    scheduler.add(read(50 * MiB, stream=2), 0.001)
+    scheduler.on_complete(request, 0.002)
+    decision = scheduler.decide(0.002)
+    assert isinstance(decision, Idle)
+    assert decision.until == pytest.approx(0.010)
+
+
+def test_cfq_moves_on_after_idle_expiry():
+    scheduler = CFQScheduler(slice_idle=0.008)
+    request = read(0, stream=1)
+    scheduler.add(request, 0.0)
+    scheduler.decide(0.0)
+    scheduler.on_complete(request, 0.002)
+    scheduler.add(read(50 * MiB, stream=2), 0.003)
+    decision = scheduler.decide(0.02)  # idle window long gone
+    assert isinstance(decision, Dispatch)
+    assert decision.request.stream_id == 2
+
+
+def test_cfq_round_robin_fairness():
+    scheduler = CFQScheduler(slice_sync=0.01, slice_idle=0.0)
+    for stream in (1, 2, 3):
+        for i in range(2):
+            scheduler.add(read(stream * 10 * MiB + i * 64 * KiB,
+                               stream=stream), 0.0)
+    served = []
+    now = 0.0
+    while True:
+        decision = scheduler.decide(now)
+        if decision is None:
+            break
+        if isinstance(decision, Idle):
+            now = decision.until
+            continue
+        served.append(decision.request.stream_id)
+        now += 0.02  # each request outlives the slice
+    # Every stream gets served; no stream is starved.
+    assert sorted(set(served)) == [1, 2, 3]
+    assert len(served) == 6
+
+
+def test_cfq_validation():
+    with pytest.raises(ValueError):
+        CFQScheduler(slice_sync=0)
+    with pytest.raises(ValueError):
+        CFQScheduler(slice_idle=-1)
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+
+def test_make_scheduler_names():
+    assert isinstance(make_scheduler("noop"), NoopScheduler)
+    assert isinstance(make_scheduler("deadline"), DeadlineScheduler)
+    assert isinstance(make_scheduler("anticipatory"), AnticipatoryScheduler)
+    assert isinstance(make_scheduler("as"), AnticipatoryScheduler)
+    assert isinstance(make_scheduler("cfq"), CFQScheduler)
+    with pytest.raises(ValueError):
+        make_scheduler("bfq")

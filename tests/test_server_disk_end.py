@@ -1,0 +1,36 @@
+"""Regression test: streams reaching the end of the disk don't wedge."""
+
+from repro.core import ServerParams, StreamServer
+from repro.disk import WD800JD
+from repro.disk.mechanics import RotationMode
+from repro.io import IOKind, IORequest
+from repro.node import base_topology, build_node
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+
+def test_stream_at_disk_end_completes_all_requests():
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    server = StreamServer(sim, node, ServerParams(
+        read_ahead=4 * MiB, memory_budget=32 * MiB))
+    # Start close enough to the end that read-ahead runs out of disk.
+    start = node.capacity_bytes - 2 * MiB
+    start -= start % (64 * KiB)
+    completions = []
+
+    def client(sim):
+        offset = start
+        while offset + 64 * KiB <= node.capacity_bytes:
+            yield server.submit(IORequest(
+                kind=IOKind.READ, disk_id=0, offset=offset,
+                size=64 * KiB, stream_id=1))
+            completions.append(offset)
+            offset += 64 * KiB
+
+    process = sim.process(client(sim))
+    sim.run_until_event(process, limit=60.0)
+    assert len(completions) == 2 * MiB // (64 * KiB)
+    sim.run()  # GC drains; nothing wedged
+    assert server.buffered.in_use == 0

@@ -1,0 +1,334 @@
+"""Unit tests for the discrete-event kernel: engine, events, processes."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, SimulationError, Simulator, Timeout
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=5.0)
+    assert sim.now == 5.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    sim.timeout(3.5)
+    sim.run()
+    assert sim.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_run_until_stops_before_future_events():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert fired == []
+    sim.run()
+    assert fired == [10.0]
+
+
+def test_run_until_past_raises():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(ValueError):
+        sim.run(until=5.0)
+
+
+def test_processes_interleave_in_time_order():
+    sim = Simulator()
+    log = []
+
+    def worker(sim, name, delay):
+        yield sim.timeout(delay)
+        log.append((sim.now, name))
+
+    sim.process(worker(sim, "slow", 2.0))
+    sim.process(worker(sim, "fast", 1.0))
+    sim.run()
+    assert log == [(1.0, "fast"), (2.0, "slow")]
+
+
+def test_simultaneous_events_fifo_order():
+    sim = Simulator()
+    log = []
+
+    def worker(sim, name):
+        yield sim.timeout(1.0)
+        log.append(name)
+
+    for name in ("a", "b", "c"):
+        sim.process(worker(sim, name))
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    results = []
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        results.append(value)
+
+    sim.process(parent(sim))
+    sim.run()
+    assert results == [42]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    seen = []
+
+    def waiter(sim):
+        value = yield gate
+        seen.append((sim.now, value))
+
+    def opener(sim):
+        yield sim.timeout(2.0)
+        gate.succeed("open")
+
+    sim.process(waiter(sim))
+    sim.process(opener(sim))
+    sim.run()
+    assert seen == [(2.0, "open")]
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed(1)
+    from repro.sim.events import EventAlreadyTriggered
+    with pytest.raises(EventAlreadyTriggered):
+        gate.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim))
+    gate.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    gate = sim.event()
+    with pytest.raises(TypeError):
+        gate.fail("not an exception")
+
+
+def test_unhandled_process_exception_surfaces():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("kaput")
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run()
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_handled_process_exception_does_not_surface():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("kaput")
+
+    caught = []
+
+    def parent(sim):
+        try:
+            yield sim.process(bad(sim))
+        except ValueError:
+            caught.append(True)
+
+    sim.process(parent(sim))
+    sim.run()
+    assert caught == [True]
+
+
+def test_yield_non_event_raises_in_process():
+    sim = Simulator()
+
+    def confused(sim):
+        yield 5  # not an event
+
+    sim.process(confused(sim))
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run()
+    assert isinstance(excinfo.value.__cause__, TypeError)
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed("early")
+    sim.run()
+    assert gate.processed
+    seen = []
+
+    def late_waiter(sim):
+        value = yield gate
+        seen.append(value)
+
+    sim.process(late_waiter(sim))
+    sim.run()
+    assert seen == ["early"]
+
+
+def test_interrupt_raises_in_target():
+    sim = Simulator()
+    caught = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            caught.append((sim.now, interrupt.cause))
+
+    def poker(sim, target):
+        yield sim.timeout(1.0)
+        target.interrupt("wake up")
+
+    target = sim.process(sleeper(sim))
+    sim.process(poker(sim, target))
+    sim.run()
+    assert caught == [(1.0, "wake up")]
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0.5)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    assert not proc.is_alive
+    proc.interrupt("ignored")  # must not raise
+    sim.run()
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+    results = []
+
+    def waiter(sim):
+        events = [sim.timeout(1.0, value="a"), sim.timeout(3.0, value="b")]
+        mapping = yield sim.all_of(events)
+        results.append((sim.now, sorted(mapping.values())))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert results == [(3.0, ["a", "b"])]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    results = []
+
+    def waiter(sim):
+        events = [sim.timeout(5.0, value="slow"), sim.timeout(1.0, value="fast")]
+        mapping = yield sim.any_of(events)
+        results.append((sim.now, list(mapping.values())))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert results == [(1.0, ["fast"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    results = []
+
+    def waiter(sim):
+        mapping = yield sim.all_of([])
+        results.append(mapping)
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert results == [{}]
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(2.0)
+        return "done"
+
+    proc = sim.process(worker(sim))
+    assert sim.run_until_event(proc) == "done"
+    assert sim.now == 2.0
+
+
+def test_run_until_event_timeout_error():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(100.0)
+
+    proc = sim.process(worker(sim))
+    with pytest.raises(TimeoutError):
+        sim.run_until_event(proc, limit=1.0)
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    assert sim.peek() == 0.0 or sim.peek() == 4.0  # timeout scheduled at +4
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_deterministic_repeat_runs():
+    def build_and_run():
+        sim = Simulator()
+        log = []
+
+        def worker(sim, name, period, count):
+            for _ in range(count):
+                yield sim.timeout(period)
+                log.append((sim.now, name))
+
+        sim.process(worker(sim, "x", 1.0, 5))
+        sim.process(worker(sim, "y", 0.7, 7))
+        sim.run()
+        return log
+
+    assert build_and_run() == build_and_run()

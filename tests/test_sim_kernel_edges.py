@@ -1,0 +1,217 @@
+"""Edge-case and property tests for the DES kernel."""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+# ---------------------------------------------------------------------------
+# Conditions: failure propagation, mixed states
+# ---------------------------------------------------------------------------
+
+def test_all_of_fails_fast_on_child_failure():
+    sim = Simulator()
+    good = sim.timeout(5.0)
+    bad = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield sim.all_of([good, bad])
+        except RuntimeError as exc:
+            caught.append((sim.now, str(exc)))
+
+    sim.process(waiter(sim))
+    bad.fail(RuntimeError("child died"))
+    sim.run()
+    # Failure propagates immediately, before the slow child fires.
+    assert caught == [(0.0, "child died")]
+
+
+def test_any_of_fails_on_child_failure():
+    sim = Simulator()
+    slow = sim.timeout(5.0)
+    bad = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield sim.any_of([slow, bad])
+        except RuntimeError:
+            caught.append(sim.now)
+
+    sim.process(waiter(sim))
+    bad.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == [0.0]
+
+
+def test_condition_with_pre_processed_children():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("early")
+    sim.run()
+    results = []
+
+    def waiter(sim):
+        mapping = yield sim.all_of([done])
+        results.append(list(mapping.values()))
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert results == [["early"]]
+
+
+def test_condition_rejects_foreign_events():
+    sim_a, sim_b = Simulator(), Simulator()
+    with pytest.raises(ValueError):
+        sim_a.all_of([sim_a.event(), sim_b.event()])
+
+
+# ---------------------------------------------------------------------------
+# Interrupts interacting with resources
+# ---------------------------------------------------------------------------
+
+def test_interrupt_while_holding_resource_releases_in_finally():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def holder(sim):
+        grant = resource.request()
+        yield grant
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            order.append("interrupted")
+        finally:
+            resource.release()
+
+    def contender(sim):
+        grant = resource.request()
+        yield grant
+        order.append(("acquired", sim.now))
+        resource.release()
+
+    target = sim.process(holder(sim))
+    sim.process(contender(sim))
+
+    def poker(sim):
+        yield sim.timeout(1.0)
+        target.interrupt()
+
+    sim.process(poker(sim))
+    sim.run()
+    assert order == ["interrupted", ("acquired", 1.0)]
+
+
+def test_interrupt_while_waiting_in_store():
+    sim = Simulator()
+    store = Store(sim)
+    outcome = []
+
+    def consumer(sim):
+        try:
+            yield store.get()
+        except Interrupt:
+            outcome.append("interrupted")
+
+    target = sim.process(consumer(sim))
+
+    def poker(sim):
+        yield sim.timeout(0.5)
+        target.interrupt()
+
+    sim.process(poker(sim))
+    sim.run()
+    assert outcome == ["interrupted"]
+
+
+def test_double_interrupt_delivers_both():
+    sim = Simulator()
+    seen = []
+
+    def stubborn(sim):
+        for _ in range(2):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as interrupt:
+                seen.append(interrupt.cause)
+        return "done"
+
+    target = sim.process(stubborn(sim))
+    target.interrupt("first")
+    target.interrupt("second")
+    result = sim.run_until_event(target)
+    assert seen == ["first", "second"]
+    assert result == "done"
+
+
+# ---------------------------------------------------------------------------
+# Property: event ordering
+# ---------------------------------------------------------------------------
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1000.0,
+                                 allow_nan=False),
+                       min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_property_events_fire_in_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.timeout(delay).callbacks.append(
+            lambda e, d=delay: fired.append((sim.now, d)))
+    sim.run()
+    times = [t for t, _d in fired]
+    assert times == sorted(times)
+    # Every timeout fired exactly at its delay.
+    assert sorted(d for _t, d in fired) == sorted(delays)
+    for time, delay in fired:
+        assert time == pytest.approx(delay)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                                 allow_nan=False),
+                       min_size=2, max_size=50))
+@settings(max_examples=30)
+def test_property_equal_times_fifo(delays):
+    """Events at identical times process in scheduling order."""
+    sim = Simulator()
+    fired = []
+    for index, delay in enumerate(delays):
+        rounded = round(delay, 1)  # force collisions
+        sim.timeout(rounded).callbacks.append(
+            lambda e, i=index, t=rounded: fired.append((t, i)))
+    sim.run()
+    # Within each timestamp, indexes ascend (FIFO of scheduling).
+    by_time = {}
+    for time, index in fired:
+        by_time.setdefault(time, []).append(index)
+    for indexes in by_time.values():
+        assert indexes == sorted(indexes)
+
+
+def test_step_on_empty_heap_raises():
+    sim = Simulator()
+    with pytest.raises(IndexError):
+        sim.step()
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(ValueError):
+        event.succeed(delay=-1.0)

@@ -1,0 +1,199 @@
+"""Unit tests for Resource, Store, and Pipe primitives."""
+
+import pytest
+
+from repro.sim import Pipe, Resource, Simulator, Store
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    g1, g2, g3 = res.request(), res.request(), res.request()
+    sim.run()
+    assert g1.processed and g2.processed
+    assert not g3.processed
+    assert res.in_use == 2
+    assert res.queued == 1
+
+
+def test_resource_release_wakes_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def holder(sim, name, hold):
+        grant = res.request()
+        yield grant
+        order.append(("acquire", name, sim.now))
+        yield sim.timeout(hold)
+        res.release()
+
+    sim.process(holder(sim, "a", 2.0))
+    sim.process(holder(sim, "b", 1.0))
+    sim.process(holder(sim, "c", 1.0))
+    sim.run()
+    assert order == [
+        ("acquire", "a", 0.0),
+        ("acquire", "b", 2.0),
+        ("acquire", "c", 3.0),
+    ]
+
+
+def test_resource_release_idle_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim):
+        for item in (1, 2, 3):
+            yield store.put(item)
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    def producer(sim):
+        yield sim.timeout(5.0)
+        yield store.put("late")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [(5.0, "late")]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    events = []
+
+    def producer(sim):
+        yield store.put("a")
+        events.append(("put-a", sim.now))
+        yield store.put("b")
+        events.append(("put-b", sim.now))
+
+    def consumer(sim):
+        yield sim.timeout(3.0)
+        item = yield store.get()
+        events.append((f"got-{item}", sim.now))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert ("put-a", 0.0) in events
+    assert ("put-b", 3.0) in events  # admitted only after the get
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("x")
+    sim.run()
+    assert store.try_get() == "x"
+    assert store.try_get() is None
+
+
+def test_store_len_and_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(10)
+    store.put(20)
+    sim.run()
+    assert len(store) == 2
+    assert store.items == (10, 20)
+
+
+# ---------------------------------------------------------------------------
+# Pipe
+# ---------------------------------------------------------------------------
+
+def test_pipe_transfer_time():
+    sim = Simulator()
+    pipe = Pipe(sim, bandwidth=100.0)
+    assert pipe.transfer_time(200) == pytest.approx(2.0)
+
+
+def test_pipe_transfer_overhead():
+    sim = Simulator()
+    pipe = Pipe(sim, bandwidth=100.0, per_transfer_overhead=0.5)
+    assert pipe.transfer_time(100) == pytest.approx(1.5)
+
+
+def test_pipe_serialises_transfers():
+    sim = Simulator()
+    pipe = Pipe(sim, bandwidth=100.0)
+    done = []
+
+    def mover(sim, name, nbytes):
+        yield from pipe.transfer(nbytes)
+        done.append((name, sim.now))
+
+    sim.process(mover(sim, "first", 100))
+    sim.process(mover(sim, "second", 100))
+    sim.run()
+    assert done == [("first", 1.0), ("second", 2.0)]
+    assert pipe.bytes_moved == 200
+    assert pipe.transfers == 2
+
+
+def test_pipe_rejects_bad_params():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Pipe(sim, bandwidth=0)
+    with pytest.raises(ValueError):
+        Pipe(sim, bandwidth=10, per_transfer_overhead=-1)
+    pipe = Pipe(sim, bandwidth=10)
+    with pytest.raises(ValueError):
+        pipe.transfer_time(-5)
+
+
+def test_pipe_busy_time_tracks_utilisation():
+    sim = Simulator()
+    pipe = Pipe(sim, bandwidth=100.0)
+
+    def mover(sim):
+        yield from pipe.transfer(50)
+
+    sim.process(mover(sim))
+    sim.run()
+    assert pipe.busy_time == pytest.approx(0.5)
+    assert pipe.utilization_to(1.0) == pytest.approx(0.5)

@@ -1,0 +1,212 @@
+"""Unit tests for metric primitives and the stats registry."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    IntervalRate,
+    LatencySampler,
+    StatsRegistry,
+    TimeWeightedGauge,
+)
+
+
+# ---------------------------------------------------------------------------
+# Counter
+# ---------------------------------------------------------------------------
+
+def test_counter_accumulates():
+    counter = Counter("reads")
+    counter.add(100)
+    counter.add(200)
+    assert counter.count == 2
+    assert counter.total_bytes == 300
+
+
+def test_counter_throughput_and_rate():
+    counter = Counter()
+    counter.add(1000)
+    assert counter.throughput(2.0) == pytest.approx(500.0)
+    assert counter.rate(2.0) == pytest.approx(0.5)
+    assert counter.throughput(0.0) == 0.0
+
+
+def test_counter_merge():
+    a, b = Counter(), Counter()
+    a.add(10)
+    b.add(20)
+    b.add(30)
+    a.merge(b)
+    assert a.count == 3
+    assert a.total_bytes == 60
+
+
+# ---------------------------------------------------------------------------
+# TimeWeightedGauge
+# ---------------------------------------------------------------------------
+
+def test_gauge_time_weighted_mean():
+    gauge = TimeWeightedGauge()
+    gauge.set(0.0, 0.0)
+    gauge.set(1.0, 10.0)   # level 0 for [0,1)
+    gauge.set(3.0, 0.0)    # level 10 for [1,3)
+    assert gauge.mean(now=4.0) == pytest.approx((0 * 1 + 10 * 2 + 0 * 1) / 4)
+
+
+def test_gauge_adjust_and_extremes():
+    gauge = TimeWeightedGauge()
+    gauge.adjust(1.0, +5)
+    gauge.adjust(2.0, -3)
+    assert gauge.level == 2
+    assert gauge.max_level == 5
+    assert gauge.min_level == 0
+
+
+def test_gauge_rejects_time_travel():
+    gauge = TimeWeightedGauge()
+    gauge.set(5.0, 1.0)
+    with pytest.raises(ValueError):
+        gauge.set(4.0, 2.0)
+
+
+# ---------------------------------------------------------------------------
+# LatencySampler
+# ---------------------------------------------------------------------------
+
+def test_latency_sampler_moments():
+    sampler = LatencySampler()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        sampler.observe(value)
+    assert sampler.count == 4
+    assert sampler.mean == pytest.approx(2.5)
+    assert sampler.min == 1.0
+    assert sampler.max == 4.0
+    assert sampler.variance == pytest.approx(1.25)
+
+
+def test_latency_sampler_empty():
+    sampler = LatencySampler()
+    assert sampler.mean == 0.0
+    assert sampler.variance == 0.0
+    assert sampler.percentile(0.5) == 0.0
+
+
+def test_latency_percentile_tracks_distribution():
+    sampler = LatencySampler(reservoir=1000)
+    for i in range(1000):
+        sampler.observe(float(i))
+    assert sampler.percentile(0.5) == pytest.approx(500, abs=20)
+    assert sampler.percentile(0.0) == 0.0
+
+
+def test_latency_percentile_range_check():
+    sampler = LatencySampler()
+    with pytest.raises(ValueError):
+        sampler.percentile(1.5)
+
+
+def test_latency_reservoir_bounded():
+    sampler = LatencySampler(reservoir=64)
+    for i in range(10_000):
+        sampler.observe(float(i % 100))
+    assert len(sampler._reservoir) <= 64
+    assert sampler.count == 10_000
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=200))
+def test_latency_mean_matches_numpy_style_mean(values):
+    sampler = LatencySampler()
+    for value in values:
+        sampler.observe(value)
+    assert sampler.mean == pytest.approx(sum(values) / len(values), rel=1e-9,
+                                         abs=1e-9)
+    assert sampler.min == min(values)
+    assert sampler.max == max(values)
+
+
+# ---------------------------------------------------------------------------
+# Histogram
+# ---------------------------------------------------------------------------
+
+def test_histogram_buckets_and_overflow():
+    hist = Histogram(bounds=[1.0, 2.0, 4.0])
+    for value in (0.5, 1.5, 3.0, 10.0):
+        hist.observe(value)
+    assert hist.counts == [1, 1, 1]
+    assert hist.overflow == 1
+    assert hist.total == 4
+
+
+def test_histogram_boundary_inclusive():
+    hist = Histogram(bounds=[1.0, 2.0])
+    hist.observe(1.0)  # inclusive upper of first bucket
+    assert hist.counts == [1, 0]
+
+
+def test_histogram_rows_include_overflow():
+    hist = Histogram(bounds=[1.0])
+    hist.observe(5.0)
+    rows = hist.as_rows()
+    assert rows[-1][0] == math.inf
+    assert rows[-1][1] == 1
+
+
+def test_histogram_requires_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=[])
+
+
+# ---------------------------------------------------------------------------
+# IntervalRate
+# ---------------------------------------------------------------------------
+
+def test_interval_rate_windows():
+    rate = IntervalRate(interval=1.0)
+    rate.record(0.5, 100)
+    rate.record(0.9, 100)
+    rate.record(1.5, 300)
+    rows = dict(rate.rates())
+    assert rows[0.0] == pytest.approx(200.0)
+    assert rows[1.0] == pytest.approx(300.0)
+
+
+def test_interval_rate_steady_skips_warmup():
+    rate = IntervalRate(interval=1.0)
+    rate.record(0.5, 1000)   # warm-up window
+    rate.record(1.5, 100)
+    rate.record(2.5, 100)
+    assert rate.steady_rate(skip_windows=1) == pytest.approx(100.0)
+
+
+def test_interval_rate_validation():
+    with pytest.raises(ValueError):
+        IntervalRate(interval=0)
+
+
+# ---------------------------------------------------------------------------
+# StatsRegistry
+# ---------------------------------------------------------------------------
+
+def test_registry_reuses_named_metrics():
+    registry = StatsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.gauge("g") is registry.gauge("g")
+    assert registry.latency("l") is registry.latency("l")
+
+
+def test_registry_snapshot_shape():
+    registry = StatsRegistry()
+    registry.counter("io").add(512)
+    registry.gauge("queue").set(1.0, 3)
+    registry.latency("lat").observe(0.01)
+    snap = registry.snapshot()
+    assert snap["io.count"] == 1
+    assert snap["io.bytes"] == 512
+    assert snap["queue.level"] == 3
+    assert snap["lat.n"] == 1

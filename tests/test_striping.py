@@ -1,0 +1,185 @@
+"""Tests for the RAID-0 striped volume extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ServerParams, StreamServer
+from repro.disk import WD800JD
+from repro.disk.mechanics import RotationMode
+from repro.io import IOKind, IORequest
+from repro.node import StripedVolume, base_topology, build_node, \
+    medium_topology
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+
+
+def make_volume(sim, num_disks=4, chunk=256 * KiB):
+    topo = medium_topology if num_disks > 1 else base_topology
+    node = build_node(sim, topo(disk_spec=WD800JD,
+                                rotation_mode=RotationMode.EXPECTED))
+    return StripedVolume(sim, node, node.disk_ids[:num_disks],
+                         chunk_bytes=chunk), node
+
+
+def read(offset, size=64 * KiB, stream=None):
+    return IORequest(kind=IOKind.READ, disk_id=0, offset=offset,
+                     size=size, stream_id=stream)
+
+
+# ---------------------------------------------------------------------------
+# Address mapping
+# ---------------------------------------------------------------------------
+
+def test_mapping_round_robin_over_chunks():
+    sim = Simulator()
+    volume, _node = make_volume(sim, num_disks=4, chunk=256 * KiB)
+    for chunk_index in range(8):
+        disk, physical = volume.map_offset(chunk_index * 256 * KiB)
+        assert disk == volume.disk_ids[chunk_index % 4]
+        assert physical == (chunk_index // 4) * 256 * KiB
+
+
+def test_mapping_within_chunk_offsets_preserved():
+    sim = Simulator()
+    volume, _node = make_volume(sim, num_disks=4)
+    disk, physical = volume.map_offset(256 * KiB + 10 * KiB)
+    assert disk == volume.disk_ids[1]
+    assert physical == 10 * KiB
+
+
+def test_mapping_rejects_out_of_range():
+    sim = Simulator()
+    volume, _node = make_volume(sim)
+    with pytest.raises(ValueError):
+        volume.map_offset(-1)
+    with pytest.raises(ValueError):
+        volume.map_offset(volume.capacity_bytes)
+
+
+@given(offset_chunks=st.integers(min_value=0, max_value=100_000),
+       within=st.integers(min_value=0, max_value=256 * KiB - 1))
+@settings(max_examples=60)
+def test_property_mapping_is_injective(offset_chunks, within):
+    """Distinct virtual offsets never collide on (disk, physical)."""
+    sim = Simulator()
+    volume, _node = make_volume(sim, num_disks=4)
+    virtual = offset_chunks * 256 * KiB + within
+    if virtual + 256 * KiB >= volume.capacity_bytes:
+        return
+    a = volume.map_offset(virtual)
+    b = volume.map_offset(virtual + 256 * KiB)  # next chunk
+    assert a != b
+
+
+def test_split_covers_request_exactly():
+    sim = Simulator()
+    volume, _node = make_volume(sim, num_disks=4, chunk=256 * KiB)
+    request = read(100 * KiB, 1 * MiB)  # straddles 5 chunks
+    children = volume.split(request)
+    assert sum(c.size for c in children) == 1 * MiB
+    assert len(children) == 5
+    assert all(c.parent is request for c in children)
+    # Consecutive children land on consecutive stripe members.
+    assert children[0].disk_id != children[1].disk_id
+
+
+# ---------------------------------------------------------------------------
+# I/O behaviour
+# ---------------------------------------------------------------------------
+
+def test_striped_read_completes():
+    sim = Simulator()
+    volume, node = make_volume(sim)
+    event = volume.submit(read(0, 1 * MiB))
+    sim.run()
+    assert event.value.latency > 0
+    # All four members saw traffic.
+    touched = [d for d in volume.disk_ids
+               if node.drive(d).stats.counter("completed").count > 0]
+    assert len(touched) == 4
+
+
+def test_striped_large_read_faster_than_single_disk():
+    """One big read engages all spindles: near-linear speed-up."""
+    def elapsed(num_disks):
+        sim = Simulator()
+        volume, _node = make_volume(sim, num_disks=num_disks,
+                                    chunk=1 * MiB)
+        done = {}
+
+        def client(sim):
+            position = 0
+            for _ in range(8):
+                yield volume.submit(read(position, 8 * MiB))
+                position += 8 * MiB
+            done["t"] = sim.now
+
+        sim.process(client(sim))
+        sim.run()
+        return done["t"]
+
+    single = elapsed(1)
+    striped = elapsed(4)
+    assert striped < single / 2  # at least 2x of the ideal 4x
+
+
+def test_capacity_is_whole_chunks_times_members():
+    sim = Simulator()
+    volume, node = make_volume(sim, num_disks=4, chunk=256 * KiB)
+    per_disk_chunks = node.capacity_bytes // (256 * KiB)
+    assert volume.capacity_bytes == per_disk_chunks * 256 * KiB * 4
+
+
+def test_submit_beyond_capacity_rejected():
+    sim = Simulator()
+    volume, _node = make_volume(sim)
+    with pytest.raises(ValueError):
+        volume.submit(read(volume.capacity_bytes - 64 * KiB, 128 * KiB))
+
+
+def test_constructor_validation():
+    sim = Simulator()
+    node = build_node(sim, medium_topology())
+    with pytest.raises(ValueError):
+        StripedVolume(sim, node, [])
+    with pytest.raises(ValueError):
+        StripedVolume(sim, node, [0, 0])
+    with pytest.raises(ValueError):
+        StripedVolume(sim, node, [0, 99])
+    with pytest.raises(ValueError):
+        StripedVolume(sim, node, [0, 1], chunk_bytes=1000)
+
+
+def test_stream_server_over_striped_volume():
+    """Sequential virtual streams detect and stage over RAID-0."""
+    sim = Simulator()
+    volume, _node = make_volume(sim, num_disks=4, chunk=256 * KiB)
+    server = StreamServer(sim, volume, ServerParams(
+        read_ahead=2 * MiB, memory_budget=64 * MiB))
+    done = []
+
+    def client(sim):
+        offset = 0
+        for _ in range(64):
+            yield server.submit(read(offset, stream=1))
+            offset += 64 * KiB
+        done.append(True)
+
+    process = sim.process(client(sim))
+    sim.run_until_event(process, limit=60.0)
+    assert done == [True]
+    assert server.classifier.detected == 1
+    assert server.stats.counter("staged_hits").count > 40
+
+
+def test_write_through_stripe():
+    sim = Simulator()
+    volume, node = make_volume(sim, num_disks=4, chunk=256 * KiB)
+    event = volume.submit(IORequest(kind=IOKind.WRITE, disk_id=0,
+                                    offset=0, size=1 * MiB))
+    sim.run()
+    assert event.processed
+    written = sum(node.drive(d).stats.counter("media_write").total_bytes
+                  for d in volume.disk_ids)
+    assert written == 1 * MiB

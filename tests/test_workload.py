@@ -1,0 +1,234 @@
+"""Tests for workload generation, clients, xdd, and mixed loads."""
+
+import pytest
+
+from repro.disk import DISKSIM_GENERIC, DiskDrive, DriveConfig
+from repro.disk.mechanics import RotationMode
+from repro.host import BlockLayer, BufferCache, make_scheduler
+from repro.io import IOKind
+from repro.node import base_topology, build_node
+from repro.sim import Simulator
+from repro.units import GiB, KiB, MiB
+from repro.workload import (
+    ClientFleet,
+    StreamSpec,
+    random_requests,
+    run_xdd,
+    uniform_streams,
+    zipf_requests,
+)
+
+
+# ---------------------------------------------------------------------------
+# StreamSpec / uniform_streams
+# ---------------------------------------------------------------------------
+
+def test_uniform_streams_spacing_matches_paper():
+    specs = uniform_streams(10, [0], disk_capacity=80 * 10**9,
+                            request_size=64 * KiB)
+    assert len(specs) == 10
+    spacing = specs[1].start_offset - specs[0].start_offset
+    expected = 80 * 10**9 // 10
+    assert abs(spacing - expected) <= 64 * KiB
+    assert spacing % (64 * KiB) == 0
+
+
+def test_uniform_streams_per_disk_and_unique_ids():
+    specs = uniform_streams(5, [0, 1, 2], disk_capacity=10 * GiB)
+    assert len(specs) == 15
+    ids = [s.stream_id for s in specs]
+    assert len(set(ids)) == 15
+    per_disk = {d: [s for s in specs if s.disk_id == d] for d in (0, 1, 2)}
+    assert all(len(group) == 5 for group in per_disk.values())
+
+
+def test_uniform_streams_validation():
+    with pytest.raises(ValueError):
+        uniform_streams(0, [0], disk_capacity=GiB)
+    with pytest.raises(ValueError):
+        uniform_streams(1, [], disk_capacity=GiB)
+    with pytest.raises(ValueError):
+        uniform_streams(10_000_000, [0], disk_capacity=GiB)
+
+
+def test_stream_spec_validation():
+    with pytest.raises(ValueError):
+        StreamSpec(1, 0, 0, request_size=1000)  # unaligned
+    with pytest.raises(ValueError):
+        StreamSpec(1, 0, 100, request_size=64 * KiB)  # unaligned offset
+    with pytest.raises(ValueError):
+        StreamSpec(1, 0, 0, request_size=64 * KiB, outstanding=0)
+    with pytest.raises(ValueError):
+        StreamSpec(1, 0, 0, request_size=64 * KiB, think_time=-1)
+    with pytest.raises(ValueError):
+        StreamSpec(1, 0, 0, request_size=64 * KiB, total_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# ClientFleet
+# ---------------------------------------------------------------------------
+
+def test_fleet_completes_fixed_bytes():
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        rotation_mode=RotationMode.EXPECTED))
+    specs = uniform_streams(4, [0], node.capacity_bytes,
+                            total_bytes=1 * MiB)
+    report = ClientFleet(sim, node, specs).run()
+    assert report.total_bytes == 4 * MiB
+    assert report.num_streams == 4
+    assert report.throughput > 0
+    assert all(b == 1 * MiB for b in report.per_stream_bytes)
+
+
+def test_fleet_duration_mode_counts_only_window():
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        rotation_mode=RotationMode.EXPECTED))
+    specs = uniform_streams(2, [0], node.capacity_bytes, total_bytes=None)
+    report = ClientFleet(sim, node, specs).run(duration=1.0)
+    assert report.elapsed == 1.0
+    assert report.total_bytes > 0
+
+
+def test_fleet_warmup_excluded():
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        rotation_mode=RotationMode.EXPECTED))
+    specs = uniform_streams(1, [0], node.capacity_bytes, total_bytes=None)
+    with_warmup = ClientFleet(sim, node, specs)
+    report = with_warmup.run(duration=2.0, warmup=1.0)
+    # Counted bytes ≈ the 2 s measured window, excluding the warm-up
+    # second (~60 MB/s x 2 s, not x 3 s).
+    assert 80 * MiB < report.total_bytes < 140 * MiB
+
+
+def test_fleet_latency_statistics():
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        rotation_mode=RotationMode.EXPECTED))
+    specs = uniform_streams(2, [0], node.capacity_bytes,
+                            total_bytes=1 * MiB)
+    report = ClientFleet(sim, node, specs).run()
+    assert report.mean_latency > 0
+    assert report.p99_latency >= report.mean_latency * 0.1
+
+
+def test_fleet_outstanding_window():
+    sim = Simulator()
+    node = build_node(sim, base_topology(
+        rotation_mode=RotationMode.EXPECTED))
+    spec = StreamSpec(stream_id=1, disk_id=0, start_offset=0,
+                      request_size=64 * KiB, total_bytes=2 * MiB,
+                      outstanding=4)
+    report = ClientFleet(sim, node, [spec]).run()
+    assert report.total_bytes == 2 * MiB
+
+
+def test_fleet_think_time_slows_stream():
+    def run(think):
+        sim = Simulator()
+        node = build_node(sim, base_topology(
+            rotation_mode=RotationMode.EXPECTED))
+        spec = StreamSpec(stream_id=1, disk_id=0, start_offset=0,
+                          request_size=64 * KiB, total_bytes=1 * MiB,
+                          think_time=think)
+        return ClientFleet(sim, node, [spec]).run().elapsed
+
+    assert run(0.01) > run(0.0) + 0.1
+
+
+def test_fleet_validation():
+    sim = Simulator()
+    node = build_node(sim, base_topology())
+    with pytest.raises(ValueError):
+        ClientFleet(sim, node, [])
+
+
+# ---------------------------------------------------------------------------
+# xdd
+# ---------------------------------------------------------------------------
+
+def make_xdd_stack(sim, scheduler="noop"):
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      config=DriveConfig(rotation_mode=RotationMode.EXPECTED))
+    layer = BlockLayer(sim, drive, make_scheduler(scheduler))
+    return BufferCache(sim, layer, capacity_bytes=256 * MiB)
+
+
+def test_xdd_single_stream():
+    sim = Simulator()
+    cache = make_xdd_stack(sim)
+    report = run_xdd(sim, cache, num_streams=1,
+                     per_stream_bytes=2 * MiB)
+    assert report.total_bytes == 2 * MiB
+    assert report.throughput_mb > 5
+    assert report.mean_latency > 0
+
+
+def test_xdd_spacing_defaults_to_uniform():
+    sim = Simulator()
+    cache = make_xdd_stack(sim)
+    report = run_xdd(sim, cache, num_streams=4, per_stream_bytes=1 * MiB)
+    assert report.total_bytes == 4 * MiB
+
+
+def test_xdd_fixed_spacing_like_figure5():
+    sim = Simulator()
+    cache = make_xdd_stack(sim)
+    report = run_xdd(sim, cache, num_streams=4, per_stream_bytes=1 * MiB,
+                     spacing=1 * GiB)
+    assert report.total_bytes == 4 * MiB
+
+
+def test_xdd_validation():
+    sim = Simulator()
+    cache = make_xdd_stack(sim)
+    with pytest.raises(ValueError):
+        run_xdd(sim, cache, num_streams=0)
+    with pytest.raises(ValueError):
+        run_xdd(sim, cache, num_streams=1, per_stream_bytes=1 * KiB)
+    with pytest.raises(ValueError):
+        run_xdd(sim, cache, num_streams=1, per_stream_bytes=4 * MiB,
+                spacing=1 * MiB)  # overlap
+
+
+# ---------------------------------------------------------------------------
+# mixed workloads
+# ---------------------------------------------------------------------------
+
+def test_random_requests_aligned_and_in_range():
+    requests = random_requests(100, [0, 1], capacity=10 * GiB,
+                               request_size=8 * KiB, seed=1)
+    assert len(requests) == 100
+    for request in requests:
+        assert request.offset % (8 * KiB) == 0
+        assert request.offset + request.size <= 10 * GiB
+        assert request.disk_id in (0, 1)
+
+
+def test_random_requests_seeded():
+    a = random_requests(50, [0], capacity=GiB, seed=9)
+    b = random_requests(50, [0], capacity=GiB, seed=9)
+    assert [r.offset for r in a] == [r.offset for r in b]
+
+
+def test_zipf_requests_skewed():
+    requests = zipf_requests(2000, [0], capacity=10 * GiB, seed=2)
+    from collections import Counter
+    counts = Counter(r.offset for r in requests)
+    top = counts.most_common(1)[0][1]
+    assert top > 2000 * 0.05  # the hottest region dominates
+
+
+def test_mixed_validation():
+    with pytest.raises(ValueError):
+        random_requests(0, [0], capacity=GiB)
+    with pytest.raises(ValueError):
+        random_requests(1, [0], capacity=GiB, request_size=1000)
+    with pytest.raises(ValueError):
+        zipf_requests(0, [0], capacity=GiB)
+    with pytest.raises(ValueError):
+        zipf_requests(1, [0], capacity=GiB, skew=1.0)
+    with pytest.raises(ValueError):
+        zipf_requests(1, [0], capacity=GiB, hot_regions=0)

@@ -1,0 +1,127 @@
+"""Tests for trace recording and replay."""
+
+import io
+
+import pytest
+
+from repro.disk import WD800JD
+from repro.disk.mechanics import RotationMode
+from repro.io import IOKind
+from repro.node import base_topology, build_node
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+from repro.workload import (
+    StreamSpec,
+    TraceRecordEntry,
+    TraceReplayer,
+    load_trace,
+    record_fleet_trace,
+    save_trace,
+)
+
+
+def entry(time=0.0, offset=0, size=64 * KiB, stream=1,
+          kind=IOKind.READ, disk=0):
+    return TraceRecordEntry(time=time, kind=kind, disk_id=disk,
+                            offset=offset, size=size, stream_id=stream)
+
+
+def test_save_load_roundtrip():
+    entries = [entry(0.0, 0), entry(0.5, 64 * KiB),
+               entry(1.0, 0, kind=IOKind.WRITE, stream=None)]
+    buffer = io.StringIO()
+    assert save_trace(entries, buffer) == 3
+    buffer.seek(0)
+    loaded = load_trace(buffer)
+    assert loaded == sorted(entries, key=lambda e: e.time)
+
+
+def test_load_skips_comments_and_sorts():
+    text = ("# a comment\n"
+            "1.0,read,0,65536,65536,2\n"
+            "0.5,read,0,0,65536,1\n")
+    loaded = load_trace(io.StringIO(text))
+    assert [e.time for e in loaded] == [0.5, 1.0]
+    assert loaded[0].stream_id == 1
+
+
+def test_load_rejects_malformed_rows():
+    with pytest.raises(ValueError):
+        load_trace(io.StringIO("1.0,read,0\n"))
+
+
+def test_record_fleet_trace_from_specs():
+    specs = [StreamSpec(stream_id=1, disk_id=0, start_offset=0,
+                        request_size=64 * KiB, think_time=0.1),
+             StreamSpec(stream_id=2, disk_id=1,
+                        start_offset=1 * MiB, request_size=64 * KiB)]
+    entries = record_fleet_trace(specs, limit_per_stream=3)
+    assert len(entries) == 6
+    stream_one = [e for e in entries if e.stream_id == 1]
+    assert [e.offset for e in stream_one] == [0, 64 * KiB, 128 * KiB]
+    assert [e.time for e in stream_one] == [0.0, 0.1, 0.2]
+    with pytest.raises(ValueError):
+        record_fleet_trace(specs, limit_per_stream=0)
+
+
+def make_device(sim):
+    node = build_node(sim, base_topology(
+        disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
+    return node
+
+
+def test_open_loop_replay_issues_at_recorded_times():
+    sim = Simulator()
+    device = make_device(sim)
+    entries = [entry(0.0, 0), entry(0.5, 500 * MiB - 500 * MiB % (64 * KiB))]
+    replayer = TraceReplayer(sim, device, entries, open_loop=True)
+    done = replayer.start()
+    sim.run_until_event(done, limit=30.0)
+    assert replayer.completed == 2
+    assert replayer.completed_bytes == 128 * KiB
+    assert replayer.latency.count == 2
+    # The second request could not complete before its 0.5 s issue time.
+    assert sim.now > 0.5
+
+
+def test_closed_loop_replay_respects_stream_order():
+    sim = Simulator()
+    device = make_device(sim)
+    entries = [entry(0.0, i * 64 * KiB, stream=1) for i in range(8)]
+    replayer = TraceReplayer(sim, device, entries, open_loop=False)
+    done = replayer.start()
+    sim.run_until_event(done, limit=30.0)
+    assert replayer.completed == 8
+
+
+def test_replay_counts_device_errors():
+    class AlwaysFails:
+        capacity_bytes = 10**12
+
+        def __init__(self, sim):
+            self.sim = sim
+
+        def submit(self, request):
+            event = self.sim.event()
+            event.fail(IOError("nope"))
+            return event
+
+    sim = Simulator()
+    replayer = TraceReplayer(sim, AlwaysFails(sim), [entry()],
+                             open_loop=True)
+    done = replayer.start()
+    sim.run_until_event(done, limit=5.0)
+    assert replayer.errors == 1
+    assert replayer.completed == 0
+
+
+def test_replay_throughput_accounting():
+    sim = Simulator()
+    device = make_device(sim)
+    entries = [entry(0.0, i * 64 * KiB) for i in range(4)]
+    replayer = TraceReplayer(sim, device, entries, open_loop=False)
+    done = replayer.start()
+    sim.run_until_event(done, limit=30.0)
+    assert replayer.throughput(sim.now) == pytest.approx(
+        4 * 64 * KiB / sim.now)
+    assert replayer.throughput(0.0) == 0.0
