@@ -1,0 +1,40 @@
+"""Kernel micro-benchmarks: the events/sec trajectory.
+
+These time the exact workloads ``python -m repro.experiments.bench``
+records into ``BENCH_engine.json``, so pytest-benchmark's statistics and
+the committed trajectory file stay comparable. The PR that introduced
+the sweep executor also landed the kernel fast paths (inlined run loop,
+single-waiter callback dispatch, lazy Timeout naming); these benches are
+the regression net for those wins.
+"""
+
+from repro.sim.microbench import (
+    WORKLOADS,
+    event_chain,
+    events_per_second,
+    process_fanout,
+    timeout_churn,
+)
+
+
+def test_kernel_micro_timeout_churn(benchmark):
+    """Pure Timeout-resume path (one pop + one resume per event)."""
+    assert benchmark(timeout_churn) == 50_000
+
+
+def test_kernel_micro_event_chain(benchmark):
+    """Event.succeed + interleaved wake-ups of two processes."""
+    assert benchmark(event_chain) == 50_000
+
+
+def test_kernel_micro_process_fanout(benchmark):
+    """Process bootstrap/finish churn under an AllOf join."""
+    assert benchmark(process_fanout) == 15_000
+
+
+def test_kernel_micro_workloads_report_rates():
+    """The bench emitter's helper yields sane positive rates."""
+    for name, workload in WORKLOADS.items():
+        rate, events = events_per_second(workload, repeats=1)
+        assert rate > 0, name
+        assert events > 0, name

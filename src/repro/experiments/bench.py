@@ -1,0 +1,131 @@
+"""Record the perf trajectory: kernel events/sec + per-figure wall time.
+
+Usage::
+
+    python -m repro.experiments.bench                    # kernel only
+    python -m repro.experiments.bench --figures fig06    # + one figure
+    python -m repro.experiments.bench --all-figures --scale smoke
+    python -m repro.experiments.bench --output BENCH_engine.json
+
+Writes ``BENCH_engine.json`` (next to the repo root by default): the
+kernel micro-workloads' events/sec plus — when figures are requested —
+each figure's wall time and series at the chosen scale. Commit the file
+(or diff it against the previous PR's copy) to track how kernel and
+sweep performance move over time.
+
+Figure timings honour the sweep executor's ``--jobs`` and cache
+controls; pass ``--no-cache`` for honest cold-run wall times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS, EXTENSIONS, FULL, QUICK, SMOKE
+from repro.experiments.executor import resolve_jobs
+from repro.sim.microbench import WORKLOADS, events_per_second
+
+_SCALES = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
+
+DEFAULT_OUTPUT = "BENCH_engine.json"
+
+
+def measure_kernel(repeats: int = 3) -> dict:
+    """events/sec for every kernel micro-workload (best of ``repeats``)."""
+    kernel = {}
+    for name, workload in WORKLOADS.items():
+        rate, events = events_per_second(workload, repeats=repeats)
+        kernel[name] = {"events_per_sec": round(rate, 1),
+                        "events_per_run": events}
+    return kernel
+
+
+def measure_figures(figure_ids: List[str], scale, jobs: int,
+                    cache: bool) -> dict:
+    """Wall time + series per figure via the sweep executor."""
+    catalogue = {**EXPERIMENTS, **EXTENSIONS}
+    figures = {}
+    for figure_id in figure_ids:
+        started = time.time()
+        result = catalogue[figure_id](scale, jobs=jobs, cache=cache)
+        figures[figure_id] = {
+            "wall_s": round(time.time() - started, 3),
+            "series": {label: dict(zip(series.xs, series.ys))
+                       for label, series in
+                       zip(result.labels, result.series)},
+        }
+    return figures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    catalogue = {**EXPERIMENTS, **EXTENSIONS}
+    parser = argparse.ArgumentParser(
+        description="Emit BENCH_engine.json: kernel events/sec and "
+                    "per-figure wall times.")
+    parser.add_argument("--figures", nargs="*", default=[],
+                        metavar="FIG",
+                        help=f"figure ids to time "
+                             f"(from {sorted(catalogue)})")
+    parser.add_argument("--all-figures", action="store_true",
+                        help="time every paper figure")
+    parser.add_argument("--scale", choices=sorted(_SCALES),
+                        default="smoke",
+                        help="scale for figure timings (default smoke)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: REPRO_JOBS or "
+                             "all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the sweep cache for honest cold "
+                             "wall times")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="kernel workload repeats (best-of)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        metavar="PATH",
+                        help=f"output path (default {DEFAULT_OUTPUT}; "
+                             f"'-' for stdout)")
+    arguments = parser.parse_args(argv)
+
+    figure_ids = list(arguments.figures)
+    if arguments.all_figures:
+        figure_ids = sorted(EXPERIMENTS)
+    unknown = [f for f in figure_ids if f not in catalogue]
+    if unknown:
+        parser.error(f"unknown figure ids: {unknown}")
+
+    jobs = resolve_jobs(arguments.jobs)
+    scale = _SCALES[arguments.scale]
+    report = {
+        "schema": "repro-bench-engine/1",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "kernel": measure_kernel(repeats=arguments.repeats),
+    }
+    if figure_ids:
+        report["figure_scale"] = scale.name
+        report["jobs"] = jobs
+        report["cache"] = not arguments.no_cache
+        report["figures"] = measure_figures(
+            figure_ids, scale, jobs, cache=not arguments.no_cache)
+
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if arguments.output == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(arguments.output, "w", encoding="utf-8") as out:
+            out.write(payload)
+        summary = ", ".join(
+            f"{name}={entry['events_per_sec']:,.0f} ev/s"
+            for name, entry in report["kernel"].items())
+        print(f"wrote {arguments.output}: {summary}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

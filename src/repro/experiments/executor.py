@@ -1,0 +1,300 @@
+"""Declarative sweep specs and the parallel, cached sweep executor.
+
+Every paper figure is a *sweep*: a list of independent, seeded,
+deterministic measurement points plus a reduction into an
+:class:`~repro.analysis.metrics.ExperimentResult`. Historically each
+``fig*.py`` module looped over its points serially in-process; this
+module factors the loop out so that every figure gets, for free:
+
+* **Fan-out** — points run across a ``multiprocessing`` worker pool
+  (``--jobs N`` / ``REPRO_JOBS``, default ``os.cpu_count()``). Points
+  are independent simulations, so parallel and serial execution produce
+  *byte-identical* series (asserted by
+  ``tests/test_executor_determinism.py``).
+* **Memoization** — completed points are cached on disk under
+  ``~/.cache/repro-sweeps/`` (override with ``REPRO_SWEEP_CACHE``;
+  disable with ``--no-cache`` / ``REPRO_NO_CACHE=1``). Keys hash the
+  point function's identity, the scale, the point parameters, and a
+  fingerprint of the whole ``repro`` source tree, so any code change
+  invalidates every cached value.
+* **Deduplication** — points with identical cache keys inside one sweep
+  (e.g. Figure 13 embedding Figure 12's R=512K baseline) simulate once.
+
+A point function must be a *top-level* callable (picklable by
+reference) with the signature ``point_fn(scale, params: dict) -> float |
+dict[str, float]``. A plain float lands in the point's declared series;
+a dict fans one simulation out into several series (used by the
+extension experiments that report multiple metrics per run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, \
+    Tuple, Union
+
+from repro.analysis import ExperimentResult
+from repro.experiments.base import ExperimentScale
+
+__all__ = [
+    "Point",
+    "SweepSpec",
+    "build_result",
+    "code_fingerprint",
+    "point_key",
+    "resolve_jobs",
+    "run_sweep",
+    "simulated_points",
+]
+
+#: y payload of one point: one value, or {series label: value}.
+PointValue = Union[float, Dict[str, float]]
+
+#: Run-counter hook: incremented once per point actually *simulated*
+#: (cache hits and in-sweep duplicates do not count). Tests use it to
+#: assert that a warm cache short-circuits simulation entirely.
+_SIMULATED_POINTS = 0
+
+
+def simulated_points() -> int:
+    """Total points simulated by this process since import (hook)."""
+    return _SIMULATED_POINTS
+
+
+@dataclass(frozen=True)
+class Point:
+    """One independent measurement of a sweep.
+
+    ``params`` must contain only JSON-serialisable primitives — it is
+    both the worker's input and part of the cache key. ``series`` is
+    the label the value lands in (ignored when the point function
+    returns a per-series dict). ``fn`` overrides the spec's
+    ``point_fn`` for this point; figures use it to embed another
+    figure's baseline points so the cache entries are *shared* with
+    that figure (the key hashes the function identity, not the figure).
+    """
+
+    series: str
+    x: Any
+    params: Mapping[str, Any] = field(default_factory=dict)
+    fn: Optional[Callable[["ExperimentScale", dict], "PointValue"]] = None
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A figure as data: metadata + points + how to reduce them."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    y_label: str
+    point_fn: Callable[[ExperimentScale, dict], PointValue]
+    points: Tuple[Point, ...]
+    notes: str = ""
+    #: Explicit series ordering; series not listed appear afterwards in
+    #: first-use order. Needed when dict-valued points interleave.
+    series_order: Tuple[str, ...] = ()
+    #: Optional final hook run on the assembled result (rarely needed).
+    postprocess: Optional[Callable[[ExperimentResult], ExperimentResult]] = \
+        None
+
+
+# -- cache ----------------------------------------------------------------
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (stable per checkout).
+
+    Any edit anywhere in the package changes the fingerprint and thus
+    invalidates the whole on-disk result cache — coarse, but it makes
+    stale-cache bugs structurally impossible.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def point_key(point_fn: Callable, scale: ExperimentScale,
+              params: Mapping[str, Any]) -> str:
+    """Stable cache key for one measurement.
+
+    Deliberately excludes the figure id and series label: they do not
+    affect the simulation, so figures that embed another figure's
+    baseline (fig13/fig14) share cache entries with it.
+    """
+    payload = json.dumps(
+        {
+            "fn": f"{point_fn.__module__}.{point_fn.__qualname__}",
+            "scale": [scale.name, scale.duration, scale.warmup],
+            "params": dict(params),
+            "code": code_fingerprint(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class SweepCache:
+    """One-file-per-point JSON result cache with atomic writes."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        if root is None:
+            root = os.environ.get("REPRO_SWEEP_CACHE") or \
+                Path.home() / ".cache" / "repro-sweeps"
+        self.root = Path(root).expanduser()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Tuple[bool, Optional[PointValue]]:
+        """(hit, value); corrupt entries count as misses."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return True, json.load(handle)["value"]
+        except (OSError, ValueError, KeyError):
+            return False, None
+
+    def put(self, key: str, value: PointValue) -> None:
+        """Persist ``value`` atomically (rename over a temp file)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=path.parent,
+            prefix=".tmp-", suffix=".json", delete=False)
+        try:
+            with handle:
+                json.dump({"value": value}, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+
+# -- execution ------------------------------------------------------------
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit arg > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            jobs = int(env)
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _invoke(task: Tuple[Callable, ExperimentScale, dict]) -> PointValue:
+    """Worker entry point (top-level so it pickles by reference)."""
+    point_fn, scale, params = task
+    return point_fn(scale, params)
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the imported package) over spawn."""
+    import multiprocessing
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context()
+
+
+def build_result(spec: SweepSpec,
+                 values: Sequence[PointValue]) -> ExperimentResult:
+    """Reduce point values (in spec order) into an ExperimentResult."""
+    result = ExperimentResult(
+        experiment_id=spec.experiment_id, title=spec.title,
+        x_label=spec.x_label, y_label=spec.y_label, notes=spec.notes)
+    series = {label: result.new_series(label)
+              for label in spec.series_order}
+
+    def series_for(label: str):
+        if label not in series:
+            series[label] = result.new_series(label)
+        return series[label]
+
+    for point, value in zip(spec.points, values):
+        if isinstance(value, dict):
+            for label, y in value.items():
+                series_for(label).add(point.x, y)
+        else:
+            series_for(point.series).add(point.x, value)
+    if spec.postprocess is not None:
+        result = spec.postprocess(result)
+    return result
+
+
+def run_sweep(spec: SweepSpec, scale: ExperimentScale,
+              jobs: Optional[int] = None, cache: bool = True,
+              cache_root: Optional[Union[str, Path]] = None) \
+        -> ExperimentResult:
+    """Execute a sweep: cache lookup → fan-out → write-back → reduce.
+
+    ``jobs=1`` (or a single pending point) runs in-process with no pool
+    overhead; that path is the reference the determinism test compares
+    the pool against. ``cache=False`` or ``REPRO_NO_CACHE=1`` skips the
+    on-disk cache but still deduplicates identical points in-sweep.
+    """
+    global _SIMULATED_POINTS
+    points = spec.points
+    use_cache = cache and not os.environ.get("REPRO_NO_CACHE")
+    store = SweepCache(cache_root) if use_cache else None
+
+    fns = [p.fn or spec.point_fn for p in points]
+    keys = [point_key(fn, scale, p.params)
+            for fn, p in zip(fns, points)]
+    values: List[Optional[PointValue]] = [None] * len(points)
+    done = [False] * len(points)
+    if store is not None:
+        for index, key in enumerate(keys):
+            hit, value = store.get(key)
+            if hit:
+                values[index] = value
+                done[index] = True
+
+    # Group outstanding work by key so duplicates simulate once.
+    pending: Dict[str, List[int]] = {}
+    for index, key in enumerate(keys):
+        if not done[index]:
+            pending.setdefault(key, []).append(index)
+
+    if pending:
+        order = list(pending)
+        tasks = [(fns[pending[key][0]], scale,
+                  dict(points[pending[key][0]].params)) for key in order]
+        _SIMULATED_POINTS += len(tasks)
+        workers = min(resolve_jobs(jobs), len(tasks))
+        if workers <= 1:
+            computed = [_invoke(task) for task in tasks]
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=_pool_context()) as pool:
+                computed = list(pool.map(_invoke, tasks, chunksize=1))
+        for key, value in zip(order, computed):
+            for index in pending[key]:
+                values[index] = value
+            if store is not None:
+                store.put(key, value)
+
+    return build_result(spec, values)

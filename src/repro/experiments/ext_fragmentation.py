@@ -14,12 +14,13 @@ from repro.analysis import ExperimentResult
 from repro.core import ServerParams, StreamServer
 from repro.disk.specs import WD800JD
 from repro.experiments.base import QUICK, ExperimentScale
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.host.filesystem import ExtentFilesystem
 from repro.node import base_topology, build_node
 from repro.sim import Simulator
 from repro.units import KiB, MiB, format_size
 
-__all__ = ["run", "FRAGMENT_SIZES"]
+__all__ = ["run", "sweep", "FRAGMENT_SIZES"]
 
 #: Extent size cap; 0 = contiguous files (fresh filesystem).
 FRAGMENT_SIZES = [0, 8 * MiB, 2 * MiB, 512 * KiB]
@@ -27,8 +28,13 @@ NUM_FILES = 30
 FILE_SIZE = 16 * MiB
 REQUEST_SIZE = 64 * KiB
 
+SERIES_THROUGHPUT = "throughput (MB/s)"
+SERIES_STAGED = "staged-hit fraction"
 
-def _measure(scale: ExperimentScale, fragment_every: int):
+
+def _point(scale: ExperimentScale, params: dict) -> dict:
+    """One fragmentation granularity → both series' values."""
+    fragment_every = params["fragment_every"]
     sim = Simulator()
     node = build_node(sim, base_topology(disk_spec=WD800JD, seed=21))
     server = StreamServer(sim, node, ServerParams(
@@ -64,25 +70,31 @@ def _measure(scale: ExperimentScale, fragment_every: int):
     sim.run(until=start + scale.duration)
     rate = (sum(progress) - baseline) / scale.duration / MiB
     report = server.report()
-    return (rate, report.staged_hit_fraction)
+    return {SERIES_THROUGHPUT: rate,
+            SERIES_STAGED: report.staged_hit_fraction}
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Throughput and staged fraction vs fragmentation granularity."""
-    result = ExperimentResult(
+def sweep() -> SweepSpec:
+    """One point per granularity; each fans into two series."""
+    points = tuple(
+        Point(series=SERIES_THROUGHPUT,
+              x=("contiguous" if fragment_every == 0
+                 else format_size(fragment_every)),
+              params={"fragment_every": fragment_every})
+        for fragment_every in FRAGMENT_SIZES)
+    return SweepSpec(
         experiment_id="ext-fragmentation",
         title="File fragmentation vs stream detection "
               f"({NUM_FILES} file readers)",
         x_label="max extent size",
         y_label="see series",
-        notes="extension: extent filesystem between readers and server")
+        notes="extension: extent filesystem between readers and server",
+        point_fn=_point,
+        points=points,
+        series_order=(SERIES_THROUGHPUT, SERIES_STAGED))
 
-    throughput = result.new_series("throughput (MB/s)")
-    staged = result.new_series("staged-hit fraction")
-    for fragment_every in FRAGMENT_SIZES:
-        label = ("contiguous" if fragment_every == 0
-                 else format_size(fragment_every))
-        rate, fraction = _measure(scale, fragment_every)
-        throughput.add(label, rate)
-        staged.add(label, fraction)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Throughput and staged fraction vs fragmentation granularity."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -20,6 +20,7 @@ from repro.experiments.base import (
     measure,
     server_wrapper,
 )
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.experiments.fig02_schedulers import client_turnaround
 from repro.host import BlockLayer, BufferCache, make_scheduler
 from repro.node import base_topology
@@ -27,10 +28,18 @@ from repro.sim import Simulator
 from repro.units import GiB, KiB, MiB
 from repro.workload import run_xdd, uniform_streams
 
-__all__ = ["run", "STREAM_COUNTS"]
+__all__ = ["run", "sweep", "STREAM_COUNTS", "SYSTEMS"]
 
 STREAM_COUNTS = [1, 10, 30, 100, 300]
 REQUEST_SIZE = 64 * KiB
+
+#: system key -> series label, in figure order.
+SYSTEMS = {
+    "direct": "direct access",
+    "anticipatory": "anticipatory OS stack",
+    "server-big-r": "server D=S R=8M",
+    "server-small-d": "server D=1 N=128",
+}
 
 
 def _direct(scale, num_streams):
@@ -76,23 +85,39 @@ def _anticipatory(scale, num_streams):
     return report.throughput_mb
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Four-system comparison across stream counts."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one (system, streams) cell of the summary chart."""
+    system = params["system"]
+    num_streams = params["streams"]
+    if system == "direct":
+        return _direct(scale, num_streams)
+    if system == "anticipatory":
+        return _anticipatory(scale, num_streams)
+    if system == "server-big-r":
+        return _server(scale, num_streams, small_dispatch=False)
+    if system == "server-small-d":
+        return _server(scale, num_streams, small_dispatch=True)
+    raise ValueError(f"unknown system {system!r}")
+
+
+def sweep() -> SweepSpec:
+    """The summary chart as a declarative sweep (4 systems x 5 counts)."""
+    points = tuple(
+        Point(series=label, x=streams,
+              params={"system": system, "streams": streams})
+        for system, label in SYSTEMS.items()
+        for streams in STREAM_COUNTS)
+    return SweepSpec(
         experiment_id="ext-insensitivity",
         title="Stream-count insensitivity: server vs baselines (1 disk)",
         x_label="streams",
         y_label="MBytes/s",
-        notes="extension: the paper's thesis on one axis")
+        notes="extension: the paper's thesis on one axis",
+        point_fn=_point,
+        points=points)
 
-    systems = [
-        ("direct access", lambda s: _direct(scale, s)),
-        ("anticipatory OS stack", lambda s: _anticipatory(scale, s)),
-        ("server D=S R=8M", lambda s: _server(scale, s, False)),
-        ("server D=1 N=128", lambda s: _server(scale, s, True)),
-    ]
-    for label, runner in systems:
-        series = result.new_series(label)
-        for num_streams in STREAM_COUNTS:
-            series.add(num_streams, runner(num_streams))
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Four-system comparison across stream counts."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -14,29 +14,38 @@ from repro.analysis import ExperimentResult
 from repro.core import ServerParams, StreamServer
 from repro.disk.specs import WD800JD
 from repro.experiments.base import QUICK, ExperimentScale
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import base_topology, build_node
 from repro.sim import Simulator
 from repro.sim.stats import LatencySampler
 from repro.units import KiB, MiB, format_size
 from repro.workload import ClientFleet, uniform_streams
 
-__all__ = ["run", "READ_AHEADS", "STREAM_COUNTS"]
+__all__ = ["run", "sweep", "READ_AHEADS", "STREAM_COUNTS"]
 
 READ_AHEADS = [256 * KiB, 1 * MiB, 8 * MiB]
 STREAM_COUNTS = [10, 100]
 REQUEST_SIZE = 64 * KiB
 
+SERIES_FRACTION = "memory-served fraction"
+SERIES_P50 = "p50 (ms)"
+SERIES_P99 = "p99 (ms)"
+SERIES_MEAN = "mean (ms)"
 
-def _measure(scale, num_streams, read_ahead):
+
+def _point(scale: ExperimentScale, params: dict) -> dict:
+    """One (S, R) configuration → all four metric series."""
+    num_streams = params["streams"]
+    read_ahead = params["read_ahead"]
     sim = Simulator()
     node = build_node(sim, base_topology(disk_spec=WD800JD,
                                          seed=num_streams))
-    params = ServerParams(read_ahead=read_ahead,
-                          dispatch_width=num_streams,
-                          requests_per_residency=1,
-                          memory_budget=max(num_streams * read_ahead,
-                                            8 * MiB))
-    server = StreamServer(sim, node, params)
+    server_params = ServerParams(read_ahead=read_ahead,
+                                 dispatch_width=num_streams,
+                                 requests_per_residency=1,
+                                 memory_budget=max(num_streams * read_ahead,
+                                                   8 * MiB))
+    server = StreamServer(sim, node, server_params)
     specs = uniform_streams(num_streams, node.disk_ids,
                             node.capacity_bytes,
                             request_size=REQUEST_SIZE)
@@ -50,34 +59,36 @@ def _measure(scale, num_streams, read_ahead):
     staged = server.stats.counter("staged_hits").count
     total = server.stats.counter("completed").count
     return {
-        "memory_fraction": staged / total if total else 0.0,
-        "p50_ms": merged.percentile(0.50) * 1e3,
-        "p99_ms": merged.percentile(0.99) * 1e3,
-        "mean_ms": report.mean_latency * 1e3,
+        SERIES_FRACTION: staged / total if total else 0.0,
+        SERIES_P50: merged.percentile(0.50) * 1e3,
+        SERIES_P99: merged.percentile(0.99) * 1e3,
+        SERIES_MEAN: report.mean_latency * 1e3,
     }
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """One series per metric, x = (S, R) configuration label."""
-    result = ExperimentResult(
+def sweep() -> SweepSpec:
+    """One point per (S, R); each fans into the four metric series."""
+    points = tuple(
+        Point(series=SERIES_FRACTION,
+              x=f"S={num_streams} R={format_size(read_ahead)}",
+              params={"streams": num_streams, "read_ahead": read_ahead})
+        for num_streams in STREAM_COUNTS
+        for read_ahead in READ_AHEADS)
+    return SweepSpec(
         experiment_id="ext-latency-breakdown",
         title="Response-time breakdown: memory-served fraction and "
               "percentiles",
         x_label="S / R",
         y_label="see series (fraction or msec)",
         notes="extension quantifying the paper's §5.5 two-category "
-              "observation")
+              "observation",
+        point_fn=_point,
+        points=points,
+        series_order=(SERIES_FRACTION, SERIES_P50, SERIES_P99,
+                      SERIES_MEAN))
 
-    fraction = result.new_series("memory-served fraction")
-    p50 = result.new_series("p50 (ms)")
-    p99 = result.new_series("p99 (ms)")
-    mean = result.new_series("mean (ms)")
-    for num_streams in STREAM_COUNTS:
-        for read_ahead in READ_AHEADS:
-            label = f"S={num_streams} R={format_size(read_ahead)}"
-            metrics = _measure(scale, num_streams, read_ahead)
-            fraction.add(label, metrics["memory_fraction"])
-            p50.add(label, metrics["p50_ms"])
-            p99.add(label, metrics["p99_ms"])
-            mean.add(label, metrics["mean_ms"])
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """One series per metric, x = (S, R) configuration label."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -11,36 +11,48 @@ from repro.analysis import ExperimentResult
 from repro.disk.specs import DISKSIM_GENERIC
 from repro.experiments.base import QUICK, ExperimentScale, measure, \
     spread_streams
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import large_topology
 from repro.units import KiB, format_size
 
-__all__ = ["run"]
+__all__ = ["run", "sweep"]
 
 REQUEST_SIZES = [8 * KiB, 16 * KiB, 64 * KiB, 128 * KiB, 256 * KiB]
 STREAM_COUNTS = [60, 100, 300, 500]
 NUM_DISKS = 60
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 1's four curves."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one (streams, request size) cell of Figure 1."""
+    topology = large_topology(NUM_DISKS, disk_spec=DISKSIM_GENERIC,
+                              seed=params["streams"])
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: spread_streams(
+            params["streams"], node.disk_ids, node.capacity_bytes,
+            request_size=params["request_size"]))
+    return report.throughput_mb
+
+
+def sweep() -> SweepSpec:
+    """Figure 1 as a declarative sweep (four curves x five sizes)."""
+    points = tuple(
+        Point(series=f"{streams} streams", x=format_size(request_size),
+              params={"streams": streams, "request_size": request_size})
+        for streams in STREAM_COUNTS
+        for request_size in REQUEST_SIZES)
+    return SweepSpec(
         experiment_id="fig01",
         title="Throughput collapse for multiple sequential streams "
               f"({NUM_DISKS} disks)",
         x_label="request size",
         y_label="MBytes/s",
-        notes="direct access, no stream server; drive read-ahead on")
+        notes="direct access, no stream server; drive read-ahead on",
+        point_fn=_point,
+        points=points)
 
-    for total_streams in STREAM_COUNTS:
-        series = result.new_series(f"{total_streams} streams")
-        for request_size in REQUEST_SIZES:
-            topology = large_topology(NUM_DISKS,
-                                      disk_spec=DISKSIM_GENERIC,
-                                      seed=total_streams)
-            report = measure(
-                topology, scale,
-                specs_for=lambda node, rs=request_size, ts=total_streams:
-                    spread_streams(ts, node.disk_ids, node.capacity_bytes,
-                                   request_size=rs))
-            series.add(format_size(request_size), report.throughput_mb)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 1's four curves."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

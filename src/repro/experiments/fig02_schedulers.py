@@ -11,12 +11,13 @@ from __future__ import annotations
 from repro.analysis import ExperimentResult
 from repro.disk import DISKSIM_GENERIC, DiskDrive, DriveConfig
 from repro.experiments.base import QUICK, ExperimentScale
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.host import BlockLayer, BufferCache, make_scheduler
 from repro.sim import Simulator
 from repro.units import GiB, KiB, MiB
 from repro.workload import run_xdd
 
-__all__ = ["run"]
+__all__ = ["run", "sweep", "client_turnaround"]
 
 SCHEDULERS = ["anticipatory", "cfq", "noop"]
 STREAM_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128, 256]
@@ -40,29 +41,41 @@ def client_turnaround(num_streams: int) -> float:
     return THINK_BASE + THINK_PER_STREAM * num_streams
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 2's three scheduler curves."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one (scheduler, streams) cell of Figure 2."""
+    num_streams = params["streams"]
+    sim = Simulator()
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      config=DriveConfig(seed=num_streams))
+    layer = BlockLayer(sim, drive, make_scheduler(params["scheduler"]))
+    cache = BufferCache(sim, layer, capacity_bytes=HOST_CACHE)
+    report = run_xdd(sim, cache, num_streams=num_streams,
+                     block_size=BLOCK_SIZE,
+                     per_stream_bytes=4 * GiB,
+                     duration=scale.duration,
+                     think_time=client_turnaround(num_streams),
+                     settle_blocks=96)
+    return report.throughput_mb
+
+
+def sweep() -> SweepSpec:
+    """Figure 2 as a declarative sweep (3 schedulers x 9 counts)."""
+    points = tuple(
+        Point(series=scheduler, x=streams,
+              params={"scheduler": scheduler, "streams": streams})
+        for scheduler in SCHEDULERS
+        for streams in STREAM_COUNTS)
+    return SweepSpec(
         experiment_id="fig02",
         title="I/O scheduler performance (xdd, Ext3-like stack, 4K reads)",
         x_label="streams",
         y_label="MBytes/s",
-        notes="through the buffer cache with per-stream readahead")
+        notes="through the buffer cache with per-stream readahead",
+        point_fn=_point,
+        points=points)
 
-    for scheduler_name in SCHEDULERS:
-        series = result.new_series(scheduler_name)
-        for num_streams in STREAM_COUNTS:
-            sim = Simulator()
-            drive = DiskDrive(sim, DISKSIM_GENERIC,
-                              config=DriveConfig(seed=num_streams))
-            layer = BlockLayer(sim, drive,
-                               make_scheduler(scheduler_name))
-            cache = BufferCache(sim, layer, capacity_bytes=HOST_CACHE)
-            report = run_xdd(sim, cache, num_streams=num_streams,
-                             block_size=BLOCK_SIZE,
-                             per_stream_bytes=4 * GiB,
-                             duration=scale.duration,
-                             think_time=client_turnaround(num_streams),
-                             settle_blocks=96)
-            series.add(num_streams, report.throughput_mb)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 2's three scheduler curves."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

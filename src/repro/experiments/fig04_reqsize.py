@@ -11,39 +11,54 @@ from __future__ import annotations
 from repro.analysis import ExperimentResult
 from repro.disk.specs import DISKSIM_GENERIC
 from repro.experiments.base import QUICK, ExperimentScale, measure
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import base_topology
 from repro.units import KiB, MiB, format_size
 from repro.workload import uniform_streams
 
-__all__ = ["run"]
+__all__ = ["run", "sweep"]
 
 REQUEST_SIZES = [8 * KiB, 16 * KiB, 64 * KiB, 128 * KiB, 256 * KiB]
 STREAM_COUNTS = [1, 10, 30, 60, 100]
 CACHE_BYTES = 8 * MiB
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 4's five stream-count curves."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one (streams, request size) cell of Figure 4."""
+    request_size = params["request_size"]
+    num_streams = params["streams"]
+    spec = DISKSIM_GENERIC.with_cache(
+        cache_bytes=CACHE_BYTES,
+        cache_segments=max(1, CACHE_BYTES // request_size),
+        read_ahead_bytes=0)
+    topology = base_topology(disk_spec=spec, seed=num_streams)
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            num_streams, node.disk_ids, node.capacity_bytes,
+            request_size=request_size))
+    return report.throughput_mb
+
+
+def sweep() -> SweepSpec:
+    """Figure 4 as a declarative sweep (five curves x five sizes)."""
+    points = tuple(
+        Point(series=f"{streams} streams", x=format_size(request_size),
+              params={"streams": streams, "request_size": request_size})
+        for streams in STREAM_COUNTS
+        for request_size in REQUEST_SIZES)
+    return SweepSpec(
         experiment_id="fig04",
         title="Impact of request size on throughput "
               "(segment = request, no read-ahead)",
         x_label="request size",
         y_label="MBytes/s",
-        notes="disk cache fixed at 8 MB; segments = cache/request size")
+        notes="disk cache fixed at 8 MB; segments = cache/request size",
+        point_fn=_point,
+        points=points)
 
-    for num_streams in STREAM_COUNTS:
-        series = result.new_series(f"{num_streams} streams")
-        for request_size in REQUEST_SIZES:
-            spec = DISKSIM_GENERIC.with_cache(
-                cache_bytes=CACHE_BYTES,
-                cache_segments=max(1, CACHE_BYTES // request_size),
-                read_ahead_bytes=0)
-            topology = base_topology(disk_spec=spec, seed=num_streams)
-            report = measure(
-                topology, scale,
-                specs_for=lambda node, rs=request_size, ns=num_streams:
-                    uniform_streams(ns, node.disk_ids, node.capacity_bytes,
-                                    request_size=rs))
-            series.add(format_size(request_size), report.throughput_mb)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 4's five stream-count curves."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

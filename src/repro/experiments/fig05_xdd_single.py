@@ -14,11 +14,12 @@ from __future__ import annotations
 from repro.analysis import ExperimentResult
 from repro.disk.specs import WD800JD
 from repro.experiments.base import QUICK, ExperimentScale, measure
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import base_topology
 from repro.units import GiB, KiB, format_size
 from repro.workload import StreamSpec
 
-__all__ = ["run"]
+__all__ = ["run", "sweep"]
 
 REQUEST_SIZES = [8 * KiB, 16 * KiB, 64 * KiB, 128 * KiB, 256 * KiB]
 STREAM_COUNTS = [1, 10, 30, 50]
@@ -32,22 +33,34 @@ def _specs(num_streams, request_size):
             for index in range(num_streams)]
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 5's curves (direct I/O, fixed disk segments)."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one (streams, request size) cell of Figure 5."""
+    topology = base_topology(disk_spec=WD800JD, seed=params["streams"])
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: _specs(params["streams"],
+                                      params["request_size"]))
+    return report.throughput_mb
+
+
+def sweep() -> SweepSpec:
+    """Figure 5 as a declarative sweep (four curves x five sizes)."""
+    points = tuple(
+        Point(series=f"{streams} streams", x=format_size(request_size),
+              params={"streams": streams, "request_size": request_size})
+        for streams in STREAM_COUNTS
+        for request_size in REQUEST_SIZES)
+    return SweepSpec(
         experiment_id="fig05",
         title="xdd throughput with a single disk (direct I/O)",
         x_label="request size",
         y_label="MBytes/s",
-        notes="WD800JD stock cache; streams at 1 GB intervals")
+        notes="WD800JD stock cache; streams at 1 GB intervals",
+        point_fn=_point,
+        points=points)
 
-    for num_streams in STREAM_COUNTS:
-        series = result.new_series(f"{num_streams} streams")
-        for request_size in REQUEST_SIZES:
-            topology = base_topology(disk_spec=WD800JD, seed=num_streams)
-            report = measure(
-                topology, scale,
-                specs_for=lambda node, rs=request_size, ns=num_streams:
-                    _specs(ns, rs))
-            series.add(format_size(request_size), report.throughput_mb)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 5's curves (direct I/O, fixed disk segments)."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -11,11 +11,12 @@ from __future__ import annotations
 from repro.analysis import ExperimentResult
 from repro.disk.specs import DISKSIM_GENERIC
 from repro.experiments.base import QUICK, ExperimentScale, measure
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import base_topology
 from repro.units import KiB, MiB, format_size
 from repro.workload import uniform_streams
 
-__all__ = ["run"]
+__all__ = ["run", "sweep"]
 
 SEGMENT_SIZES = [32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB, 512 * KiB,
                  1 * MiB, 2 * MiB]
@@ -24,27 +25,40 @@ NUM_STREAMS = 30
 REQUEST_SIZE = 64 * KiB
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 6's single curve."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one segment-size cell of Figure 6."""
+    segment_size = params["segment_size"]
+    spec = DISKSIM_GENERIC.with_cache(
+        cache_bytes=NUM_SEGMENTS * segment_size,
+        cache_segments=NUM_SEGMENTS,
+        read_ahead_bytes=None)
+    topology = base_topology(disk_spec=spec, seed=7)
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            NUM_STREAMS, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE))
+    return report.throughput_mb
+
+
+def sweep() -> SweepSpec:
+    """Figure 6 as a declarative sweep (one curve, seven sizes)."""
+    points = tuple(
+        Point(series=f"{NUM_STREAMS} streams", x=format_size(segment_size),
+              params={"segment_size": segment_size})
+        for segment_size in SEGMENT_SIZES)
+    return SweepSpec(
         experiment_id="fig06",
         title=f"Effect of prefetching: segment size sweep "
               f"({NUM_STREAMS} streams, {NUM_SEGMENTS} segments)",
         x_label="segment size",
         y_label="MBytes/s",
-        notes="cache grows with segment size; read-ahead fills segment")
+        notes="cache grows with segment size; read-ahead fills segment",
+        point_fn=_point,
+        points=points)
 
-    series = result.new_series(f"{NUM_STREAMS} streams")
-    for segment_size in SEGMENT_SIZES:
-        spec = DISKSIM_GENERIC.with_cache(
-            cache_bytes=NUM_SEGMENTS * segment_size,
-            cache_segments=NUM_SEGMENTS,
-            read_ahead_bytes=None)
-        topology = base_topology(disk_spec=spec, seed=7)
-        report = measure(
-            topology, scale,
-            specs_for=lambda node: uniform_streams(
-                NUM_STREAMS, node.disk_ids, node.capacity_bytes,
-                request_size=REQUEST_SIZE))
-        series.add(format_size(segment_size), report.throughput_mb)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 6's single curve."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -12,11 +12,12 @@ from __future__ import annotations
 from repro.analysis import ExperimentResult
 from repro.disk.specs import DISKSIM_GENERIC
 from repro.experiments.base import QUICK, ExperimentScale, measure
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import base_topology
 from repro.units import KiB, MiB, format_size
 from repro.workload import uniform_streams
 
-__all__ = ["run", "CONFIGURATIONS"]
+__all__ = ["run", "sweep", "CONFIGURATIONS"]
 
 #: (num_segments, segment_size) keeping 8 MB total.
 CONFIGURATIONS = [
@@ -31,29 +32,42 @@ REQUEST_SIZE = 64 * KiB
 CACHE_BYTES = 8 * MiB
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 7's six stream-count curves."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one (streams, cache organisation) cell of Figure 7."""
+    num_streams = params["streams"]
+    spec = DISKSIM_GENERIC.with_cache(
+        cache_bytes=CACHE_BYTES,
+        cache_segments=params["num_segments"],
+        read_ahead_bytes=None)
+    topology = base_topology(disk_spec=spec, seed=num_streams)
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            num_streams, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE))
+    return report.throughput_mb
+
+
+def sweep() -> SweepSpec:
+    """Figure 7 as a declarative sweep (six curves x five organisations)."""
+    points = tuple(
+        Point(series=f"{streams} streams",
+              x=f"{num_segments}x{format_size(segment_size)}",
+              params={"streams": streams, "num_segments": num_segments})
+        for streams in STREAM_COUNTS
+        for num_segments, segment_size in CONFIGURATIONS)
+    return SweepSpec(
         experiment_id="fig07",
         title="Effect of read-ahead on throughput (8 MB cache, "
               "#segments x segment size)",
         x_label="#segments x segment size",
         y_label="MBytes/s",
-        notes="collapse expected once streams exceed segment count")
+        notes="collapse expected once streams exceed segment count",
+        point_fn=_point,
+        points=points)
 
-    for num_streams in STREAM_COUNTS:
-        series = result.new_series(f"{num_streams} streams")
-        for num_segments, segment_size in CONFIGURATIONS:
-            spec = DISKSIM_GENERIC.with_cache(
-                cache_bytes=CACHE_BYTES,
-                cache_segments=num_segments,
-                read_ahead_bytes=None)
-            topology = base_topology(disk_spec=spec, seed=num_streams)
-            report = measure(
-                topology, scale,
-                specs_for=lambda node, ns=num_streams: uniform_streams(
-                    ns, node.disk_ids, node.capacity_bytes,
-                    request_size=REQUEST_SIZE))
-            label = f"{num_segments}x{format_size(segment_size)}"
-            series.add(label, report.throughput_mb)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 7's six stream-count curves."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -12,11 +12,12 @@ from repro.analysis import ExperimentResult
 from repro.controller import ControllerSpec
 from repro.disk.specs import DISKSIM_GENERIC
 from repro.experiments.base import QUICK, ExperimentScale, measure
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import NodeTopology
 from repro.units import KiB, MiB, format_size
 from repro.workload import uniform_streams
 
-__all__ = ["run"]
+__all__ = ["run", "sweep"]
 
 PREFETCH_SIZES = [64 * KiB, 256 * KiB, 512 * KiB, 2 * MiB, 4 * MiB]
 STREAM_COUNTS = [1, 10, 30, 60, 100]
@@ -24,33 +25,46 @@ CONTROLLER_CACHE = 128 * MiB
 REQUEST_SIZE = 64 * KiB
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 8's five stream-count curves."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one (streams, prefetch size) cell of Figure 8."""
+    num_streams = params["streams"]
+    # Disable the drive's own read-ahead so the controller knob is the
+    # only prefetcher, as in the paper's controller study.
+    disk_spec = DISKSIM_GENERIC.with_cache(read_ahead_bytes=0)
+    controller_spec = ControllerSpec().with_prefetch(
+        cache_bytes=CONTROLLER_CACHE, prefetch_bytes=params["prefetch"])
+    topology = NodeTopology(disk_spec=disk_spec,
+                            controller_spec=controller_spec,
+                            disks_per_controller=[1],
+                            seed=num_streams)
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            num_streams, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE))
+    return report.throughput_mb
+
+
+def sweep() -> SweepSpec:
+    """Figure 8 as a declarative sweep (five curves x five sizes)."""
+    points = tuple(
+        Point(series=f"{streams} streams", x=format_size(prefetch),
+              params={"streams": streams, "prefetch": prefetch})
+        for streams in STREAM_COUNTS
+        for prefetch in PREFETCH_SIZES)
+    return SweepSpec(
         experiment_id="fig08",
         title="Prefetching at the controller level "
               f"(controller cache = {CONTROLLER_CACHE // MiB} MB)",
         x_label="prefetch size",
         y_label="MBytes/s",
         notes="single disk; drive read-ahead disabled to isolate the "
-              "controller effect")
+              "controller effect",
+        point_fn=_point,
+        points=points)
 
-    # Disable the drive's own read-ahead so the controller knob is the
-    # only prefetcher, as in the paper's controller study.
-    disk_spec = DISKSIM_GENERIC.with_cache(read_ahead_bytes=0)
-    for num_streams in STREAM_COUNTS:
-        series = result.new_series(f"{num_streams} streams")
-        for prefetch in PREFETCH_SIZES:
-            controller_spec = ControllerSpec().with_prefetch(
-                cache_bytes=CONTROLLER_CACHE, prefetch_bytes=prefetch)
-            topology = NodeTopology(disk_spec=disk_spec,
-                                    controller_spec=controller_spec,
-                                    disks_per_controller=[1],
-                                    seed=num_streams)
-            report = measure(
-                topology, scale,
-                specs_for=lambda node, ns=num_streams: uniform_streams(
-                    ns, node.disk_ids, node.capacity_bytes,
-                    request_size=REQUEST_SIZE))
-            series.add(format_size(prefetch), report.throughput_mb)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 8's five stream-count curves."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -20,11 +20,12 @@ from repro.experiments.base import (
     measure,
     server_wrapper,
 )
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import base_topology
 from repro.units import KiB, MiB, format_size
 from repro.workload import uniform_streams
 
-__all__ = ["run", "READ_AHEADS", "STREAM_COUNTS"]
+__all__ = ["run", "sweep", "series_label", "READ_AHEADS", "STREAM_COUNTS"]
 
 #: R values; 0 = no read-ahead (server passes requests through).
 READ_AHEADS = [8 * MiB, 2 * MiB, 1 * MiB, 512 * KiB, 128 * KiB, 0]
@@ -41,28 +42,46 @@ def _params(read_ahead: int, num_streams: int) -> Optional[ServerParams]:
                         memory_budget=num_streams * read_ahead)
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 10's six read-ahead curves."""
-    result = ExperimentResult(
+def series_label(read_ahead: int) -> str:
+    """The figure's curve label for a given R (shared with Figure 14)."""
+    if not read_ahead:
+        return "No read-ahead"
+    return (f"R = {format_size(read_ahead)} "
+            f"(M = S x {format_size(read_ahead)})")
+
+
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one (read-ahead, streams) cell of Figure 10."""
+    num_streams = params["streams"]
+    topology = base_topology(disk_spec=WD800JD, seed=num_streams)
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            num_streams, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE),
+        wrap_device=server_wrapper(_params(params["read_ahead"],
+                                           num_streams)))
+    return report.throughput_mb
+
+
+def sweep() -> SweepSpec:
+    """Figure 10 as a declarative sweep (six curves x four counts)."""
+    points = tuple(
+        Point(series=series_label(read_ahead), x=streams,
+              params={"read_ahead": read_ahead, "streams": streams})
+        for read_ahead in READ_AHEADS
+        for streams in STREAM_COUNTS)
+    return SweepSpec(
         experiment_id="fig10",
         title="Effect of read-ahead (M = D*R*N, D = #S, N = 1)",
         x_label="streams per disk",
         y_label="MBytes/s",
-        notes="stream server over a single WD800JD")
+        notes="stream server over a single WD800JD",
+        point_fn=_point,
+        points=points)
 
-    for read_ahead in READ_AHEADS:
-        label = (f"R = {format_size(read_ahead)} "
-                 f"(M = S x {format_size(read_ahead)})"
-                 if read_ahead else "No read-ahead")
-        series = result.new_series(label)
-        for num_streams in STREAM_COUNTS:
-            topology = base_topology(disk_spec=WD800JD, seed=num_streams)
-            report = measure(
-                topology, scale,
-                specs_for=lambda node, ns=num_streams: uniform_streams(
-                    ns, node.disk_ids, node.capacity_bytes,
-                    request_size=REQUEST_SIZE),
-                wrap_device=server_wrapper(_params(read_ahead,
-                                                   num_streams)))
-            series.add(num_streams, report.throughput_mb)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 10's six read-ahead curves."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -18,11 +18,12 @@ from repro.experiments.base import (
     measure,
     server_wrapper,
 )
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import base_topology
 from repro.units import KiB, MiB, format_size
 from repro.workload import uniform_streams
 
-__all__ = ["run", "MEMORY_SIZES", "READ_AHEADS", "STREAM_COUNTS"]
+__all__ = ["run", "sweep", "MEMORY_SIZES", "READ_AHEADS", "STREAM_COUNTS"]
 
 MEMORY_SIZES = [8 * MiB, 16 * MiB, 64 * MiB, 128 * MiB, 256 * MiB]
 READ_AHEADS = [8 * MiB, 1 * MiB, 256 * KiB]
@@ -30,34 +31,53 @@ STREAM_COUNTS = [1, 10, 100]
 REQUEST_SIZE = 64 * KiB
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 11's S x R curves over memory size."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one (streams, read-ahead, memory) cell of Figure 11."""
+    num_streams = params["streams"]
+    server_params = ServerParams(read_ahead=params["read_ahead"],
+                                 dispatch_width=None,
+                                 requests_per_residency=1,
+                                 memory_budget=params["memory"])
+    topology = base_topology(disk_spec=WD800JD, seed=num_streams)
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            num_streams, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE),
+        wrap_device=server_wrapper(server_params))
+    return report.throughput_mb
+
+
+def sweep() -> SweepSpec:
+    """Figure 11 as a declarative sweep (S x R curves over memory)."""
+    points = []
+    for num_streams in STREAM_COUNTS:
+        for read_ahead in READ_AHEADS:
+            label = f"S = {num_streams} (RA = {format_size(read_ahead)})"
+            for memory in MEMORY_SIZES:
+                if memory < read_ahead:
+                    continue  # cannot hold even one dispatched stream
+                points.append(Point(
+                    series=label, x=memory // MiB,
+                    params={"streams": num_streams,
+                            "read_ahead": read_ahead,
+                            "memory": memory}))
+    series_order = tuple(
+        f"S = {num_streams} (RA = {format_size(read_ahead)})"
+        for num_streams in STREAM_COUNTS
+        for read_ahead in READ_AHEADS)
+    return SweepSpec(
         experiment_id="fig11",
         title="Effect of storage memory size (D = M/(R*N), N = 1)",
         x_label="memory (MB)",
         y_label="MBytes/s",
-        notes="dispatch width derived from the memory budget")
+        notes="dispatch width derived from the memory budget",
+        point_fn=_point,
+        points=tuple(points),
+        series_order=series_order)
 
-    for num_streams in STREAM_COUNTS:
-        for read_ahead in READ_AHEADS:
-            series = result.new_series(
-                f"S = {num_streams} (RA = {format_size(read_ahead)})")
-            for memory in MEMORY_SIZES:
-                if memory < read_ahead:
-                    continue  # cannot hold even one dispatched stream
-                params = ServerParams(read_ahead=read_ahead,
-                                      dispatch_width=None,
-                                      requests_per_residency=1,
-                                      memory_budget=memory)
-                topology = base_topology(disk_spec=WD800JD,
-                                         seed=num_streams)
-                report = measure(
-                    topology, scale,
-                    specs_for=lambda node, ns=num_streams:
-                        uniform_streams(ns, node.disk_ids,
-                                        node.capacity_bytes,
-                                        request_size=REQUEST_SIZE),
-                    wrap_device=server_wrapper(params))
-                series.add(memory // MiB, report.throughput_mb)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 11's S x R curves over memory size."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -18,11 +18,12 @@ from repro.experiments.base import (
     measure,
     server_wrapper,
 )
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import medium_topology
 from repro.units import KiB, MiB, format_size
 from repro.workload import uniform_streams
 
-__all__ = ["run", "READ_AHEADS", "STREAM_COUNTS"]
+__all__ = ["run", "sweep", "series_label", "READ_AHEADS", "STREAM_COUNTS"]
 
 READ_AHEADS = [0, 512 * KiB, 1 * MiB, 2 * MiB]
 STREAM_COUNTS = [10, 30, 60, 100]  # per disk; x8 total
@@ -39,27 +40,45 @@ def _params(read_ahead: int, total_streams: int) -> ServerParams:
                         memory_budget=total_streams * read_ahead)
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 12's read-ahead curves on 8 disks."""
-    result = ExperimentResult(
+def series_label(read_ahead: int) -> str:
+    """The figure's curve label for a given R (shared with Figure 13)."""
+    return (f"R = {format_size(read_ahead)}" if read_ahead
+            else "No read-ahead")
+
+
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one (read-ahead, per-disk streams) cell of Figure 12."""
+    per_disk = params["streams_per_disk"]
+    total = per_disk * NUM_DISKS
+    topology = medium_topology(disk_spec=WD800JD, seed=per_disk)
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            per_disk, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE),
+        wrap_device=server_wrapper(_params(params["read_ahead"], total)))
+    return report.throughput_mb
+
+
+def sweep() -> SweepSpec:
+    """Figure 12 as a declarative sweep (four curves x four counts)."""
+    points = tuple(
+        Point(series=series_label(read_ahead), x=per_disk,
+              params={"read_ahead": read_ahead,
+                      "streams_per_disk": per_disk})
+        for read_ahead in READ_AHEADS
+        for per_disk in STREAM_COUNTS)
+    return SweepSpec(
         experiment_id="fig12",
         title="Throughput for an 8-disk setup (D = S, M = D*R*N, N = 1)",
         x_label="streams per disk",
         y_label="MBytes/s",
-        notes="2 controllers x 4 WD800JD")
+        notes="2 controllers x 4 WD800JD",
+        point_fn=_point,
+        points=points)
 
-    for read_ahead in READ_AHEADS:
-        label = (f"R = {format_size(read_ahead)}" if read_ahead
-                 else "No read-ahead")
-        series = result.new_series(label)
-        for per_disk in STREAM_COUNTS:
-            total = per_disk * NUM_DISKS
-            topology = medium_topology(disk_spec=WD800JD, seed=per_disk)
-            report = measure(
-                topology, scale,
-                specs_for=lambda node, ns=per_disk: uniform_streams(
-                    ns, node.disk_ids, node.capacity_bytes,
-                    request_size=REQUEST_SIZE),
-                wrap_device=server_wrapper(_params(read_ahead, total)))
-            series.add(per_disk, report.throughput_mb)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 12's read-ahead curves on 8 disks."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -20,11 +20,12 @@ from repro.experiments.base import (
     server_wrapper,
 )
 from repro.experiments import fig12_multidisk
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import medium_topology
-from repro.units import GiB, KiB, MiB
+from repro.units import GiB, KiB
 from repro.workload import uniform_streams
 
-__all__ = ["run", "STREAM_COUNTS"]
+__all__ = ["run", "sweep", "STREAM_COUNTS"]
 
 STREAM_COUNTS = [10, 30, 60, 100]  # per disk
 REQUEST_SIZE = 64 * KiB
@@ -33,36 +34,56 @@ NUM_DISKS = 8
 RESIDENCY = 128  # N
 
 
-def run(scale: ExperimentScale = QUICK,
-        include_fig12_baseline: bool = True) -> ExperimentResult:
-    """Reproduce Figure 13: small-D curve vs the Figure 12 D=S curve."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one per-disk stream count with D = #disks, N = 128."""
+    per_disk = params["streams_per_disk"]
+    server_params = ServerParams(read_ahead=READ_AHEAD,
+                                 dispatch_width=NUM_DISKS,
+                                 requests_per_residency=RESIDENCY,
+                                 memory_budget=2 * GiB)
+    topology = medium_topology(disk_spec=WD800JD, seed=per_disk)
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            per_disk, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE),
+        wrap_device=server_wrapper(server_params))
+    return report.throughput_mb
+
+
+def sweep(include_fig12_baseline: bool = True) -> SweepSpec:
+    """Figure 13's sweep; the Figure 12 baseline rides along as points.
+
+    The baseline reuses :func:`fig12_multidisk._point` via a tiny
+    trampoline, so its cache entries are shared with Figure 12 proper
+    and the pool parallelises the baseline alongside the main curve.
+    """
+    points = [
+        Point(series=f"R = 512K, D = #disks, N = {RESIDENCY}", x=per_disk,
+              params={"streams_per_disk": per_disk})
+        for per_disk in STREAM_COUNTS
+    ]
+    if include_fig12_baseline:
+        points.extend(
+            Point(series="R = 512K, from Figure 12 (D = S)", x=per_disk,
+                  params={"read_ahead": READ_AHEAD,
+                          "streams_per_disk": per_disk},
+                  fn=fig12_multidisk._point)
+            for per_disk in fig12_multidisk.STREAM_COUNTS)
+    return SweepSpec(
         experiment_id="fig13",
         title="Throughput when fewer streams are dispatched than staged "
               "(8-disk setup)",
         x_label="streams per disk",
         y_label="MBytes/s",
-        notes=f"D = {NUM_DISKS} (#disks), N = {RESIDENCY}, R = 512K")
+        notes=f"D = {NUM_DISKS} (#disks), N = {RESIDENCY}, R = 512K",
+        point_fn=_point,
+        points=tuple(points))
 
-    params = ServerParams(read_ahead=READ_AHEAD,
-                          dispatch_width=NUM_DISKS,
-                          requests_per_residency=RESIDENCY,
-                          memory_budget=2 * GiB)
-    series = result.new_series(
-        f"R = 512K, D = #disks, N = {RESIDENCY}")
-    for per_disk in STREAM_COUNTS:
-        topology = medium_topology(disk_spec=WD800JD, seed=per_disk)
-        report = measure(
-            topology, scale,
-            specs_for=lambda node, ns=per_disk: uniform_streams(
-                ns, node.disk_ids, node.capacity_bytes,
-                request_size=REQUEST_SIZE),
-            wrap_device=server_wrapper(params))
-        series.add(per_disk, report.throughput_mb)
 
-    if include_fig12_baseline:
-        baseline = result.new_series("R = 512K, from Figure 12 (D = S)")
-        fig12 = fig12_multidisk.run(scale)
-        for point in fig12.get("R = 512K").points:
-            baseline.add(point.x, point.y)
-    return result
+def run(scale: ExperimentScale = QUICK,
+        include_fig12_baseline: bool = True, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 13: small-D curve vs the Figure 12 D=S curve."""
+    return run_sweep(sweep(include_fig12_baseline), scale, jobs=jobs,
+                     cache=cache)

@@ -18,11 +18,12 @@ from repro.experiments.base import (
     server_wrapper,
 )
 from repro.experiments import fig10_readahead
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import base_topology
 from repro.units import GiB, KiB, MiB
 from repro.workload import uniform_streams
 
-__all__ = ["run", "STREAM_COUNTS"]
+__all__ = ["run", "sweep", "STREAM_COUNTS"]
 
 STREAM_COUNTS = [10, 30, 60, 100]
 REQUEST_SIZE = 64 * KiB
@@ -30,38 +31,56 @@ READ_AHEAD = 512 * KiB
 RESIDENCY = 128
 
 
-def run(scale: ExperimentScale = QUICK,
-        include_fig10_baselines: bool = True) -> ExperimentResult:
-    """Reproduce Figure 14: D=1/N=128 vs Figure 10's D=S curves."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure one stream count with D = 1, N = 128."""
+    num_streams = params["streams"]
+    server_params = ServerParams(read_ahead=READ_AHEAD,
+                                 dispatch_width=1,
+                                 requests_per_residency=RESIDENCY,
+                                 memory_budget=1 * GiB)
+    topology = base_topology(disk_spec=WD800JD, seed=num_streams)
+    report = measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            num_streams, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE),
+        wrap_device=server_wrapper(server_params))
+    return report.throughput_mb
+
+
+def sweep(include_fig10_baselines: bool = True) -> SweepSpec:
+    """Figure 14's sweep; Figure 10 baselines ride along as points.
+
+    Baseline points call :func:`fig10_readahead._point` directly so
+    their cache entries are shared with Figure 10 proper.
+    """
+    points = [
+        Point(series=f"R = 512K, D = 1, N = {RESIDENCY}", x=num_streams,
+              params={"streams": num_streams})
+        for num_streams in STREAM_COUNTS
+    ]
+    if include_fig10_baselines:
+        for read_ahead in (2 * MiB, 8 * MiB):
+            points.extend(
+                Point(series=f"R = {read_ahead // MiB}M, from Figure 10",
+                      x=num_streams,
+                      params={"read_ahead": read_ahead,
+                              "streams": num_streams},
+                      fn=fig10_readahead._point)
+                for num_streams in fig10_readahead.STREAM_COUNTS)
+    return SweepSpec(
         experiment_id="fig14",
         title="Single-disk throughput with a small dispatch set",
         x_label="streams per disk",
         y_label="MBytes/s",
-        notes=f"D = 1, N = {RESIDENCY}, R = 512K, M = staged*N*R")
+        notes=f"D = 1, N = {RESIDENCY}, R = 512K, M = staged*N*R",
+        point_fn=_point,
+        points=tuple(points))
 
-    params = ServerParams(read_ahead=READ_AHEAD,
-                          dispatch_width=1,
-                          requests_per_residency=RESIDENCY,
-                          memory_budget=1 * GiB)
-    series = result.new_series(f"R = 512K, D = 1, N = {RESIDENCY}")
-    for num_streams in STREAM_COUNTS:
-        topology = base_topology(disk_spec=WD800JD, seed=num_streams)
-        report = measure(
-            topology, scale,
-            specs_for=lambda node, ns=num_streams: uniform_streams(
-                ns, node.disk_ids, node.capacity_bytes,
-                request_size=REQUEST_SIZE),
-            wrap_device=server_wrapper(params))
-        series.add(num_streams, report.throughput_mb)
 
-    if include_fig10_baselines:
-        fig10 = fig10_readahead.run(scale)
-        for read_ahead in (2 * MiB, 8 * MiB):
-            label = next(l for l in fig10.labels
-                         if l.startswith(f"R = {read_ahead // MiB}M"))
-            baseline = result.new_series(
-                f"R = {read_ahead // MiB}M, from Figure 10")
-            for point in fig10.get(label).points:
-                baseline.add(point.x, point.y)
-    return result
+def run(scale: ExperimentScale = QUICK,
+        include_fig10_baselines: bool = True, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 14: D=1/N=128 vs Figure 10's D=S curves."""
+    return run_sweep(sweep(include_fig10_baselines), scale, jobs=jobs,
+                     cache=cache)

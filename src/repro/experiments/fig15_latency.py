@@ -13,12 +13,13 @@ from repro.analysis import ExperimentResult
 from repro.core import ServerParams
 from repro.disk.specs import WD800JD
 from repro.experiments.base import QUICK, ExperimentScale
+from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import base_topology, build_node
 from repro.sim import Simulator
 from repro.units import KiB, MiB, format_size
 from repro.workload import ClientFleet, uniform_streams
 
-__all__ = ["run", "MEMORY_SIZES", "READ_AHEADS", "STREAM_COUNTS"]
+__all__ = ["run", "sweep", "MEMORY_SIZES", "READ_AHEADS", "STREAM_COUNTS"]
 
 READ_AHEADS = [256 * KiB, 1 * MiB, 8 * MiB]
 STREAM_COUNTS = [1, 10, 100]
@@ -26,37 +27,58 @@ MEMORY_SIZES = [8 * MiB, 64 * MiB, 256 * MiB]
 REQUEST_SIZE = 64 * KiB
 
 
-def run(scale: ExperimentScale = QUICK) -> ExperimentResult:
-    """Reproduce Figure 15's latency curves (ms, vs read-ahead)."""
-    result = ExperimentResult(
+def _point(scale: ExperimentScale, params: dict) -> float:
+    """Measure mean latency (ms) for one (S, M, R) cell of Figure 15."""
+    from repro.core import StreamServer
+
+    num_streams = params["streams"]
+    sim = Simulator()
+    node = build_node(sim, base_topology(disk_spec=WD800JD,
+                                         seed=num_streams))
+    server_params = ServerParams(read_ahead=params["read_ahead"],
+                                 dispatch_width=None,
+                                 requests_per_residency=1,
+                                 memory_budget=params["memory"])
+    server = StreamServer(sim, node, server_params)
+    specs = uniform_streams(num_streams, node.disk_ids,
+                            node.capacity_bytes,
+                            request_size=REQUEST_SIZE)
+    report = ClientFleet(sim, server, specs).run(
+        duration=scale.duration, warmup=scale.warmup,
+        settle_requests=5)
+    return report.mean_latency * 1e3
+
+
+def sweep() -> SweepSpec:
+    """Figure 15 as a declarative sweep (S x M curves over read-ahead)."""
+    points = []
+    for num_streams in STREAM_COUNTS:
+        for memory in MEMORY_SIZES:
+            label = f"S = {num_streams} (M = {memory // MiB}MBytes)"
+            for read_ahead in READ_AHEADS:
+                if memory < read_ahead:
+                    continue
+                points.append(Point(
+                    series=label, x=format_size(read_ahead),
+                    params={"streams": num_streams,
+                            "memory": memory,
+                            "read_ahead": read_ahead}))
+    series_order = tuple(
+        f"S = {num_streams} (M = {memory // MiB}MBytes)"
+        for num_streams in STREAM_COUNTS
+        for memory in MEMORY_SIZES)
+    return SweepSpec(
         experiment_id="fig15",
         title="Average stream response time",
         x_label="read-ahead",
         y_label="msec",
-        notes="mean client-side latency; D = M/(R*N), N = 1")
+        notes="mean client-side latency; D = M/(R*N), N = 1",
+        point_fn=_point,
+        points=tuple(points),
+        series_order=series_order)
 
-    from repro.core import StreamServer
-    for num_streams in STREAM_COUNTS:
-        for memory in MEMORY_SIZES:
-            series = result.new_series(
-                f"S = {num_streams} (M = {memory // MiB}MBytes)")
-            for read_ahead in READ_AHEADS:
-                if memory < read_ahead:
-                    continue
-                sim = Simulator()
-                node = build_node(sim, base_topology(
-                    disk_spec=WD800JD, seed=num_streams))
-                params = ServerParams(read_ahead=read_ahead,
-                                      dispatch_width=None,
-                                      requests_per_residency=1,
-                                      memory_budget=memory)
-                server = StreamServer(sim, node, params)
-                specs = uniform_streams(num_streams, node.disk_ids,
-                                        node.capacity_bytes,
-                                        request_size=REQUEST_SIZE)
-                report = ClientFleet(sim, server, specs).run(
-                    duration=scale.duration, warmup=scale.warmup,
-                    settle_requests=5)
-                series.add(format_size(read_ahead),
-                           report.mean_latency * 1e3)
-    return result
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Reproduce Figure 15's latency curves (ms, vs read-ahead)."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

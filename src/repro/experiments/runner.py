@@ -5,20 +5,31 @@ Usage::
     python -m repro.experiments.runner               # all figures, quick
     python -m repro.experiments.runner fig10 fig13   # a subset
     python -m repro.experiments.runner --scale full  # paper-grade runs
+    python -m repro.experiments.runner --jobs 8      # 8 worker processes
+    python -m repro.experiments.runner --no-cache    # force re-simulation
+    python -m repro.experiments.runner --json out.json
 
 Prints each figure's series as an ASCII table; this is what populated
-EXPERIMENTS.md.
+EXPERIMENTS.md. Every experiment is a sweep of independent points
+(see :mod:`repro.experiments.executor`): ``--jobs`` fans points across a
+process pool (default ``REPRO_JOBS`` or all cores) and completed points
+are memoized on disk so re-runs and ``--check`` passes are near-instant.
+``--json`` writes the machine-readable per-figure series and wall times
+consumed by ``BENCH_engine.json`` (see ``python -m
+repro.experiments.bench``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
 from repro.analysis import format_table
 from repro.experiments import EXPERIMENTS, EXTENSIONS, FULL, QUICK, SMOKE
+from repro.experiments.executor import resolve_jobs
 
 _SCALES = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
 
@@ -35,6 +46,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scale", choices=sorted(_SCALES),
                         default="quick",
                         help="simulated seconds per measured point")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for sweep points "
+                             "(default: REPRO_JOBS or all cores; "
+                             "1 = serial in-process)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk sweep result cache "
+                             "(~/.cache/repro-sweeps) and re-simulate")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="also write per-figure series and wall "
+                             "times as JSON (consumed by "
+                             "BENCH_engine.json; '-' for stdout)")
     parser.add_argument("--check", action="store_true",
                         help="verify each figure's shape against the "
                              "paper's claims (exit 1 on violations)")
@@ -46,13 +68,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown figure ids: {unknown}; "
                      f"choose from {sorted(catalogue)}")
     scale = _SCALES[arguments.scale]
+    jobs = resolve_jobs(arguments.jobs)
+    use_cache = not arguments.no_cache
     failures = 0
+    report = {"scale": scale.name, "jobs": jobs,
+              "cache": use_cache, "figures": {}}
+    total_started = time.time()
     for figure_id in requested:
         started = time.time()
-        result = catalogue[figure_id](scale)
+        result = catalogue[figure_id](scale, jobs=jobs, cache=use_cache)
+        wall = time.time() - started
         print(format_table(result))
-        print(f"[{figure_id}: {time.time() - started:.1f}s wall, "
-              f"scale={scale.name}]")
+        print(f"[{figure_id}: {wall:.1f}s wall, "
+              f"scale={scale.name}, jobs={jobs}]")
+        report["figures"][figure_id] = {
+            "wall_s": wall,
+            "title": result.title,
+            "x_label": result.x_label,
+            "y_label": result.y_label,
+            "series": {label: dict(zip(series.xs, series.ys))
+                       for label, series in
+                       zip(result.labels, result.series)},
+        }
         if arguments.check:
             from repro.analysis.verify import verify_result
             violations = verify_result(result)
@@ -63,6 +100,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             else:
                 print(f"  shape check: OK")
         print()
+    report["total_wall_s"] = time.time() - total_started
+
+    if arguments.json_path:
+        payload = json.dumps(report, indent=2, sort_keys=True)
+        if arguments.json_path == "-":
+            print(payload)
+        else:
+            with open(arguments.json_path, "w", encoding="utf-8") as out:
+                out.write(payload + "\n")
     return 1 if failures else 0
 
 

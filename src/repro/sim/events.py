@@ -122,11 +122,21 @@ class Event:
 
     # -- kernel hook ---------------------------------------------------------
     def _process_callbacks(self) -> None:
-        """Run callbacks exactly once; called by the simulator core."""
-        self._state = Event.PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for callback in callbacks:
-            callback(self)
+        """Run callbacks exactly once; called by the simulator core.
+
+        Hot path: the overwhelmingly common case is a single waiter (one
+        process blocked on one event), so that case dispatches directly
+        without iterating.
+        """
+        self._state = 2  # Event.PROCESSED
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            if len(callbacks) == 1:
+                callbacks[0](self)
+            else:
+                for callback in callbacks:
+                    callback(self)
 
     def __repr__(self) -> str:
         state = {0: "pending", 1: "triggered", 2: "processed"}[self._state]
@@ -135,7 +145,13 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
+
+    ``__init__`` bypasses :meth:`Event.__init__` and sets the slots
+    directly: experiments create tens of millions of timeouts, and the
+    default display name (``timeout(<delay>)``) is now computed lazily in
+    ``__repr__`` instead of eagerly formatting a string per instance.
+    """
 
     __slots__ = ("delay",)
 
@@ -143,12 +159,19 @@ class Timeout(Event):
                  name: str = ""):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=name or f"timeout({delay:g})")
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
         self._value = value
-        self._state = Event.TRIGGERED
+        self._ok = True
+        self._state = 1  # Event.TRIGGERED
+        self.delay = delay
         sim._schedule(self, delay)
+
+    def __repr__(self) -> str:
+        state = {0: "pending", 1: "triggered", 2: "processed"}[self._state]
+        label = f" {self.name!r}" if self.name else f" ({self.delay:g}s)"
+        return f"<{type(self).__name__}{label} {state}>"
 
 
 class Process(Event):
@@ -208,8 +231,15 @@ class Process(Event):
 
     # -- kernel stepping ----------------------------------------------------
     def _resume(self, trigger: Event) -> None:
-        """Advance the generator with the trigger's value or exception."""
+        """Advance the generator with the trigger's value or exception.
+
+        This runs once per process wake-up — millions of times per
+        experiment point — so the generator and its bound ``send`` are
+        cached in locals and state constants are compared as plain ints.
+        """
         self._waiting_on = None
+        generator = self.generator
+        send = generator.send
         while True:
             try:
                 if self._interrupts and self._started:
@@ -217,13 +247,15 @@ class Process(Event):
                     # has reached its first yield; ones arriving earlier
                     # wait for the wakeup after the bootstrap resume.
                     interrupt = self._interrupts.pop(0)
-                    target = self.generator.throw(interrupt)
+                    target = generator.throw(interrupt)
                 elif trigger._ok:
-                    target = self.generator.send(
-                        trigger._value if self._started else None)
-                    self._started = True
+                    if self._started:
+                        target = send(trigger._value)
+                    else:
+                        target = send(None)
+                        self._started = True
                 else:
-                    target = self.generator.throw(trigger._value)
+                    target = generator.throw(trigger._value)
             except StopIteration as stop:
                 self._finish(True, stop.value)
                 return
@@ -240,7 +272,7 @@ class Process(Event):
                 trigger._ok = False
                 trigger._value = exc
                 continue
-            if target.processed:
+            if target._state == 2:  # Event.PROCESSED
                 # Already done: loop immediately with its value.
                 trigger = target
                 continue

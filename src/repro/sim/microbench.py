@@ -1,0 +1,113 @@
+"""Kernel micro-workloads with known event counts.
+
+Each workload returns the number of kernel events it pushes through the
+simulator, so callers can convert wall time into events/sec. They are
+used both by ``benchmarks/test_kernel_micro.py`` (pytest-benchmark
+timings) and by ``python -m repro.experiments.bench`` (the
+``BENCH_engine.json`` emitter that tracks the kernel's performance
+trajectory across PRs).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+from repro.sim.engine import Simulator
+
+__all__ = [
+    "WORKLOADS",
+    "events_per_second",
+    "timeout_churn",
+    "event_chain",
+    "process_fanout",
+]
+
+
+def timeout_churn(n: int = 50_000) -> int:
+    """One process yielding ``n`` back-to-back timeouts.
+
+    The pure ``Timeout``-resume path: one heap pop + one generator
+    resume per event. Returns the event count.
+    """
+    sim = Simulator()
+
+    def ticker(sim):
+        for _ in range(n):
+            yield sim.timeout(0.001)
+
+    sim.process(ticker(sim))
+    sim.run()
+    assert sim.now > 0.99 * n * 0.001
+    return n
+
+
+def event_chain(n: int = 25_000) -> int:
+    """Producer/consumer pair handing values through bare events.
+
+    Exercises ``Event.succeed`` + multi-process wake-ups (two processes
+    interleaving on the heap). Returns the event count (~2 per round).
+    """
+    sim = Simulator()
+    holder = [None]
+
+    def producer(sim):
+        for _ in range(n):
+            event = sim.event()
+            holder[0] = event
+            yield sim.timeout(0.0005)
+            event.succeed(42)
+
+    def consumer(sim):
+        yield sim.timeout(0.001)
+        for _ in range(n):
+            yield holder[0]
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    return 2 * n
+
+
+def process_fanout(n: int = 5_000) -> int:
+    """Spawn ``n`` short-lived processes joined by a parent.
+
+    Stresses process bootstrap/finish and ``AllOf`` conditions.
+    Returns an approximate event count (bootstrap + timeout + finish).
+    """
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(0.001)
+        return 1
+
+    def parent(sim):
+        children = [sim.process(worker(sim)) for _ in range(n)]
+        values = yield sim.all_of(children)
+        assert len(values) == n
+
+    sim.process(parent(sim))
+    sim.run()
+    return 3 * n
+
+
+#: name -> zero-argument workload returning its event count.
+WORKLOADS: Dict[str, Callable[[], int]] = {
+    "timeout_churn": timeout_churn,
+    "event_chain": event_chain,
+    "process_fanout": process_fanout,
+}
+
+
+def events_per_second(workload: Callable[[], int],
+                      repeats: int = 3) -> Tuple[float, int]:
+    """(best events/sec over ``repeats`` runs, events per run)."""
+    best = 0.0
+    events = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        events = workload()
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, events / elapsed)
+    return best, events

@@ -74,8 +74,12 @@ def test_runner_cli_rejects_unknown_scale():
 
 
 def test_experiment_results_are_reproducible():
-    """Same figure, same scale → identical numbers (seeded RNG)."""
+    """Same figure, same scale → identical numbers (seeded RNG).
+
+    ``cache=False`` so both runs genuinely re-simulate — a cache hit
+    would make this test vacuous.
+    """
     from repro.experiments.fig06_segsize import run
-    first = run(SMOKE).as_dict()
-    second = run(SMOKE).as_dict()
+    first = run(SMOKE, cache=False).as_dict()
+    second = run(SMOKE, cache=False).as_dict()
     assert first == second

@@ -1,0 +1,150 @@
+"""Pinned semantics of ``Simulator.run(until=...)``.
+
+These tests are the normative reference for the ``until`` edge cases
+(see the ``Simulator.run`` docstring):
+
+* the clock lands exactly on ``until`` when the heap drains early;
+* an event scheduled *exactly at* ``until`` **is** processed;
+* the first event strictly after ``until`` is left queued;
+* the semantics are identical with tracing enabled.
+"""
+
+import pytest
+
+from repro.sim import Simulator, Tracer
+
+
+def test_clock_lands_exactly_on_until_when_heap_drains_early():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    final = sim.run(until=7.5)
+    assert fired == [1.0]
+    assert final == 7.5
+    assert sim.now == 7.5
+
+
+def test_run_until_with_empty_heap_still_advances_clock():
+    sim = Simulator()
+    assert sim.run(until=3.25) == 3.25
+    assert sim.now == 3.25
+
+
+def test_event_scheduled_exactly_at_until_is_processed():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+        fired.append("at-until")
+        yield sim.timeout(0.5)
+        fired.append("after-until")
+
+    sim.process(proc(sim))
+    sim.run(until=2.0)
+    assert fired == ["at-until"], \
+        "the t==until event fires; the strictly-later one does not"
+    assert sim.now == 2.0
+
+
+def test_equal_time_events_at_until_all_fire_in_fifo_order():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim, tag):
+        yield sim.timeout(2.0)
+        fired.append(tag)
+
+    for tag in ("a", "b", "c"):
+        sim.process(proc(sim, tag))
+    sim.run(until=2.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_event_strictly_after_until_stays_queued():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(3.0)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=2.999999)
+    assert fired == []
+    assert sim.now == 2.999999
+    assert sim.queue_length == 1
+    sim.run()  # drain the rest
+    assert fired == [3.0]
+
+
+def test_run_until_now_processes_current_instant_only():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(0.0)
+        fired.append("now")
+        yield sim.timeout(1.0)
+        fired.append("later")
+
+    sim.process(proc(sim))
+    sim.run(until=0.0)
+    assert fired == ["now"]
+    assert sim.now == 0.0
+
+
+def test_run_until_in_past_raises():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=4.0)
+
+
+def test_repeated_run_until_accumulates():
+    sim = Simulator()
+    fired = []
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(1.0)
+            fired.append(sim.now)
+
+    sim.process(ticker(sim))
+    sim.run(until=2.5)
+    assert fired == [1.0, 2.0]
+    sim.run(until=4.0)
+    assert fired == [1.0, 2.0, 3.0, 4.0]
+    assert sim.now == 4.0
+
+
+def test_until_semantics_identical_with_tracing_enabled():
+    """The traced loop is a separate code path; pin it to the same rules."""
+    def build(trace):
+        sim = Simulator(trace=trace)
+        fired = []
+
+        def proc(sim):
+            yield sim.timeout(2.0)
+            fired.append(sim.now)
+            yield sim.timeout(1.0)
+            fired.append(sim.now)
+
+        sim.process(proc(sim))
+        return sim, fired
+
+    plain_sim, plain_fired = build(None)
+    traced = Tracer()
+    traced_sim, traced_fired = build(traced)
+
+    assert plain_sim.run(until=2.0) == traced_sim.run(until=2.0)
+    assert plain_fired == traced_fired == [2.0]
+    assert traced.kernel_steps > 0
+
+    assert plain_sim.run() == traced_sim.run()
+    assert plain_fired == traced_fired == [2.0, 3.0]

@@ -118,6 +118,74 @@ def test_latency_reservoir_bounded():
     assert sampler.count == 10_000
 
 
+def test_latency_percentile_exact_below_capacity():
+    """With n < reservoir, percentiles are exact order statistics."""
+    sampler = LatencySampler(reservoir=4096)
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]  # out of order on purpose
+    for value in values:
+        sampler.observe(value)
+    # index = int(q * n) over the sorted reservoir [1..5]
+    assert sampler.percentile(0.0) == 1.0
+    assert sampler.percentile(0.2) == 2.0
+    assert sampler.percentile(0.5) == 3.0
+    assert sampler.percentile(0.8) == 5.0
+    assert sampler.percentile(1.0) == 5.0  # clamped to last element
+
+
+def test_latency_single_sample_statistics():
+    sampler = LatencySampler()
+    sampler.observe(0.125)
+    assert sampler.mean == 0.125
+    assert sampler.variance == 0.0
+    assert sampler.stddev == 0.0
+    assert sampler.min == sampler.max == 0.125
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert sampler.percentile(q) == 0.125
+
+
+def test_latency_reservoir_overflow_is_deterministic():
+    """Thinning is systematic, not random: identical input streams must
+    yield identical reservoirs (and hence identical percentiles), which
+    is what keeps the sweep cache / parallel-vs-serial equality exact."""
+    def feed(sampler):
+        for i in range(50_000):
+            sampler.observe(((i * 2654435761) % 10_000) / 1000.0)
+        return sampler
+
+    a = feed(LatencySampler(reservoir=256))
+    b = feed(LatencySampler(reservoir=256))
+    assert a._reservoir == b._reservoir
+    for q in (0.1, 0.5, 0.9, 0.99):
+        assert a.percentile(q) == b.percentile(q)
+
+
+def test_latency_overflow_keeps_moments_exact_and_percentiles_sane():
+    """Moments are streaming (unaffected by thinning); reservoir
+    percentiles stay within the observed range and roughly ordered."""
+    sampler = LatencySampler(reservoir=128)
+    n = 20_000
+    for i in range(n):
+        sampler.observe(float(i))
+    assert sampler.count == n
+    assert sampler.mean == pytest.approx((n - 1) / 2, rel=1e-9)
+    assert sampler.min == 0.0
+    assert sampler.max == float(n - 1)
+    assert len(sampler._reservoir) == 128
+    p10, p50, p90 = (sampler.percentile(q) for q in (0.1, 0.5, 0.9))
+    assert 0.0 <= p10 <= p50 <= p90 <= float(n - 1)
+
+
+def test_latency_stride_growth_bounded():
+    """The thinning stride doubles but is capped, so late samples are
+    still admitted (the reservoir never freezes permanently)."""
+    sampler = LatencySampler(reservoir=4)
+    for i in range(10_000):
+        sampler.observe(float(i))
+    assert sampler._stride <= 1 << 20
+    assert any(value >= 4.0 for value in sampler._reservoir), \
+        "reservoir froze on the first four samples"
+
+
 @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
                           allow_nan=False), min_size=1, max_size=200))
 def test_latency_mean_matches_numpy_style_mean(values):
