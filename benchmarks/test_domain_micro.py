@@ -1,0 +1,46 @@
+"""Domain micro-benchmarks: the per-request hot path's ops/sec.
+
+These time the exact workloads ``python -m repro.experiments.bench``
+records into ``BENCH_engine.json``'s ``domain`` tier, so
+pytest-benchmark's statistics and the committed trajectory file stay
+comparable. The domain fast-path PR (last-zone memoized geometry,
+tombstoned cache index with a fused coverage walk, precomputed queue
+entries, single-pass LOOK) is the work these benches guard.
+"""
+
+from repro.experiments.domainbench import (
+    DOMAIN_WORKLOADS,
+    cache_churn,
+    drive_service,
+    geometry_lookup,
+    ops_per_second,
+    server_smoke,
+)
+
+
+def test_domain_micro_geometry_lookup(benchmark):
+    """LBA → zone/cylinder mapping, sequential with periodic jumps."""
+    assert benchmark(geometry_lookup) == 200_000
+
+
+def test_domain_micro_cache_churn(benchmark):
+    """Segmented-cache thrash: 320 streams over 256 small segments."""
+    assert benchmark(cache_churn) == 40_000
+
+
+def test_domain_micro_drive_service(benchmark):
+    """Full drive service loop under 8 interleaved readers."""
+    assert benchmark(drive_service) == 3_000
+
+
+def test_domain_micro_server_smoke(benchmark):
+    """End-to-end StreamServer smoke run (deterministic completions)."""
+    assert benchmark(server_smoke) > 0
+
+
+def test_domain_micro_workloads_report_rates():
+    """The bench emitter's helper yields sane positive rates."""
+    for name, workload in DOMAIN_WORKLOADS.items():
+        rate, ops = ops_per_second(workload, repeats=1)
+        assert rate > 0, name
+        assert ops > 0, name

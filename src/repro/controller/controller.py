@@ -95,6 +95,10 @@ class DiskController:
             for disk_id in disks
         }
         self.stats = StatsRegistry()
+        # Precomputed per-request names: the submit/extent paths run once
+        # per simulated request, and the f-string cost was measurable.
+        self._req_name = f"{self.name}.req"
+        self._extent_name = f"{self.name}.extent"
         capacities = {d.capacity_bytes for d in self.disks.values()}
         if len(capacities) != 1:
             raise ValueError("controller disks must be homogeneous")
@@ -108,9 +112,9 @@ class DiskController:
             raise ValueError(
                 f"{request!r}: disk {request.disk_id} not on {self.name}")
         stamp_submit(request, self.sim.now)
-        event = self.sim.event(name=f"ctl{request.request_id}")
+        event = self.sim.event(name="ctl")
         self.sim.process(self._handle(request, event),
-                         name=f"{self.name}.req{request.request_id}")
+                         name=self._req_name)
         return event
 
     @property
@@ -182,7 +186,7 @@ class DiskController:
         if pending is not None:
             yield pending
             return
-        done = self.sim.event(name=f"{self.name}.extent")
+        done = self.sim.event(name=self._extent_name)
         self.cache.in_flight[key] = done
         try:
             extent = request.derive(extent_offset, size)

@@ -9,7 +9,7 @@ threshold the region is declared sequential.
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+from bisect import bisect_right
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["BitmapTable", "RegionBitmap"]
@@ -20,10 +20,12 @@ class RegionBitmap:
 
     Python ints are the bitmap (arbitrary precision, popcount via
     ``int.bit_count``), so a 65-block window costs one small object.
+    ``end_block`` is a plain attribute (not a property): the classifier
+    probes it on every unknown request, and the window never moves.
     """
 
-    __slots__ = ("start_block", "num_blocks", "bits", "created_at",
-                 "last_touch")
+    __slots__ = ("start_block", "num_blocks", "end_block", "bits",
+                 "created_at", "last_touch")
 
     def __init__(self, anchor_block: int, window_blocks: int,
                  now: float = 0.0):
@@ -31,14 +33,11 @@ class RegionBitmap:
             raise ValueError(f"window must be >= 1 block: {window_blocks}")
         self.start_block = max(0, anchor_block - window_blocks)
         self.num_blocks = anchor_block + window_blocks + 1 - self.start_block
+        #: One past the last covered block (fixed at construction).
+        self.end_block = self.start_block + self.num_blocks
         self.bits = 0
         self.created_at = now
         self.last_touch = now
-
-    @property
-    def end_block(self) -> int:
-        """One past the last covered block."""
-        return self.start_block + self.num_blocks
 
     def covers(self, block: int) -> bool:
         """True when ``block`` falls inside this window."""
@@ -69,6 +68,22 @@ class RegionBitmap:
                 f"set={self.popcount}>")
 
 
+class _DiskBitmaps:
+    """Per-disk parallel-array index: start blocks + (id, bitmap) pairs.
+
+    ``starts`` is a plain int list so :meth:`BitmapTable.find` bisects
+    int-against-int (no per-call sentinel tuple, no tuple-vs-tuple
+    comparisons); ``entries[i]`` carries the allocation id and bitmap for
+    ``starts[i]``. Both lists mutate in lock-step.
+    """
+
+    __slots__ = ("starts", "entries")
+
+    def __init__(self) -> None:
+        self.starts: List[int] = []
+        self.entries: List[Tuple[int, RegionBitmap]] = []
+
+
 class BitmapTable:
     """Per-disk collections of region bitmaps with expiry.
 
@@ -78,6 +93,9 @@ class BitmapTable:
     Overlapping windows are allowed; the most recently allocated wins.
     """
 
+    __slots__ = ("window_blocks", "interval", "_max_width", "_tables",
+                 "_next_id", "allocated", "expired")
+
     def __init__(self, window_blocks: int, interval: float):
         if window_blocks < 1:
             raise ValueError(f"window must be >= 1 block: {window_blocks}")
@@ -85,7 +103,10 @@ class BitmapTable:
             raise ValueError(f"interval must be positive: {interval}")
         self.window_blocks = window_blocks
         self.interval = interval
-        self._tables: Dict[int, List[Tuple[int, int, RegionBitmap]]] = {}
+        #: Widest possible window ([B - w, B + w]); bounds the backward
+        #: scan in :meth:`find`.
+        self._max_width = 2 * window_blocks + 1
+        self._tables: Dict[int, _DiskBitmaps] = {}
         self._next_id = 0
         self.allocated = 0
         self.expired = 0
@@ -93,57 +114,75 @@ class BitmapTable:
     def find(self, disk_id: int, block: int) -> Optional[RegionBitmap]:
         """The newest live bitmap covering ``block``, or None."""
         table = self._tables.get(disk_id)
-        if not table:
+        if table is None:
             return None
-        max_width = 2 * self.window_blocks + 1
-        position = bisect_right(table, (block, float("inf"), None))  # type: ignore[arg-type]
-        best: Optional[Tuple[int, RegionBitmap]] = None
+        starts = table.starts
+        entries = table.entries
+        max_width = self._max_width
+        position = bisect_right(starts, block)
+        best_id = -1
+        best: Optional[RegionBitmap] = None
         while position > 0:
-            start, bitmap_id, bitmap = table[position - 1]
+            start = starts[position - 1]
             if block - start >= max_width:
                 break
-            if bitmap.covers(block) and (best is None
-                                         or bitmap_id > best[0]):
-                best = (bitmap_id, bitmap)
+            bitmap_id, bitmap = entries[position - 1]
+            # start <= block is implied by the bisect; only the end of
+            # the (possibly zero-clipped) window needs checking.
+            if block < bitmap.end_block and bitmap_id > best_id:
+                best_id, best = bitmap_id, bitmap
             position -= 1
-        return best[1] if best else None
+        return best
 
     def allocate(self, disk_id: int, anchor_block: int,
                  now: float) -> RegionBitmap:
         """Create a bitmap centred on ``anchor_block``."""
         bitmap = RegionBitmap(anchor_block, self.window_blocks, now=now)
-        table = self._tables.setdefault(disk_id, [])
-        insort(table, (bitmap.start_block, self._next_id, bitmap))
+        table = self._tables.get(disk_id)
+        if table is None:
+            table = self._tables[disk_id] = _DiskBitmaps()
+        # bisect_right + monotonic ids == the old insort of
+        # (start, id, bitmap) tuples: equal starts stay in id order.
+        position = bisect_right(table.starts, bitmap.start_block)
+        table.starts.insert(position, bitmap.start_block)
+        table.entries.insert(position, (self._next_id, bitmap))
         self._next_id += 1
         self.allocated += 1
         return bitmap
 
     def remove(self, disk_id: int, bitmap: RegionBitmap) -> None:
         """Drop a specific bitmap (e.g. once its stream is classified)."""
-        table = self._tables.get(disk_id, [])
-        for index, (_start, _bid, candidate) in enumerate(table):
-            if candidate is bitmap:
-                del table[index]
-                return
+        table = self._tables.get(disk_id)
+        if table is not None:
+            for index, (_bid, candidate) in enumerate(table.entries):
+                if candidate is bitmap:
+                    del table.starts[index]
+                    del table.entries[index]
+                    return
         raise ValueError("bitmap not present")
 
     def expire(self, now: float) -> int:
         """Recycle bitmaps idle past the interval; returns count dropped."""
         dropped = 0
-        for disk_id, table in self._tables.items():
-            keep = [entry for entry in table
-                    if now - entry[2].last_touch < self.interval]
-            dropped += len(table) - len(keep)
-            self._tables[disk_id] = keep
+        interval = self.interval
+        for table in self._tables.values():
+            entries = table.entries
+            keep = [index for index, (_bid, bitmap) in enumerate(entries)
+                    if now - bitmap.last_touch < interval]
+            if len(keep) != len(entries):
+                dropped += len(entries) - len(keep)
+                starts = table.starts
+                table.starts = [starts[i] for i in keep]
+                table.entries = [entries[i] for i in keep]
         self.expired += dropped
         return dropped
 
     @property
     def live_count(self) -> int:
         """Bitmaps currently allocated."""
-        return sum(len(t) for t in self._tables.values())
+        return sum(len(t.starts) for t in self._tables.values())
 
     def memory_bytes(self) -> int:
         """Rough memory footprint: one bit per covered block."""
-        return sum((2 * self.window_blocks + 1 + 7) // 8 * len(t)
+        return sum((self._max_width + 7) // 8 * len(t.starts)
                    for t in self._tables.values())

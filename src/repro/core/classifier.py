@@ -30,6 +30,9 @@ __all__ = ["SequentialClassifier"]
 class SequentialClassifier:
     """Stateful request → stream routing and stream detection."""
 
+    __slots__ = ("params", "bitmaps", "_by_next", "streams", "detected",
+                 "routed", "direct")
+
     def __init__(self, params: ServerParams):
         self.params = params
         self.bitmaps = BitmapTable(

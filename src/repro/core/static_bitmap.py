@@ -39,6 +39,9 @@ class CoarseBitmapClassifier(SequentialClassifier):
         Bytes per bit. Larger = less memory, later/looser detection.
     """
 
+    __slots__ = ("capacity_bytes", "granularity", "bits_per_disk",
+                 "_disk_bits")
+
     def __init__(self, params: ServerParams, capacity_bytes: int,
                  granularity: int = 1 * MiB):
         super().__init__(params)

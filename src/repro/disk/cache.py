@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 __all__ = ["CacheStats", "Segment", "SegmentedCache"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Aggregate counters for one cache instance.
 
@@ -81,6 +81,11 @@ class Segment:
                 f"used={self.used_high}>")
 
 
+#: Bisect sentinel: sorts after any (start, segment_id) entry with the
+#: same start. Built once — the coverage walk runs per simulated request.
+_AFTER_ANY_ID = float("inf")
+
+
 class SegmentedCache:
     """LRU cache of ``num_segments`` segments of ``segment_sectors`` each.
 
@@ -88,6 +93,14 @@ class SegmentedCache:
     is bound to a start sector at allocation and only ever extended at its
     end (by demand fill or read-ahead), which keeps the start-sorted index
     stable.
+
+    The start-sorted index tolerates *tombstones*: retiring or
+    invalidating a segment only drops it from the LRU dict (O(1)) and
+    leaves its index entry behind to be skipped by lookups (liveness is
+    one dict-membership test) and reclaimed by a periodic compaction.
+    That removes the O(live-segments) ``list.remove`` the per-request
+    path used to pay on every eviction — the dominant cost in the
+    thrashing regime of Figures 4–8 where every miss evicts.
     """
 
     def __init__(self, num_segments: int, segment_sectors: int):
@@ -100,10 +113,16 @@ class SegmentedCache:
         self.segment_sectors = segment_sectors
         self.stats = CacheStats()
         self._ids = itertools.count()
-        #: LRU order: oldest first. Maps segment_id -> Segment.
+        #: LRU order: oldest first. Maps segment_id -> Segment. This is
+        #: the source of truth for liveness; the index may lag.
         self._lru: "OrderedDict[int, Segment]" = OrderedDict()
-        #: start-sorted index of live segments: (start, segment_id) tuples.
+        #: start-sorted index of segments: (start, segment_id) tuples.
+        #: May contain tombstones (ids no longer in ``_lru``).
         self._index: List[Tuple[int, int]] = []
+        #: Tombstoned entries currently in ``_index``.
+        self._dead_entries = 0
+        #: Compact once tombstones rival the live segment count.
+        self._compact_threshold = num_segments // 2 + 4
         self._free_slots = num_segments
 
     # -- derived sizes ---------------------------------------------------------
@@ -131,47 +150,86 @@ class SegmentedCache:
         """
         if nsectors < 1:
             raise ValueError(f"nsectors must be >= 1: {nsectors}")
-        self.stats.lookups += 1
-        covered = 0
-        while covered < nsectors:
-            segment = self._segment_containing(start + covered)
-            if segment is None:
-                break
-            take = min(segment.end - (start + covered), nsectors - covered)
-            covered += take
-            segment.used_high = max(segment.used_high,
-                                    start + covered - segment.start)
-            self._lru.move_to_end(segment.segment_id)
+        stats = self.stats
+        stats.lookups += 1
+        covered = self._coverage(start, nsectors, touch=True)
         if covered == nsectors:
-            self.stats.full_hits += 1
+            stats.full_hits += 1
         elif covered:
-            self.stats.partial_hits += 1
+            stats.partial_hits += 1
         else:
-            self.stats.misses += 1
-        self.stats.hit_sectors += covered
+            stats.misses += 1
+        stats.hit_sectors += covered
         return covered
 
     def peek(self, start: int, nsectors: int) -> int:
-        """Coverage check without touching LRU or stats."""
+        """Coverage check without touching LRU or stats.
+
+        Shares :meth:`_coverage` with :meth:`lookup` — one source of
+        truth for the bounded coverage walk.
+        """
+        return self._coverage(start, nsectors, touch=False)
+
+    def _coverage(self, start: int, nsectors: int, touch: bool) -> int:
+        """Contiguously covered prefix of ``[start, start + nsectors)``.
+
+        One fused walk over the start-sorted index: each chained target
+        re-bisects with the previous position as the lower bound (targets
+        only grow), and each candidate entry is checked live-ness first
+        (tombstones are skipped) then containment. With ``touch`` the
+        contributing segments' LRU position and used-high-water advance,
+        exactly as a drive's cache controller would on a host read.
+        """
+        index = self._index
+        lru = self._lru
+        segment_sectors = self.segment_sectors
         covered = 0
+        position = 0
         while covered < nsectors:
-            segment = self._segment_containing(start + covered)
+            target = start + covered
+            position = bisect_right(index, (target, _AFTER_ANY_ID),
+                                    position)
+            # Only segments with start in (target - segment_sectors,
+            # target] can cover the target, so the backward scan is
+            # bounded regardless of tombstone density.
+            scan = position
+            segment = None
+            while scan > 0:
+                entry_start, segment_id = index[scan - 1]
+                if target - entry_start >= segment_sectors:
+                    break
+                candidate = lru.get(segment_id)
+                if candidate is not None \
+                        and candidate.start <= target < candidate.end:
+                    segment = candidate
+                    break
+                scan -= 1
             if segment is None:
                 break
-            covered += min(segment.end - (start + covered),
-                           nsectors - covered)
+            take = segment.end - target
+            remaining = nsectors - covered
+            if take > remaining:
+                take = remaining
+            covered += take
+            if touch:
+                used = target + take - segment.start
+                if used > segment.used_high:
+                    segment.used_high = used
+                lru.move_to_end(segment.segment_id)
         return covered
 
     def _segment_containing(self, sector: int) -> Optional[Segment]:
-        # Only segments with start in (sector - segment_sectors, sector]
-        # can cover the sector, so the backward scan is bounded.
-        position = bisect_right(self._index, (sector, float("inf")))
+        """The live segment holding ``sector``, or None (index walk)."""
+        index = self._index
+        lru = self._lru
+        position = bisect_right(index, (sector, _AFTER_ANY_ID))
         while position > 0:
-            start, segment_id = self._index[position - 1]
-            if sector - start >= self.segment_sectors:
+            entry_start, segment_id = index[position - 1]
+            if sector - entry_start >= self.segment_sectors:
                 return None
-            segment = self._lru[segment_id]
-            if segment.start <= sector < segment.end:
+            segment = lru.get(segment_id)
+            if segment is not None \
+                    and segment.start <= sector < segment.end:
                 return segment
             position -= 1
         return None
@@ -194,7 +252,13 @@ class SegmentedCache:
         segment = Segment(next(self._ids))
         segment.start = start
         self._lru[segment.segment_id] = segment
-        insort(self._index, (start, segment.segment_id))
+        index = self._index
+        if not index or start >= index[-1][0]:
+            # Sequential streams allocate at increasing starts: O(1)
+            # append instead of an insort shift.
+            index.append((start, segment.segment_id))
+        else:
+            insort(index, (start, segment.segment_id))
         return segment
 
     def fill(self, segment: Segment, nsectors: int,
@@ -202,18 +266,23 @@ class SegmentedCache:
         """Extend ``segment`` by ``nsectors`` of newly read data."""
         if nsectors < 0:
             raise ValueError(f"negative fill: {nsectors}")
-        if segment.segment_id not in self._lru:
-            raise ValueError(f"fill on evicted {segment!r}")
-        if segment.count + nsectors > self.segment_sectors:
+        count = segment.count + nsectors
+        if count > self.segment_sectors:
+            if segment.segment_id not in self._lru:
+                raise ValueError(f"fill on evicted {segment!r}")
             raise ValueError(
                 f"fill overflows segment: {segment.count} + {nsectors} > "
                 f"{self.segment_sectors}")
-        segment.count += nsectors
+        try:
+            # Doubles as the liveness check: evicted ids are gone.
+            self._lru.move_to_end(segment.segment_id)
+        except KeyError:
+            raise ValueError(f"fill on evicted {segment!r}") from None
+        segment.count = count
         self.stats.inserted_sectors += nsectors
         if prefetch:
             segment.prefetched += nsectors
             self.stats.prefetched_sectors += nsectors
-        self._lru.move_to_end(segment.segment_id)
 
     def is_live(self, segment: Segment) -> bool:
         """True while ``segment`` has not been evicted or invalidated."""
@@ -231,23 +300,62 @@ class SegmentedCache:
         segment granularity on writes.
         """
         end = start + nsectors
-        victims = [seg for seg in self._lru.values()
-                   if seg.start < end and start < seg.end]
+        index = self._index
+        lru = self._lru
+        # Overlapping segments must have start in (start - segment_sectors,
+        # end): anything earlier ends at or before ``start``, anything
+        # later begins at or after ``end``. Bisect both bounds instead of
+        # scanning every live segment.
+        lo = bisect_right(index, (start - self.segment_sectors,
+                                  _AFTER_ANY_ID))
+        hi = bisect_right(index, (end - 1, _AFTER_ANY_ID), lo)
+        victims = []
+        for position in range(lo, hi):
+            _entry_start, segment_id = index[position]
+            segment = lru.get(segment_id)
+            if segment is not None \
+                    and segment.start < end and start < segment.end:
+                victims.append(segment)
         for segment in victims:
             self.stats.invalidated_sectors += segment.count
-            del self._lru[segment.segment_id]
-            self._index.remove((segment.start, segment.segment_id))
+            del lru[segment.segment_id]
+            self._dead_entries += 1
             segment.count = 0
             self._free_slots += 1
+        if victims:
+            self._maybe_compact()
 
     def _retire(self, segment: Segment) -> None:
-        """Book-keeping when LRU eviction reclaims ``segment``."""
+        """Book-keeping when LRU eviction reclaims ``segment``.
+
+        The index entry becomes a tombstone (skipped by lookups,
+        reclaimed by :meth:`_maybe_compact`) — no O(n) ``list.remove``.
+        """
         self.stats.evictions += 1
         unused_prefetch = min(segment.prefetched,
                               segment.count - segment.used_high)
         if unused_prefetch > 0:
             self.stats.wasted_prefetch_sectors += unused_prefetch
-        self._index.remove((segment.start, segment.segment_id))
+        dead = self._dead_entries + 1
+        self._dead_entries = dead
+        if dead > self._compact_threshold:
+            self._compact()
+
+    def _maybe_compact(self) -> None:
+        """Compact when tombstones exceed the threshold."""
+        if self._dead_entries > self._compact_threshold:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstones from the start-sorted index.
+
+        Amortised O(1): each compaction is O(index) but only runs after
+        O(num_segments) retirements, keeping both the memory footprint
+        and the bounded backward scans proportional to live segments.
+        """
+        lru = self._lru
+        self._index = [entry for entry in self._index if entry[1] in lru]
+        self._dead_entries = 0
 
     def __repr__(self) -> str:
         return (f"<SegmentedCache {self.live_segments}/{self.num_segments} "

@@ -10,8 +10,8 @@ is how real drives map logical blocks (low LBAs are fast).
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
 
 from repro.units import SECTOR_BYTES
 
@@ -34,6 +34,10 @@ class Zone:
         First LBA mapped into this zone (cumulative over outer zones).
     heads:
         Surfaces per cylinder (copied from the geometry for convenience).
+    sectors_per_cylinder / sector_count / end_lba / end_cylinder:
+        Derived values, precomputed once at construction — they are the
+        operands of every LBA → cylinder mapping, so the hot path loads
+        plain attributes instead of re-deriving through properties.
     """
 
     index: int
@@ -42,26 +46,24 @@ class Zone:
     sectors_per_track: int
     start_lba: int
     heads: int
+    #: Sectors across all surfaces of one cylinder (derived).
+    sectors_per_cylinder: int = field(init=False)
+    #: Total sectors mapped into this zone (derived).
+    sector_count: int = field(init=False)
+    #: One past the last LBA of the zone (derived).
+    end_lba: int = field(init=False)
+    #: One past the last cylinder of the zone (derived).
+    end_cylinder: int = field(init=False)
 
-    @property
-    def sectors_per_cylinder(self) -> int:
-        """Sectors across all surfaces of one cylinder."""
-        return self.sectors_per_track * self.heads
-
-    @property
-    def sector_count(self) -> int:
-        """Total sectors mapped into this zone."""
-        return self.cylinder_count * self.sectors_per_cylinder
-
-    @property
-    def end_lba(self) -> int:
-        """One past the last LBA of the zone."""
-        return self.start_lba + self.sector_count
-
-    @property
-    def end_cylinder(self) -> int:
-        """One past the last cylinder of the zone."""
-        return self.start_cylinder + self.cylinder_count
+    def __post_init__(self) -> None:
+        per_cylinder = self.sectors_per_track * self.heads
+        object.__setattr__(self, "sectors_per_cylinder", per_cylinder)
+        object.__setattr__(self, "sector_count",
+                           self.cylinder_count * per_cylinder)
+        object.__setattr__(self, "end_lba",
+                           self.start_lba + self.sector_count)
+        object.__setattr__(self, "end_cylinder",
+                           self.start_cylinder + self.cylinder_count)
 
 
 class DiskGeometry:
@@ -75,6 +77,9 @@ class DiskGeometry:
         Outer-to-inner zone descriptions as
         ``(cylinder_count, sectors_per_track)`` pairs.
     """
+
+    __slots__ = ("heads", "zones", "cylinders", "total_sectors",
+                 "_zone_lba_starts", "_zone_cyl_starts", "_last_zone")
 
     def __init__(self, heads: int,
                  zones: Sequence[tuple[int, int]]):
@@ -101,6 +106,12 @@ class DiskGeometry:
         self.total_sectors = lba
         self._zone_lba_starts = [z.start_lba for z in self.zones]
         self._zone_cyl_starts = [z.start_cylinder for z in self.zones]
+        # Last-hit zone memo: sequential streams issue runs of lookups
+        # landing in the same zone, so one range check usually replaces
+        # the bisect. Stored as (start_lba, end_lba, zone) to keep the
+        # hot-path check to two integer compares.
+        last = self.zones[0]
+        self._last_zone = (last.start_lba, last.end_lba, last)
 
     @property
     def capacity_bytes(self) -> int:
@@ -108,10 +119,29 @@ class DiskGeometry:
         return self.total_sectors * SECTOR_BYTES
 
     # -- mapping -------------------------------------------------------------
+    def _zone_of_lba_unchecked(self, lba: int) -> Zone:
+        """Zone containing a *known-valid* ``lba`` (last-zone memo).
+
+        Internal fast path: callers that already validated the LBA (or
+        derived it from validated geometry arithmetic) skip the range
+        re-check that :meth:`zone_of_lba` performs.
+        """
+        start, end, zone = self._last_zone
+        if start <= lba < end:
+            return zone
+        zone = self.zones[bisect_right(self._zone_lba_starts, lba) - 1]
+        self._last_zone = (zone.start_lba, zone.end_lba, zone)
+        return zone
+
     def zone_of_lba(self, lba: int) -> Zone:
         """Zone containing ``lba``."""
+        start, end, zone = self._last_zone
+        if start <= lba < end:
+            # Memo hit implies a valid LBA: zone ranges never leave
+            # [0, total_sectors), so the range re-check is subsumed.
+            return zone
         self._check_lba(lba)
-        return self.zones[bisect_right(self._zone_lba_starts, lba) - 1]
+        return self._zone_of_lba_unchecked(lba)
 
     def zone_of_cylinder(self, cylinder: int) -> Zone:
         """Zone containing ``cylinder``."""
@@ -122,13 +152,33 @@ class DiskGeometry:
 
     def cylinder_of_lba(self, lba: int) -> int:
         """Cylinder holding ``lba``."""
-        zone = self.zone_of_lba(lba)
+        start, end, zone = self._last_zone
+        if not (start <= lba < end):
+            self._check_lba(lba)
+            zone = self._zone_of_lba_unchecked(lba)
         return (zone.start_cylinder
                 + (lba - zone.start_lba) // zone.sectors_per_cylinder)
 
+    def zone_and_cylinder_of_lba(self, lba: int) -> Tuple[Zone, int]:
+        """(zone, cylinder) of ``lba`` in one lookup.
+
+        The drive's positioning path needs both; fusing them pays the
+        zone resolution (memo check or bisect) once instead of twice.
+        """
+        start, end, zone = self._last_zone
+        if not (start <= lba < end):
+            self._check_lba(lba)
+            zone = self._zone_of_lba_unchecked(lba)
+        return zone, (zone.start_cylinder
+                      + (lba - zone.start_lba) // zone.sectors_per_cylinder)
+
     def sectors_per_track_at(self, lba: int) -> int:
         """Sectors per track of the zone containing ``lba``."""
-        return self.zone_of_lba(lba).sectors_per_track
+        start, end, zone = self._last_zone
+        if not (start <= lba < end):
+            self._check_lba(lba)
+            zone = self._zone_of_lba_unchecked(lba)
+        return zone.sectors_per_track
 
     def _check_lba(self, lba: int) -> None:
         if not 0 <= lba < self.total_sectors:

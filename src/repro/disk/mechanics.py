@@ -153,7 +153,9 @@ class Mechanics:
         return float(self._rng.uniform(0.0, self.rotation_time))
 
     def _positioned_latency(self, now: float, target_lba: int) -> float:
-        zone = self.geometry.zone_of_lba(target_lba)
+        # Internal call: target_lba was validated at submit time, so use
+        # the geometry's unchecked last-zone fast path.
+        zone = self.geometry._zone_of_lba_unchecked(target_lba)
         sector_in_track = ((target_lba - zone.start_lba)
                            % zone.sectors_per_track)
         target_angle = sector_in_track / zone.sectors_per_track
@@ -177,7 +179,9 @@ class Mechanics:
         """
         if nsectors <= 0:
             raise ValueError(f"nsectors must be positive, got {nsectors}")
-        zone = self.geometry.zone_of_lba(start_lba)
+        # Hot path (once per media transfer): the drive validated the
+        # range at submit, so skip the redundant LBA re-check.
+        zone = self.geometry._zone_of_lba_unchecked(start_lba)
         spt = zone.sectors_per_track
         base = nsectors * self.rotation_time / spt
         # Count crossings against absolute track boundaries, including

@@ -27,6 +27,8 @@ class QueuePolicy(abc.ABC):
     the chosen request.
     """
 
+    __slots__ = ()
+
     name: str = "abstract"
 
     @abc.abstractmethod
@@ -40,6 +42,8 @@ class QueuePolicy(abc.ABC):
 class FCFSPolicy(QueuePolicy):
     """First-come first-served: arrival order, no reordering."""
 
+    __slots__ = ()
+
     name = "fcfs"
 
     def select(self, cylinders: Sequence[int], head_cylinder: int) -> int:
@@ -50,6 +54,8 @@ class FCFSPolicy(QueuePolicy):
 
 class SSTFPolicy(QueuePolicy):
     """Shortest seek time first: nearest cylinder wins (FIFO tiebreak)."""
+
+    __slots__ = ()
 
     name = "sstf"
 
@@ -68,8 +74,14 @@ class SSTFPolicy(QueuePolicy):
 class LookPolicy(QueuePolicy):
     """LOOK elevator: sweep in one direction, reverse at the last request.
 
-    Stateful: remembers the sweep direction between selections.
+    Stateful: remembers the sweep direction between selections. The
+    selection is a single pass tracking the nearest request ahead of and
+    behind the sweep direction (strict ``<`` keeps the FIFO tiebreak of
+    the earlier two-list implementation: the lowest index among equally
+    near candidates wins).
     """
+
+    __slots__ = ("_ascending",)
 
     name = "look"
 
@@ -79,20 +91,26 @@ class LookPolicy(QueuePolicy):
     def select(self, cylinders: Sequence[int], head_cylinder: int) -> int:
         if not cylinders:
             raise ValueError("select() on empty queue")
-        ahead: List[int] = []
-        behind: List[int] = []
+        ascending = self._ascending
+        best_ahead = -1
+        best_ahead_distance = 0
+        best_behind = -1
+        best_behind_distance = 0
         for index, cylinder in enumerate(cylinders):
-            if self._ascending:
-                (ahead if cylinder >= head_cylinder else behind).append(index)
+            distance = cylinder - head_cylinder
+            if not ascending:
+                distance = -distance
+            if distance >= 0:
+                if best_ahead < 0 or distance < best_ahead_distance:
+                    best_ahead, best_ahead_distance = index, distance
             else:
-                (ahead if cylinder <= head_cylinder else behind).append(index)
-        candidates = ahead
-        if not candidates:
-            self._ascending = not self._ascending
-            candidates = behind
-        # Nearest in the sweep direction; FIFO tiebreak via min scan order.
-        return min(candidates,
-                   key=lambda i: abs(cylinders[i] - head_cylinder))
+                distance = -distance
+                if best_behind < 0 or distance < best_behind_distance:
+                    best_behind, best_behind_distance = index, distance
+        if best_ahead >= 0:
+            return best_ahead
+        self._ascending = not ascending
+        return best_behind
 
 
 _POLICIES = {

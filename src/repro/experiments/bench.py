@@ -1,17 +1,29 @@
-"""Record the perf trajectory: kernel events/sec + per-figure wall time.
+"""Record the perf trajectory: kernel + domain rates, per-figure wall time.
 
 Usage::
 
-    python -m repro.experiments.bench                    # kernel only
+    python -m repro.experiments.bench                    # kernel + domain
     python -m repro.experiments.bench --figures fig06    # + one figure
     python -m repro.experiments.bench --all-figures --scale smoke
-    python -m repro.experiments.bench --output BENCH_engine.json
+    python -m repro.experiments.bench --baseline BENCH_engine.json
+    python -m repro.experiments.bench --check             # CI regression gate
 
-Writes ``BENCH_engine.json`` (next to the repo root by default): the
-kernel micro-workloads' events/sec plus — when figures are requested —
-each figure's wall time and series at the chosen scale. Commit the file
-(or diff it against the previous PR's copy) to track how kernel and
-sweep performance move over time.
+Writes ``BENCH_engine.json`` (next to the repo root by default) with two
+benchmark tiers:
+
+* **kernel** — the simulator's events/sec micro-workloads
+  (:mod:`repro.sim.microbench`).
+* **domain** — the per-request storage path's ops/sec
+  (:mod:`repro.experiments.domainbench`): geometry mapping, segmented
+  cache churn, the drive service loop, and an end-to-end StreamServer
+  smoke run.
+
+``--baseline PATH`` copies the kernel/domain rates recorded in an
+existing trajectory file into the new report's ``baseline`` section, so
+a PR's before/after is readable from one file. ``--check [PATH]``
+re-measures both tiers and exits non-zero if any workload's rate fell
+more than ``--tolerance`` (default 20%) below the recorded value — the
+CI regression gate.
 
 Figure timings honour the sweep executor's ``--jobs`` and cache
 controls; pass ``--no-cache`` for honest cold-run wall times.
@@ -27,12 +39,16 @@ import time
 from typing import List, Optional
 
 from repro.experiments import EXPERIMENTS, EXTENSIONS, FULL, QUICK, SMOKE
+from repro.experiments.domainbench import DOMAIN_WORKLOADS, ops_per_second
 from repro.experiments.executor import resolve_jobs
 from repro.sim.microbench import WORKLOADS, events_per_second
 
 _SCALES = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
 
 DEFAULT_OUTPUT = "BENCH_engine.json"
+
+#: Allowed fractional slowdown before ``--check`` fails (20%).
+DEFAULT_TOLERANCE = 0.20
 
 
 def measure_kernel(repeats: int = 3) -> dict:
@@ -43,6 +59,16 @@ def measure_kernel(repeats: int = 3) -> dict:
         kernel[name] = {"events_per_sec": round(rate, 1),
                         "events_per_run": events}
     return kernel
+
+
+def measure_domain(repeats: int = 3) -> dict:
+    """ops/sec for every domain micro-workload (best of ``repeats``)."""
+    domain = {}
+    for name, workload in DOMAIN_WORKLOADS.items():
+        rate, ops = ops_per_second(workload, repeats=repeats)
+        domain[name] = {"ops_per_sec": round(rate, 1),
+                        "ops_per_run": ops}
+    return domain
 
 
 def measure_figures(figure_ids: List[str], scale, jobs: int,
@@ -62,12 +88,64 @@ def measure_figures(figure_ids: List[str], scale, jobs: int,
     return figures
 
 
+def _recorded_rates(report: dict) -> dict:
+    """Flatten a trajectory file into {tier/workload: rate}."""
+    rates = {}
+    for name, entry in report.get("kernel", {}).items():
+        rates[f"kernel/{name}"] = entry["events_per_sec"]
+    for name, entry in report.get("domain", {}).items():
+        rates[f"domain/{name}"] = entry["ops_per_sec"]
+    return rates
+
+
+def run_check(path: str, tolerance: float, repeats: int) -> int:
+    """Re-measure both tiers against ``path``; 0 = no regression."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            recorded = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"bench --check: cannot read {path}: {exc}",
+              file=sys.stderr)
+        return 2
+    baseline = _recorded_rates(recorded)
+    if not baseline:
+        print(f"bench --check: no recorded workloads in {path}",
+              file=sys.stderr)
+        return 2
+    current = _recorded_rates({"kernel": measure_kernel(repeats=repeats),
+                               "domain": measure_domain(repeats=repeats)})
+    failures = []
+    for name, recorded_rate in sorted(baseline.items()):
+        measured = current.get(name)
+        if measured is None:
+            # Workload renamed/removed: surface loudly rather than skip.
+            failures.append(f"{name}: recorded but not measurable")
+            continue
+        ratio = measured / recorded_rate if recorded_rate else float("inf")
+        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
+        print(f"{name:28s} recorded={recorded_rate:12,.0f} "
+              f"measured={measured:12,.0f} ({ratio:6.2%}) {status}")
+        if status != "ok":
+            failures.append(
+                f"{name}: {measured:,.0f} vs recorded "
+                f"{recorded_rate:,.0f} ({ratio:.2%})")
+    if failures:
+        print(f"bench --check: {len(failures)} workload(s) regressed "
+              f"more than {tolerance:.0%}:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"bench --check: all {len(baseline)} workloads within "
+          f"{tolerance:.0%} of {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     catalogue = {**EXPERIMENTS, **EXTENSIONS}
     parser = argparse.ArgumentParser(
-        description="Emit BENCH_engine.json: kernel events/sec and "
-                    "per-figure wall times.")
+        description="Emit BENCH_engine.json: kernel events/sec, domain "
+                    "ops/sec and per-figure wall times.")
     parser.add_argument("--figures", nargs="*", default=[],
                         metavar="FIG",
                         help=f"figure ids to time "
@@ -84,12 +162,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="bypass the sweep cache for honest cold "
                              "wall times")
     parser.add_argument("--repeats", type=int, default=3,
-                        help="kernel workload repeats (best-of)")
+                        help="micro-workload repeats (best-of)")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="existing trajectory file whose kernel/"
+                             "domain rates are copied into the new "
+                             "report's 'baseline' section")
+    parser.add_argument("--check", nargs="?", const=DEFAULT_OUTPUT,
+                        default=None, metavar="PATH",
+                        help=f"re-measure and fail if any workload "
+                             f"regressed more than --tolerance vs PATH "
+                             f"(default {DEFAULT_OUTPUT}); writes "
+                             f"nothing")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE, metavar="FRAC",
+                        help="allowed fractional slowdown for --check "
+                             f"(default {DEFAULT_TOLERANCE})")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         metavar="PATH",
                         help=f"output path (default {DEFAULT_OUTPUT}; "
                              f"'-' for stdout)")
     arguments = parser.parse_args(argv)
+
+    if arguments.check is not None:
+        return run_check(arguments.check, arguments.tolerance,
+                         arguments.repeats)
 
     figure_ids = list(arguments.figures)
     if arguments.all_figures:
@@ -101,12 +197,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     jobs = resolve_jobs(arguments.jobs)
     scale = _SCALES[arguments.scale]
     report = {
-        "schema": "repro-bench-engine/1",
+        "schema": "repro-bench-engine/2",
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "kernel": measure_kernel(repeats=arguments.repeats),
+        "domain": measure_domain(repeats=arguments.repeats),
     }
+    if arguments.baseline:
+        with open(arguments.baseline, "r", encoding="utf-8") as handle:
+            previous = json.load(handle)
+        report["baseline"] = {
+            "recorded_at": previous.get("recorded_at"),
+            "kernel": previous.get("kernel", {}),
+            "domain": previous.get("domain", {}),
+        }
     if figure_ids:
         report["figure_scale"] = scale.name
         report["jobs"] = jobs
@@ -123,7 +228,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         summary = ", ".join(
             f"{name}={entry['events_per_sec']:,.0f} ev/s"
             for name, entry in report["kernel"].items())
-        print(f"wrote {arguments.output}: {summary}")
+        domain_summary = ", ".join(
+            f"{name}={entry['ops_per_sec']:,.0f} op/s"
+            for name, entry in report["domain"].items())
+        print(f"wrote {arguments.output}: {summary}; {domain_summary}")
     return 0
 
 

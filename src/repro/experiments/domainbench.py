@@ -1,0 +1,192 @@
+"""Domain-layer micro-workloads: the per-request hot path's ops/sec.
+
+PR 1's kernel fast paths left figure-sweep wall time dominated by the
+*domain* layer — geometry zone lookups, segmented-cache coverage scans,
+and the drive's service loop run once (or more) per simulated request,
+millions of times per sweep. These workloads time exactly those paths so
+``python -m repro.experiments.bench`` can record them in
+``BENCH_engine.json`` alongside the kernel tier:
+
+* ``geometry_lookup`` — LBA → zone/cylinder mapping, sequential-heavy
+  with periodic long jumps (the streaming access pattern the last-zone
+  cache is built for).
+* ``cache_churn`` — :class:`~repro.disk.cache.SegmentedCache` under more
+  streams than segments: lookup/allocate/fill/invalidate thrash, the
+  Figures 4–8 mechanism.
+* ``drive_service`` — full :class:`~repro.disk.drive.DiskDrive` service
+  loop (queue policy, positioning, cache, completion) under interleaved
+  sequential readers.
+* ``server_smoke`` — end-to-end :class:`~repro.core.server.StreamServer`
+  over a drive with default D/N/R parameters: classifier, dispatch set,
+  buffered set and device all on the request path.
+
+Every workload is deterministic (seeded or EXPECTED-rotation) and
+returns the number of domain operations it performed, so callers convert
+wall time into ops/sec exactly like the kernel tier converts into
+events/sec. ``benchmarks/test_domain_micro.py`` wraps the same callables
+in pytest-benchmark for local statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.sim.microbench import events_per_second as ops_per_second
+
+__all__ = [
+    "DOMAIN_WORKLOADS",
+    "cache_churn",
+    "drive_service",
+    "geometry_lookup",
+    "ops_per_second",
+    "server_smoke",
+]
+
+
+def geometry_lookup(n: int = 200_000) -> int:
+    """``n`` LBA → cylinder/zone mappings, sequential with long jumps.
+
+    Models the drive's positioning path: runs of consecutive lookups
+    inside one zone (a stream transferring sequentially) punctuated by a
+    jump to a different disk region every 64 lookups (a seek to another
+    stream). Returns the number of lookups performed.
+    """
+    from repro.disk.geometry import DiskGeometry
+
+    geometry = DiskGeometry.from_capacity(80 * 10**9)
+    total = geometry.total_sectors
+    stride = 128                      # one 64 KiB request
+    jump = (total // 7) | 1           # co-prime-ish long jump
+    lba = 0
+    cylinder_of_lba = geometry.cylinder_of_lba
+    sectors_per_track_at = geometry.sectors_per_track_at
+    checksum = 0
+    for index in range(n):
+        checksum += cylinder_of_lba(lba)
+        checksum += sectors_per_track_at(lba)
+        if index % 64 == 63:
+            lba = (lba + jump) % (total - stride)
+        else:
+            lba = (lba + stride) % (total - stride)
+    assert checksum > 0
+    return n
+
+
+def cache_churn(n: int = 40_000) -> int:
+    """``n`` requests of segmented-cache traffic with streams > segments.
+
+    320 sequential streams over a 256-segment cache of 32 KiB segments
+    (the small-segment end of the Figure 6 sweep, where index costs
+    peak): every request pays two ``lookup``\\ s — submit-time and
+    service-time, as the drive does — and misses ``allocate`` + demand
+    ``fill`` + prefetch ``fill``. Every 16th request also ``peek``\\ s and
+    every 256th ``invalidate``\\ s a region (a write landing mid-stream).
+    This is the thrashing regime of Figures 4–8 where the
+    O(live-segments) index operations used to dominate. Returns ``n``.
+    """
+    from repro.disk.cache import SegmentedCache
+
+    cache = SegmentedCache(num_segments=256, segment_sectors=64)
+    streams = 320
+    request = 64                      # sectors per lookup (32 KiB)
+    positions = [i * 1_000_000 for i in range(streams)]
+    for round_number in range(n):
+        stream = round_number % streams
+        position = positions[stream]
+        if (cache.lookup(position, request) < request
+                and cache.lookup(position, request) < request):
+            segment = cache.allocate(position)
+            cache.fill(segment, request)
+            spare = cache.space_left(segment)
+            if spare:
+                cache.fill(segment, spare, prefetch=True)
+        positions[stream] = position + request
+        if round_number % 16 == 15:
+            cache.peek(position, request)
+        if round_number % 256 == 255:
+            cache.invalidate(position - 4 * request, 2 * request)
+    return n
+
+
+def drive_service(n: int = 3_000) -> int:
+    """``n`` requests through a full drive: queue → mechanics → cache.
+
+    Eight interleaved sequential readers (64 KiB, one outstanding each)
+    against the DiskSim base drive with deterministic EXPECTED rotation —
+    each request exercises the policy select, cylinder mapping, cache
+    lookup/fill and completion paths. Returns ``n``.
+    """
+    from repro.disk.drive import DiskDrive, DriveConfig
+    from repro.disk.mechanics import RotationMode
+    from repro.disk.specs import DISKSIM_GENERIC
+    from repro.io import IOKind, IORequest
+    from repro.sim import Simulator
+    from repro.units import KiB
+
+    sim = Simulator()
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      DriveConfig(rotation_mode=RotationMode.EXPECTED))
+    streams = 8
+    size = 64 * KiB
+    per_stream = n // streams
+    spacing = drive.capacity_bytes // streams
+    spacing -= spacing % size
+
+    def reader(sim, stream_id):
+        offset = stream_id * spacing
+        for _ in range(per_stream):
+            request = IORequest(kind=IOKind.READ, disk_id=0,
+                                offset=offset, size=size,
+                                stream_id=stream_id)
+            yield drive.submit(request)
+            offset += size
+
+    for stream_id in range(streams):
+        sim.process(reader(sim, stream_id))
+    sim.run()
+    completed = streams * per_stream
+    assert drive.stats.counter("completed").count == completed
+    return completed
+
+
+def server_smoke(streams: int = 12, duration: float = 0.5) -> int:
+    """End-to-end StreamServer (default D/N/R) over one drive.
+
+    ``streams`` sequential 64 KiB readers for ``duration`` simulated
+    seconds: the classifier detects each stream, the dispatch set
+    rotates them, read-ahead stages into the buffered set, and the drive
+    underneath services the coalesced fetches. Returns the number of
+    client requests completed (deterministic for a fixed configuration).
+    """
+    from repro.core.params import ServerParams
+    from repro.core.server import StreamServer
+    from repro.disk.drive import DiskDrive, DriveConfig
+    from repro.disk.mechanics import RotationMode
+    from repro.disk.specs import DISKSIM_GENERIC
+    from repro.sim import Simulator
+    from repro.units import KiB
+    from repro.workload import ClientFleet, StreamSpec
+
+    sim = Simulator()
+    drive = DiskDrive(sim, DISKSIM_GENERIC,
+                      DriveConfig(rotation_mode=RotationMode.EXPECTED))
+    server = StreamServer(sim, drive, ServerParams())
+    size = 64 * KiB
+    spacing = drive.capacity_bytes // streams
+    spacing -= spacing % size
+    specs = [StreamSpec(stream_id=i, disk_id=0, start_offset=i * spacing,
+                        request_size=size) for i in range(streams)]
+    fleet = ClientFleet(sim, server, specs)
+    report = fleet.run(duration=duration)
+    completed = server.stats.counter("completed").count
+    assert report.total_bytes > 0
+    return completed
+
+
+#: name -> zero-argument workload returning its domain-op count.
+DOMAIN_WORKLOADS: Dict[str, Callable[[], int]] = {
+    "geometry_lookup": geometry_lookup,
+    "cache_churn": cache_churn,
+    "drive_service": drive_service,
+    "server_smoke": server_smoke,
+}

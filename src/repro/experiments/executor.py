@@ -110,25 +110,46 @@ class SweepSpec:
 _FINGERPRINT: Optional[str] = None
 
 
-def code_fingerprint() -> str:
-    """SHA-256 over every ``repro`` source file (stable per checkout).
+#: Directory names whose files never affect simulation results: editing
+#: a test or benchmark must not invalidate the sweep cache.
+_FINGERPRINT_EXCLUDED_DIRS = frozenset(
+    {"tests", "benchmarks", "docs", "__pycache__"})
 
-    Any edit anywhere in the package changes the fingerprint and thus
+
+def code_fingerprint(root: Optional[Union[str, Path]] = None) -> str:
+    """SHA-256 over the ``repro`` *package* sources (stable per checkout).
+
+    Any edit to a simulation module changes the fingerprint and thus
     invalidates the whole on-disk result cache — coarse, but it makes
-    stale-cache bugs structurally impossible.
+    stale-cache bugs structurally impossible. Only files under the
+    installed ``repro`` package count: tests, benchmarks and docs (and
+    stray ``__pycache__`` artefacts) are explicitly excluded so editing
+    them never throws away cached sweep results.
+
+    ``root`` overrides the hashed directory (for tests); the module-level
+    memo only applies to the default root.
     """
     global _FINGERPRINT
-    if _FINGERPRINT is None:
+    if root is None and _FINGERPRINT is not None:
+        return _FINGERPRINT
+    if root is None:
         import repro
-        root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(str(path.relative_to(root)).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        _FINGERPRINT = digest.hexdigest()
-    return _FINGERPRINT
+        base = Path(repro.__file__).resolve().parent
+    else:
+        base = Path(root).resolve()
+    digest = hashlib.sha256()
+    for path in sorted(base.rglob("*.py")):
+        relative = path.relative_to(base)
+        if _FINGERPRINT_EXCLUDED_DIRS.intersection(relative.parts[:-1]):
+            continue
+        digest.update(str(relative).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    fingerprint = digest.hexdigest()
+    if root is None:
+        _FINGERPRINT = fingerprint
+    return fingerprint
 
 
 def point_key(point_fn: Callable, scale: ExperimentScale,
@@ -208,6 +229,32 @@ def _invoke(task: Tuple[Callable, ExperimentScale, dict]) -> PointValue:
     """Worker entry point (top-level so it pickles by reference)."""
     point_fn, scale, params = task
     return point_fn(scale, params)
+
+
+#: Scales at or below this simulated duration count as "tiny": each
+#: point finishes in well under a second of wall time, so pool IPC
+#: round-trips are a visible fraction of the sweep.
+_TINY_SCALE_DURATION = 1.5
+#: Upper bound on batching — small enough that the tail of a sweep
+#: still spreads across workers.
+_MAX_CHUNKSIZE = 8
+
+
+def _chunksize(scale: ExperimentScale, ntasks: int, workers: int) -> int:
+    """Batch size for ``pool.map`` over ``ntasks`` points.
+
+    SMOKE-scale points simulate ~1 second each and return in tens of
+    milliseconds, so shipping them one at a time makes the pool's IPC a
+    measurable overhead: batch them so each worker gets a few points per
+    round-trip (aiming for ~4 chunks per worker to keep the load
+    balanced). Full-scale points run for seconds each — there the
+    head-of-line risk of batching outweighs the IPC saving, so they keep
+    ``chunksize=1``. Ordering and results are unaffected either way
+    (``pool.map`` preserves order); only message framing changes.
+    """
+    if scale.duration > _TINY_SCALE_DURATION:
+        return 1
+    return max(1, min(_MAX_CHUNKSIZE, ntasks // (workers * 4)))
 
 
 def _pool_context():
@@ -290,7 +337,9 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale,
             with ProcessPoolExecutor(
                     max_workers=workers,
                     mp_context=_pool_context()) as pool:
-                computed = list(pool.map(_invoke, tasks, chunksize=1))
+                computed = list(pool.map(
+                    _invoke, tasks,
+                    chunksize=_chunksize(scale, len(tasks), workers)))
         for key, value in zip(order, computed):
             for index in pending[key]:
                 values[index] = value

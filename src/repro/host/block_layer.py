@@ -52,12 +52,16 @@ class BlockLayer:
         self._completions: dict[int, Event] = {}
         self._wake: Optional[Event] = None
         self._dispatcher_running = False
+        # Precomputed hot-path names (one wake/wait per dispatch cycle).
+        self._wake_name = f"{name}.wake"
+        self._wait_name = f"{name}.wait"
+        self._disp_name = f"{name}.disp"
 
     # -- BlockDevice protocol -----------------------------------------------
     def submit(self, request: IORequest) -> Event:
         """Queue ``request`` with the scheduler; returns completion event."""
         stamp_submit(request, self.sim.now)
-        event = self.sim.event(name=f"blk{request.request_id}")
+        event = self.sim.event(name="blk")
         self._completions[request.request_id] = event
         self.scheduler.add(request, self.sim.now)
         self._kick()
@@ -69,7 +73,7 @@ class BlockLayer:
             self._wake.succeed()
         if not self._dispatcher_running:
             self._dispatcher_running = True
-            self.sim.process(self._dispatcher(), name=f"{self.name}.disp")
+            self.sim.process(self._dispatcher(), name=self._disp_name)
 
     def _dispatcher(self):
         while True:
@@ -94,7 +98,7 @@ class BlockLayer:
             yield self._make_wake()
 
     def _make_wake(self) -> Event:
-        self._wake = self.sim.event(name=f"{self.name}.wake")
+        self._wake = self.sim.event(name=self._wake_name)
         return self._wake
 
     def _issue(self, request: IORequest) -> None:
@@ -108,7 +112,7 @@ class BlockLayer:
             self._finish(request)
             self._kick()
 
-        self.sim.process(waiter(self.sim), name=f"{self.name}.wait")
+        self.sim.process(waiter(self.sim), name=self._wait_name)
 
     def _finish(self, request: IORequest) -> None:
         """Complete the request and any requests merged into it."""

@@ -85,6 +85,8 @@ class StorageNode:
         self.outstanding = 0
         self._external_buffers = 0
         self.stats = StatsRegistry()
+        # Precomputed per-request process name (hot path: one per submit).
+        self._req_name = f"{name}.req"
 
     # -- buffer registry -----------------------------------------------------
     @property
@@ -119,9 +121,9 @@ class StorageNode:
         if controller is None:
             raise ValueError(f"{request!r}: unknown disk {request.disk_id}")
         stamp_submit(request, self.sim.now)
-        event = self.sim.event(name=f"node{request.request_id}")
+        event = self.sim.event(name="node")
         self.sim.process(self._handle(controller, request, event),
-                         name=f"{self.name}.req{request.request_id}")
+                         name=self._req_name)
         return event
 
     def _handle(self, controller: DiskController, request: IORequest,

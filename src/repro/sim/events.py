@@ -196,8 +196,10 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self._interrupts: list[Interrupt] = []
         self._started = False
-        # Bootstrap: resume on the next kernel step.
-        bootstrap = Event(sim, name=f"init:{self.name}")
+        # Bootstrap: resume on the next kernel step. The name is static:
+        # one bootstrap exists per process (millions per experiment), and
+        # the owning process is recoverable from the callback.
+        bootstrap = Event(sim, name="init")
         bootstrap.callbacks.append(self._resume)
         bootstrap._ok = True
         bootstrap._state = Event.TRIGGERED

@@ -1,0 +1,264 @@
+"""Differential tests: optimized hot paths vs brute-force references.
+
+The tombstoned-index :class:`~repro.disk.cache.SegmentedCache` and the
+memoized :class:`~repro.disk.geometry.DiskGeometry` replaced simple
+O(n) structures with fast paths (ISSUE 2). These tests pit them against
+deliberately naive re-implementations — plain lists, whole-table scans,
+a set-of-sectors union — over hypothesis-generated operation sequences,
+so any divergence introduced by the indexing tricks (tombstones, memo
+hits, bounded scans, append fast paths) shows up as a counterexample.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.disk.cache import SegmentedCache
+from repro.disk.geometry import DiskGeometry
+
+
+# ---------------------------------------------------------------------------
+# Brute-force cache reference
+# ---------------------------------------------------------------------------
+
+class _RefSegment:
+    def __init__(self, segment_id, start):
+        self.segment_id = segment_id
+        self.start = start
+        self.count = 0
+        self.used_high = 0
+        self.prefetched = 0
+
+    @property
+    def end(self):
+        return self.start + self.count
+
+
+class ReferenceCache:
+    """Same semantics as SegmentedCache, trivially-correct structures.
+
+    Live segments sit in one plain list in LRU order (oldest first). No
+    sorted index, no tombstones, no bounded scans: every lookup scans
+    every live segment. Where the real cache must pick among several
+    segments covering a sector, its backward index walk selects the one
+    with the largest ``(start, segment_id)`` — the reference applies
+    that rule by exhaustive max().
+    """
+
+    def __init__(self, num_segments, segment_sectors):
+        self.num_segments = num_segments
+        self.segment_sectors = segment_sectors
+        self.segments = []          # LRU order: oldest first
+        self._next_id = 0
+        self.evictions = 0
+        self.wasted_prefetch_sectors = 0
+        self.invalidated_sectors = 0
+
+    def _covering(self, sector):
+        live = [s for s in self.segments if s.start <= sector < s.end]
+        if not live:
+            return None
+        return max(live, key=lambda s: (s.start, s.segment_id))
+
+    def coverage(self, start, nsectors, touch):
+        covered = 0
+        while covered < nsectors:
+            segment = self._covering(start + covered)
+            if segment is None:
+                break
+            take = min(segment.end - (start + covered), nsectors - covered)
+            covered += take
+            if touch:
+                used = start + covered - segment.start
+                if used > segment.used_high:
+                    segment.used_high = used
+                self.segments.remove(segment)
+                self.segments.append(segment)
+        return covered
+
+    def allocate(self, start):
+        if len(self.segments) >= self.num_segments:
+            victim = self.segments.pop(0)
+            self.evictions += 1
+            self.wasted_prefetch_sectors += max(
+                0, min(victim.prefetched, victim.count - victim.used_high))
+        segment = _RefSegment(self._next_id, start)
+        self._next_id += 1
+        self.segments.append(segment)
+        return segment
+
+    def fill(self, segment, nsectors, prefetch=False):
+        segment.count += nsectors
+        if prefetch:
+            segment.prefetched += nsectors
+        self.segments.remove(segment)
+        self.segments.append(segment)
+
+    def invalidate(self, start, nsectors):
+        end = start + nsectors
+        victims = [s for s in self.segments
+                   if s.start < end and start < s.end]
+        for victim in victims:
+            self.invalidated_sectors += victim.count
+            self.segments.remove(victim)
+
+    def covered_prefix_by_union(self, start, nsectors):
+        """Set-of-sectors oracle for coverage counts (no chaining)."""
+        union = set()
+        for segment in self.segments:
+            union.update(range(segment.start, segment.end))
+        covered = 0
+        while covered < nsectors and start + covered in union:
+            covered += 1
+        return covered
+
+
+# Operation language: small sector space + tiny cache force eviction,
+# tombstone accumulation, compaction, and overlapping windows.
+_SECTORS = 160
+_SEGMENT_SECTORS = 8
+
+_op = st.one_of(
+    st.tuples(st.just("lookup"), st.integers(0, _SECTORS - 1),
+              st.integers(1, 24)),
+    st.tuples(st.just("peek"), st.integers(0, _SECTORS - 1),
+              st.integers(1, 24)),
+    st.tuples(st.just("insert"), st.integers(0, _SECTORS - 1),
+              st.integers(1, _SEGMENT_SECTORS),
+              st.booleans()),          # top up with prefetch fill?
+    st.tuples(st.just("invalidate"), st.integers(0, _SECTORS - 1),
+              st.integers(1, 32)),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(num_segments=st.integers(2, 5), ops=st.lists(_op, max_size=60))
+def test_cache_matches_bruteforce_reference(num_segments, ops):
+    real = SegmentedCache(num_segments=num_segments,
+                          segment_sectors=_SEGMENT_SECTORS)
+    reference = ReferenceCache(num_segments, _SEGMENT_SECTORS)
+
+    for op in ops:
+        kind = op[0]
+        if kind in ("lookup", "peek"):
+            _kind, start, nsectors = op
+            if kind == "lookup":
+                got = real.lookup(start, nsectors)
+                expected = reference.coverage(start, nsectors, touch=True)
+            else:
+                got = real.peek(start, nsectors)
+                expected = reference.coverage(start, nsectors, touch=False)
+            assert got == expected
+            # The chained walk must equal the set-union oracle too.
+            assert got == reference.covered_prefix_by_union(start, nsectors)
+        elif kind == "insert":
+            _kind, start, demand, top_up = op
+            segment = real.allocate(start)
+            real.fill(segment, demand)
+            ref_segment = reference.allocate(start)
+            reference.fill(ref_segment, demand)
+            if top_up and real.space_left(segment):
+                spare = real.space_left(segment)
+                real.fill(segment, spare, prefetch=True)
+                reference.fill(ref_segment, spare, prefetch=True)
+        else:
+            _kind, start, nsectors = op
+            real.invalidate(start, nsectors)
+            reference.invalidate(start, nsectors)
+
+        # Full-state equivalence after every operation: same segments,
+        # same LRU order, same per-segment bookkeeping.
+        live = sorted((segment for segment in real._lru.values()),
+                      key=lambda s: s.segment_id)
+        ref_live = sorted(reference.segments, key=lambda s: s.segment_id)
+        assert [(s.start, s.count, s.used_high, s.prefetched)
+                for s in live] == \
+            [(s.start, s.count, s.used_high, s.prefetched)
+             for s in ref_live]
+        assert [s.segment_id for s in real._lru.values()] == \
+            [s.segment_id for s in reference.segments]
+
+    assert real.stats.evictions == reference.evictions
+    assert real.stats.wasted_prefetch_sectors == \
+        reference.wasted_prefetch_sectors
+    assert real.stats.invalidated_sectors == reference.invalidated_sectors
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_cache_index_survives_heavy_tombstoning(data):
+    """Compaction churn: many evictions, then every sector re-checked."""
+    cache = SegmentedCache(num_segments=3, segment_sectors=4)
+    starts = data.draw(st.lists(st.integers(0, 60), min_size=10,
+                                max_size=50))
+    for start in starts:
+        segment = cache.allocate(start)
+        cache.fill(segment, 4)
+    live = list(cache._lru.values())
+    assert len(live) == 3
+    for sector in range(0, 64):
+        expected = any(s.start <= sector < s.end for s in live)
+        assert (cache.peek(sector, 1) == 1) == expected
+
+
+# ---------------------------------------------------------------------------
+# Geometry round-trip vs brute-force zone scan, memo warm and cold
+# ---------------------------------------------------------------------------
+
+def _bruteforce_zone(geometry, lba):
+    for zone in geometry.zones:
+        if zone.start_lba <= lba < zone.end_lba:
+            return zone
+    raise AssertionError(f"LBA {lba} mapped to no zone")
+
+
+def _geometry(heads, zone_shape):
+    return DiskGeometry(heads=heads, zones=zone_shape)
+
+
+_zone_shapes = st.lists(
+    st.tuples(st.integers(1, 20), st.integers(1, 40)),
+    min_size=1, max_size=6)
+
+
+@settings(max_examples=150, deadline=None)
+@given(heads=st.integers(1, 8), zone_shape=_zone_shapes,
+       data=st.data())
+def test_geometry_round_trip_random_lbas(heads, zone_shape, data):
+    """zone/cylinder of random LBAs match a whole-table scan, and the
+    cylinder's sector range round-trips to contain the LBA."""
+    geometry = _geometry(heads, zone_shape)
+    lbas = data.draw(st.lists(
+        st.integers(0, geometry.total_sectors - 1), min_size=1,
+        max_size=30))
+    for lba in lbas:                     # memo state carries across — good
+        zone = geometry.zone_of_lba(lba)
+        assert zone is _bruteforce_zone(geometry, lba)
+        cylinder = geometry.cylinder_of_lba(lba)
+        assert zone.start_cylinder <= cylinder < zone.end_cylinder
+        # Round trip: the cylinder's LBA range must contain the LBA.
+        first = zone.start_lba + \
+            (cylinder - zone.start_cylinder) * zone.sectors_per_cylinder
+        assert first <= lba < first + zone.sectors_per_cylinder
+        fused_zone, fused_cylinder = geometry.zone_and_cylinder_of_lba(lba)
+        assert fused_zone is zone and fused_cylinder == cylinder
+        assert geometry.sectors_per_track_at(lba) == zone.sectors_per_track
+
+
+@settings(max_examples=100, deadline=None)
+@given(heads=st.integers(1, 8), zone_shape=_zone_shapes,
+       data=st.data())
+def test_geometry_memo_warm_equals_cold(heads, zone_shape, data):
+    """A geometry with a hot last-zone memo answers exactly like a fresh
+    one: the memo is invisible except for speed."""
+    warm = _geometry(heads, zone_shape)
+    lbas = data.draw(st.lists(
+        st.integers(0, warm.total_sectors - 1), min_size=1, max_size=30))
+    # Heat the memo with an arbitrary access pattern.
+    for lba in lbas:
+        warm.cylinder_of_lba(lba)
+    for lba in lbas:
+        cold = _geometry(heads, zone_shape)    # memo at zone 0
+        assert warm.cylinder_of_lba(lba) == cold.cylinder_of_lba(lba)
+        assert warm.zone_of_lba(lba).index == cold.zone_of_lba(lba).index
+        assert warm.sectors_per_track_at(lba) == \
+            cold.sectors_per_track_at(lba)

@@ -165,6 +165,62 @@ def test_build_result_preserves_point_order():
     assert result.get("s").ys == [30.0, 10.0, 20.0]
 
 
+def test_code_fingerprint_ignores_tests_and_benchmarks(tmp_path):
+    """Only package sources count: tests/benchmarks/docs don't churn it."""
+    from repro.experiments.executor import code_fingerprint
+
+    (tmp_path / "pkg.py").write_text("x = 1\n")
+    for excluded in ("tests", "benchmarks", "docs", "__pycache__"):
+        (tmp_path / excluded).mkdir()
+    base = code_fingerprint(root=tmp_path)
+    for excluded in ("tests", "benchmarks", "docs", "__pycache__"):
+        (tmp_path / excluded / "extra.py").write_text("y = 2\n")
+    assert code_fingerprint(root=tmp_path) == base
+
+    (tmp_path / "pkg.py").write_text("x = 2\n")
+    assert code_fingerprint(root=tmp_path) != base
+
+
+def test_code_fingerprint_sees_package_edits(tmp_path):
+    """New or renamed package modules change the fingerprint."""
+    from repro.experiments.executor import code_fingerprint
+
+    (tmp_path / "a.py").write_text("pass\n")
+    base = code_fingerprint(root=tmp_path)
+    (tmp_path / "b.py").write_text("pass\n")
+    grown = code_fingerprint(root=tmp_path)
+    assert grown != base
+    (tmp_path / "b.py").rename(tmp_path / "c.py")
+    assert code_fingerprint(root=tmp_path) not in (base, grown)
+
+
+def test_chunksize_heuristic():
+    """Tiny scales batch; QUICK/FULL scales stay at chunksize 1."""
+    from repro.experiments import FULL, QUICK
+    from repro.experiments.executor import _chunksize
+
+    # SMOKE points batch, bounded and load-balanced.
+    assert _chunksize(SMOKE, ntasks=64, workers=2) == 8
+    assert _chunksize(SMOKE, ntasks=12, workers=2) == 1
+    assert _chunksize(SMOKE, ntasks=640, workers=4) == 8  # capped
+    assert _chunksize(TINY, ntasks=64, workers=2) == 8
+    # Long-running points never batch (head-of-line risk).
+    assert _chunksize(QUICK, ntasks=64, workers=2) == 1
+    assert _chunksize(FULL, ntasks=640, workers=4) == 1
+
+
+def test_parallel_equals_serial_with_batching():
+    """Batched pool map (SMOKE chunksize > 1) is still byte-identical."""
+    spec = SweepSpec(
+        experiment_id="batch", title="t", x_label="x", y_label="y",
+        point_fn=_stub_point,
+        points=tuple(Point(series="s", x=i, params={"value": i})
+                     for i in range(24)))
+    serial = run_sweep(spec, TINY, jobs=1, cache=False)
+    parallel = run_sweep(spec, TINY, jobs=2, cache=False)
+    _identical(serial, parallel)
+
+
 @pytest.mark.smoke_parallel
 def test_smoke_parallel_runner_cli(monkeypatch, capsys, tmp_path):
     """Tier-1 wiring: REPRO_JOBS=2 + smoke scale through the real CLI.
