@@ -111,6 +111,20 @@ class StreamServer:
         self.gc = GarbageCollector(self)
         self.stats = StatsRegistry()
         self._memory_waiters: list[Event] = []
+        # Precomputed event/process names + hot metric objects: submit,
+        # staged completion and pump run once per request, and the
+        # f-string + registry probe per call were measurable.
+        self._srv_name = f"{name}.srv"
+        self._direct_name = f"{name}.direct"
+        self._copy_name = f"{name}.copy"
+        self._pump_name = f"{name}.pump"
+        self._mem_name = f"{name}.mem"
+        stats = self.stats
+        self._c_direct = stats.counter("direct")
+        self._c_staged_hits = stats.counter("staged_hits")
+        self._c_completed = stats.counter("completed")
+        self._l_latency = stats.latency("latency")
+        self._c_readahead_issued = stats.counter("readahead_issued")
         self.write_coalescer = None
         if self.params.coalesce_writes:
             from repro.core.writeback import (
@@ -138,7 +152,7 @@ class StreamServer:
     def submit(self, request: IORequest) -> Event:
         """Accept a client request; returns its completion event."""
         stamp_submit(request, self.sim.now)
-        event = self.sim.event(name=f"srv{request.request_id}")
+        event = self.sim.event(self._srv_name)
         if not request.is_read:
             if self.write_coalescer is not None:
                 return self.write_coalescer.write(request)
@@ -182,30 +196,31 @@ class StreamServer:
 
     # -- direct path ------------------------------------------------------------
     def _issue_direct(self, request: IORequest, event: Event) -> None:
-        self.stats.counter("direct").add(request.size)
+        self._c_direct.add(request.size)
+        self.sim.process(self._relay(request, event),
+                         name=self._direct_name)
 
-        def relay(sim):
-            try:
-                yield self.device.submit(request)
-            except Exception as exc:  # device fault: surface to client
-                self.stats.counter("device_errors").add(request.size)
-                event.fail(exc)
-                return
-            self._finish(request, event)
-
-        self.sim.process(relay(self.sim), name=f"{self.name}.direct")
+    def _relay(self, request: IORequest, event: Event):
+        try:
+            yield self.device.submit(request)
+        except Exception as exc:  # device fault: surface to client
+            self.stats.counter("device_errors").add(request.size)
+            event.fail(exc)
+            return
+        self._finish(request, event)
 
     # -- staged completions --------------------------------------------------------
     def _complete_from_memory(self, stream: StreamQueue, request: IORequest,
                               event: Event) -> None:
         self._consume(stream, request)
-        self.stats.counter("staged_hits").add(request.size)
+        self._c_staged_hits.add(request.size)
+        self.sim.process(self._copy_complete(request, event),
+                         name=self._copy_name)
 
-        def copy(sim):
-            yield sim.timeout(self.params.completion_copy_s)
-            self._finish(request, event)
-
-        self.sim.process(copy(self.sim), name=f"{self.name}.copy")
+    def _copy_complete(self, request: IORequest, event: Event):
+        """Model the memory-to-client copy, then complete the request."""
+        yield self.sim.timeout(self.params.completion_copy_s)
+        self._finish(request, event)
 
     def _consume(self, stream: StreamQueue, request: IORequest) -> None:
         """Advance consumption over the stream's buffers (in order)."""
@@ -218,8 +233,8 @@ class StreamServer:
 
     def _finish(self, request: IORequest, event: Event) -> None:
         request.complete_time = self.sim.now
-        self.stats.counter("completed").add(request.size)
-        self.stats.latency("latency").observe(request.latency)
+        self._c_completed.add(request.size)
+        self._l_latency.observe(request.latency)
         event.succeed(request)
 
     # -- dispatching --------------------------------------------------------------
@@ -229,8 +244,7 @@ class StreamServer:
             stream = self.dispatch.admit_next()
             if stream is None:
                 return
-            self.sim.process(self._pump(stream),
-                             name=f"{self.name}.pump{stream.stream_id}")
+            self.sim.process(self._pump(stream), name=self._pump_name)
 
     def _pump(self, stream: StreamQueue):
         """One dispatch-set residency: issue up to N read-ahead requests."""
@@ -242,7 +256,7 @@ class StreamServer:
             if size <= 0:
                 break  # stream ran off the end of the disk
             while not self.buffered.can_allocate(size):
-                waiter = self.sim.event(name=f"{self.name}.mem")
+                waiter = self.sim.event(self._mem_name)
                 self._memory_waiters.append(waiter)
                 yield waiter
                 if not self.dispatch.is_member(stream):
@@ -257,7 +271,7 @@ class StreamServer:
                               offset=offset, size=size,
                               stream_id=stream.client_id)
             fetch.annotations["core.readahead"] = stream.stream_id
-            self.stats.counter("readahead_issued").add(size)
+            self._c_readahead_issued.add(size)
             try:
                 yield self.device.submit(fetch)
             except Exception as exc:  # device fault mid-fetch
@@ -294,7 +308,7 @@ class StreamServer:
         self._admit_streams()
         for request, event in waiters:
             self._consume(stream, request)
-            self.stats.counter("staged_hits").add(request.size)
+            self._c_staged_hits.add(request.size)
             self._finish_later(request, event)
         while stream.pending:
             request, event = stream.pending[0]
@@ -302,15 +316,12 @@ class StreamServer:
                 break
             stream.pending.popleft()
             self._consume(stream, request)
-            self.stats.counter("staged_hits").add(request.size)
+            self._c_staged_hits.add(request.size)
             self._finish_later(request, event)
 
     def _finish_later(self, request: IORequest, event: Event) -> None:
-        def copy(sim):
-            yield sim.timeout(self.params.completion_copy_s)
-            self._finish(request, event)
-
-        self.sim.process(copy(self.sim), name=f"{self.name}.copy")
+        self.sim.process(self._copy_complete(request, event),
+                         name=self._copy_name)
 
     def _rotate(self, stream: StreamQueue) -> None:
         """End of residency: leave the dispatch set, requeue if needed.

@@ -26,11 +26,11 @@ from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import Mechanics, RotationMode, SeekModel
 from repro.disk.queue import QueuePolicy, make_policy
 from repro.disk.specs import DiskSpec
-from repro.io import IORequest, stamp_submit
+from repro.io import IOKind, IORequest
 from repro.sim import Pipe, Simulator
 from repro.sim.events import Event
 from repro.sim.stats import StatsRegistry
-from repro.units import SECTOR_BYTES, sectors
+from repro.units import SECTOR_BYTES
 
 __all__ = ["DiskDrive", "DriveConfig"]
 
@@ -98,7 +98,10 @@ class DiskDrive:
         "_head_cylinder", "_media_end_lba", "_worker_running", "busy_time",
         "_tail_segment", "_idle_credit", "_idle_chunk_sectors", "_dirty",
         "_dirty_sectors", "_flush_waiters", "_hit_name", "_done_name",
-        "_wce_name", "_worker_name",
+        "_wce_name", "_worker_name", "_capacity_bytes", "_cmd_overhead",
+        "_cylinder_of_lba", "_c_completed", "_l_latency",
+        "_c_media_read", "_c_media_write", "_c_readahead", "_c_seeks",
+        "_l_seek_time",
     )
 
     def __init__(self, sim: Simulator, spec: DiskSpec,
@@ -160,6 +163,21 @@ class DiskDrive:
         self._done_name = f"{self.name}.done"
         self._wce_name = f"{self.name}.wce"
         self._worker_name = f"{self.name}.worker"
+        # Hot-path metric objects, resolved once: StatsRegistry.counter()
+        # is a dict probe + method call per update, and completions alone
+        # touch two metrics per request.
+        self._capacity_bytes = self.geometry.capacity_bytes
+        self._cmd_overhead = spec.command_overhead_s
+        #: bound once — the attribute chain per mapping was measurable
+        self._cylinder_of_lba = self.geometry.cylinder_of_lba
+        stats = self.stats
+        self._c_completed = stats.counter("completed")
+        self._l_latency = stats.latency("latency")
+        self._c_media_read = stats.counter("media_read")
+        self._c_media_write = stats.counter("media_write")
+        self._c_readahead = stats.counter("readahead")
+        self._c_seeks = stats.counter("seeks")
+        self._l_seek_time = stats.latency("seek_time")
 
     # -- BlockDevice protocol -------------------------------------------------
     @property
@@ -173,16 +191,25 @@ class DiskDrive:
         Read requests fully covered by the cache complete without touching
         the mechanics (fast path).
         """
-        start_lba = sectors(request.offset)
-        nsectors = sectors(request.size)
-        if request.offset + request.size > self.capacity_bytes:
+        # Alignment is enforced by IORequest.__post_init__, so plain
+        # floor division replaces the re-validating sectors() helper on
+        # this once-per-request path.
+        offset = request.offset
+        size = request.size
+        start_lba = offset // SECTOR_BYTES
+        nsectors = size // SECTOR_BYTES
+        if offset + size > self._capacity_bytes:
             raise ValueError(
-                f"{request!r} beyond capacity {self.capacity_bytes}")
-        stamp_submit(request, self.sim.now)
-        event = self.sim.event(name="io")
-        if request.is_read and (
+                f"{request!r} beyond capacity {self._capacity_bytes}")
+        sim = self.sim
+        if request.submit_time == 0.0:  # inlined stamp_submit()
+            request.submit_time = sim.now
+        event = sim.event("io")
+        is_read = request.kind is IOKind.READ  # inlined is_read property
+        if is_read and (
                 self.cache.lookup(start_lba, nsectors) == nsectors
-                or self._dirty_covers(start_lba, nsectors)):
+                or (self._dirty
+                    and self._dirty_covers(start_lba, nsectors))):
             request.annotations["disk.hit"] = "submit"
             self.sim.process(self._complete(request, event),
                              name=self._hit_name)
@@ -190,11 +217,11 @@ class DiskDrive:
             self._idle_credit = 1
             self._kick_worker()
             return event
-        if not request.is_read and self._absorb_write(request, event,
+        if not is_read and self._absorb_write(request, event,
                                                       start_lba, nsectors):
             return event
         queued = _Queued(request, event,
-                         self.geometry.cylinder_of_lba(start_lba),
+                         self._cylinder_of_lba(start_lba),
                          start_lba, nsectors)
         self._waiting.append(queued)
         self._kick_worker()
@@ -262,6 +289,7 @@ class DiskDrive:
         waiting = self._waiting
         active = self._active
         select = self._policy.select
+        select_one = self._policy.select_one
         queue_depth = self.spec.queue_depth
         pop_waiting = waiting.popleft
         push_active = active.append
@@ -269,9 +297,16 @@ class DiskDrive:
             if waiting or active:
                 while waiting and len(active) < queue_depth:
                     push_active(pop_waiting())
-                index = select([q.cylinder for q in active],
-                               self._head_cylinder)
-                queued = active.pop(index)
+                if len(active) == 1:
+                    # Sole candidate: every policy picks index 0; only
+                    # its selection side effects (LOOK's sweep
+                    # direction) still need to run.
+                    queued = active.pop()
+                    select_one(queued.cylinder, self._head_cylinder)
+                else:
+                    index = select([q.cylinder for q in active],
+                                   self._head_cylinder)
+                    queued = active.pop(index)
                 started = sim.now
                 yield from self._service(queued)
                 self.busy_time += sim.now - started
@@ -335,7 +370,7 @@ class DiskDrive:
                 return
             self.cache.fill(segment, chunk, prefetch=True)
             self._advance_media(self._media_end_lba, chunk)
-            self.stats.counter("readahead").add(chunk * SECTOR_BYTES)
+            self._c_readahead.add(chunk * SECTOR_BYTES)
             remaining -= chunk
 
     def _service(self, queued: _Queued):
@@ -351,27 +386,28 @@ class DiskDrive:
 
     def _service_read(self, request: IORequest, event: Event,
                       start_lba: int, nsectors: int):
+        sim = self.sim
         covered = self.cache.lookup(start_lba, nsectors)
         if covered == nsectors:
             # Filled (e.g. by read-ahead) while waiting in the queue.
             request.annotations["disk.hit"] = "queue"
-            self.sim.process(self._complete(request, event),
-                             name=self._hit_name)
+            sim.process(self._complete(request, event),
+                        name=self._hit_name)
             return
         missing_start = start_lba + covered
         missing = nsectors - covered
         yield from self._position(missing_start)
         transfer = self.mechanics.transfer_time(missing_start, missing)
-        yield self.sim.timeout(transfer)
+        yield sim.timeout(transfer)
         self._advance_media(missing_start, missing)
         segment = self._insert_demand(missing_start, missing)
         self._tail_segment = segment
-        self.stats.counter("media_read").add(missing * SECTOR_BYTES)
+        self._c_media_read.add(missing * SECTOR_BYTES)
         # Demand satisfied: complete to the host while read-ahead continues.
         # The interface transfer overlapped the (slower) media read.
-        self.sim.process(self._complete(request, event,
-                                        charge_interface=False),
-                         name=self._done_name)
+        sim.process(self._complete(request, event,
+                                   charge_interface=False),
+                    name=self._done_name)
         if segment is not None:
             yield from self._read_ahead(segment)
 
@@ -382,7 +418,7 @@ class DiskDrive:
         transfer = self.mechanics.transfer_time(start_lba, nsectors)
         yield self.sim.timeout(transfer)
         self._advance_media(start_lba, nsectors)
-        self.stats.counter("media_write").add(nsectors * SECTOR_BYTES)
+        self._c_media_write.add(nsectors * SECTOR_BYTES)
         self.sim.process(self._complete(request, event),
                          name=self._done_name)
 
@@ -396,27 +432,29 @@ class DiskDrive:
         if self._media_end_lba == target_lba:
             # Head is already streaming here: no seek, no rotation.
             return
-        target_cylinder = self.geometry.cylinder_of_lba(target_lba)
+        sim = self.sim
+        mechanics = self.mechanics
+        target_cylinder = self._cylinder_of_lba(target_lba)
         distance = abs(target_cylinder - self._head_cylinder)
-        seek = self.mechanics.seek_model.seek_time(distance)
-        self.stats.counter("seeks").add()
-        self.stats.latency("seek_time").observe(seek)
+        seek = mechanics.seek_model.seek_time(distance)
+        self._c_seeks.add()
+        self._l_seek_time.observe(seek)
         if seek > 0:
-            yield self.sim.timeout(seek)
+            yield sim.timeout(seek)
         if self.config.rotation_mode is RotationMode.POSITIONED:
-            rotation = self.mechanics.rotational_latency(
-                now=self.sim.now, target_lba=target_lba)
+            rotation = mechanics.rotational_latency(
+                now=sim.now, target_lba=target_lba)
         else:
-            rotation = self.mechanics.rotational_latency()
+            rotation = mechanics.rotational_latency()
         if rotation > 0:
-            yield self.sim.timeout(rotation)
+            yield sim.timeout(rotation)
 
     def _advance_media(self, start_lba: int, nsectors: int) -> None:
         end = start_lba + nsectors
         self._media_end_lba = end if end < self.geometry.total_sectors \
             else None
         last = min(end, self.geometry.total_sectors) - 1
-        self._head_cylinder = self.geometry.cylinder_of_lba(last)
+        self._head_cylinder = self._cylinder_of_lba(last)
 
     def _insert_demand(self, start_lba: int, nsectors: int):
         """Cache the demand data; returns the segment for read-ahead.
@@ -455,7 +493,7 @@ class DiskDrive:
         self._advance_media(start, space)
         if self.cache.is_live(segment):
             self.cache.fill(segment, space, prefetch=True)
-        self.stats.counter("readahead").add(space * SECTOR_BYTES)
+        self._c_readahead.add(space * SECTOR_BYTES)
 
     def _complete(self, request: IORequest, event: Event,
                   charge_interface: bool = True):
@@ -465,14 +503,15 @@ class DiskDrive:
         platter concurrently with the media read, and the interface is
         always faster than the media here.
         """
-        yield self.sim.timeout(self.spec.command_overhead_s)
+        sim = self.sim
+        yield sim.timeout(self._cmd_overhead)
         if charge_interface:
             yield from self.interface.transfer(request.size)
-        request.complete_time = self.sim.now
-        self.stats.counter("completed").add(request.size)
-        self.stats.latency("latency").observe(request.latency)
+        request.complete_time = sim.now
+        self._c_completed.add(request.size)
+        self._l_latency.observe(request.latency)
         if self.config.trace is not None:
-            self.config.trace.emit(self.sim.now, self.name, "complete",
+            self.config.trace.emit(sim.now, self.name, "complete",
                                    (request.request_id, request.offset,
                                     request.size))
         event.succeed(request)

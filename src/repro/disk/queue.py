@@ -35,6 +35,17 @@ class QueuePolicy(abc.ABC):
     def select(self, cylinders: Sequence[int], head_cylinder: int) -> int:
         """Index into ``cylinders`` of the request to service next."""
 
+    def select_one(self, cylinder: int, head_cylinder: int) -> None:
+        """Apply any selection side effects for a single candidate.
+
+        With exactly one pending request every policy picks index 0, so
+        the drive skips the list build and the ``select`` call — but a
+        stateful policy (LOOK's sweep direction) must still observe the
+        selection. The default is stateless: nothing to record. Must
+        behave exactly like ``select((cylinder,), head_cylinder)`` minus
+        the return value.
+        """
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"
 
@@ -96,21 +107,46 @@ class LookPolicy(QueuePolicy):
         best_ahead_distance = 0
         best_behind = -1
         best_behind_distance = 0
-        for index, cylinder in enumerate(cylinders):
-            distance = cylinder - head_cylinder
-            if not ascending:
-                distance = -distance
-            if distance >= 0:
-                if best_ahead < 0 or distance < best_ahead_distance:
-                    best_ahead, best_ahead_distance = index, distance
-            else:
-                distance = -distance
-                if best_behind < 0 or distance < best_behind_distance:
-                    best_behind, best_behind_distance = index, distance
+        # Two loop bodies (one per sweep direction) keep the direction
+        # test out of the per-candidate work — select runs once per
+        # serviced command with the whole firmware queue as input.
+        if ascending:
+            for index, cylinder in enumerate(cylinders):
+                distance = cylinder - head_cylinder
+                if distance >= 0:
+                    if best_ahead < 0 or distance < best_ahead_distance:
+                        best_ahead, best_ahead_distance = index, distance
+                else:
+                    distance = -distance
+                    if best_behind < 0 or distance < best_behind_distance:
+                        best_behind, best_behind_distance = index, distance
+        else:
+            for index, cylinder in enumerate(cylinders):
+                distance = head_cylinder - cylinder
+                if distance >= 0:
+                    if best_ahead < 0 or distance < best_ahead_distance:
+                        best_ahead, best_ahead_distance = index, distance
+                else:
+                    distance = -distance
+                    if best_behind < 0 or distance < best_behind_distance:
+                        best_behind, best_behind_distance = index, distance
         if best_ahead >= 0:
             return best_ahead
         self._ascending = not ascending
         return best_behind
+
+    def select_one(self, cylinder: int, head_cylinder: int) -> None:
+        """Single-candidate fast path: keep the sweep direction exact.
+
+        Mirrors ``select`` for ``len(cylinders) == 1``: a candidate behind
+        the sweep direction reverses it; one ahead (or at the head) does
+        not.
+        """
+        distance = cylinder - head_cylinder
+        if not self._ascending:
+            distance = -distance
+        if distance < 0:
+            self._ascending = not self._ascending
 
 
 _POLICIES = {

@@ -114,26 +114,32 @@ def run_check(path: str, tolerance: float, repeats: int) -> int:
         return 2
     current = _recorded_rates({"kernel": measure_kernel(repeats=repeats),
                                "domain": measure_domain(repeats=repeats)})
-    failures = []
+    rows = []
+    failures = 0
     for name, recorded_rate in sorted(baseline.items()):
         measured = current.get(name)
         if measured is None:
             # Workload renamed/removed: surface loudly rather than skip.
-            failures.append(f"{name}: recorded but not measurable")
+            rows.append(f"{name:28s} recorded={recorded_rate:12,.0f} "
+                        f"measured=         n/a (   n/a) MISSING")
+            failures += 1
             continue
         ratio = measured / recorded_rate if recorded_rate else float("inf")
         status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
-        print(f"{name:28s} recorded={recorded_rate:12,.0f} "
-              f"measured={measured:12,.0f} ({ratio:6.2%}) {status}")
+        rows.append(f"{name:28s} recorded={recorded_rate:12,.0f} "
+                    f"measured={measured:12,.0f} ({ratio:6.2%}) {status}")
         if status != "ok":
-            failures.append(
-                f"{name}: {measured:,.0f} vs recorded "
-                f"{recorded_rate:,.0f} ({ratio:.2%})")
+            failures += 1
+    for row in rows:
+        print(row)
     if failures:
-        print(f"bench --check: {len(failures)} workload(s) regressed "
-              f"more than {tolerance:.0%}:", file=sys.stderr)
-        for failure in failures:
-            print(f"  {failure}", file=sys.stderr)
+        # Replay the complete ratio table on stderr: CI log scrapers
+        # that only keep the failing stream still get the full
+        # per-bench picture, not just the verdict.
+        print(f"bench --check: {failures} workload(s) regressed more "
+              f"than {tolerance:.0%} vs {path}:", file=sys.stderr)
+        for row in rows:
+            print(f"  {row}", file=sys.stderr)
         return 1
     print(f"bench --check: all {len(baseline)} workloads within "
           f"{tolerance:.0%} of {path}")

@@ -10,13 +10,17 @@ module factors the loop out so that every figure gets, for free:
   (``--jobs N`` / ``REPRO_JOBS``, default ``os.cpu_count()``). Points
   are independent simulations, so parallel and serial execution produce
   *byte-identical* series (asserted by
-  ``tests/test_executor_determinism.py``).
+  ``tests/test_executor_determinism.py``). Tasks are pickle-clean, so
+  the pool works under both ``fork`` and ``spawn`` start methods
+  (``REPRO_MP_START`` forces one).
 * **Memoization** — completed points are cached on disk under
   ``~/.cache/repro-sweeps/`` (override with ``REPRO_SWEEP_CACHE``;
   disable with ``--no-cache`` / ``REPRO_NO_CACHE=1``). Keys hash the
   point function's identity, the scale, the point parameters, and a
-  fingerprint of the whole ``repro`` source tree, so any code change
-  invalidates every cached value.
+  fingerprint of the modules the point function's figure *actually
+  imports* (its static import closure, see
+  :func:`code_fingerprint_for`), so editing an unrelated figure or an
+  unimported subsystem keeps every unaffected cache entry warm.
 * **Deduplication** — points with identical cache keys inside one sweep
   (e.g. Figure 13 embedding Figure 12's R=512K baseline) simulate once.
 
@@ -29,15 +33,18 @@ extension experiments that report multiple metrics per run).
 
 from __future__ import annotations
 
+import ast
 import hashlib
+import importlib.util
 import json
 import os
+import sys
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, \
-    Tuple, Union
+from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, \
+    Sequence, Set, Tuple, Union
 
 from repro.analysis import ExperimentResult
 from repro.experiments.base import ExperimentScale
@@ -47,6 +54,8 @@ __all__ = [
     "SweepSpec",
     "build_result",
     "code_fingerprint",
+    "code_fingerprint_for",
+    "import_closure",
     "point_key",
     "resolve_jobs",
     "run_sweep",
@@ -152,20 +161,183 @@ def code_fingerprint(root: Optional[Union[str, Path]] = None) -> str:
     return fingerprint
 
 
+# -- per-module fingerprints ----------------------------------------------
+#
+# Hashing the whole package is safe but coarse: editing one figure (or a
+# doc-string in an unrelated subsystem) used to throw away *every* cached
+# point. Instead, each point function is keyed on the static import
+# closure of its own module — exactly the code that can influence its
+# simulation. Package ``__init__`` aggregators (``repro.experiments``
+# imports every figure to build the registry) are digested but *not*
+# traversed when they are merely ancestors of an imported module, so one
+# figure's closure never drags in every other figure.
+
+#: module name -> absolute source path (or None), memoised per process.
+_MODULE_SOURCES: Dict[str, Optional[str]] = {}
+#: module name -> (traverse targets, digest-only targets).
+_MODULE_IMPORTS: Dict[str, Tuple[FrozenSet[str], FrozenSet[str]]] = {}
+#: (module, package) -> transitive closure of package-internal modules.
+_CLOSURE_MEMO: Dict[Tuple[str, str], FrozenSet[str]] = {}
+#: (module, package) -> combined closure fingerprint.
+_CLOSURE_FINGERPRINTS: Dict[Tuple[str, str], str] = {}
+
+
+def _fingerprint_cache_clear() -> None:
+    """Drop all fingerprint memos (tests edit sources mid-process)."""
+    global _FINGERPRINT
+    _FINGERPRINT = None
+    _MODULE_SOURCES.clear()
+    _MODULE_IMPORTS.clear()
+    _CLOSURE_MEMO.clear()
+    _CLOSURE_FINGERPRINTS.clear()
+
+
+def _module_source(name: str) -> Optional[str]:
+    """Path of ``name``'s ``.py`` source, or None for anything exotic."""
+    if name in _MODULE_SOURCES:
+        return _MODULE_SOURCES[name]
+    try:
+        spec = importlib.util.find_spec(name)
+    except (ImportError, AttributeError, ValueError):
+        spec = None
+    origin = getattr(spec, "origin", None)
+    path = origin if origin and origin.endswith(".py") else None
+    _MODULE_SOURCES[name] = path
+    return path
+
+
+def _direct_imports(name: str, path: str, package: str) \
+        -> Tuple[FrozenSet[str], FrozenSet[str]]:
+    """Package-internal modules ``name`` imports, from its AST.
+
+    Returns ``(traverse, digest_only)``: modules whose own imports must
+    be followed, and modules whose *file* matters (the importing module
+    executes it) but whose imports must not be followed — the
+    ``from pkg import submodule`` case, where ``pkg/__init__`` is often
+    an aggregator re-importing the whole package.
+    """
+    if name in _MODULE_IMPORTS:
+        return _MODULE_IMPORTS[name]
+    prefix = package + "."
+    traverse: Set[str] = set()
+    digest_only: Set[str] = set()
+    # Current package for resolving relative imports.
+    pkg = name if path.endswith("__init__.py") else name.rpartition(".")[0]
+    tree = ast.parse(Path(path).read_bytes(), filename=path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = alias.name
+                if target == package or target.startswith(prefix):
+                    traverse.add(target)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                parts = pkg.split(".") if pkg else []
+                if node.level > 1:
+                    parts = parts[:len(parts) - (node.level - 1)]
+                base = ".".join(parts)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            if base != package and not base.startswith(prefix):
+                continue
+            for alias in node.names:
+                child = f"{base}.{alias.name}"
+                if alias.name != "*" and _module_source(child) is not None:
+                    # ``from pkg import submodule``: follow the
+                    # submodule, only digest the aggregating package.
+                    traverse.add(child)
+                    digest_only.add(base)
+                else:
+                    traverse.add(base)
+    result = (frozenset(traverse), frozenset(digest_only))
+    _MODULE_IMPORTS[name] = result
+    return result
+
+
+def import_closure(module: str, package: str = "repro") -> FrozenSet[str]:
+    """Package-internal modules whose source can affect ``module``.
+
+    The transitive static import closure of ``module`` within
+    ``package``, plus the ``__init__`` of every ancestor package
+    (executed at import time) — included by digest only, never
+    traversed, so registry-style aggregators stay out of the closure.
+    """
+    memo_key = (module, package)
+    if memo_key in _CLOSURE_MEMO:
+        return _CLOSURE_MEMO[memo_key]
+    traversed: Set[str] = set()
+    digest_only: Set[str] = set()
+    stack = [module]
+    while stack:
+        name = stack.pop()
+        if name in traversed:
+            continue
+        traversed.add(name)
+        path = _module_source(name)
+        if path is None:
+            continue
+        follow, shallow = _direct_imports(name, path, package)
+        digest_only.update(shallow)
+        stack.extend(follow - traversed)
+    # Ancestor packages run at import time: digest their __init__ too.
+    for name in list(traversed) + list(digest_only):
+        parts = name.split(".")
+        for depth in range(1, len(parts)):
+            digest_only.add(".".join(parts[:depth]))
+    closure = frozenset(traversed | digest_only)
+    _CLOSURE_MEMO[memo_key] = closure
+    return closure
+
+
+def code_fingerprint_for(point_fn: Callable) -> str:
+    """Fingerprint of the code that can affect ``point_fn``'s result.
+
+    SHA-256 over the sources of ``point_fn``'s module import closure
+    (see :func:`import_closure`, rooted at the function's top-level
+    package). Falls back to the whole-package :func:`code_fingerprint`
+    when the function's module has no reachable source (interactive
+    definitions) — coarse, never stale.
+    """
+    module = getattr(point_fn, "__module__", "") or ""
+    package = module.split(".", 1)[0]
+    memo_key = (module, package)
+    cached = _CLOSURE_FINGERPRINTS.get(memo_key)
+    if cached is not None:
+        return cached
+    if not module or _module_source(module) is None:
+        return code_fingerprint()
+    digest = hashlib.sha256()
+    for name in sorted(import_closure(module, package)):
+        path = _module_source(name)
+        if path is None:
+            continue
+        digest.update(name.encode())
+        digest.update(b"\0")
+        digest.update(Path(path).read_bytes())
+        digest.update(b"\0")
+    fingerprint = digest.hexdigest()
+    _CLOSURE_FINGERPRINTS[memo_key] = fingerprint
+    return fingerprint
+
+
 def point_key(point_fn: Callable, scale: ExperimentScale,
               params: Mapping[str, Any]) -> str:
     """Stable cache key for one measurement.
 
     Deliberately excludes the figure id and series label: they do not
     affect the simulation, so figures that embed another figure's
-    baseline (fig13/fig14) share cache entries with it.
+    baseline (fig13/fig14) share cache entries with it. The code
+    component is the point function's *import-closure* fingerprint, so
+    edits to modules a figure never imports leave its entries warm.
     """
     payload = json.dumps(
         {
             "fn": f"{point_fn.__module__}.{point_fn.__qualname__}",
             "scale": [scale.name, scale.duration, scale.warmup],
             "params": dict(params),
-            "code": code_fingerprint(),
+            "code": code_fingerprint_for(point_fn),
         },
         sort_keys=True,
     )
@@ -231,6 +403,22 @@ def _invoke(task: Tuple[Callable, ExperimentScale, dict]) -> PointValue:
     return point_fn(scale, params)
 
 
+def _worker_init(parent_sys_path: List[str]) -> None:
+    """Pool initializer: make the parent's imports resolvable.
+
+    Fork workers inherit the parent interpreter wholesale, but spawn
+    workers start from a fresh interpreter whose ``sys.path`` only
+    reflects the environment — any path the parent added at runtime
+    (editable checkouts, test harness roots) is missing, so unpickling
+    ``point_fn`` by reference would fail. Replaying the parent's
+    ``sys.path`` entries (order preserved, duplicates skipped) makes
+    every task pickle-clean under both start methods.
+    """
+    for entry in reversed(parent_sys_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
 #: Scales at or below this simulated duration count as "tiny": each
 #: point finishes in well under a second of wall time, so pool IPC
 #: round-trips are a visible fraction of the sweep.
@@ -258,8 +446,18 @@ def _chunksize(scale: ExperimentScale, ntasks: int, workers: int) -> int:
 
 
 def _pool_context():
-    """Prefer fork (cheap, inherits the imported package) over spawn."""
+    """Worker start method: ``REPRO_MP_START`` > fork > platform default.
+
+    Fork is preferred where available (cheap, inherits the imported
+    package); the pool is nonetheless pickle-clean, so forcing
+    ``REPRO_MP_START=spawn`` (or running on a platform without fork)
+    produces byte-identical sweeps — asserted by
+    ``tests/test_executor_determinism.py``.
+    """
     import multiprocessing
+    method = os.environ.get("REPRO_MP_START", "").strip()
+    if method:
+        return multiprocessing.get_context(method)
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX
@@ -336,7 +534,9 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale,
         else:
             with ProcessPoolExecutor(
                     max_workers=workers,
-                    mp_context=_pool_context()) as pool:
+                    mp_context=_pool_context(),
+                    initializer=_worker_init,
+                    initargs=(list(sys.path),)) as pool:
                 computed = list(pool.map(
                     _invoke, tasks,
                     chunksize=_chunksize(scale, len(tasks), workers)))

@@ -47,9 +47,13 @@ class IOKind(enum.Enum):
 request_id_source = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class IORequest:
     """One block-level I/O request.
+
+    Slotted: requests are created once per client I/O and their fields
+    are read in every layer they traverse (server, node, controller,
+    drive, cache), so the slot layout pays for itself immediately.
 
     Addresses are byte offsets from the start of the target device; the disk
     layer converts to sectors. Requests must be sector-aligned — the stack

@@ -2,11 +2,28 @@
 
 The ``run()`` loop is the hottest code in the repository — every
 experiment point pushes millions of events through it — so it trades a
-little repetition for speed: the heap, ``heappop`` and the tracer are
-bound to locals outside the loop, the tracing branch is hoisted out of
-the no-trace path entirely, and per-event work is inlined rather than
-delegated to :meth:`Simulator.step` (which remains the readable
-single-step reference implementation).
+little repetition for speed:
+
+* the heap, ``heappop`` and the free-lists are bound to locals outside
+  the loop, and the tracing branch is hoisted out of the no-trace path
+  entirely;
+* events sharing the head timestamp drain in one inner batch (one
+  ``self.now`` store and one ``until`` comparison per batch — disk
+  completions and bus grants cluster at identical instants; the cheap
+  failures check stays per-event so same-instant waiters absorb
+  failures exactly as the per-event reference loop would);
+* the single-waiter case (one process blocked on one event) dispatches
+  *directly* from the pop loop via the event's ``_sole_waiter`` slot,
+  skipping the callback-list machinery;
+* processed ``Timeout``/bootstrap events are recycled through bounded
+  free-lists instead of being reallocated, but only when
+  ``sys.getrefcount`` proves no user code still holds them — a held
+  reference never observes reuse, and traced runs never recycle at all.
+
+Per-event work is inlined rather than delegated to
+:meth:`Simulator.step`, which remains the readable single-step reference
+implementation (``tests/test_sim_kernel_equivalence.py`` pins the two
+paths to identical traces).
 """
 
 from __future__ import annotations
@@ -25,6 +42,16 @@ from repro.sim.events import (
 )
 
 __all__ = ["Simulator", "SimulationError"]
+
+try:  # CPython: exact liveness check for free-list recycling.
+    from sys import getrefcount as _getrefcount
+except ImportError:  # pragma: no cover - PyPy etc: never recycle
+    def _getrefcount(_obj: Any) -> int:
+        return -1
+
+#: Upper bound on each free-list; reuse is immediate, so a small cap
+#: suffices and bounds worst-case retained memory.
+_POOL_LIMIT = 1024
 
 
 class SimulationError(RuntimeError):
@@ -46,7 +73,7 @@ class Simulator:
     """
 
     __slots__ = ("now", "trace", "_heap", "_sequence", "_failures",
-                 "_active")
+                 "_active", "_timeout_pool", "_event_pool")
 
     def __init__(self, start_time: float = 0.0, trace: Any = None):
         self.now: float = float(start_time)
@@ -55,15 +82,49 @@ class Simulator:
         self._sequence = 0
         self._failures: list[Process] = []
         self._active = True
+        #: free-lists of processed, provably-unreferenced events
+        self._timeout_pool: list[Timeout] = []
+        self._event_pool: list[Event] = []
 
     # -- factory helpers -----------------------------------------------------
     def event(self, name: str = "") -> Event:
-        """Create a pending :class:`Event` owned by this simulator."""
+        """Create a pending :class:`Event` owned by this simulator.
+
+        Draws from the event free-list when recycled instances are
+        available: completion events (one per request in every device
+        layer) and bare synchronisation events are the second-hottest
+        allocation site after timeouts.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            # Pool entries are reset on entry (no callbacks, no waiter,
+            # value None, ok True); only name and state need setting.
+            event.name = name
+            event._state = 0  # Event.PENDING
+            return event
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None,
                 name: str = "") -> Timeout:
-        """Create an event that fires ``delay`` seconds from now."""
+        """Create an event that fires ``delay`` seconds from now.
+
+        The dominant call shape (``sim.timeout(d)`` with no value and no
+        name) draws from the simulator's timeout free-list when recycled
+        instances are available, skipping object allocation entirely.
+        """
+        pool = self._timeout_pool
+        if pool and value is None and not name:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay: {delay}")
+            timeout = pool.pop()
+            # Recycled instances were reset on entry to the pool
+            # (no callbacks, no waiter, value None, ok True, name "").
+            timeout.delay = delay
+            timeout._state = 1  # Event.TRIGGERED
+            self._sequence = sequence = self._sequence + 1
+            heappush(self._heap, (self.now + delay, sequence, timeout))
+            return timeout
         return Timeout(self, delay, value=value, name=name)
 
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
@@ -86,6 +147,26 @@ class Simulator:
         self._sequence = sequence = self._sequence + 1
         heappush(self._heap, (self.now + delay, sequence, event))
 
+    def _wakeup(self, process: Process, name: str) -> Event:
+        """Schedule an already-triggered event that direct-resumes
+        ``process`` on the next kernel step (bootstrap / interrupt).
+
+        Draws from the event free-list when possible — process bootstrap
+        is one of the kernel's hottest allocation sites.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.name = name
+            event._state = 1  # Event.TRIGGERED
+        else:
+            event = Event(self, name=name)
+            event._state = 1
+        event._sole_waiter = process
+        self._sequence = sequence = self._sequence + 1
+        heappush(self._heap, (self.now, sequence, event))
+        return event
+
     def _register_failure(self, process: Process) -> None:
         """Remember a failed process so unhandled errors surface in run()."""
         self._failures.append(process)
@@ -101,7 +182,13 @@ class Simulator:
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to it)."""
+        """Process exactly one event (advancing the clock to it).
+
+        This is the readable reference path: no batching, no free-list
+        recycling, one event per call. ``run()`` must stay semantically
+        equivalent to repeated ``step()`` calls (pinned by
+        ``tests/test_sim_kernel_equivalence.py``).
+        """
         when, _seq, event = heapq.heappop(self._heap)
         self.now = when
         if self.trace is not None:
@@ -116,11 +203,30 @@ class Simulator:
         failures, self._failures = self._failures, []
         for process in failures:
             # A waiter registered during callback processing absorbs it.
-            if process.callbacks:
+            if process.callbacks or process._sole_waiter is not None:
                 continue
             raise SimulationError(
                 f"unhandled exception in process {process.name!r}"
             ) from process.value
+
+    def _recycle(self, event: Event) -> None:
+        """Return a processed, dispatch-complete event to its free-list.
+
+        Caller guarantees: state is PROCESSED, no waiter, no callbacks,
+        and (via ``sys.getrefcount``) no outstanding user references.
+        """
+        cls = event.__class__
+        if cls is Timeout:
+            pool = self._timeout_pool
+        elif cls is Event:
+            pool = self._event_pool
+        else:
+            return
+        if len(pool) < _POOL_LIMIT:
+            event._value = None
+            event._ok = True
+            event.name = ""
+            pool.append(event)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains or the clock passes ``until``.
@@ -138,22 +244,67 @@ class Simulator:
           ``t >= now`` at entry, even if nothing fired.
         * ``until`` earlier than the current clock raises ``ValueError``.
 
-        This is the kernel's hot loop: locals are bound outside the loop
-        and the tracing branch is hoisted so the common (no-trace) path
-        does one heap pop, one callback dispatch, and one failure check
-        per event.
+        This is the kernel's hot loop; see the module docstring for the
+        fast paths (same-timestamp batching, direct resume, free-list
+        recycling). All of them preserve the observable ``(time, seq)``
+        FIFO order; events a dispatched process schedules at the current
+        instant join the tail of the running batch exactly as they would
+        have been popped next by the per-event loop.
         """
         heap = self._heap
         pop = heappop
         trace = self.trace
+        getref = _getrefcount
+        tpool = self._timeout_pool
+        epool = self._event_pool
+        limit = _POOL_LIMIT
+        # self._failures keeps its identity until _raise_orphans swaps it
+        # (and _raise_orphans is only entered when it is non-empty), so a
+        # local alias is safe as long as it is re-bound after each call.
+        failures = self._failures
         if until is None:
             if trace is None:
                 while heap:
                     when, _seq, event = pop(heap)
                     self.now = when
-                    event._process_callbacks()
-                    if self._failures:
-                        self._raise_orphans()
+                    while True:
+                        waiter = event._sole_waiter
+                        if waiter is not None and not event.callbacks:
+                            # Direct resume (inlined fast path of
+                            # Event._process_callbacks).
+                            event._sole_waiter = None
+                            event._state = 2  # Event.PROCESSED
+                            waiter._resume(event)
+                            # Inlined _recycle: class test first so
+                            # non-poolable events skip the refcount call.
+                            cls = event.__class__
+                            if cls is Timeout:
+                                if getref(event) == 2 and len(tpool) < limit:
+                                    # Only the loop local + getrefcount's
+                                    # argument reference it: recyclable.
+                                    event._value = None
+                                    event._ok = True
+                                    event.name = ""
+                                    tpool.append(event)
+                            elif cls is Event:
+                                if getref(event) == 2 and len(epool) < limit:
+                                    event._value = None
+                                    event._ok = True
+                                    event.name = ""
+                                    epool.append(event)
+                        else:
+                            event._process_callbacks()
+                        if failures:
+                            # Checked per event, not per batch: a waiter
+                            # must be able to absorb a failure *before*
+                            # the failed process's own completion event
+                            # (same instant) clears its waiter slot.
+                            self._raise_orphans()
+                            failures = self._failures
+                        if heap and heap[0][0] == when:
+                            event = pop(heap)[2]
+                        else:
+                            break
             else:
                 while heap:
                     when, _seq, event = pop(heap)
@@ -170,9 +321,34 @@ class Simulator:
             while heap and heap[0][0] <= until:
                 when, _seq, event = pop(heap)
                 self.now = when
-                event._process_callbacks()
-                if self._failures:
-                    self._raise_orphans()
+                while True:
+                    waiter = event._sole_waiter
+                    if waiter is not None and not event.callbacks:
+                        event._sole_waiter = None
+                        event._state = 2  # Event.PROCESSED
+                        waiter._resume(event)
+                        cls = event.__class__
+                        if cls is Timeout:
+                            if getref(event) == 2 and len(tpool) < limit:
+                                event._value = None
+                                event._ok = True
+                                event.name = ""
+                                tpool.append(event)
+                        elif cls is Event:
+                            if getref(event) == 2 and len(epool) < limit:
+                                event._value = None
+                                event._ok = True
+                                event.name = ""
+                                epool.append(event)
+                    else:
+                        event._process_callbacks()
+                    if failures:
+                        self._raise_orphans()
+                        failures = self._failures
+                    if heap and heap[0][0] == when:
+                        event = pop(heap)[2]
+                    else:
+                        break
         else:
             while heap and heap[0][0] <= until:
                 when, _seq, event = pop(heap)

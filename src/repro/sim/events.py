@@ -14,6 +14,7 @@ Events are single-shot: triggering a triggered event raises
 from __future__ import annotations
 
 import typing
+from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -53,6 +54,15 @@ class Interrupt(Exception):
 class Event:
     """A one-shot occurrence that processes can wait on.
 
+    Waiter registration has two tiers. The overwhelmingly common case —
+    exactly one :class:`Process` blocked on the event — is stored in the
+    ``_sole_waiter`` slot, which the kernel dispatches *directly* (no
+    callback-list append, no list copy, no indirection through a bound
+    method). Everything else (conditions, external observers, second and
+    later waiters) goes on the ``callbacks`` list. Dispatch order is
+    registration order: the sole waiter registered first, so it always
+    resumes before the callbacks run.
+
     Parameters
     ----------
     sim:
@@ -61,7 +71,8 @@ class Event:
         Optional label used in tracing and ``repr``.
     """
 
-    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_state")
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_state",
+                 "_sole_waiter")
 
     PENDING = 0
     TRIGGERED = 1
@@ -75,6 +86,8 @@ class Event:
         self._value: Any = None
         self._ok: bool = True
         self._state = Event.PENDING
+        #: the single Process resumed directly by the kernel (fast path)
+        self._sole_waiter: Optional["Process"] = None
 
     # -- state inspection -------------------------------------------------
     @property
@@ -99,13 +112,26 @@ class Event:
 
     # -- triggering --------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
-        """Trigger the event successfully with ``value`` after ``delay``."""
-        if self._state != Event.PENDING:
+        """Trigger the event successfully with ``value`` after ``delay``.
+
+        The scheduling is inlined (rather than delegated to
+        ``Simulator._schedule``) because grants, store hand-offs and
+        completion events all funnel through here with ``delay=0``.
+        """
+        if self._state != 0:  # Event.PENDING
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self._state = Event.TRIGGERED
-        self.sim._schedule(self, delay)
+        self._state = 1  # Event.TRIGGERED
+        sim = self.sim
+        if delay:
+            if delay < 0:
+                raise ValueError(f"negative schedule delay: {delay}")
+            when = sim.now + delay
+        else:
+            when = sim.now
+        sim._sequence = sequence = sim._sequence + 1
+        heappush(sim._heap, (when, sequence, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -122,13 +148,21 @@ class Event:
 
     # -- kernel hook ---------------------------------------------------------
     def _process_callbacks(self) -> None:
-        """Run callbacks exactly once; called by the simulator core.
+        """Resume waiters exactly once; called by the simulator core.
 
-        Hot path: the overwhelmingly common case is a single waiter (one
-        process blocked on one event), so that case dispatches directly
-        without iterating.
+        Hot path: the overwhelmingly common case is a single process
+        blocked on the event, held in ``_sole_waiter`` and resumed
+        directly — no list copy, no iteration, no bound-method
+        indirection. The callbacks list (conditions, observers, extra
+        waiters) runs afterwards, preserving registration order.
+        ``Simulator.run`` inlines the sole-waiter branch; this method is
+        the complete reference used by ``step()`` and the slow paths.
         """
         self._state = 2  # Event.PROCESSED
+        waiter = self._sole_waiter
+        if waiter is not None:
+            self._sole_waiter = None
+            waiter._resume(self)
         callbacks = self.callbacks
         if callbacks:
             self.callbacks = []
@@ -151,6 +185,12 @@ class Timeout(Event):
     directly: experiments create tens of millions of timeouts, and the
     default display name (``timeout(<delay>)``) is now computed lazily in
     ``__repr__`` instead of eagerly formatting a string per instance.
+
+    Instances may additionally be *recycled* through the simulator's
+    timeout free-list (see ``Simulator.timeout``): the kernel's run loop
+    returns a processed timeout to the pool only when it can prove no
+    user code still references it, so a held reference never observes
+    reuse.
     """
 
     __slots__ = ("delay",)
@@ -165,8 +205,11 @@ class Timeout(Event):
         self._value = value
         self._ok = True
         self._state = 1  # Event.TRIGGERED
+        self._sole_waiter = None
         self.delay = delay
-        sim._schedule(self, delay)
+        # Inlined sim._schedule (delay already validated above).
+        sim._sequence = sequence = sim._sequence + 1
+        heappush(sim._heap, (sim.now + delay, sequence, self))
 
     def __repr__(self) -> str:
         state = {0: "pending", 1: "triggered", 2: "processed"}[self._state]
@@ -182,7 +225,8 @@ class Process(Event):
     to the simulator if nobody is waiting).
     """
 
-    __slots__ = ("generator", "_waiting_on", "_interrupts", "_started")
+    __slots__ = ("generator", "_send", "_waiting_on", "_interrupts",
+                 "_started")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator,
                  name: str = ""):
@@ -190,25 +234,35 @@ class Process(Event):
             raise TypeError(
                 f"process() needs a generator, got {type(generator).__name__}"
             )
-        super().__init__(sim, name=name or getattr(
-            generator, "__name__", "process"))
+        # Inlined Event.__init__ (one Process per request, millions per
+        # experiment; the super() call and the name getattr were
+        # measurable when a name is supplied, as all hot paths do).
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self.callbacks = []
+        self._value = None
+        self._ok = True
+        self._state = 0  # Event.PENDING
+        self._sole_waiter = None
         self.generator = generator
+        #: the generator's bound ``send``, captured once — re-creating
+        #: the bound-method object on every wake-up is an allocation on
+        #: the kernel's hottest path.
+        self._send = generator.send
         self._waiting_on: Optional[Event] = None
-        self._interrupts: list[Interrupt] = []
+        #: created lazily on the first interrupt (rare path)
+        self._interrupts: Optional[list[Interrupt]] = None
         self._started = False
-        # Bootstrap: resume on the next kernel step. The name is static:
-        # one bootstrap exists per process (millions per experiment), and
-        # the owning process is recoverable from the callback.
-        bootstrap = Event(sim, name="init")
-        bootstrap.callbacks.append(self._resume)
-        bootstrap._ok = True
-        bootstrap._state = Event.TRIGGERED
-        sim._schedule(bootstrap, 0.0)
+        # Bootstrap: resume on the next kernel step via a pooled,
+        # already-triggered wakeup event that direct-resumes this
+        # process. The name is static: one bootstrap exists per process
+        # and the owning process is recoverable from the waiter slot.
+        sim._wakeup(self, "init")
 
     @property
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
-        return self._state == Event.PENDING
+        return self._state == 0  # Event.PENDING
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its current yield.
@@ -217,31 +271,34 @@ class Process(Event):
         """
         if not self.is_alive:
             return
+        if self._interrupts is None:
+            self._interrupts = []
         self._interrupts.append(Interrupt(cause))
         if self._waiting_on is not None:
             target, self._waiting_on = self._waiting_on, None
             # Detach: the process no longer cares about that event.
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        wakeup = Event(self.sim, name=f"interrupt:{self.name}")
-        wakeup.callbacks.append(self._resume)
-        wakeup._ok = True
-        wakeup._state = Event.TRIGGERED
-        self.sim._schedule(wakeup, 0.0)
+            if target._sole_waiter is self:
+                target._sole_waiter = None
+            else:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self.sim._wakeup(self, f"interrupt:{self.name}")
 
     # -- kernel stepping ----------------------------------------------------
     def _resume(self, trigger: Event) -> None:
         """Advance the generator with the trigger's value or exception.
 
         This runs once per process wake-up — millions of times per
-        experiment point — so the generator and its bound ``send`` are
-        cached in locals and state constants are compared as plain ints.
+        experiment point — so the bound ``send`` captured at construction
+        is loaded from its slot (no per-resume bound-method allocation)
+        and state constants are compared as plain ints. ``throw`` stays a
+        lazy attribute load: it only runs on the rare interrupt/failure
+        paths.
         """
         self._waiting_on = None
-        generator = self.generator
-        send = generator.send
+        send = self._send
         while True:
             try:
                 if self._interrupts and self._started:
@@ -249,7 +306,7 @@ class Process(Event):
                     # has reached its first yield; ones arriving earlier
                     # wait for the wakeup after the bootstrap resume.
                     interrupt = self._interrupts.pop(0)
-                    target = generator.throw(interrupt)
+                    target = self.generator.throw(interrupt)
                 elif trigger._ok:
                     if self._started:
                         target = send(trigger._value)
@@ -257,7 +314,7 @@ class Process(Event):
                         target = send(None)
                         self._started = True
                 else:
-                    target = generator.throw(trigger._value)
+                    target = self.generator.throw(trigger._value)
             except StopIteration as stop:
                 self._finish(True, stop.value)
                 return
@@ -265,7 +322,16 @@ class Process(Event):
                 self._finish(False, exc)
                 return
 
-            if not isinstance(target, Event):
+            # The ``_state`` load doubles as the type check: every Event
+            # has the slot, and a non-event yield raises AttributeError
+            # (zero-cost try on 3.11 — cheaper than an isinstance call
+            # on this per-yield path).
+            try:
+                if target._state == 2:  # Event.PROCESSED
+                    # Already done: loop immediately with its value.
+                    trigger = target
+                    continue
+            except AttributeError:
                 exc = TypeError(
                     f"process {self.name!r} yielded non-event "
                     f"{target!r}; yield Event/Timeout/Process"
@@ -274,23 +340,29 @@ class Process(Event):
                 trigger._ok = False
                 trigger._value = exc
                 continue
-            if target._state == 2:  # Event.PROCESSED
-                # Already done: loop immediately with its value.
-                trigger = target
-                continue
             self._waiting_on = target
-            target.callbacks.append(self._resume)
+            # First waiter on a virgin event: take the direct-resume
+            # slot (the kernel dispatches it without touching the
+            # callbacks list). Later registrants keep FIFO order by
+            # appending behind it.
+            if target._sole_waiter is None and not target.callbacks:
+                target._sole_waiter = self
+            else:
+                target.callbacks.append(self._resume)
             return
 
     def _finish(self, ok: bool, value: Any) -> None:
-        if self._state != Event.PENDING:
+        if self._state != 0:  # Event.PENDING
             return
         self._ok = ok
         self._value = value
-        self._state = Event.TRIGGERED
+        self._state = 1  # Event.TRIGGERED
+        sim = self.sim
         if not ok:
-            self.sim._register_failure(self)
-        self.sim._schedule(self, 0.0)
+            sim._register_failure(self)
+        # Inlined sim._schedule(self, 0.0): one completion per process.
+        sim._sequence = sequence = sim._sequence + 1
+        heappush(sim._heap, (sim.now, sequence, self))
 
 
 class Condition(Event):

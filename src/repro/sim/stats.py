@@ -130,17 +130,22 @@ class LatencySampler:
         self._cursor = 0
 
     def observe(self, value: float) -> None:
-        """Record one latency sample (seconds)."""
-        self.count += 1
+        """Record one latency sample (seconds).
+
+        Runs once or twice per simulated request; the locals avoid
+        re-loading each slot between the Welford updates.
+        """
+        self.count = count = self.count + 1
         delta = value - self._mean
-        self._mean += delta / self.count
-        self._m2 += delta * (value - self._mean)
+        self._mean = mean = self._mean + delta / count
+        self._m2 += delta * (value - mean)
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
-        if len(self._reservoir) < self._capacity:
-            self._reservoir.append(value)
+        reservoir = self._reservoir
+        if len(reservoir) < self._capacity:
+            reservoir.append(value)
         else:
             if self.count % self._stride == 0:
                 self._reservoir[self._cursor] = value

@@ -1,0 +1,77 @@
+"""The bench --check regression gate: ratios, tolerance, diagnosability.
+
+Measurement functions are stubbed so these tests exercise the gate
+logic (ratio math, missing-workload handling, stderr replay of the full
+ratio table on failure) without timing anything.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import bench
+
+
+@pytest.fixture
+def stub_rates(monkeypatch):
+    monkeypatch.setattr(
+        bench, "measure_kernel",
+        lambda repeats=3: {"churn": {"events_per_sec": 100.0,
+                                     "events_per_run": 10}})
+    monkeypatch.setattr(
+        bench, "measure_domain",
+        lambda repeats=3: {"drive": {"ops_per_sec": 50.0,
+                                     "ops_per_run": 5}})
+
+
+def _baseline(tmp_path, kernel_rate, domain_rate, extra=None):
+    report = {
+        "kernel": {"churn": {"events_per_sec": kernel_rate,
+                             "events_per_run": 10}},
+        "domain": {"drive": {"ops_per_sec": domain_rate,
+                             "ops_per_run": 5}},
+    }
+    if extra:
+        report["kernel"].update(extra)
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_check_passes_within_tolerance(stub_rates, tmp_path, capsys):
+    path = _baseline(tmp_path, kernel_rate=110.0, domain_rate=55.0)
+    assert bench.run_check(path, tolerance=0.20, repeats=1) == 0
+    captured = capsys.readouterr()
+    assert "kernel/churn" in captured.out
+    assert "domain/drive" in captured.out
+    assert "REGRESSED" not in captured.out
+    assert captured.err == ""
+
+
+def test_check_fails_and_replays_table_on_stderr(stub_rates, tmp_path,
+                                                 capsys):
+    # Kernel regressed far beyond tolerance; domain is fine.
+    path = _baseline(tmp_path, kernel_rate=1000.0, domain_rate=50.0)
+    assert bench.run_check(path, tolerance=0.20, repeats=1) == 1
+    captured = capsys.readouterr()
+    # The COMPLETE ratio table lands on stderr — both the regressed and
+    # the healthy workload — so CI logs are diagnosable on their own.
+    assert "kernel/churn" in captured.err and "REGRESSED" in captured.err
+    assert "domain/drive" in captured.err and " ok" in captured.err
+    assert "10.00%" in captured.err  # the measured/recorded ratio
+
+
+def test_check_flags_missing_workloads(stub_rates, tmp_path, capsys):
+    path = _baseline(tmp_path, kernel_rate=100.0, domain_rate=50.0,
+                     extra={"gone": {"events_per_sec": 10.0,
+                                     "events_per_run": 1}})
+    assert bench.run_check(path, tolerance=0.20, repeats=1) == 1
+    captured = capsys.readouterr()
+    assert "MISSING" in captured.out
+    assert "kernel/gone" in captured.err
+
+
+def test_check_rejects_unreadable_baseline(tmp_path, capsys):
+    assert bench.run_check(str(tmp_path / "absent.json"),
+                           tolerance=0.2, repeats=1) == 2
+    assert "cannot read" in capsys.readouterr().err

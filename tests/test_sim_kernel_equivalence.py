@@ -1,0 +1,296 @@
+"""run() vs step() equivalence and free-list (pool) correctness.
+
+The kernel's ``run()`` loop batches same-timestamp events, dispatches
+sole waiters directly and recycles provably-unreferenced events through
+free-lists; :meth:`Simulator.step` is the readable per-event reference
+with none of those fast paths. These tests pin the two to identical
+observable behaviour on a workload that exercises every event type —
+Timeout, bare Event, AllOf, AnyOf, Process joins and interrupts — and
+pin the pool's safety contract: a user-held reference to a processed
+event never observes reuse, and traced runs never recycle at all.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import _POOL_LIMIT
+from repro.sim.events import Event, Interrupt, Timeout
+
+
+# -- mixed workload --------------------------------------------------------
+
+def _build_workload(sim, log, seed=0):
+    """Spawn a deterministic tangle of processes that append to ``log``.
+
+    Covers: zero and equal delays (same-instant batches), AllOf fan-in,
+    AnyOf races, process joins, interrupts mid-sleep, and a failing
+    process whose exception a watcher absorbs.
+    """
+    rng = random.Random(seed)
+
+    def ticker(sim, ident, count):
+        for tick in range(count):
+            yield sim.timeout(rng.choice([0.0, 0.5, 1.0, 1.0, 2.5]))
+            log.append(("tick", ident, tick, sim.now))
+
+    def fanout(sim):
+        children = [sim.timeout(delay, value=delay)
+                    for delay in (1.0, 1.0, 3.0, 0.0)]
+        results = yield sim.all_of(children)
+        log.append(("allof", tuple(results.values()), sim.now))
+
+    def racer(sim):
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(4.0, value="slow")
+        first = yield sim.any_of([fast, slow])
+        log.append(("anyof", tuple(first.values()), sim.now))
+        yield slow  # drain the loser deterministically
+        log.append(("anyof-late", sim.now))
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(50.0)
+            log.append(("overslept", sim.now))
+        except Interrupt as interrupt:
+            log.append(("interrupted", interrupt.cause, sim.now))
+        yield sim.timeout(0.25)
+        log.append(("sleeper-done", sim.now))
+
+    def alarm(sim, target):
+        yield sim.timeout(2.0)
+        target.interrupt("wake")
+        log.append(("alarm", sim.now))
+
+    def failer(sim):
+        yield sim.timeout(1.5)
+        raise RuntimeError("expected failure")
+
+    def watcher(sim, target):
+        try:
+            yield target
+            log.append(("watched-ok", sim.now))
+        except RuntimeError as error:
+            log.append(("watched-fail", str(error), sim.now))
+
+    def joiner(sim, target):
+        value = yield target
+        log.append(("joined", value, sim.now))
+
+    def quick(sim):
+        yield sim.timeout(0.75)
+        return "quick-value"
+
+    for ident in range(3):
+        sim.process(ticker(sim, ident, count=4))
+    sim.process(fanout(sim))
+    sim.process(racer(sim))
+    target = sim.process(sleeper(sim))
+    sim.process(alarm(sim, target))
+    failed = sim.process(failer(sim))
+    sim.process(watcher(sim, failed))
+    sim.process(joiner(sim, sim.process(quick(sim))))
+
+
+def _run_with_step(sim):
+    while sim._heap:
+        sim.step()
+    return sim.now
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_run_equals_step_on_mixed_workload(seed):
+    """run() and step() produce identical logs, clocks and sequences."""
+    log_run, log_step = [], []
+    sim_run, sim_step = Simulator(), Simulator()
+    _build_workload(sim_run, log_run, seed=seed)
+    _build_workload(sim_step, log_step, seed=seed)
+
+    end_run = sim_run.run()
+    end_step = _run_with_step(sim_step)
+
+    assert log_run == log_step
+    assert end_run == end_step
+    # Identical event counts were scheduled and consumed.
+    assert sim_run._sequence == sim_step._sequence
+    assert not sim_run._heap and not sim_step._heap
+
+
+def test_run_until_equals_step_prefix():
+    """run(until=t) consumes exactly the events step() would by t."""
+    log_run, log_step = [], []
+    sim_run, sim_step = Simulator(), Simulator()
+    _build_workload(sim_run, log_run)
+    _build_workload(sim_step, log_step)
+
+    horizon = 2.0
+    sim_run.run(until=horizon)
+    while sim_step._heap and sim_step._heap[0][0] <= horizon:
+        sim_step.step()
+
+    assert log_run == log_step
+    # Resuming both to the end still agrees (pool reuse across the
+    # boundary must not perturb anything).
+    sim_run.run()
+    _run_with_step(sim_step)
+    assert log_run == log_step
+
+
+def test_run_equals_step_with_resources():
+    """Contention primitives ride the same fast paths identically."""
+    from repro.sim.resources import Pipe, Resource, Store
+
+    def _world(sim, log):
+        disk = Resource(sim, capacity=2, name="disk")
+        queue = Store(sim, capacity=4, name="queue")
+        link = Pipe(sim, bandwidth=1e6, name="link")
+
+        def producer(sim):
+            for item in range(8):
+                yield queue.put(item)
+                yield sim.timeout(0.1)
+
+        def consumer(sim, ident):
+            for _ in range(4):
+                item = yield queue.get()
+                grant = disk.request()
+                yield grant
+                yield sim.process(link.transfer(32768))
+                disk.release()
+                log.append(("served", ident, item, round(sim.now, 9)))
+
+        sim.process(producer(sim))
+        sim.process(consumer(sim, "a"))
+        sim.process(consumer(sim, "b"))
+
+    log_run, log_step = [], []
+    sim_run, sim_step = Simulator(), Simulator()
+    _world(sim_run, log_run)
+    _world(sim_step, log_step)
+    assert sim_run.run() == _run_with_step(sim_step)
+    assert log_run == log_step
+
+
+# -- pool correctness -------------------------------------------------------
+
+def test_held_timeout_reference_never_observes_reuse():
+    """A processed Timeout the user still holds is never recycled."""
+    sim = Simulator()
+    held = sim.timeout(1.0, value="mine", name="held")
+
+    def waiter(sim):
+        value = yield held
+        assert value == "mine"
+
+    sim.process(waiter(sim))
+    sim.run()
+    assert held.processed and held.ok and held.value == "mine"
+    assert held not in sim._timeout_pool
+
+    # Churn enough timeouts to cycle the pool many times over.
+    def churn(sim):
+        for _ in range(200):
+            yield sim.timeout(0.01)
+
+    sim.process(churn(sim))
+    sim.run()
+    # The held object is untouched: same state, same value, still not
+    # in any pool, and no new timeout is the same object.
+    assert held.processed and held.ok and held.value == "mine"
+    assert held.name == "held"  # reset-on-recycle never ran on it
+    assert held not in sim._timeout_pool
+    fresh = sim.timeout(0.5)
+    assert fresh is not held
+
+
+def test_recycling_actually_happens():
+    """The free-lists fill on an unheld-timeout workload (not dead code)."""
+    sim = Simulator()
+
+    def churn(sim):
+        for _ in range(50):
+            yield sim.timeout(0.001)
+
+    sim.process(churn(sim))
+    sim.run()
+    assert sim._timeout_pool, "timeout free-list never filled"
+    assert sim._event_pool, "event free-list never filled (bootstrap)"
+    assert all(type(event) is Timeout for event in sim._timeout_pool)
+    assert all(type(event) is Event for event in sim._event_pool)
+
+
+def test_recycled_timeouts_are_clean_on_reuse():
+    """Pool hits come back with virgin state: no value, ok, no waiter."""
+    sim = Simulator()
+
+    def churn(sim):
+        for _ in range(10):
+            yield sim.timeout(0.001)
+
+    sim.process(churn(sim))
+    sim.run()
+    assert sim._timeout_pool
+    recycled = sim.timeout(2.0)
+    assert recycled.triggered and not recycled.processed
+    assert recycled._value is None and recycled._ok
+    assert recycled._sole_waiter is None and not recycled.callbacks
+    assert recycled.delay == 2.0
+
+    pooled_event = sim.event("named")
+    assert pooled_event.name == "named"
+    assert not pooled_event.triggered
+    assert pooled_event._sole_waiter is None and not pooled_event.callbacks
+
+
+def test_pool_is_bounded():
+    """The free-lists never exceed _POOL_LIMIT entries."""
+    sim = Simulator()
+
+    def churn(sim, count):
+        for _ in range(count):
+            yield sim.timeout(0.0)
+
+    for _ in range(8):
+        sim.process(churn(sim, 400))
+    sim.run()
+    assert len(sim._timeout_pool) <= _POOL_LIMIT
+    assert len(sim._event_pool) <= _POOL_LIMIT
+
+
+def test_traced_runs_never_recycle():
+    """With a tracer attached, run() takes the reference path: no pools."""
+
+    class StubTracer:
+        def __init__(self):
+            self.records = []
+
+        def kernel(self, now, event):
+            self.records.append((now, type(event).__name__))
+
+    tracer = StubTracer()
+    sim = Simulator(trace=tracer)
+
+    def churn(sim):
+        for _ in range(20):
+            yield sim.timeout(0.001)
+
+    sim.process(churn(sim))
+    sim.run()
+    assert tracer.records, "tracer saw no kernel records"
+    assert not sim._timeout_pool
+    assert not sim._event_pool
+
+
+def test_condition_events_never_enter_pools():
+    """AllOf/AnyOf/Process instances are structurally non-poolable."""
+    sim = Simulator()
+
+    def fan(sim):
+        yield sim.all_of([sim.timeout(0.1), sim.timeout(0.2)])
+        yield sim.any_of([sim.timeout(0.1), sim.timeout(0.2)])
+
+    sim.process(fan(sim))
+    sim.run()
+    assert all(type(event) is Timeout for event in sim._timeout_pool)
+    assert all(type(event) is Event for event in sim._event_pool)
