@@ -78,6 +78,27 @@ class ServerParams:
     coalesce_writes: bool = False
     write_coalesce_bytes: int = 1024 * 1024
     write_memory_budget: int = 64 * 1024 * 1024
+    #: Fault/degradation policies (DESIGN.md §6). All default *off* so
+    #: the fault-free request path is bit-identical to the historical
+    #: server; the chaos experiment and production profiles turn them on.
+    #: ``request_deadline_s`` bounds each downstream request's service
+    #: time (0 disables; expiry raises ``RequestTimeout`` to the retry
+    #: policy). ``max_retries`` bounds per-request retries of *transient*
+    #: errors, spaced by exponential backoff from ``retry_backoff_s``
+    #: (doubling per attempt, capped at ``retry_backoff_cap_s``) with
+    #: ``retry_backoff_jitter`` multiplicative jitter drawn from a
+    #: ``retry_seed``-seeded RNG (deterministic per run).
+    #: ``quarantine_threshold`` consecutive failed read-ahead fetches
+    #: quarantine the stream: it leaves the dispatch machinery, its
+    #: staged pages are reclaimed, and its client falls back to the
+    #: direct path (0 disables).
+    request_deadline_s: float = 0.0
+    max_retries: int = 0
+    retry_backoff_s: float = 2e-3
+    retry_backoff_cap_s: float = 0.25
+    retry_backoff_jitter: float = 0.5
+    retry_seed: int = 0
+    quarantine_threshold: int = 0
 
     def __post_init__(self):
         if self.read_ahead < 0 or self.read_ahead % SECTOR_BYTES:
@@ -107,6 +128,22 @@ class ServerParams:
         if self.dispatch_width is not None and self.dispatch_width < 1:
             raise ValueError(
                 f"dispatch_width must be >= 1: {self.dispatch_width}")
+        if self.request_deadline_s < 0:
+            raise ValueError(
+                f"request_deadline_s must be >= 0: "
+                f"{self.request_deadline_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.retry_backoff_s <= 0 or self.retry_backoff_cap_s <= 0:
+            raise ValueError("retry backoff times must be positive")
+        if not 0.0 <= self.retry_backoff_jitter < 1.0:
+            raise ValueError(
+                f"retry_backoff_jitter must be in [0, 1): "
+                f"{self.retry_backoff_jitter}")
+        if self.quarantine_threshold < 0:
+            raise ValueError(
+                f"quarantine_threshold must be >= 0: "
+                f"{self.quarantine_threshold}")
         if self.read_ahead and self.memory_budget < self.residency_bytes:
             raise ValueError(
                 f"memory budget {self.memory_budget} below one residency "

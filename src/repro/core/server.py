@@ -20,8 +20,9 @@ paper's Section 4.2 ordering.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Set
 
 from repro.core.buffered_set import BufferedSet, StreamBuffer
 from repro.core.classifier import SequentialClassifier
@@ -30,6 +31,7 @@ from repro.core.gc import GarbageCollector
 from repro.core.params import ServerParams
 from repro.core.policies import ReplacementPolicy
 from repro.core.stream import StreamQueue
+from repro.faults.errors import RequestTimeout, is_transient
 from repro.io import BlockDevice, IOKind, IORequest, stamp_submit
 from repro.sim import Simulator
 from repro.sim.events import Event
@@ -60,6 +62,7 @@ class ServerReport:
     readahead_issued_bytes: int
     detected_streams: int
     gc_cycles: int
+    quarantined_streams: int = 0
 
     def __str__(self) -> str:
         return (
@@ -125,6 +128,27 @@ class StreamServer:
         self._c_completed = stats.counter("completed")
         self._l_latency = stats.latency("latency")
         self._c_readahead_issued = stats.counter("readahead_issued")
+        # Fault/degradation policy state (DESIGN.md §6). All counters
+        # stay zero when the policies are off (the default), and the
+        # happy path through _await_device is then byte-for-byte the
+        # historical submit-and-wait, so fault-free runs are
+        # bit-identical to the policy-free server.
+        self._deadline = self.params.request_deadline_s
+        self._max_retries = self.params.max_retries
+        #: Hot-path switch: with neither deadline nor retries, the
+        #: submission helper short-circuits to the one-frame historical
+        #: submit-and-wait.
+        self._policies_off = (self._deadline <= 0.0
+                              and self._max_retries == 0)
+        self._retry_rng = random.Random(self.params.retry_seed)
+        self._c_device_errors = stats.counter("device_errors")
+        #: Client stream ids barred from coalescing after repeated
+        #: fetch failures; their requests take the direct path.
+        self._quarantined: Set[int] = set()
+        self._c_retries = stats.counter("retries")
+        self._c_timeouts = stats.counter("deadline_timeouts")
+        self._c_quarantined = stats.counter("quarantined_streams")
+        self._c_quarantine_bypass = stats.counter("quarantine_bypass")
         self.write_coalescer = None
         if self.params.coalesce_writes:
             from repro.core.writeback import (
@@ -159,6 +183,13 @@ class StreamServer:
             self._issue_direct(request, event)
             return event
         if self.params.read_ahead == 0:
+            self._issue_direct(request, event)
+            return event
+        if request.stream_id is not None \
+                and request.stream_id in self._quarantined:
+            # Quarantined client: its fetch path proved unreliable, so
+            # bypass classification/coalescing entirely.
+            self._c_quarantine_bypass.add(request.size)
             self._issue_direct(request, event)
             return event
         stream = self.classifier.route(request, self.sim.now)
@@ -202,12 +233,74 @@ class StreamServer:
 
     def _relay(self, request: IORequest, event: Event):
         try:
-            yield self.device.submit(request)
+            yield from self._submit_with_policy(request)
         except Exception as exc:  # device fault: surface to client
-            self.stats.counter("device_errors").add(request.size)
             event.fail(exc)
             return
         self._finish(request, event)
+
+    # -- fault policies (DESIGN.md §6) -------------------------------------
+    def _await_device(self, request: IORequest):
+        """One downstream attempt, bounded by the per-request deadline.
+
+        With the deadline disabled (the default) this is exactly the
+        historical submit-and-wait — no extra events, so fault-free runs
+        stay bit-identical. With a deadline, a race between completion
+        and a timeout converts stragglers into :class:`RequestTimeout`
+        (transient: the retry policy may re-issue the request).
+        """
+        completion = self.device.submit(request)
+        if self._deadline <= 0.0:
+            value = yield completion
+            return value
+        expiry = self.sim.timeout(self._deadline)
+        fired = yield self.sim.any_of([completion, expiry])
+        if completion in fired:
+            return fired[completion]
+        self._c_timeouts.add(request.size)
+        raise RequestTimeout(
+            f"{request!r} missed the {self._deadline:g}s deadline")
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with seeded multiplicative jitter."""
+        params = self.params
+        delay = min(params.retry_backoff_s * (2 ** (attempt - 1)),
+                    params.retry_backoff_cap_s)
+        jitter = params.retry_backoff_jitter
+        if jitter:
+            delay *= 1.0 + jitter * (2.0 * self._retry_rng.random() - 1.0)
+        return delay
+
+    def _submit_with_policy(self, request: IORequest):
+        """Deadline-bounded submission with bounded transient retries.
+
+        Yield-from helper shared by the direct path and the read-ahead
+        fetch path. Permanent errors (and transient errors once
+        ``max_retries`` is exhausted) propagate to the caller; every
+        failed attempt lands in the ``device_errors`` counter.
+        """
+        if self._policies_off:
+            # Fast path: the historical submit-and-wait, without the
+            # extra _await_device generator frame per request.
+            try:
+                value = yield self.device.submit(request)
+            except Exception:
+                self._c_device_errors.add(request.size)
+                raise
+            return value
+        attempt = 0
+        while True:
+            try:
+                value = yield from self._await_device(request)
+            except Exception as exc:
+                self._c_device_errors.add(request.size)
+                if attempt < self._max_retries and is_transient(exc):
+                    attempt += 1
+                    self._c_retries.add(request.size)
+                    yield self.sim.timeout(self._backoff_delay(attempt))
+                    continue
+                raise
+            return value
 
     # -- staged completions --------------------------------------------------------
     def _complete_from_memory(self, stream: StreamQueue, request: IORequest,
@@ -273,13 +366,47 @@ class StreamServer:
             fetch.annotations["core.readahead"] = stream.stream_id
             self._c_readahead_issued.add(size)
             try:
-                yield self.device.submit(fetch)
+                yield from self._submit_with_policy(fetch)
             except Exception as exc:  # device fault mid-fetch
-                self.stats.counter("device_errors").add(size)
                 self._abort_fetch(stream, buffer, exc)
+                self._record_fetch_failure(stream, exc)
                 break
+            stream.fetch_failures = 0
             self._buffer_filled(stream, buffer)
         self._rotate(stream)
+
+    def _record_fetch_failure(self, stream: StreamQueue,
+                              exc: Exception) -> None:
+        """Count a failed (retry-exhausted) fetch; quarantine at the
+        threshold."""
+        stream.fetch_failures += 1
+        threshold = self.params.quarantine_threshold
+        if threshold and stream.fetch_failures >= threshold:
+            self._quarantine(stream, exc)
+
+    def _quarantine(self, stream: StreamQueue, exc: Exception) -> None:
+        """Evict a repeatedly failing stream from the coalescing machinery.
+
+        The stream leaves the dispatch set and admission queue, its
+        staged pages are reclaimed, its classifier entry is dropped, and
+        its client id is barred from re-classification — subsequent
+        requests from that client take the direct path (which still
+        applies the retry policy per request). Any requests still parked
+        on the stream fail with the triggering error: the fetch path
+        that would have served them is the thing that just proved
+        broken.
+        """
+        self._c_quarantined.add()
+        if stream.client_id is not None:
+            self._quarantined.add(stream.client_id)
+        while stream.pending:
+            _request, event = stream.pending.popleft()
+            event.fail(exc)
+        reclaimed = self.buffered.release_stream(stream.stream_id)
+        self.stats.counter("quarantine_reclaimed").add(reclaimed)
+        self.dispatch.rotate_out(stream)
+        self.dispatch.drop_waiting(stream)
+        self.classifier.drop_stream(stream)
 
     def _abort_fetch(self, stream: StreamQueue, buffer: StreamBuffer,
                      exc: Exception) -> None:
@@ -369,6 +496,7 @@ class StreamServer:
                 "readahead_issued").total_bytes,
             detected_streams=self.classifier.detected,
             gc_cycles=self.gc.cycles,
+            quarantined_streams=self._c_quarantined.count,
         )
 
     @property

@@ -37,7 +37,7 @@ class StreamQueue:
     __slots__ = ("stream_id", "disk_id", "client_id", "state",
                  "client_next", "fetch_next", "filled_until", "pending",
                  "issued_in_residency", "total_issued", "created_at",
-                 "last_activity", "initial_offset")
+                 "last_activity", "initial_offset", "fetch_failures")
 
     def __init__(self, disk_id: int, start_offset: int, now: float,
                  client_id: Optional[int] = None):
@@ -59,6 +59,9 @@ class StreamQueue:
         self.created_at = now
         self.last_activity = now
         self.initial_offset = start_offset
+        #: Consecutive failed read-ahead fetches (reset on success);
+        #: the server's quarantine policy trips on this.
+        self.fetch_failures = 0
 
     def touch(self, now: float) -> None:
         """Record activity (classifier routing, request arrival)."""

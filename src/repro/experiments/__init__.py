@@ -23,6 +23,7 @@ from repro.experiments import (
 )
 
 from repro.experiments import (
+    ext_faults,
     ext_fragmentation,
     ext_insensitivity,
     ext_latency_breakdown,
@@ -47,6 +48,7 @@ EXPERIMENTS = {
 
 #: Beyond-the-paper experiments (DESIGN.md §5).
 EXTENSIONS = {
+    "ext-faults": ext_faults.run,
     "ext-fragmentation": ext_fragmentation.run,
     "ext-insensitivity": ext_insensitivity.run,
     "ext-latency-breakdown": ext_latency_breakdown.run,

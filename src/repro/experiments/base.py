@@ -85,7 +85,8 @@ def server_wrapper(params, policy=None):
 def measure(topology: NodeTopology, scale: ExperimentScale,
             specs_for: "callable",
             wrap_device: Optional["callable"] = None,
-            settle_requests: int = 5) -> FleetReport:
+            settle_requests: int = 5,
+            tolerate_errors: bool = False) -> FleetReport:
     """Build a node, optionally wrap it, run open-ended streams, report.
 
     ``specs_for(node)`` returns the stream specs; ``wrap_device(sim,
@@ -93,6 +94,9 @@ def measure(topology: NodeTopology, scale: ExperimentScale,
     ``settle_requests`` keeps the warm-up going until every stream has
     completed that many requests, so cold-start transients (initial
     cache fill rounds, stream detection) stay out of the measurement.
+    ``tolerate_errors`` makes the clients skip failed requests instead
+    of crashing the run — required for fault-injection experiments,
+    where some requests are *supposed* to fail.
     """
     sim = Simulator()
     node = build_node(sim, topology)
@@ -100,6 +104,7 @@ def measure(topology: NodeTopology, scale: ExperimentScale,
     if wrap_device is not None:
         device = wrap_device(sim, node)
     specs = specs_for(node)
-    fleet = ClientFleet(sim, device, specs)
+    fleet = ClientFleet(sim, device, specs,
+                        tolerate_errors=tolerate_errors)
     return fleet.run(duration=scale.duration, warmup=scale.warmup,
                      settle_requests=settle_requests)

@@ -22,8 +22,15 @@ benchmark tiers:
 existing trajectory file into the new report's ``baseline`` section, so
 a PR's before/after is readable from one file. ``--check [PATH]``
 re-measures both tiers and exits non-zero if any workload's rate fell
-more than ``--tolerance`` (default 20%) below the recorded value — the
-CI regression gate.
+more than its tolerance below the recorded value — the CI regression
+gate. The gate is noise-hardened: a workload that looks regressed on
+the first measurement is re-measured up to ``--remeasure`` times
+(default 3) and judged on the **median** of all its samples, so a
+one-off scheduler hiccup on a busy CI box doesn't fail the build while
+a genuine persistent slowdown still does. Tolerance is ``--tolerance``
+(default 20%) globally, overridable per workload by a ``"tolerance"``
+field on the baseline entry (e.g. a noisy allocation-heavy workload can
+carry ``"tolerance": 0.35`` without loosening the gate for the rest).
 
 Figure timings honour the sweep executor's ``--jobs`` and cache
 controls; pass ``--no-cache`` for honest cold-run wall times.
@@ -34,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import statistics
 import sys
 import time
 from typing import List, Optional
@@ -49,6 +57,10 @@ DEFAULT_OUTPUT = "BENCH_engine.json"
 
 #: Allowed fractional slowdown before ``--check`` fails (20%).
 DEFAULT_TOLERANCE = 0.20
+
+#: Total measurements (median-of-N) for workloads that look regressed
+#: on the first pass of ``--check``.
+DEFAULT_REMEASURE = 3
 
 
 def measure_kernel(repeats: int = 3) -> dict:
@@ -98,8 +110,59 @@ def _recorded_rates(report: dict) -> dict:
     return rates
 
 
-def run_check(path: str, tolerance: float, repeats: int) -> int:
-    """Re-measure both tiers against ``path``; 0 = no regression."""
+def _recorded_tolerances(report: dict, default: float) -> dict:
+    """Per-workload tolerance overrides from the baseline file.
+
+    A baseline entry may carry a ``"tolerance"`` field (fractional
+    slowdown) that overrides the global ``--tolerance`` for that one
+    workload — the escape hatch for intrinsically noisy workloads.
+    """
+    tolerances = {}
+    for tier in ("kernel", "domain"):
+        for name, entry in report.get(tier, {}).items():
+            tolerances[f"{tier}/{name}"] = float(
+                entry.get("tolerance", default))
+    return tolerances
+
+
+def _measure_all(repeats: int) -> dict:
+    """One full measurement pass over both tiers."""
+    return _recorded_rates({"kernel": measure_kernel(repeats=repeats),
+                            "domain": measure_domain(repeats=repeats)})
+
+
+def _evaluate(baseline: dict, current: dict, tolerances: dict) -> tuple:
+    """(rows, regressed names, missing count) for one measurement set."""
+    rows = []
+    regressed = []
+    missing = 0
+    for name, recorded_rate in sorted(baseline.items()):
+        measured = current.get(name)
+        if measured is None:
+            # Workload renamed/removed: surface loudly rather than skip.
+            rows.append(f"{name:28s} recorded={recorded_rate:12,.0f} "
+                        f"measured=         n/a (   n/a) MISSING")
+            missing += 1
+            continue
+        allowed = tolerances[name]
+        ratio = measured / recorded_rate if recorded_rate else float("inf")
+        status = "ok" if ratio >= 1.0 - allowed else "REGRESSED"
+        rows.append(f"{name:28s} recorded={recorded_rate:12,.0f} "
+                    f"measured={measured:12,.0f} ({ratio:6.2%}) {status}")
+        if status != "ok":
+            regressed.append(name)
+    return rows, regressed, missing
+
+
+def run_check(path: str, tolerance: float, repeats: int,
+              remeasure: int = DEFAULT_REMEASURE) -> int:
+    """Re-measure both tiers against ``path``; 0 = no regression.
+
+    Noise hardening: workloads that look regressed on the first
+    measurement are re-measured until each has ``remeasure`` samples
+    and judged on the **median**, so transient machine noise passes
+    while persistent slowdowns still fail.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             recorded = json.load(handle)
@@ -112,37 +175,37 @@ def run_check(path: str, tolerance: float, repeats: int) -> int:
         print(f"bench --check: no recorded workloads in {path}",
               file=sys.stderr)
         return 2
-    current = _recorded_rates({"kernel": measure_kernel(repeats=repeats),
-                               "domain": measure_domain(repeats=repeats)})
-    rows = []
-    failures = 0
-    for name, recorded_rate in sorted(baseline.items()):
-        measured = current.get(name)
-        if measured is None:
-            # Workload renamed/removed: surface loudly rather than skip.
-            rows.append(f"{name:28s} recorded={recorded_rate:12,.0f} "
-                        f"measured=         n/a (   n/a) MISSING")
-            failures += 1
-            continue
-        ratio = measured / recorded_rate if recorded_rate else float("inf")
-        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSED"
-        rows.append(f"{name:28s} recorded={recorded_rate:12,.0f} "
-                    f"measured={measured:12,.0f} ({ratio:6.2%}) {status}")
-        if status != "ok":
-            failures += 1
+    tolerances = _recorded_tolerances(recorded, tolerance)
+    samples = {name: [rate] for name, rate in
+               _measure_all(repeats).items()}
+    current = {name: rates[0] for name, rates in samples.items()}
+    rows, regressed_names, missing = _evaluate(baseline, current,
+                                               tolerances)
+    if regressed_names and remeasure > 1:
+        print(f"bench --check: {len(regressed_names)} workload(s) look "
+              f"regressed; re-measuring (median of {remeasure})")
+        for _ in range(remeasure - 1):
+            for name, rate in _measure_all(repeats).items():
+                samples.setdefault(name, []).append(rate)
+        current = {name: statistics.median(rates)
+                   for name, rates in samples.items()}
+        rows, regressed_names, missing = _evaluate(baseline, current,
+                                                   tolerances)
+    failures = len(regressed_names) + missing
     for row in rows:
         print(row)
     if failures:
         # Replay the complete ratio table on stderr: CI log scrapers
         # that only keep the failing stream still get the full
         # per-bench picture, not just the verdict.
-        print(f"bench --check: {failures} workload(s) regressed more "
-              f"than {tolerance:.0%} vs {path}:", file=sys.stderr)
+        print(f"bench --check: {failures} workload(s) regressed beyond "
+              f"tolerance (default {tolerance:.0%}) vs {path}:",
+              file=sys.stderr)
         for row in rows:
             print(f"  {row}", file=sys.stderr)
         return 1
     print(f"bench --check: all {len(baseline)} workloads within "
-          f"{tolerance:.0%} of {path}")
+          f"tolerance (default {tolerance:.0%}) of {path}")
     return 0
 
 
@@ -182,7 +245,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE, metavar="FRAC",
                         help="allowed fractional slowdown for --check "
-                             f"(default {DEFAULT_TOLERANCE})")
+                             f"(default {DEFAULT_TOLERANCE}; a "
+                             f"baseline entry's 'tolerance' field "
+                             f"overrides per workload)")
+    parser.add_argument("--remeasure", type=int,
+                        default=DEFAULT_REMEASURE, metavar="N",
+                        help="median-of-N re-measure for workloads that "
+                             "look regressed on the first --check pass "
+                             f"(default {DEFAULT_REMEASURE}; 1 disables)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         metavar="PATH",
                         help=f"output path (default {DEFAULT_OUTPUT}; "
@@ -190,8 +260,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     arguments = parser.parse_args(argv)
 
     if arguments.check is not None:
+        if arguments.remeasure < 1:
+            parser.error("--remeasure must be >= 1")
         return run_check(arguments.check, arguments.tolerance,
-                         arguments.repeats)
+                         arguments.repeats,
+                         remeasure=arguments.remeasure)
 
     figure_ids = list(arguments.figures)
     if arguments.all_figures:

@@ -37,9 +37,13 @@ import ast
 import hashlib
 import importlib.util
 import json
+import logging
+import math
 import os
+import signal
 import sys
 import tempfile
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -51,6 +55,7 @@ from repro.experiments.base import ExperimentScale
 
 __all__ = [
     "Point",
+    "PointTimeoutError",
     "SweepSpec",
     "build_result",
     "code_fingerprint",
@@ -61,6 +66,8 @@ __all__ = [
     "run_sweep",
     "simulated_points",
 ]
+
+_log = logging.getLogger("repro.sweeps")
 
 #: y payload of one point: one value, or {series label: value}.
 PointValue = Union[float, Dict[str, float]]
@@ -344,8 +351,24 @@ def point_key(point_fn: Callable, scale: ExperimentScale,
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def _valid_point_value(value: Any) -> bool:
+    """Is ``value`` shaped like a PointValue (float | {str: float})?"""
+    if isinstance(value, (int, float)):
+        return True
+    if isinstance(value, dict):
+        return all(isinstance(k, str) and isinstance(v, (int, float))
+                   for k, v in value.items())
+    return False
+
+
 class SweepCache:
-    """One-file-per-point JSON result cache with atomic writes."""
+    """One-file-per-point JSON result cache with atomic writes.
+
+    Corrupt entries — truncated writes, garbage bytes, valid JSON of
+    the wrong shape — are *evicted* (logged + unlinked) and reported as
+    misses, so a damaged cache heals itself by recomputation instead of
+    poisoning sweeps forever or aborting them.
+    """
 
     def __init__(self, root: Optional[Union[str, Path]] = None):
         if root is None:
@@ -356,14 +379,32 @@ class SweepCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def _evict(self, path: Path, reason: object) -> None:
+        """Log and unlink a damaged entry; never raises."""
+        _log.warning("evicting corrupt sweep-cache entry %s (%s); "
+                     "the point will be recomputed", path, reason)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
     def get(self, key: str) -> Tuple[bool, Optional[PointValue]]:
-        """(hit, value); corrupt entries count as misses."""
+        """(hit, value); corrupt entries are evicted and count as misses."""
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return True, json.load(handle)["value"]
-        except (OSError, ValueError, KeyError):
+                value = json.load(handle)["value"]
+        except FileNotFoundError:
             return False, None
+        except (OSError, ValueError, KeyError) as exc:
+            self._evict(path, exc)
+            return False, None
+        if not _valid_point_value(value):
+            self._evict(
+                path, f"value has type {type(value).__name__}, "
+                      f"not float | dict[str, float]")
+            return False, None
+        return True, value
 
     def put(self, key: str, value: PointValue) -> None:
         """Persist ``value`` atomically (rename over a temp file)."""
@@ -397,10 +438,66 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
+class PointTimeoutError(RuntimeError):
+    """A point exceeded the ``REPRO_POINT_TIMEOUT`` wall-clock budget."""
+
+
+def _point_timeout_s() -> float:
+    """Per-point wall-clock budget in seconds (0 = unlimited).
+
+    ``REPRO_POINT_TIMEOUT`` guards sweeps against a single runaway
+    point (an accidental infinite simulation, a pathological parameter
+    combination) pinning a worker forever. Unset, empty or malformed
+    values disable the guard.
+    """
+    raw = os.environ.get("REPRO_POINT_TIMEOUT", "").strip()
+    if not raw:
+        return 0.0
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        _log.warning("ignoring malformed REPRO_POINT_TIMEOUT=%r", raw)
+        return 0.0
+
+
 def _invoke(task: Tuple[Callable, ExperimentScale, dict]) -> PointValue:
-    """Worker entry point (top-level so it pickles by reference)."""
+    """Worker entry point (top-level so it pickles by reference).
+
+    Honours ``REPRO_POINT_TIMEOUT``: a point that overruns is aborted
+    via ``SIGALRM`` and yields ``NaN`` (which ``run_sweep`` refuses to
+    cache), so one stuck point costs its budget, not the whole sweep.
+    The guard needs the main thread and ``SIGALRM``; elsewhere the
+    point simply runs unguarded.
+    """
     point_fn, scale, params = task
-    return point_fn(scale, params)
+    limit = _point_timeout_s()
+    if limit <= 0.0 or not hasattr(signal, "SIGALRM") \
+            or threading.current_thread() is not threading.main_thread():
+        return point_fn(scale, params)
+
+    def _expired(signum, frame):
+        raise PointTimeoutError(
+            f"point {point_fn.__module__}.{point_fn.__qualname__}"
+            f"({params!r}) exceeded REPRO_POINT_TIMEOUT={limit:g}s")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        return point_fn(scale, params)
+    except PointTimeoutError as exc:
+        _log.warning("%s; recording NaN (not cached)", exc)
+        return float("nan")
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _contains_nan(value: PointValue) -> bool:
+    """True when a point value (or any series entry) is NaN."""
+    if isinstance(value, dict):
+        return any(isinstance(v, float) and math.isnan(v)
+                   for v in value.values())
+    return isinstance(value, float) and math.isnan(value)
 
 
 def _worker_init(parent_sys_path: List[str]) -> None:
@@ -532,18 +629,33 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale,
         if workers <= 1:
             computed = [_invoke(task) for task in tasks]
         else:
-            with ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=_pool_context(),
-                    initializer=_worker_init,
-                    initargs=(list(sys.path),)) as pool:
-                computed = list(pool.map(
-                    _invoke, tasks,
-                    chunksize=_chunksize(scale, len(tasks), workers)))
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=_pool_context(),
+                        initializer=_worker_init,
+                        initargs=(list(sys.path),)) as pool:
+                    computed = list(pool.map(
+                        _invoke, tasks,
+                        chunksize=_chunksize(scale, len(tasks),
+                                             workers)))
+            except Exception as exc:
+                # A worker died (OOM-kill, segfault in an extension,
+                # hard crash) or the pool broke some other way. The
+                # points themselves are deterministic pure functions,
+                # so recompute the whole batch serially in-process
+                # rather than aborting the sweep.
+                _log.warning(
+                    "sweep worker pool failed (%s: %s); recomputing "
+                    "%d point(s) serially",
+                    type(exc).__name__, exc, len(tasks))
+                computed = [_invoke(task) for task in tasks]
         for key, value in zip(order, computed):
             for index in pending[key]:
                 values[index] = value
-            if store is not None:
+            if store is not None and not _contains_nan(value):
+                # NaN marks an aborted point (REPRO_POINT_TIMEOUT):
+                # never persist it, so the next run retries.
                 store.put(key, value)
 
     return build_result(spec, values)

@@ -1,0 +1,136 @@
+"""Extension experiment — chaos: throughput/latency under injected faults.
+
+Not a paper figure, but the paper's configuration exercised the way a
+production deployment would be: the small-dispatch stream server
+(D=1, N=128 — the insensitivity chart's ``server-small-d`` system at 10
+streams) runs over a :class:`~repro.faults.FaultyDevice` that injects
+
+* probabilistic transient per-request failures at increasing rates
+  (the server retries with bounded exponential backoff, clients skip
+  what the server gives up on), and
+* straggler latency inflation (one disk running at 1/k fleet speed
+  without failing outright).
+
+The fault-free baseline point *is* the existing figure pipeline's
+point: it embeds :func:`repro.experiments.ext_insensitivity._point`
+via ``Point(fn=...)``, so its value (and cache entry) is bit-identical
+to the insensitivity chart's ``server-small-d`` @ 10-streams cell.
+
+The x axis is overloaded per series family, as the notes record:
+*fault-rate* series plot against injection probability in percent;
+*straggler* series plot against the slowdown factor.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentResult
+from repro.core import ServerParams, StreamServer
+from repro.disk.specs import WD800JD
+from repro.experiments.base import QUICK, ExperimentScale, measure
+from repro.experiments.executor import Point, SweepSpec, run_sweep
+from repro.experiments import ext_insensitivity
+from repro.faults import FaultPlan, FaultyDevice, RandomFaults, \
+    StragglerProfile
+from repro.node import base_topology
+from repro.units import GiB, KiB
+from repro.workload import uniform_streams
+
+__all__ = ["run", "sweep", "FAULT_RATES", "NUM_STREAMS", "SLOWDOWNS"]
+
+#: Streams in every cell (matches the baseline's insensitivity cell).
+NUM_STREAMS = 10
+REQUEST_SIZE = 64 * KiB
+#: Per-request transient failure probabilities, in percent.
+FAULT_RATES = [0.5, 1.0, 2.0, 5.0]
+#: Straggler service-time inflation factors.
+SLOWDOWNS = [2.0, 4.0, 8.0]
+#: Seed of every point's fault schedule (hash-anchored, so the same
+#: requests fail run-to-run regardless of evaluation order).
+FAULT_SEED = 42
+
+
+def _server_params() -> ServerParams:
+    """server-small-d plus the retry/quarantine policies under test."""
+    return ServerParams(read_ahead=512 * KiB, dispatch_width=1,
+                        requests_per_residency=128,
+                        memory_budget=1 * GiB,
+                        max_retries=3,
+                        quarantine_threshold=5)
+
+
+def _measure_with_plan(scale: ExperimentScale, plan: FaultPlan):
+    """Run the small-dispatch server over a faulty node; full report."""
+    topology = base_topology(disk_spec=WD800JD, seed=NUM_STREAMS)
+    params = _server_params()
+
+    def wrap(sim, node):
+        faulty = FaultyDevice(sim, node, plan)
+        return StreamServer(sim, faulty, params)
+
+    return measure(
+        topology, scale,
+        specs_for=lambda node: uniform_streams(
+            NUM_STREAMS, node.disk_ids, node.capacity_bytes,
+            request_size=REQUEST_SIZE),
+        wrap_device=wrap,
+        tolerate_errors=True)
+
+
+def _point(scale: ExperimentScale, params: dict) -> dict:
+    """Measure one chaos cell; returns per-series throughput + p99."""
+    mode = params["mode"]
+    if mode == "faults":
+        plan = FaultPlan(seed=FAULT_SEED, random_faults=(
+            RandomFaults(probability=params["rate"]),))
+        label = "faults"
+    elif mode == "straggler":
+        plan = FaultPlan(seed=FAULT_SEED, stragglers=(
+            StragglerProfile(slowdown=params["slowdown"]),))
+        label = "straggler"
+    else:
+        raise ValueError(f"unknown chaos mode {mode!r}")
+    report = _measure_with_plan(scale, plan)
+    return {
+        f"{label} MB/s": report.throughput_mb,
+        f"{label} p99 ms": report.p99_latency * 1e3,
+    }
+
+
+def sweep() -> SweepSpec:
+    """Fault-rate and straggler series plus the embedded baseline."""
+    points = [
+        # Fault-free baseline: literally the insensitivity chart's
+        # server-small-d cell (shared point fn => shared cache entry).
+        Point(series="fault-free MB/s", x=0.0,
+              params={"system": "server-small-d", "streams": NUM_STREAMS},
+              fn=ext_insensitivity._point),
+    ]
+    points += [
+        Point(series="faults", x=rate,
+              params={"mode": "faults", "rate": rate / 100.0})
+        for rate in FAULT_RATES
+    ]
+    points += [
+        Point(series="straggler", x=slowdown,
+              params={"mode": "straggler", "slowdown": slowdown})
+        for slowdown in SLOWDOWNS
+    ]
+    return SweepSpec(
+        experiment_id="ext-faults",
+        title="Chaos: stream server under fault injection (D=1 N=128, "
+              f"{NUM_STREAMS} streams)",
+        x_label="fault rate % (faults) / slowdown x (straggler)",
+        y_label="MBytes/s | p99 ms",
+        notes="extension: retry/backoff + quarantine policies under "
+              "seeded probabilistic faults and straggler inflation; "
+              "x=0 point embeds ext-insensitivity's server-small-d cell",
+        point_fn=_point,
+        series_order=("fault-free MB/s", "faults MB/s", "faults p99 ms",
+                      "straggler MB/s", "straggler p99 ms"),
+        points=tuple(points))
+
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Chaos experiment: faulted/straggled server vs fault-free baseline."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -1,0 +1,164 @@
+"""Fault-injecting block-device wrappers.
+
+:class:`FaultyDevice` wraps *anything* that speaks the
+:class:`~repro.io.BlockDevice` protocol — a raw drive, a controller, a
+storage node, a striped volume, even another wrapper — and applies a
+:class:`~repro.faults.plan.FaultPlan` to every submission. Requests the
+plan passes cleanly are forwarded untouched (the inner device's
+completion event is returned as-is), so an empty plan is a *zero
+perturbation* wrapper: simulations with and without it are
+bit-identical. Unknown attributes delegate to the inner device, so
+layer-specific surfaces (``disk_ids``, ``drive()``, …) stay reachable
+through the wrapper.
+
+:class:`StragglerDevice` is the latency-only convenience: one slowdown
+profile, no failures — the straggler of arXiv:1805.06156.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Optional, Tuple
+
+from repro.faults.errors import TransientDeviceError
+from repro.faults.plan import FaultOutcome, FaultPlan, StragglerProfile
+from repro.io import IORequest
+from repro.sim import Simulator
+from repro.sim.events import Event
+from repro.sim.stats import StatsRegistry
+
+__all__ = ["FaultyDevice", "StragglerDevice"]
+
+
+class FaultyDevice:
+    """Apply a :class:`FaultPlan` at any block-device boundary.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    inner:
+        The wrapped device.
+    plan:
+        The seeded fault schedule. ``None`` means no faults (pure
+        pass-through).
+
+    Attributes
+    ----------
+    failures:
+        Count of injected failures (kept for wrapper-compatibility with
+        the historical test-local ``FaultyDevice``).
+    """
+
+    def __init__(self, sim: Simulator, inner: Any,
+                 plan: Optional[FaultPlan] = None,
+                 name: str = "faulty"):
+        self.sim = sim
+        self.inner = inner
+        self.plan = plan or FaultPlan()
+        self.name = name
+        self.capacity_bytes = inner.capacity_bytes
+        self.stats = StatsRegistry()
+        self.failures = 0
+        #: consecutive injected-failure count per (disk, offset, size);
+        #: cleared the moment an attempt passes, so it only holds
+        #: currently-failing ranges (bounded by in-flight retries).
+        self._attempts: Dict[Tuple[int, int, int], int] = {}
+        #: runtime kills layered over the (immutable) plan's deaths.
+        self._runtime_deaths: Dict[int, float] = {}
+        self._fault_name = f"{name}.fault"
+        self._drag_name = f"{name}.drag"
+        self._c_injected = self.stats.counter("injected")
+        self._c_transient = self.stats.counter("injected_transient")
+        self._c_straggled = self.stats.counter("straggled")
+
+    # -- chaos controls ----------------------------------------------------
+    def kill_disk(self, disk_id: int, at: Optional[float] = None) -> None:
+        """Declare ``disk_id`` dead from ``at`` (default: now) onward."""
+        when = self.sim.now if at is None else at
+        current = self._runtime_deaths.get(disk_id, math.inf)
+        self._runtime_deaths[disk_id] = min(current, when)
+
+    def dead_disks(self, now: Optional[float] = None) -> Tuple[int, ...]:
+        """Disks dead at ``now`` (default: the current instant)."""
+        when = self.sim.now if now is None else now
+        dead = {d.disk_id for d in self.plan.deaths if when >= d.at}
+        dead.update(d for d, at in self._runtime_deaths.items()
+                    if when >= at)
+        return tuple(sorted(dead))
+
+    # -- BlockDevice protocol ----------------------------------------------
+    def submit(self, request: IORequest) -> Event:
+        """Evaluate the plan for this attempt, then inject or forward."""
+        now = self.sim.now
+        death = self._runtime_deaths.get(request.disk_id)
+        if death is not None and now >= death:
+            from repro.faults.errors import DiskDeadError
+            outcome = FaultOutcome(error=DiskDeadError(
+                f"disk {request.disk_id} killed at t={death:g}"))
+        else:
+            key = (request.disk_id, request.offset, request.size)
+            attempt = self._attempts.get(key, 0)
+            outcome = self.plan.evaluate(request, now, attempt)
+            if outcome.error is not None:
+                self._attempts[key] = attempt + 1
+            elif attempt:
+                del self._attempts[key]
+        if outcome.error is not None:
+            self.failures += 1
+            self._c_injected.add(request.size)
+            if isinstance(outcome.error, TransientDeviceError):
+                self._c_transient.add(request.size)
+            event = self.sim.event(self._fault_name)
+            event.fail(outcome.error)
+            return event
+        inner_event = self.inner.submit(request)
+        if outcome.clean:
+            return inner_event  # zero-perturbation pass-through
+        self._c_straggled.add(request.size)
+        outer = self.sim.event(self._drag_name)
+        self.sim.process(
+            self._drag(inner_event, outer, now, outcome),
+            name=self._drag_name)
+        return outer
+
+    def _drag(self, inner_event: Event, outer: Event, started: float,
+              outcome: FaultOutcome):
+        """Straggler path: inflate the observed service time."""
+        try:
+            value = yield inner_event
+        except Exception as exc:  # inner fault passes straight through
+            outer.fail(exc)
+            return
+        service = self.sim.now - started
+        extra = service * (outcome.slowdown - 1.0) + outcome.extra_s
+        if extra > 0.0:
+            yield self.sim.timeout(extra)
+        outer.succeed(value)
+
+    def register_buffers(self, count: int) -> None:
+        """Forward host buffer accounting to the wrapped device."""
+        register = getattr(self.inner, "register_buffers", None)
+        if register is not None:
+            register(count)
+
+    def __getattr__(self, attribute: str) -> Any:
+        """Delegate layer-specific surfaces to the wrapped device."""
+        return getattr(self.inner, attribute)
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name!r} plan={self.plan!r} "
+                f"failures={self.failures}>")
+
+
+class StragglerDevice(FaultyDevice):
+    """Latency-only wrapper: one straggler profile, no failures."""
+
+    def __init__(self, sim: Simulator, inner: Any, slowdown: float,
+                 disk_id: Optional[int] = None, start: float = 0.0,
+                 end: float = math.inf, extra_s: float = 0.0,
+                 name: str = "straggler"):
+        plan = FaultPlan(stragglers=(StragglerProfile(
+            slowdown=slowdown, disk_id=disk_id, start=start, end=end,
+            extra_s=extra_s),))
+        super().__init__(sim, inner, plan, name=name)

@@ -1,0 +1,63 @@
+"""The fault taxonomy shared by injectors and policies.
+
+Every injected failure is a :class:`DeviceError`; the split that
+policies care about is *transient* vs *permanent*:
+
+* **Transient** faults (a recoverable media hiccup, a dropped command, a
+  per-request probabilistic failure) are worth retrying — the stream
+  server's bounded exponential-backoff retry targets exactly these.
+* **Permanent** faults (an unrecoverable media defect, a dead disk)
+  never heal; retrying wastes a disk's time, so policies surface them
+  immediately and degrade around the failed component instead.
+
+:class:`RequestTimeout` is raised by the *server*, not a device: a
+request exceeded its per-request deadline (usually because a straggler
+device inflated its service time). It is transient — the device is
+alive, just slow — so retry policies treat it as retryable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DeviceError",
+    "DiskDeadError",
+    "MediaError",
+    "PermanentDeviceError",
+    "RequestTimeout",
+    "TransientDeviceError",
+    "TransientMediaError",
+    "is_transient",
+]
+
+
+class DeviceError(IOError):
+    """Base of every injected or policy-raised storage fault."""
+
+
+class TransientDeviceError(DeviceError):
+    """A fault that may not recur: retrying is reasonable."""
+
+
+class PermanentDeviceError(DeviceError):
+    """A fault that will recur on every retry: degrade instead."""
+
+
+class MediaError(PermanentDeviceError):
+    """Unrecoverable media defect over an LBA range."""
+
+
+class TransientMediaError(TransientDeviceError):
+    """Recoverable media error (ECC retry succeeds eventually)."""
+
+
+class DiskDeadError(PermanentDeviceError):
+    """The whole disk stopped responding (death at time *T*)."""
+
+
+class RequestTimeout(TransientDeviceError):
+    """A request missed its per-request deadline (straggler device)."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Should a retry policy consider ``exc`` retryable?"""
+    return isinstance(exc, TransientDeviceError)

@@ -1,0 +1,258 @@
+"""Deterministic, seeded fault schedules.
+
+A :class:`FaultPlan` is *data*: a seed plus a set of declarative rules
+(media defects over LBA ranges, probabilistic per-request failures,
+whole-disk death at time *T*, straggler latency-inflation profiles).
+Evaluation is a pure function of ``(seed, rule set, request identity,
+attempt number, simulated time)`` — two runs with the same plan and the
+same workload observe exactly the same faults, and a *retry* of the same
+request is a new attempt that may (for transient rules) succeed.
+
+Determinism is anchored on request identity, not on draw order: the
+per-request coin flips hash ``(seed, disk, offset, attempt)`` with
+BLAKE2b rather than consuming a shared RNG stream, so reordering
+unrelated requests never changes which requests fail.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.faults.errors import (
+    DeviceError,
+    DiskDeadError,
+    MediaError,
+    TransientMediaError,
+)
+from repro.io import IORequest
+
+__all__ = [
+    "DiskDeath",
+    "FaultOutcome",
+    "FaultPlan",
+    "MediaFault",
+    "RandomFaults",
+    "StragglerProfile",
+]
+
+
+def _hash01(seed: int, *parts: int) -> float:
+    """Uniform float in ``[0, 1)`` from a seed and integer coordinates.
+
+    Stable across processes and platforms (unlike ``hash``), and
+    independent of evaluation order (unlike a shared ``random.Random``).
+    """
+    digest = blake2b(digest_size=8)
+    digest.update(repr((seed,) + parts).encode())
+    return int.from_bytes(digest.digest(), "big") / 2**64
+
+
+@dataclass(frozen=True)
+class MediaFault:
+    """A defective LBA byte range on one disk.
+
+    ``transient`` defects heal: an overlapping request fails its first
+    ``recover_after`` attempts and then succeeds (the drive's internal
+    ECC retry finally reads the sector). Permanent defects fail every
+    overlapping request, forever.
+    """
+
+    disk_id: int
+    offset: int
+    size: int
+    transient: bool = False
+    recover_after: int = 1
+
+    def matches(self, request: IORequest) -> bool:
+        """Does the request overlap the defective range?"""
+        return (request.disk_id == self.disk_id
+                and request.overlaps(self.offset, self.size))
+
+
+@dataclass(frozen=True)
+class RandomFaults:
+    """Probabilistic per-request transient failures.
+
+    Each *attempt* of each request on ``disk_id`` (``None`` = every
+    disk) fails independently with ``probability`` — the coin flip is a
+    pure hash of ``(seed, disk, offset, attempt)``, so a retry re-rolls
+    while a re-run reproduces.
+    """
+
+    probability: float
+    disk_id: Optional[int] = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1]: {self.probability}")
+
+
+@dataclass(frozen=True)
+class DiskDeath:
+    """Whole-disk death: every request at or after ``at`` fails."""
+
+    disk_id: int
+    at: float = 0.0
+
+
+@dataclass(frozen=True)
+class StragglerProfile:
+    """Latency inflation on one disk (``None`` = every disk).
+
+    A matching request's service time is multiplied by ``slowdown``
+    while ``start <= now < end`` — the classic straggling-server tail
+    (arXiv:1805.06156) where one device runs at a fraction of fleet
+    speed without failing outright. ``extra_s`` adds a flat penalty on
+    top (controller resets, recovered-error retries).
+    """
+
+    slowdown: float = 1.0
+    disk_id: Optional[int] = None
+    start: float = 0.0
+    end: float = math.inf
+    extra_s: float = 0.0
+
+    def __post_init__(self):
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1: {self.slowdown}")
+        if self.extra_s < 0.0:
+            raise ValueError(f"extra_s must be >= 0: {self.extra_s}")
+
+    def active(self, disk_id: int, now: float) -> bool:
+        """Is this profile inflating ``disk_id`` at time ``now``?"""
+        return ((self.disk_id is None or self.disk_id == disk_id)
+                and self.start <= now < self.end)
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """What the plan decided for one attempt of one request.
+
+    ``error`` is the exception to fail the attempt with (``None`` when
+    the attempt passes). ``slowdown``/``extra_s`` apply when it passes:
+    multiply the observed service time, then add the flat penalty.
+    """
+
+    error: Optional[DeviceError] = None
+    slowdown: float = 1.0
+    extra_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True when the attempt passes through entirely unmodified."""
+        return (self.error is None and self.slowdown == 1.0
+                and self.extra_s == 0.0)
+
+
+#: The all-clear outcome, shared (plans are evaluated per request).
+_CLEAN = FaultOutcome()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative fault schedule over a device's disks.
+
+    Compose rules freely; evaluation order is deterministic: disk death
+    (permanent, dominates) → media defects → probabilistic faults →
+    straggler inflation. ``predicate`` is an escape hatch for tests: a
+    callable ``(request) -> bool`` whose matches fail with
+    ``predicate_transient`` deciding the error class.
+    """
+
+    seed: int = 0
+    media: Tuple[MediaFault, ...] = ()
+    random_faults: Tuple[RandomFaults, ...] = ()
+    deaths: Tuple[DiskDeath, ...] = ()
+    stragglers: Tuple[StragglerProfile, ...] = ()
+    predicate: Optional[Callable[[IORequest], bool]] = field(
+        default=None, compare=False)
+    predicate_transient: bool = False
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_predicate(cls, should_fail: Callable[[IORequest], bool],
+                       transient: bool = False) -> "FaultPlan":
+        """The legacy test-wrapper shape: fail whatever matches."""
+        return cls(predicate=should_fail, predicate_transient=transient)
+
+    @property
+    def dead_disks_at_start(self) -> Tuple[int, ...]:
+        """Disks already dead at ``t=0`` (degraded-from-boot runs)."""
+        return tuple(sorted(d.disk_id for d in self.deaths if d.at <= 0.0))
+
+    def death_time(self, disk_id: int) -> float:
+        """When ``disk_id`` dies (``inf`` = never)."""
+        times = [d.at for d in self.deaths if d.disk_id == disk_id]
+        return min(times) if times else math.inf
+
+    # -- evaluation --------------------------------------------------------
+    def evaluate(self, request: IORequest, now: float,
+                 attempt: int = 0) -> FaultOutcome:
+        """Decide one attempt's fate. Pure given (plan, request, time).
+
+        ``attempt`` counts prior attempts of the *same byte range on the
+        same disk* (the injector tracks it), so transient rules can fail
+        early attempts and pass later ones.
+        """
+        for death in self.deaths:
+            if death.disk_id == request.disk_id and now >= death.at:
+                return FaultOutcome(error=DiskDeadError(
+                    f"disk {request.disk_id} dead since t={death.at:g} "
+                    f"(now={now:g})"))
+        for defect in self.media:
+            if not defect.matches(request):
+                continue
+            if not defect.transient:
+                return FaultOutcome(error=MediaError(
+                    f"permanent media error on disk {defect.disk_id} "
+                    f"[{defect.offset}, {defect.offset + defect.size})"))
+            if attempt < defect.recover_after:
+                return FaultOutcome(error=TransientMediaError(
+                    f"transient media error on disk {defect.disk_id} "
+                    f"[{defect.offset}, {defect.offset + defect.size}) "
+                    f"(attempt {attempt})"))
+        for rule in self.random_faults:
+            if rule.disk_id is not None \
+                    and rule.disk_id != request.disk_id:
+                continue
+            if rule.probability > 0.0 and _hash01(
+                    self.seed, request.disk_id, request.offset,
+                    request.size, attempt) < rule.probability:
+                return FaultOutcome(error=TransientMediaError(
+                    f"probabilistic fault on {request!r} "
+                    f"(attempt {attempt})"))
+        if self.predicate is not None and self.predicate(request):
+            if self.predicate_transient and attempt > 0:
+                pass  # transient predicate faults clear on retry
+            else:
+                cls = (TransientMediaError if self.predicate_transient
+                       else MediaError)
+                return FaultOutcome(error=cls(
+                    f"predicate fault on {request!r}"))
+        slowdown = 1.0
+        extra = 0.0
+        for profile in self.stragglers:
+            if profile.active(request.disk_id, now):
+                slowdown *= profile.slowdown
+                extra += profile.extra_s
+        if slowdown == 1.0 and extra == 0.0:
+            return _CLEAN
+        return FaultOutcome(slowdown=slowdown, extra_s=extra)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan can never alter a request."""
+        return not (self.media or self.random_faults or self.deaths
+                    or self.predicate
+                    or any(s.slowdown != 1.0 or s.extra_s
+                           for s in self.stragglers))
+
+    def __repr__(self) -> str:
+        return (f"<FaultPlan seed={self.seed} media={len(self.media)} "
+                f"random={len(self.random_faults)} "
+                f"deaths={len(self.deaths)} "
+                f"stragglers={len(self.stragglers)}>")

@@ -10,12 +10,21 @@ servers traded stream capacity for per-stream bandwidth.
 The volume is a :class:`~repro.io.BlockDevice`, so the stream server
 runs on top of it unchanged (streams over the *virtual* space are still
 sequential, and the coalesced R-sized fetches fan out across disks).
+
+**Degraded mode** (DESIGN.md §6): a member disk can die mid-run —
+declared via :meth:`StripedVolume.mark_disk_dead` or learned organically
+when a child request fails with
+:class:`~repro.faults.errors.DiskDeadError`. A dead member fails only
+the requests whose stripe ranges *touch* it (fail-fast, without
+occupying any live disk's queue); requests that map entirely onto
+surviving members keep completing at full throughput.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Sequence, Set, Tuple
 
+from repro.faults.errors import DiskDeadError
 from repro.io import BlockDevice, IORequest, stamp_submit
 from repro.node.node import StorageNode
 from repro.sim import Simulator
@@ -63,6 +72,31 @@ class StripedVolume:
         self.capacity_bytes = (usable_chunks * chunk_bytes
                                * len(self.disk_ids))
         self.stats = StatsRegistry()
+        #: Members known dead; their chunks fail fast (degraded mode).
+        self._dead_disks: Set[int] = set()
+
+    # -- degraded mode ------------------------------------------------------
+    @property
+    def dead_disks(self) -> List[int]:
+        """Members currently known dead, sorted."""
+        return sorted(self._dead_disks)
+
+    @property
+    def degraded(self) -> bool:
+        """True once any member disk has died."""
+        return bool(self._dead_disks)
+
+    def mark_disk_dead(self, disk_id: int) -> None:
+        """Record a member death; later requests touching it fail fast.
+
+        Idempotent. In-flight children on the disk finish however the
+        underlying device decides; only *new* submissions are affected.
+        """
+        if disk_id not in self.disk_ids:
+            raise ValueError(f"disk {disk_id} not a member of {self!r}")
+        if disk_id not in self._dead_disks:
+            self._dead_disks.add(disk_id)
+            self.stats.counter("disk_deaths").add()
 
     # -- address mapping ----------------------------------------------------
     def map_offset(self, virtual_offset: int) -> Tuple[int, int]:
@@ -106,7 +140,14 @@ class StripedVolume:
 
     # -- BlockDevice protocol ------------------------------------------------
     def submit(self, request: IORequest) -> Event:
-        """Fan the request out to member disks; completes when all do."""
+        """Fan the request out to member disks; completes when all do.
+
+        Degraded mode: a request whose stripe range touches a known-dead
+        member fails *immediately* with :class:`DiskDeadError` — no
+        child is submitted, so a dead disk never queues work on (or
+        steals host/controller time from) the survivors. Requests
+        entirely on live members proceed normally.
+        """
         if request.offset + request.size > self.capacity_bytes:
             raise ValueError(
                 f"{request!r} beyond volume capacity "
@@ -116,13 +157,35 @@ class StripedVolume:
         children = self.split(request)
         self.stats.counter("submitted").add(request.size)
         self.stats.counter("children").add()
+        if self._dead_disks:
+            touched = sorted({child.disk_id for child in children
+                              if child.disk_id in self._dead_disks})
+            if touched:
+                self.stats.counter("degraded_failed").add(request.size)
+                event.fail(DiskDeadError(
+                    f"{request!r} touches dead member disk(s) {touched}"))
+                return event
 
         def gather(sim):
-            try:
-                yield sim.all_of([self.node.submit(child)
-                                  for child in children])
-            except Exception as exc:  # member fault fails the stripe op
-                event.fail(exc)
+            # Submit everything up front (children proceed in
+            # parallel), then account each child individually so a
+            # member death is *learned* — later requests touching that
+            # member fail fast instead of queueing behind a dead disk.
+            pairs = [(child, self.node.submit(child))
+                     for child in children]
+            first_exc = None
+            for child, child_event in pairs:
+                try:
+                    yield child_event
+                except Exception as exc:
+                    if isinstance(exc, DiskDeadError) \
+                            and child.disk_id not in self._dead_disks:
+                        self.mark_disk_dead(child.disk_id)
+                    if first_exc is None:
+                        first_exc = exc
+            if first_exc is not None:
+                self.stats.counter("degraded_failed").add(request.size)
+                event.fail(first_exc)
                 return
             request.complete_time = sim.now
             self.stats.counter("completed").add(request.size)

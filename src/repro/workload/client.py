@@ -20,13 +20,22 @@ __all__ = ["ClientFleet", "FleetReport", "StreamClient"]
 
 
 class StreamClient:
-    """One emulated stream against a block device."""
+    """One emulated stream against a block device.
+
+    ``tolerate_errors`` makes the client behave like a media player
+    skipping a bad block: a failed request is counted in ``errors`` and
+    the stream moves on to its next offset instead of crashing the
+    emulation. The default (intolerant) client re-raises, preserving the
+    historical fail-loud behaviour of the non-chaos experiments.
+    """
 
     def __init__(self, sim: Simulator, device: BlockDevice,
-                 spec: StreamSpec):
+                 spec: StreamSpec, tolerate_errors: bool = False):
         self.sim = sim
         self.device = device
         self.spec = spec
+        self.tolerate_errors = tolerate_errors
+        self.errors = 0
         self.completed_bytes = 0
         self.completed_requests = 0
         self.latency = LatencySampler(f"stream{spec.stream_id}")
@@ -80,7 +89,15 @@ class StreamClient:
             if request is None:
                 return
             issued_at = self.sim.now
-            yield self.device.submit(request)
+            try:
+                yield self.device.submit(request)
+            except Exception:
+                if not self.tolerate_errors:
+                    raise
+                # Skip the bad block: _next_request already advanced
+                # the position, so the stream stays sequential.
+                self.errors += 1
+                continue
             self.completed_bytes += request.size
             self.completed_requests += 1
             # Client-side response time (what the paper measures):
@@ -100,6 +117,9 @@ class FleetReport:
     mean_latency: float
     p99_latency: float
     per_stream_bytes: List[int]
+    #: Client-visible failed requests (only non-zero for tolerant
+    #: fleets running under fault injection).
+    total_errors: int = 0
 
     @property
     def throughput(self) -> float:
@@ -121,12 +141,15 @@ class ClientFleet:
     """Run a set of stream specs against a device and report."""
 
     def __init__(self, sim: Simulator, device: BlockDevice,
-                 specs: Sequence[StreamSpec]):
+                 specs: Sequence[StreamSpec], tolerate_errors: bool = False):
         if not specs:
             raise ValueError("fleet needs at least one stream")
         self.sim = sim
         self.device = device
-        self.clients = [StreamClient(sim, device, spec) for spec in specs]
+        self.clients = [
+            StreamClient(sim, device, spec, tolerate_errors=tolerate_errors)
+            for spec in specs
+        ]
 
     def run(self, duration: Optional[float] = None,
             warmup: float = 0.0, settle_requests: int = 0,
@@ -181,7 +204,8 @@ class ClientFleet:
             num_streams=len(self.clients),
             mean_latency=self._mean_latency(),
             p99_latency=merged.percentile(0.99),
-            per_stream_bytes=[c.measured_bytes for c in self.clients])
+            per_stream_bytes=[c.measured_bytes for c in self.clients],
+            total_errors=sum(c.errors for c in self.clients))
 
     def _mean_latency(self) -> float:
         total_samples = sum(c.latency.count for c in self.clients)

@@ -1,8 +1,10 @@
 """Failure-injection tests: device faults must surface, not wedge.
 
-A wrapper device fails selected requests; the server must propagate the
-error to exactly the affected clients, reclaim the staged state, and keep
-serving everyone else.
+A :class:`repro.faults.FaultyDevice` fails selected requests; the
+server must propagate the error to exactly the affected clients,
+reclaim the staged state, and keep serving everyone else. The second
+half covers the server's fault *policies*: bounded retry with seeded
+exponential backoff, retry exhaustion, and stream quarantine.
 """
 
 import pytest
@@ -10,46 +12,28 @@ import pytest
 from repro.core import ServerParams, StreamServer
 from repro.disk import WD800JD
 from repro.disk.mechanics import RotationMode
+from repro.faults import (
+    DeviceError,
+    FaultPlan,
+    FaultyDevice,
+    MediaFault,
+    TransientMediaError,
+)
 from repro.io import IOKind, IORequest
 from repro.node import base_topology, build_node
 from repro.sim import Simulator
 from repro.units import KiB, MiB
 
 
-class DeviceError(IOError):
-    """Injected device failure."""
-
-
-class FaultyDevice:
-    """Wraps a block device, failing requests per a predicate."""
-
-    def __init__(self, sim, inner, should_fail):
-        self.sim = sim
-        self.inner = inner
-        self.should_fail = should_fail
-        self.capacity_bytes = inner.capacity_bytes
-        self.failures = 0
-
-    def register_buffers(self, count):
-        register = getattr(self.inner, "register_buffers", None)
-        if register is not None:
-            register(count)
-
-    def submit(self, request):
-        if self.should_fail(request):
-            self.failures += 1
-            event = self.sim.event()
-            event.fail(DeviceError(f"injected fault on {request!r}"))
-            return event
-        return self.inner.submit(request)
-
-
-def make_stack(sim, should_fail):
+def make_stack(sim, should_fail=None, plan=None, **param_overrides):
     node = build_node(sim, base_topology(
         disk_spec=WD800JD, rotation_mode=RotationMode.EXPECTED))
-    faulty = FaultyDevice(sim, node, should_fail)
+    if plan is None:
+        plan = FaultPlan.from_predicate(
+            should_fail, transient=param_overrides.pop("transient", False))
+    faulty = FaultyDevice(sim, node, plan)
     server = StreamServer(sim, faulty, ServerParams(
-        read_ahead=1 * MiB, memory_budget=32 * MiB))
+        read_ahead=1 * MiB, memory_budget=32 * MiB, **param_overrides))
     return server, faulty
 
 
@@ -156,3 +140,132 @@ def test_stream_recovers_after_transient_fault():
     # The stream keeps going after the transient fault.
     assert outcomes[-1] == "ok"
     assert outcomes.count("ok") == 19
+
+
+# -- retry policy ----------------------------------------------------------
+
+def test_transient_fault_retried_to_success():
+    """A transient fault on the first attempt is retried and the client
+    never sees it."""
+    sim = Simulator()
+    server, faulty = make_stack(
+        sim, should_fail=lambda r: True, transient=True, max_retries=2)
+    event = server.submit(read(0))
+    value = sim.run_until_event(event, limit=5.0)
+    assert value is not None
+    assert faulty.failures == 1  # attempt 0 injected, attempt 1 passed
+    assert server.stats.counter("retries").count == 1
+    assert server.stats.counter("device_errors").count == 1
+
+
+def test_retry_exhaustion_surfaces_transient_error():
+    """A defect that outlives the retry budget fails the client."""
+    sim = Simulator()
+    plan = FaultPlan(media=(MediaFault(
+        disk_id=0, offset=0, size=64 * KiB, transient=True,
+        recover_after=10),))
+    server, faulty = make_stack(sim, plan=plan, max_retries=2)
+    event = server.submit(read(0))
+    with pytest.raises(TransientMediaError):
+        sim.run_until_event(event, limit=5.0)
+    # 1 initial attempt + 2 retries, all injected.
+    assert faulty.failures == 3
+    assert server.stats.counter("device_errors").count == 3
+    assert server.stats.counter("retries").count == 2
+
+
+def test_retries_disabled_by_default():
+    sim = Simulator()
+    server, faulty = make_stack(
+        sim, should_fail=lambda r: True, transient=True)
+    event = server.submit(read(0))
+    with pytest.raises(TransientMediaError):
+        sim.run_until_event(event, limit=5.0)
+    assert faulty.failures == 1
+    assert server.stats.counter("retries").count == 0
+
+
+def test_backoff_deterministic_per_seed():
+    """Same retry_seed => identical jittered backoff schedule."""
+
+    def delays(seed):
+        sim = Simulator()
+        server, _ = make_stack(sim, should_fail=lambda r: False,
+                               retry_seed=seed)
+        return [server._backoff_delay(attempt) for attempt in range(1, 9)]
+
+    assert delays(7) == delays(7)
+    assert delays(7) != delays(8)
+    # Exponential-with-cap envelope: jitter is at most +/-50% around
+    # min(base * 2^(attempt-1), cap).
+    params = ServerParams()
+    for attempt, delay in enumerate(delays(7), start=1):
+        nominal = min(params.retry_backoff_s * 2 ** (attempt - 1),
+                      params.retry_backoff_cap_s)
+        assert 0.5 * nominal <= delay <= 1.5 * nominal
+
+
+def test_backoff_without_jitter_is_exact():
+    sim = Simulator()
+    server, _ = make_stack(sim, should_fail=lambda r: False,
+                           retry_backoff_s=1e-3,
+                           retry_backoff_cap_s=4e-3,
+                           retry_backoff_jitter=0.0)
+    assert [server._backoff_delay(a) for a in range(1, 6)] == \
+        [1e-3, 2e-3, 4e-3, 4e-3, 4e-3]
+
+
+# -- quarantine ------------------------------------------------------------
+
+def test_quarantine_after_repeated_fetch_failures():
+    """A stream whose fetches keep dying is quarantined: its staged
+    pages are reclaimed and its client falls back to the direct path."""
+    sim = Simulator()
+    # Every coalesced fetch fails; direct 64K requests pass.
+    server, _faulty = make_stack(
+        sim, should_fail=lambda r: r.size > 512 * KiB,
+        quarantine_threshold=2)
+    outcomes = []
+
+    def client(sim):
+        offset = 0
+        for _ in range(30):
+            try:
+                yield server.submit(read(offset))
+                outcomes.append("ok")
+            except DeviceError:
+                outcomes.append("fault")
+            offset += 64 * KiB
+
+    process = sim.process(client(sim))
+    sim.run_until_event(process, limit=120.0)
+    assert len(outcomes) == 30
+    report = server.report()
+    assert report.quarantined_streams == 1
+    # After quarantine the client's requests bypass classification and
+    # complete on the (healthy) direct path.
+    assert server.stats.counter("quarantine_bypass").count > 0
+    assert outcomes[-1] == "ok"
+    assert server.buffered.in_use == 0
+
+
+def test_quarantine_disabled_by_default():
+    sim = Simulator()
+    server, _faulty = make_stack(
+        sim, should_fail=lambda r: r.size > 512 * KiB)
+    outcomes = []
+
+    def client(sim):
+        offset = 0
+        for _ in range(20):
+            try:
+                yield server.submit(read(offset))
+                outcomes.append("ok")
+            except DeviceError:
+                outcomes.append("fault")
+            offset += 64 * KiB
+
+    process = sim.process(client(sim))
+    sim.run_until_event(process, limit=120.0)
+    assert server.report().quarantined_streams == 0
+    assert server.stats.counter("quarantine_bypass").count == 0

@@ -1,0 +1,184 @@
+"""Unit tests for the fault plan and the injecting device wrappers."""
+
+import math
+
+import pytest
+
+from repro.disk import WD800JD
+from repro.faults import (
+    DiskDeadError,
+    DiskDeath,
+    FaultPlan,
+    FaultyDevice,
+    MediaError,
+    MediaFault,
+    RandomFaults,
+    StragglerDevice,
+    StragglerProfile,
+    TransientMediaError,
+    is_transient,
+)
+from repro.faults.plan import _hash01
+from repro.io import IOKind, IORequest
+from repro.node import base_topology, build_node
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+from repro.workload import ClientFleet, uniform_streams
+
+
+def read(offset, size=64 * KiB, disk=0):
+    return IORequest(kind=IOKind.READ, disk_id=disk, offset=offset,
+                     size=size, stream_id=1)
+
+
+# -- hash determinism ------------------------------------------------------
+
+def test_hash01_stable_and_uniformish():
+    assert _hash01(0, 1, 2, 3) == _hash01(0, 1, 2, 3)
+    assert _hash01(0, 1, 2, 3) != _hash01(1, 1, 2, 3)
+    samples = [_hash01(0, i) for i in range(2000)]
+    assert all(0.0 <= s < 1.0 for s in samples)
+    assert 0.45 < sum(samples) / len(samples) < 0.55
+
+
+# -- plan evaluation -------------------------------------------------------
+
+def test_media_fault_permanent_always_fails():
+    plan = FaultPlan(media=(MediaFault(disk_id=0, offset=0,
+                                       size=64 * KiB),))
+    for attempt in range(5):
+        outcome = plan.evaluate(read(0), now=0.0, attempt=attempt)
+        assert isinstance(outcome.error, MediaError)
+        assert not is_transient(outcome.error)
+    # A request outside the defective range passes.
+    assert plan.evaluate(read(1 * MiB), now=0.0).clean
+
+
+def test_media_fault_transient_recovers_after_n_attempts():
+    plan = FaultPlan(media=(MediaFault(disk_id=0, offset=0, size=64 * KiB,
+                                       transient=True, recover_after=2),))
+    assert isinstance(plan.evaluate(read(0), 0.0, attempt=0).error,
+                      TransientMediaError)
+    assert isinstance(plan.evaluate(read(0), 0.0, attempt=1).error,
+                      TransientMediaError)
+    assert plan.evaluate(read(0), 0.0, attempt=2).clean
+
+
+def test_disk_death_dominates_and_respects_time():
+    plan = FaultPlan(deaths=(DiskDeath(disk_id=0, at=5.0),),
+                     media=(MediaFault(disk_id=0, offset=0,
+                                       size=64 * KiB, transient=True),))
+    assert isinstance(plan.evaluate(read(0), now=0.0).error,
+                      TransientMediaError)
+    assert isinstance(plan.evaluate(read(0), now=5.0).error,
+                      DiskDeadError)
+    assert plan.death_time(0) == 5.0
+    assert plan.death_time(1) == math.inf
+    assert FaultPlan(deaths=(DiskDeath(0, at=0.0),)) \
+        .dead_disks_at_start == (0,)
+
+
+def test_random_faults_deterministic_and_rate_accurate():
+    plan = FaultPlan(seed=3, random_faults=(RandomFaults(
+        probability=0.25),))
+    fates = [plan.evaluate(read(i * 64 * KiB), 0.0).error is not None
+             for i in range(2000)]
+    again = [plan.evaluate(read(i * 64 * KiB), 0.0).error is not None
+             for i in range(2000)]
+    assert fates == again  # identical under re-evaluation
+    rate = sum(fates) / len(fates)
+    assert 0.20 < rate < 0.30
+    # A retry is a fresh coin flip, not a guaranteed repeat.
+    first_failing = fates.index(True)
+    request = read(first_failing * 64 * KiB)
+    retries = [plan.evaluate(request, 0.0, attempt=a).error is not None
+               for a in range(1, 40)]
+    assert not all(retries)
+
+
+def test_straggler_profile_windows_and_composition():
+    plan = FaultPlan(stragglers=(
+        StragglerProfile(slowdown=2.0, start=1.0, end=3.0),
+        StragglerProfile(slowdown=3.0, disk_id=1, extra_s=0.5),
+    ))
+    assert plan.evaluate(read(0), now=0.0).clean  # before the window
+    outcome = plan.evaluate(read(0), now=2.0)
+    assert outcome.slowdown == 2.0 and outcome.extra_s == 0.0
+    both = plan.evaluate(read(0, disk=1), now=2.0)
+    assert both.slowdown == 6.0 and both.extra_s == 0.5
+    assert plan.evaluate(read(0), now=3.0).clean  # window closed
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        RandomFaults(probability=1.5)
+    with pytest.raises(ValueError):
+        StragglerProfile(slowdown=0.5)
+    assert FaultPlan().empty
+    assert not FaultPlan(random_faults=(RandomFaults(0.1),)).empty
+
+
+# -- the wrapper device ----------------------------------------------------
+
+def _node(sim, seed=1):
+    return build_node(sim, base_topology(disk_spec=WD800JD, seed=seed))
+
+
+def _run_fleet(wrap=None, seed=1):
+    sim = Simulator()
+    node = _node(sim, seed=seed)
+    device = wrap(sim, node) if wrap else node
+    specs = uniform_streams(2, node.disk_ids, node.capacity_bytes,
+                            request_size=64 * KiB,
+                            total_bytes=512 * KiB)
+    fleet = ClientFleet(sim, device, specs)
+    report = fleet.run()
+    return report, fleet
+
+
+def test_empty_plan_is_zero_perturbation():
+    """Wrapping with a no-fault FaultyDevice is bit-identical."""
+    bare, bare_fleet = _run_fleet()
+    wrapped, wrapped_fleet = _run_fleet(
+        lambda sim, node: FaultyDevice(sim, node, FaultPlan()))
+    assert bare.total_bytes == wrapped.total_bytes
+    assert bare.elapsed == wrapped.elapsed  # exact ==, not approx
+    assert [c.finished_at for c in bare_fleet.clients] == \
+        [c.finished_at for c in wrapped_fleet.clients]
+
+
+def test_kill_disk_runtime_overlay():
+    sim = Simulator()
+    faulty = FaultyDevice(sim, _node(sim), FaultPlan())
+    assert faulty.dead_disks() == ()
+    event = faulty.submit(read(0))
+    sim.run_until_event(event, limit=5.0)
+    faulty.kill_disk(0)
+    assert faulty.dead_disks() == (0,)
+    dead = faulty.submit(read(64 * KiB))
+    with pytest.raises(DiskDeadError):
+        sim.run_until_event(dead, limit=5.0)
+    assert faulty.failures == 1
+
+
+def test_straggler_device_inflates_latency():
+    def timed(factory):
+        sim = Simulator()
+        node = _node(sim)
+        device = factory(sim, node)
+        event = device.submit(read(0))
+        sim.run_until_event(event, limit=10.0)
+        return sim.now
+
+    base = timed(lambda sim, node: node)
+    slowed = timed(lambda sim, node: StragglerDevice(sim, node,
+                                                     slowdown=3.0))
+    assert slowed == pytest.approx(3.0 * base, rel=1e-6)
+
+
+def test_wrapper_delegates_layer_surfaces():
+    sim = Simulator()
+    node = _node(sim)
+    faulty = FaultyDevice(sim, node, FaultPlan())
+    assert faulty.disk_ids == node.disk_ids
+    assert faulty.capacity_bytes == node.capacity_bytes

@@ -1,0 +1,171 @@
+"""Degraded-mode striping: a dead member fails only its own streams.
+
+The headline property (ISSUE 4): kill one of *k* member disks mid-run
+and the surviving streams' progress is **bit-for-bit identical** to a
+run that never had the doomed stream at all — a dead disk fails fast at
+the volume, without queueing work on (or stealing host time from) the
+survivors.
+
+The workload is constructed for independence: one disk per controller,
+chunk-aligned clients that each touch exactly one member disk (virtual
+offsets with stride ``width * chunk``), generous host CPUs, and no
+per-buffer completion cost — so the only coupling between streams would
+be a bug in the degraded path itself.
+"""
+
+import pytest
+
+from repro.disk import WD800JD
+from repro.faults import DiskDeadError, DiskDeath, FaultPlan, FaultyDevice
+from repro.io import IOKind, IORequest
+from repro.node import NodeTopology, StripedVolume, build_node
+from repro.node.node import HostParams
+from repro.sim import Simulator
+from repro.units import KiB
+
+WIDTH = 4
+CHUNK = 256 * KiB
+DURATION = 4.0
+KILL_AT = 1.5
+DOOMED = 2  # member index (and disk id) killed mid-run
+
+
+def _topology():
+    return NodeTopology(
+        disk_spec=WD800JD,
+        disks_per_controller=[1] * WIDTH,  # independent controllers
+        host=HostParams(cpus=8, completion_per_buffer_s=0.0),
+        seed=7)
+
+
+class _MemberClient:
+    """Reads only the chunks mapping to one member disk (stride k*chunk),
+    tolerating fail-fast errors from the degraded volume."""
+
+    def __init__(self, sim, volume, member_index):
+        self.sim = sim
+        self.volume = volume
+        self.member = member_index
+        self.completed_bytes = 0
+        self.errors = 0
+        self.completions = []  # (sim time, virtual offset)
+
+    def start(self):
+        return self.sim.process(self._run(),
+                                name=f"member{self.member}")
+
+    def _run(self):
+        stride = WIDTH * CHUNK
+        offset = self.member * CHUNK
+        while offset + CHUNK <= self.volume.capacity_bytes:
+            request = IORequest(kind=IOKind.READ, disk_id=0,
+                                offset=offset, size=CHUNK,
+                                stream_id=self.member)
+            try:
+                yield self.volume.submit(request)
+            except DiskDeadError:
+                self.errors += 1
+                return  # this member is gone; the stream ends
+            self.completed_bytes += request.size
+            self.completions.append((self.sim.now, offset))
+            offset += stride
+
+
+def _run(members, kill_at=None, death_plan=False):
+    """Run one configuration; returns (clients by member, volume)."""
+    sim = Simulator()
+    node = build_node(sim, _topology())
+    if death_plan:
+        device = FaultyDevice(sim, node, FaultPlan(
+            deaths=(DiskDeath(disk_id=DOOMED, at=KILL_AT),)))
+    else:
+        device = node
+    volume = StripedVolume(sim, device, node.disk_ids,
+                           chunk_bytes=CHUNK)
+    clients = {m: _MemberClient(sim, volume, m) for m in members}
+    for client in clients.values():
+        client.start()
+    if kill_at is not None:
+        def reaper(sim):
+            yield sim.timeout(kill_at)
+            volume.mark_disk_dead(DOOMED)
+        sim.process(reaper(sim))
+    sim.run(until=DURATION)
+    return clients, volume
+
+
+def test_survivors_bit_identical_to_smaller_fleet():
+    """Kill member 2 of 4 mid-run: members 0, 1, 3 progress exactly as
+    in a run that never included member 2."""
+    survivors = [m for m in range(WIDTH) if m != DOOMED]
+    degraded, volume = _run(list(range(WIDTH)), kill_at=KILL_AT)
+    baseline, _ = _run(survivors)
+
+    assert volume.degraded and volume.dead_disks == [DOOMED]
+    for member in survivors:
+        assert degraded[member].errors == 0
+        # Bit-for-bit: byte totals AND every completion timestamp.
+        assert degraded[member].completed_bytes == \
+            baseline[member].completed_bytes
+        assert degraded[member].completions == \
+            baseline[member].completions
+
+    doomed = degraded[DOOMED]
+    assert doomed.errors == 1  # fail-fast after the kill
+    assert 0 < doomed.completed_bytes  # it made progress before dying
+    assert all(t <= KILL_AT + 1e-9 or t > KILL_AT
+               for t, _ in doomed.completions)
+    # Fail-fast accounting: the degraded volume recorded the failure.
+    assert volume.stats.counter("degraded_failed").count >= 1
+    assert volume.stats.counter("disk_deaths").count == 1
+
+
+def test_death_learned_organically_from_child_failure():
+    """Without mark_disk_dead, the volume learns the death from the
+    first child request that fails with DiskDeadError."""
+    degraded, volume = _run(list(range(WIDTH)), death_plan=True)
+    assert volume.degraded and volume.dead_disks == [DOOMED]
+    doomed = degraded[DOOMED]
+    assert doomed.errors == 1
+    for member in range(WIDTH):
+        if member != DOOMED:
+            assert degraded[member].errors == 0
+            assert degraded[member].completed_bytes > 0
+
+
+def test_spanning_request_fails_fast_without_touching_survivors():
+    """A request striped across a dead member fails immediately and
+    submits nothing downstream."""
+    sim = Simulator()
+    node = build_node(sim, _topology())
+    volume = StripedVolume(sim, node, node.disk_ids, chunk_bytes=CHUNK)
+    volume.mark_disk_dead(DOOMED)
+    before = volume.stats.counter("children").count
+    # Spans all four members, including the dead one.
+    spanning = IORequest(kind=IOKind.READ, disk_id=0, offset=0,
+                         size=WIDTH * CHUNK, stream_id=9)
+    event = volume.submit(spanning)
+    with pytest.raises(DiskDeadError):
+        sim.run_until_event(event, limit=1.0)
+    # Fail-fast happened at submit time: the clock never moved.
+    assert sim.now == 0.0
+    assert volume.stats.counter("children").count == before + 1
+    # But a request entirely on live members still completes.
+    live = IORequest(kind=IOKind.READ, disk_id=0, offset=0,
+                     size=CHUNK, stream_id=9)
+    ok = volume.submit(live)
+    sim.run_until_event(ok, limit=5.0)
+    assert live.complete_time is not None
+
+
+def test_mark_disk_dead_validates_membership():
+    sim = Simulator()
+    node = build_node(sim, _topology())
+    volume = StripedVolume(sim, node, node.disk_ids[:2],
+                           chunk_bytes=CHUNK)
+    with pytest.raises(ValueError):
+        volume.mark_disk_dead(3)
+    volume.mark_disk_dead(1)
+    volume.mark_disk_dead(1)  # idempotent
+    assert volume.dead_disks == [1]
+    assert volume.stats.counter("disk_deaths").count == 1
