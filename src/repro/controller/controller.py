@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from repro import obs
 from repro.controller.bus import HostBus, SataPort
 from repro.controller.cache import PrefetchCache
 from repro.disk.drive import DiskDrive
@@ -99,6 +100,9 @@ class DiskController:
         # per simulated request, and the f-string cost was measurable.
         self._req_name = f"{self.name}.req"
         self._extent_name = f"{self.name}.extent"
+        # Ambient observability, captured once (boolean-guarded hooks).
+        self._obs = obs.current()
+        self._obs_on = self._obs.enabled
         capacities = {d.capacity_bytes for d in self.disks.values()}
         if len(capacities) != 1:
             raise ValueError("controller disks must be homogeneous")
@@ -124,6 +128,12 @@ class DiskController:
 
     # -- request handling ---------------------------------------------------------
     def _handle(self, request: IORequest, event: Event):
+        span = None
+        if self._obs_on:
+            span = self._obs.begin_child(request, "ctl.request", "ctl",
+                                         self.sim.now,
+                                         args={"disk": request.disk_id})
+            self._obs.link(request, span)
         grant = self._admission.request()
         yield grant
         try:
@@ -135,6 +145,8 @@ class DiskController:
             request.complete_time = self.sim.now
             self.stats.counter("completed").add(request.size)
             self.stats.latency("latency").observe(request.latency)
+            if span is not None:
+                self._obs.spans.end(span, self.sim.now)
             event.succeed(request)
         finally:
             self._admission.release()
@@ -157,6 +169,9 @@ class DiskController:
             if self.cache.covers(request.disk_id, request.offset,
                                  request.size):
                 self.stats.counter("cache_hits").add(request.size)
+                if self._obs_on:
+                    self._obs.instant_for(request, "ctl.cachehit", "mark",
+                                          self.sim.now)
             elif self.cache.enabled:
                 yield from self._fetch_through_extent(request)
             else:
@@ -188,9 +203,19 @@ class DiskController:
             return
         done = self.sim.event(name=self._extent_name)
         self.cache.in_flight[key] = done
+        fetch_span = None
         try:
             extent = request.derive(extent_offset, size)
             extent.stream_id = None
+            if self._obs_on:
+                # A prefetch extent serves every stream that coalesces
+                # onto it, so it roots its own trace (like the server's
+                # read-ahead fetches).
+                fetch_span = self._obs.spans.begin(
+                    "ctl.fetch", "readahead", self.sim.now,
+                    args={"disk": request.disk_id,
+                          "offset": extent_offset, "size": size})
+                self._obs.link(extent, fetch_span)
             # Wire time is charged by the drive: hits cross its interface
             # pipe, misses overlap the (slower) media read.
             disk_event = self.disks[request.disk_id].submit(extent)
@@ -198,6 +223,8 @@ class DiskController:
             self.cache.insert_extent(request.disk_id, extent_offset, size)
             self.stats.counter("prefetched").add(size)
         finally:
+            if fetch_span is not None:
+                self._obs.spans.end(fetch_span, self.sim.now)
             del self.cache.in_flight[key]
             done.succeed()
 

@@ -49,6 +49,11 @@ class DispatchSet:
         return self.width - len(self._members)
 
     @property
+    def occupancy(self) -> int:
+        """Dispatch slots in use (telemetry gauge)."""
+        return len(self._members)
+
+    @property
     def waiting_count(self) -> int:
         """Streams queued for admission."""
         return len(self._waiting)

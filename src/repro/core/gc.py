@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import typing
 
+from repro import obs
+
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.server import StreamServer
 
@@ -30,6 +32,8 @@ class GarbageCollector:
         self.cycles = 0
         self.buffers_reclaimed_bytes = 0
         self.streams_dropped = 0
+        self._obs = obs.current()
+        self._obs_on = self._obs.enabled
 
     def ensure_running(self) -> None:
         """Start the collector loop if it is not already alive."""
@@ -51,8 +55,13 @@ class GarbageCollector:
             yield server.sim.timeout(params.gc_period)
             now = server.sim.now
             self.cycles += 1
-            self.buffers_reclaimed_bytes += server.buffered.collect(
-                now, params.buffer_timeout)
+            reclaimed = server.buffered.collect(now, params.buffer_timeout)
+            self.buffers_reclaimed_bytes += reclaimed
+            if self._obs_on:
+                self._obs.spans.instant(
+                    "gc.cycle", "mark", now,
+                    args={"reclaimed": reclaimed,
+                          "in_use": server.buffered.in_use})
             server.classifier.expire_bitmaps(now)
             for stream in list(server.classifier.streams.values()):
                 idle = now - stream.last_activity

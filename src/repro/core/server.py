@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Set
 
+from repro import obs
 from repro.core.buffered_set import BufferedSet, StreamBuffer
 from repro.core.classifier import SequentialClassifier
 from repro.core.dispatch import DispatchSet
@@ -149,6 +150,16 @@ class StreamServer:
         self._c_timeouts = stats.counter("deadline_timeouts")
         self._c_quarantined = stats.counter("quarantined_streams")
         self._c_quarantine_bypass = stats.counter("quarantine_bypass")
+        # Ambient observability, captured once. Every hook below guards
+        # on the cached boolean, so the default (obs off) adds exactly
+        # one false test per hook site to the hot path.
+        self._obs = obs.current()
+        self._obs_on = self._obs.enabled
+        if self._obs_on:
+            telemetry = self._obs.telemetry_for(sim)
+            if telemetry is not None:
+                telemetry.watch_server(self, prefix=name)
+                telemetry.start()
         self.write_coalescer = None
         if self.params.coalesce_writes:
             from repro.core.writeback import (
@@ -172,6 +183,22 @@ class StreamServer:
             for waiter in waiters:
                 waiter.succeed()
 
+    # -- observability hooks ------------------------------------------------
+    def _obs_phase(self, request: IORequest, name: str) -> None:
+        """Open the request's server phase span and make it the parent
+        for the layers below (phases tile the client root: exactly one
+        per request, closed in ``_finish`` / the failure paths)."""
+        span = self._obs.begin_child(request, name, "server", self.sim.now)
+        request.annotations["obs.phase"] = span
+        self._obs.link(request, span)
+
+    def _obs_fail(self, request: IORequest, exc: Exception) -> None:
+        """Close the request's phase span on a failure completion."""
+        span = request.annotations.pop("obs.phase", None)
+        if span is not None:
+            span.set_arg("error", type(exc).__name__)
+            self._obs.spans.end(span, self.sim.now)
+
     # -- BlockDevice protocol ---------------------------------------------------
     def submit(self, request: IORequest) -> Event:
         """Accept a client request; returns its completion event."""
@@ -180,9 +207,13 @@ class StreamServer:
         if not request.is_read:
             if self.write_coalescer is not None:
                 return self.write_coalescer.write(request)
+            if self._obs_on:
+                self._obs_phase(request, "server.direct")
             self._issue_direct(request, event)
             return event
         if self.params.read_ahead == 0:
+            if self._obs_on:
+                self._obs_phase(request, "server.direct")
             self._issue_direct(request, event)
             return event
         if request.stream_id is not None \
@@ -190,11 +221,15 @@ class StreamServer:
             # Quarantined client: its fetch path proved unreliable, so
             # bypass classification/coalescing entirely.
             self._c_quarantine_bypass.add(request.size)
+            if self._obs_on:
+                self._obs_phase(request, "server.direct")
             self._issue_direct(request, event)
             return event
         stream = self.classifier.route(request, self.sim.now)
         self.gc.ensure_running()
         if stream is None:
+            if self._obs_on:
+                self._obs_phase(request, "server.direct")
             self._issue_direct(request, event)
             return event
         if request.end <= stream.fetch_next:
@@ -209,16 +244,24 @@ class StreamServer:
                 # Data was fetched but reclaimed before this read (GC,
                 # memory pressure): fall back to a direct read.
                 self.stats.counter("reclaimed_misses").add(request.size)
+                if self._obs_on:
+                    self._obs_phase(request, "server.direct")
                 self._issue_direct(request, event)
             elif buffer.filled:
+                if self._obs_on:
+                    self._obs_phase(request, "server.memhit")
                 self._complete_from_memory(stream, request, event)
             else:
                 # The covering fetch is in flight: wait for it.
+                if self._obs_on:
+                    self._obs_phase(request, "server.stage")
                 buffer.waiters.append((request, event))
                 self.stats.counter("attached").add(request.size)
         else:
             # Beyond the fetch frontier: queue on the stream and make
             # sure it is (or becomes) dispatched.
+            if self._obs_on:
+                self._obs_phase(request, "server.dispatchq")
             stream.pending.append((request, event))
             if not self.dispatch.is_member(stream):
                 self.dispatch.enqueue(stream)
@@ -235,6 +278,8 @@ class StreamServer:
         try:
             yield from self._submit_with_policy(request)
         except Exception as exc:  # device fault: surface to client
+            if self._obs_on:
+                self._obs_fail(request, exc)
             event.fail(exc)
             return
         self._finish(request, event)
@@ -258,6 +303,10 @@ class StreamServer:
         if completion in fired:
             return fired[completion]
         self._c_timeouts.add(request.size)
+        if self._obs_on:
+            self._obs.instant_for(request, "server.timeout", "mark",
+                                  self.sim.now,
+                                  args={"deadline_s": self._deadline})
         raise RequestTimeout(
             f"{request!r} missed the {self._deadline:g}s deadline")
 
@@ -297,6 +346,11 @@ class StreamServer:
                 if attempt < self._max_retries and is_transient(exc):
                     attempt += 1
                     self._c_retries.add(request.size)
+                    if self._obs_on:
+                        self._obs.instant_for(
+                            request, "server.retry", "mark", self.sim.now,
+                            args={"attempt": attempt,
+                                  "error": type(exc).__name__})
                     yield self.sim.timeout(self._backoff_delay(attempt))
                     continue
                 raise
@@ -328,6 +382,10 @@ class StreamServer:
         request.complete_time = self.sim.now
         self._c_completed.add(request.size)
         self._l_latency.observe(request.latency)
+        if self._obs_on:
+            span = request.annotations.pop("obs.phase", None)
+            if span is not None:
+                self._obs.spans.end(span, self.sim.now)
         event.succeed(request)
 
     # -- dispatching --------------------------------------------------------------
@@ -364,13 +422,28 @@ class StreamServer:
                               offset=offset, size=size,
                               stream_id=stream.client_id)
             fetch.annotations["core.readahead"] = stream.stream_id
+            fetch_span = None
+            if self._obs_on:
+                # A coalesced fetch serves many client requests, so it
+                # roots its own trace instead of borrowing one client's
+                # (keeps client phase spans pairwise disjoint).
+                fetch_span = self._obs.spans.begin(
+                    "server.fetch", "readahead", self.sim.now,
+                    args={"stream": stream.stream_id, "offset": offset,
+                          "size": size})
+                self._obs.link(fetch, fetch_span)
             self._c_readahead_issued.add(size)
             try:
                 yield from self._submit_with_policy(fetch)
             except Exception as exc:  # device fault mid-fetch
+                if fetch_span is not None:
+                    fetch_span.set_arg("error", type(exc).__name__)
+                    self._obs.spans.end(fetch_span, self.sim.now)
                 self._abort_fetch(stream, buffer, exc)
                 self._record_fetch_failure(stream, exc)
                 break
+            if fetch_span is not None:
+                self._obs.spans.end(fetch_span, self.sim.now)
             stream.fetch_failures = 0
             self._buffer_filled(stream, buffer)
         self._rotate(stream)
@@ -397,10 +470,17 @@ class StreamServer:
         broken.
         """
         self._c_quarantined.add()
+        if self._obs_on:
+            self._obs.spans.instant(
+                "server.quarantine", "fault", self.sim.now,
+                args={"stream": stream.stream_id,
+                      "error": type(exc).__name__})
         if stream.client_id is not None:
             self._quarantined.add(stream.client_id)
         while stream.pending:
             _request, event = stream.pending.popleft()
+            if self._obs_on:
+                self._obs_fail(_request, exc)
             event.fail(exc)
         reclaimed = self.buffered.release_stream(stream.stream_id)
         self.stats.counter("quarantine_reclaimed").add(reclaimed)
@@ -417,9 +497,13 @@ class StreamServer:
         stream itself survives and may be re-dispatched by new requests.
         """
         for _request, event in self.buffered.discard(buffer):
+            if self._obs_on:
+                self._obs_fail(_request, exc)
             event.fail(exc)
         while stream.pending:
             _request, event = stream.pending.popleft()
+            if self._obs_on:
+                self._obs_fail(_request, exc)
             event.fail(exc)
         stream.fetch_next = min(stream.fetch_next, buffer.offset)
 
@@ -466,6 +550,15 @@ class StreamServer:
             # direct path rather than leaving them parked forever.
             while stream.pending:
                 request, event = stream.pending.popleft()
+                if self._obs_on:
+                    # The open phase was "server.dispatchq" but the
+                    # request is now served by the device: rename it so
+                    # attribution charges the device phases, not staging
+                    # (mapped parent + mapped children would double
+                    # count).
+                    span = request.annotations.get("obs.phase")
+                    if span is not None:
+                        span.name = "server.direct"
                 self._issue_direct(request, event)
         self._admit_streams()
 

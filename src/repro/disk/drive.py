@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.disk.cache import SegmentedCache
 from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import Mechanics, RotationMode, SeekModel
@@ -101,7 +102,7 @@ class DiskDrive:
         "_wce_name", "_worker_name", "_capacity_bytes", "_cmd_overhead",
         "_cylinder_of_lba", "_c_completed", "_l_latency",
         "_c_media_read", "_c_media_write", "_c_readahead", "_c_seeks",
-        "_l_seek_time",
+        "_l_seek_time", "_obs", "_obs_on",
     )
 
     def __init__(self, sim: Simulator, spec: DiskSpec,
@@ -178,6 +179,17 @@ class DiskDrive:
         self._c_readahead = stats.counter("readahead")
         self._c_seeks = stats.counter("seeks")
         self._l_seek_time = stats.latency("seek_time")
+        # Ambient observability, captured once; every hook below guards
+        # on the cached boolean so the default path is unchanged.
+        self._obs = obs.current()
+        self._obs_on = self._obs.enabled
+        if self._obs_on:
+            telemetry = self._obs.telemetry_for(sim)
+            if telemetry is not None \
+                    and f"disk.{self.name}.queue_length" \
+                    not in telemetry.series:
+                telemetry.watch_drive(self)
+                telemetry.start()
 
     # -- BlockDevice protocol -------------------------------------------------
     @property
@@ -206,6 +218,13 @@ class DiskDrive:
             request.submit_time = sim.now
         event = sim.event("io")
         is_read = request.kind is IOKind.READ  # inlined is_read property
+        if self._obs_on:
+            # Structural span for the drive residency; phase spans
+            # (queue/seek/rotate/transfer/complete/cache-hit) tile it.
+            span = self._obs.begin_child(request, "disk.request", "disk",
+                                         sim.now, args={"disk": self.name})
+            request.annotations["obs.disk"] = span
+            self._obs.link(request, span)
         if is_read and (
                 self.cache.lookup(start_lba, nsectors) == nsectors
                 or (self._dirty
@@ -220,6 +239,9 @@ class DiskDrive:
         if not is_read and self._absorb_write(request, event,
                                                       start_lba, nsectors):
             return event
+        if self._obs_on:
+            request.annotations["obs.diskq"] = self._obs.begin_child(
+                request, "disk.queue", "disk", sim.now)
         queued = _Queued(request, event,
                          self._cylinder_of_lba(start_lba),
                          start_lba, nsectors)
@@ -377,6 +399,10 @@ class DiskDrive:
         request = queued.request
         start_lba = queued.start_lba
         nsectors = queued.nsectors
+        if self._obs_on:
+            span = request.annotations.pop("obs.diskq", None)
+            if span is not None:
+                self._obs.spans.end(span, self.sim.now)
         if request.is_read:
             yield from self._service_read(request, queued.event,
                                           start_lba, nsectors)
@@ -396,9 +422,16 @@ class DiskDrive:
             return
         missing_start = start_lba + covered
         missing = nsectors - covered
-        yield from self._position(missing_start)
+        yield from self._position(missing_start, request=request)
         transfer = self.mechanics.transfer_time(missing_start, missing)
-        yield sim.timeout(transfer)
+        if self._obs_on:
+            span = self._obs.begin_child(
+                request, "disk.transfer", "disk", sim.now,
+                args={"sectors": missing})
+            yield sim.timeout(transfer)
+            self._obs.spans.end(span, sim.now)
+        else:
+            yield sim.timeout(transfer)
         self._advance_media(missing_start, missing)
         segment = self._insert_demand(missing_start, missing)
         self._tail_segment = segment
@@ -409,25 +442,35 @@ class DiskDrive:
                                    charge_interface=False),
                     name=self._done_name)
         if segment is not None:
-            yield from self._read_ahead(segment)
+            yield from self._read_ahead(segment, request=request)
 
     def _service_write(self, request: IORequest, event: Event,
                        start_lba: int, nsectors: int):
         self.cache.invalidate(start_lba, nsectors)
-        yield from self._position(start_lba)
+        yield from self._position(start_lba, request=request)
         transfer = self.mechanics.transfer_time(start_lba, nsectors)
-        yield self.sim.timeout(transfer)
+        if self._obs_on:
+            span = self._obs.begin_child(
+                request, "disk.transfer", "disk", self.sim.now,
+                args={"sectors": nsectors})
+            yield self.sim.timeout(transfer)
+            self._obs.spans.end(span, self.sim.now)
+        else:
+            yield self.sim.timeout(transfer)
         self._advance_media(start_lba, nsectors)
         self._c_media_write.add(nsectors * SECTOR_BYTES)
         self.sim.process(self._complete(request, event),
                          name=self._done_name)
 
-    def _position(self, target_lba: int):
+    def _position(self, target_lba: int,
+                  request: Optional[IORequest] = None):
         """Seek + rotational latency to reach ``target_lba``.
 
         In POSITIONED rotation mode the rotational wait is computed
         *after* the seek completes — the platter kept spinning while the
-        arm moved.
+        arm moved. ``request`` (when tracing) hangs the seek/rotate
+        phase spans off the request's drive span; destage and idle
+        prefetch position without one.
         """
         if self._media_end_lba == target_lba:
             # Head is already streaming here: no seek, no rotation.
@@ -439,15 +482,29 @@ class DiskDrive:
         seek = mechanics.seek_model.seek_time(distance)
         self._c_seeks.add()
         self._l_seek_time.observe(seek)
+        traced = self._obs_on and request is not None
         if seek > 0:
-            yield sim.timeout(seek)
+            if traced:
+                span = self._obs.begin_child(
+                    request, "disk.seek", "disk", sim.now,
+                    args={"cylinders": distance})
+                yield sim.timeout(seek)
+                self._obs.spans.end(span, sim.now)
+            else:
+                yield sim.timeout(seek)
         if self.config.rotation_mode is RotationMode.POSITIONED:
             rotation = mechanics.rotational_latency(
                 now=sim.now, target_lba=target_lba)
         else:
             rotation = mechanics.rotational_latency()
         if rotation > 0:
-            yield sim.timeout(rotation)
+            if traced:
+                span = self._obs.begin_child(request, "disk.rotate",
+                                             "disk", sim.now)
+                yield sim.timeout(rotation)
+                self._obs.spans.end(span, sim.now)
+            else:
+                yield sim.timeout(rotation)
 
     def _advance_media(self, start_lba: int, nsectors: int) -> None:
         end = start_lba + nsectors
@@ -471,7 +528,7 @@ class DiskDrive:
         self.cache.fill(segment, nsectors)
         return segment
 
-    def _read_ahead(self, segment):
+    def _read_ahead(self, segment, request: Optional[IORequest] = None):
         """Continue reading into ``segment`` while holding the head."""
         if self._media_end_lba is None:
             return
@@ -489,7 +546,17 @@ class DiskDrive:
             # segment is full, or positions diverged: nothing to extend.
             return
         transfer = self.mechanics.transfer_time(start, space)
+        span = None
+        if self._obs_on and request is not None:
+            # Overlaps the demand completion (the head keeps reading
+            # while the host is answered), so attribution ignores it —
+            # it exists for the timeline view.
+            span = self._obs.begin_child(request, "disk.readahead",
+                                         "disk", self.sim.now,
+                                         args={"sectors": space})
         yield self.sim.timeout(transfer)
+        if span is not None:
+            self._obs.spans.end(span, self.sim.now)
         self._advance_media(start, space)
         if self.cache.is_live(segment):
             self.cache.fill(segment, space, prefetch=True)
@@ -504,12 +571,27 @@ class DiskDrive:
         always faster than the media here.
         """
         sim = self.sim
+        phase = None
+        if self._obs_on:
+            annotations = request.annotations
+            if "disk.hit" in annotations:
+                name = "disk.cachehit"
+            elif "disk.wce" in annotations:
+                name = "disk.wce"
+            else:
+                name = "disk.complete"
+            phase = self._obs.begin_child(request, name, "disk", sim.now)
         yield sim.timeout(self._cmd_overhead)
         if charge_interface:
             yield from self.interface.transfer(request.size)
         request.complete_time = sim.now
         self._c_completed.add(request.size)
         self._l_latency.observe(request.latency)
+        if phase is not None:
+            self._obs.spans.end(phase, sim.now)
+            span = request.annotations.pop("obs.disk", None)
+            if span is not None:
+                self._obs.spans.end(span, sim.now)
         if self.config.trace is not None:
             self.config.trace.emit(sim.now, self.name, "complete",
                                    (request.request_id, request.offset,

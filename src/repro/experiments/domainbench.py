@@ -19,6 +19,9 @@ millions of times per sweep. These workloads time exactly those paths so
 * ``server_smoke`` — end-to-end :class:`~repro.core.server.StreamServer`
   over a drive with default D/N/R parameters: classifier, dispatch set,
   buffered set and device all on the request path.
+* ``obs_overhead`` — the same end-to-end path with :mod:`repro.obs`
+  off, pinning the zero-overhead-off guarantee of PR 5's dormant
+  instrumentation hooks.
 
 Every workload is deterministic (seeded or EXPECTED-rotation) and
 returns the number of domain operations it performed, so callers convert
@@ -38,6 +41,7 @@ __all__ = [
     "cache_churn",
     "drive_service",
     "geometry_lookup",
+    "obs_overhead",
     "ops_per_second",
     "server_smoke",
 ]
@@ -183,10 +187,28 @@ def server_smoke(streams: int = 12, duration: float = 0.5) -> int:
     return completed
 
 
+def obs_overhead(streams: int = 12, duration: float = 0.5) -> int:
+    """``server_smoke`` with observability *off* — the zero-overhead gate.
+
+    Identical work to :func:`server_smoke`, but asserts the ambient
+    :mod:`repro.obs` context is the off sentinel first: the recorded
+    ops/sec therefore prices the dormant instrumentation (one cached
+    boolean per hook site) against the ``server_smoke`` baseline from
+    before the hooks existed. A regression here means a hook leaked out
+    of its ``if self._obs_on`` guard onto the default path.
+    """
+    from repro import obs
+
+    assert not obs.current().enabled, \
+        "obs_overhead must run with observability off"
+    return server_smoke(streams=streams, duration=duration)
+
+
 #: name -> zero-argument workload returning its domain-op count.
 DOMAIN_WORKLOADS: Dict[str, Callable[[], int]] = {
     "geometry_lookup": geometry_lookup,
     "cache_churn": cache_churn,
     "drive_service": drive_service,
     "server_smoke": server_smoke,
+    "obs_overhead": obs_overhead,
 }

@@ -17,6 +17,14 @@ are memoized on disk so re-runs and ``--check`` passes are near-instant.
 ``--json`` writes the machine-readable per-figure series and wall times
 consumed by ``BENCH_engine.json`` (see ``python -m
 repro.experiments.bench``).
+
+``--trace-out PATH`` runs the figures under an active ``repro.obs``
+context and writes a Chrome trace (open in Perfetto), a JSONL event log
+(``PATH.jsonl``, input of ``python -m repro.obs.report``), and — when
+``--telemetry SECS`` enables the time-series sampler — a Prometheus
+text dump (``PATH.prom``). Tracing forces ``--jobs 1`` and disables the
+sweep cache: spans live in this process, and a cache hit would skip the
+simulation that produces them.
 """
 
 from __future__ import annotations
@@ -60,7 +68,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="verify each figure's shape against the "
                              "paper's claims (exit 1 on violations)")
+    parser.add_argument("--trace-out", metavar="PATH", dest="trace_out",
+                        help="run traced (repro.obs) and write a Chrome "
+                             "trace JSON to PATH plus a JSONL event log "
+                             "to PATH.jsonl (forces --jobs 1, no cache)")
+    parser.add_argument("--telemetry", type=float, default=None,
+                        metavar="SECS",
+                        help="with --trace-out: sample telemetry every "
+                             "SECS simulated seconds and also write a "
+                             "Prometheus text dump to PATH.prom")
     arguments = parser.parse_args(argv)
+    if arguments.telemetry is not None and not arguments.trace_out:
+        parser.error("--telemetry requires --trace-out")
 
     requested = arguments.figures or sorted(EXPERIMENTS)
     unknown = [f for f in requested if f not in catalogue]
@@ -70,13 +89,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale = _SCALES[arguments.scale]
     jobs = resolve_jobs(arguments.jobs)
     use_cache = not arguments.no_cache
+    obs_context = None
+    if arguments.trace_out:
+        from repro import obs
+        obs_context = obs.ObsContext(
+            telemetry_interval=arguments.telemetry)
+        jobs = 1          # spans live in this process, not workers
+        use_cache = False  # a cache hit would skip the traced run
     failures = 0
     report = {"scale": scale.name, "jobs": jobs,
               "cache": use_cache, "figures": {}}
     total_started = time.time()
     for figure_id in requested:
         started = time.time()
-        result = catalogue[figure_id](scale, jobs=jobs, cache=use_cache)
+        if obs_context is not None:
+            from repro import obs
+            with obs.activated(obs_context):
+                result = catalogue[figure_id](scale, jobs=jobs,
+                                              cache=use_cache)
+        else:
+            result = catalogue[figure_id](scale, jobs=jobs,
+                                          cache=use_cache)
         wall = time.time() - started
         print(format_table(result))
         print(f"[{figure_id}: {wall:.1f}s wall, "
@@ -101,6 +134,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  shape check: OK")
         print()
     report["total_wall_s"] = time.time() - total_started
+
+    if obs_context is not None:
+        from repro.obs.export import (export_chrome_trace, export_jsonl,
+                                      export_prometheus)
+        last = max((span.end if span.end is not None else span.start
+                    for span in obs_context.spans.spans), default=0.0)
+        truncated = obs_context.spans.close_open(last)
+        meta = {"figures": requested, "scale": scale.name,
+                "truncated": truncated}
+        export_chrome_trace(obs_context, arguments.trace_out, meta=meta)
+        export_jsonl(obs_context, arguments.trace_out + ".jsonl",
+                     meta=meta)
+        written = [arguments.trace_out, arguments.trace_out + ".jsonl"]
+        if arguments.telemetry is not None:
+            export_prometheus(obs_context, arguments.trace_out + ".prom")
+            written.append(arguments.trace_out + ".prom")
+        print(f"[trace: {len(obs_context.spans.spans)} spans "
+              f"({obs_context.spans.dropped} dropped) -> "
+              f"{', '.join(written)}]")
 
     if arguments.json_path:
         payload = json.dumps(report, indent=2, sort_keys=True)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, Optional, Tuple
 
+from repro import obs
 from repro.faults.errors import TransientDeviceError
 from repro.faults.plan import FaultOutcome, FaultPlan, StragglerProfile
 from repro.io import IORequest
@@ -71,6 +72,15 @@ class FaultyDevice:
         self._c_injected = self.stats.counter("injected")
         self._c_transient = self.stats.counter("injected_transient")
         self._c_straggled = self.stats.counter("straggled")
+        # Ambient observability, captured once (boolean-guarded hooks).
+        self._obs = obs.current()
+        self._obs_on = self._obs.enabled
+        if self._obs_on:
+            telemetry = self._obs.telemetry_for(sim)
+            if telemetry is not None \
+                    and f"faults.{name}.injected" not in telemetry.series:
+                telemetry.watch_faults(self)
+                telemetry.start()
 
     # -- chaos controls ----------------------------------------------------
     def kill_disk(self, disk_id: int, at: Optional[float] = None) -> None:
@@ -109,6 +119,11 @@ class FaultyDevice:
             self._c_injected.add(request.size)
             if isinstance(outcome.error, TransientDeviceError):
                 self._c_transient.add(request.size)
+            if self._obs_on:
+                self._obs.instant_for(
+                    request, "fault.inject", "fault", now,
+                    args={"error": type(outcome.error).__name__,
+                          "device": self.name})
             event = self.sim.event(self._fault_name)
             event.fail(outcome.error)
             return event
@@ -118,12 +133,12 @@ class FaultyDevice:
         self._c_straggled.add(request.size)
         outer = self.sim.event(self._drag_name)
         self.sim.process(
-            self._drag(inner_event, outer, now, outcome),
+            self._drag(request, inner_event, outer, now, outcome),
             name=self._drag_name)
         return outer
 
-    def _drag(self, inner_event: Event, outer: Event, started: float,
-              outcome: FaultOutcome):
+    def _drag(self, request: IORequest, inner_event: Event, outer: Event,
+              started: float, outcome: FaultOutcome):
         """Straggler path: inflate the observed service time."""
         try:
             value = yield inner_event
@@ -133,7 +148,14 @@ class FaultyDevice:
         service = self.sim.now - started
         extra = service * (outcome.slowdown - 1.0) + outcome.extra_s
         if extra > 0.0:
-            yield self.sim.timeout(extra)
+            if self._obs_on:
+                span = self._obs.begin_child(
+                    request, "fault.straggle", "fault", self.sim.now,
+                    args={"device": self.name, "extra_s": extra})
+                yield self.sim.timeout(extra)
+                self._obs.spans.end(span, self.sim.now)
+            else:
+                yield self.sim.timeout(extra)
         outer.succeed(value)
 
     def register_buffers(self, count: int) -> None:

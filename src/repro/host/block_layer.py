@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.host.schedulers.base import Dispatch, Idle, IOScheduler
 from repro.io import BlockDevice, IORequest, stamp_submit
 from repro.sim import Simulator
@@ -56,6 +57,9 @@ class BlockLayer:
         self._wake_name = f"{name}.wake"
         self._wait_name = f"{name}.wait"
         self._disp_name = f"{name}.disp"
+        # Ambient observability, captured once (boolean-guarded hooks).
+        self._obs = obs.current()
+        self._obs_on = self._obs.enabled
 
     # -- BlockDevice protocol -----------------------------------------------
     def submit(self, request: IORequest) -> Event:
@@ -63,6 +67,11 @@ class BlockLayer:
         stamp_submit(request, self.sim.now)
         event = self.sim.event(name="blk")
         self._completions[request.request_id] = event
+        if self._obs_on:
+            # Scheduler-queue phase: closed at dispatch (or, for merged
+            # requests, at the carrier's completion).
+            request.annotations["obs.blkq"] = self._obs.begin_child(
+                request, "blk.queue", "blk", self.sim.now)
         self.scheduler.add(request, self.sim.now)
         self._kick()
         return event
@@ -104,6 +113,10 @@ class BlockLayer:
     def _issue(self, request: IORequest) -> None:
         self.in_flight += 1
         self.stats.counter("dispatched").add(request.size)
+        if self._obs_on:
+            span = request.annotations.pop("obs.blkq", None)
+            if span is not None:
+                self._obs.spans.end(span, self.sim.now)
 
         def waiter(sim):
             yield self.device.submit(request)
@@ -118,6 +131,13 @@ class BlockLayer:
         """Complete the request and any requests merged into it."""
         for absorbed in request.annotations.pop("merged", []):
             absorbed.complete_time = self.sim.now
+            if self._obs_on:
+                span = absorbed.annotations.pop("obs.blkq", None)
+                if span is not None:
+                    # Merged requests ride their carrier: the whole
+                    # residency was queue time from this layer's view.
+                    span.set_arg("merged", True)
+                    self._obs.spans.end(span, self.sim.now)
             self.stats.counter("completed").add(absorbed.size)
             event = self._completions.pop(absorbed.request_id, None)
             if event is not None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.controller.controller import DiskController
 from repro.io import IORequest, stamp_submit
 from repro.sim import Resource, Simulator
@@ -87,6 +88,9 @@ class StorageNode:
         self.stats = StatsRegistry()
         # Precomputed per-request process name (hot path: one per submit).
         self._req_name = f"{name}.req"
+        # Ambient observability, captured once (boolean-guarded hooks).
+        self._obs = obs.current()
+        self._obs_on = self._obs.enabled
 
     # -- buffer registry -----------------------------------------------------
     @property
@@ -128,6 +132,11 @@ class StorageNode:
 
     def _handle(self, controller: DiskController, request: IORequest,
                 event: Event):
+        span = None
+        if self._obs_on:
+            span = self._obs.begin_child(request, "node.request", "node",
+                                         self.sim.now)
+            self._obs.link(request, span)
         yield from self._charge_cpu(self.host.submit_cost_s)
         self.outstanding += 1
         try:
@@ -141,6 +150,8 @@ class StorageNode:
         request.complete_time = self.sim.now
         self.stats.counter("completed").add(request.size)
         self.stats.latency("latency").observe(request.latency)
+        if span is not None:
+            self._obs.spans.end(span, self.sim.now)
         event.succeed(request)
 
     def _charge_cpu(self, cost: float):

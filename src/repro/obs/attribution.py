@@ -1,0 +1,157 @@
+"""Latency attribution: decompose request latency from phase spans.
+
+The instrumented layers open **phase** spans that are pairwise disjoint
+in time within one client trace (server phases tile the root; device
+phases tile the server's direct phase; read-ahead fetches live in their
+own traces). Mapping each phase name to a component therefore yields an
+exact decomposition::
+
+    latency = queue + seek + rotation + transfer + staging
+              + cache-hit + other
+
+with ``other`` the residual the instrumentation does not break out
+(host CPU charges, controller admission, bus transfers). This is what
+``ext_latency_breakdown`` consumes instead of ad-hoc counter
+accounting, and what ``python -m repro.obs.report`` renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.spans import Span
+
+__all__ = ["Attribution", "COMPONENTS", "PHASE_COMPONENTS", "attribute"]
+
+#: Phase span name → latency component. Names absent from this map
+#: (structural spans like ``disk.request``, marks, fetch spans) carry no
+#: weight — they would double-count their children.
+PHASE_COMPONENTS: Dict[str, str] = {
+    "blk.queue": "queue",
+    "disk.queue": "queue",
+    "disk.seek": "seek",
+    "disk.rotate": "rotation",
+    "disk.transfer": "transfer",
+    "disk.complete": "transfer",
+    "disk.cachehit": "cache-hit",
+    "disk.wce": "cache-hit",
+    "server.stage": "staging",
+    "server.dispatchq": "staging",
+    "server.copy": "staging",
+    "server.memhit": "staging",
+    "fault.straggle": "other",
+}
+
+#: Render order for reports.
+COMPONENTS = ("queue", "seek", "rotation", "transfer", "staging",
+              "cache-hit", "other")
+
+#: Server phases that mean "serviced directly from memory" (§5.5): the
+#: staged data was already filled when the request arrived. ``stage``
+#: and ``dispatchq`` phases block on an in-flight or future disk fetch,
+#: so they belong to the paper's requires-disk-I/O category.
+_STAGED_PHASES = frozenset({"server.memhit", "server.copy"})
+
+
+@dataclass
+class Attribution:
+    """Aggregate latency decomposition over a set of client traces."""
+
+    requests: int = 0
+    total_latency_s: float = 0.0
+    #: component → summed seconds over all attributed requests.
+    component_s: Dict[str, float] = field(default_factory=dict)
+    #: client traces whose server phases were all staging phases.
+    staged_requests: int = 0
+
+    def mean_ms(self, component: str) -> float:
+        """Mean milliseconds per request spent in ``component``."""
+        if not self.requests:
+            return 0.0
+        return self.component_s.get(component, 0.0) / self.requests * 1e3
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean end-to-end request latency in milliseconds."""
+        if not self.requests:
+            return 0.0
+        return self.total_latency_s / self.requests * 1e3
+
+    def share(self, component: str) -> float:
+        """Fraction of total latency attributed to ``component``."""
+        if self.total_latency_s <= 0:
+            return 0.0
+        return self.component_s.get(component, 0.0) / self.total_latency_s
+
+    @property
+    def staged_fraction(self) -> float:
+        """Share of requests completed from the buffered set."""
+        if not self.requests:
+            return 0.0
+        return self.staged_requests / self.requests
+
+    def reconciles(self, epsilon: float = 1e-9) -> bool:
+        """Do the component sums add back up to total latency?
+
+        ``other`` absorbs the un-instrumented residual by construction,
+        so this only fails if phases overlapped (double counting) —
+        the invariant ``tests/test_obs_spans.py`` pins.
+        """
+        assigned = sum(self.component_s.values())
+        return assigned <= self.total_latency_s * (1.0 + epsilon) + epsilon
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{c}={self.mean_ms(c):.3f}ms"
+                          for c in COMPONENTS
+                          if self.component_s.get(c, 0.0) > 0.0)
+        return f"<Attribution n={self.requests} {parts}>"
+
+
+def attribute(spans: Iterable[Span], category: str = "client",
+              since: Optional[float] = None) -> Attribution:
+    """Decompose every completed ``category`` root trace in ``spans``.
+
+    ``since`` restricts to traces whose root *completed* at or after
+    the given simulated time — the warm-up exclusion used by
+    ``ext_latency_breakdown``. Filtering on completion matches the
+    counter- and sampler-based measurement this replaces (samples are
+    taken when a request finishes), so requests in flight across the
+    warm-up boundary still count toward the measured window.
+    """
+    roots: Dict[int, Span] = {}
+    members: Dict[int, List[Span]] = {}
+    for span in spans:
+        if span.parent_id is None and span.category == category:
+            roots[span.trace_id] = span
+        members.setdefault(span.trace_id, []).append(span)
+
+    report = Attribution()
+    for trace_id, root in roots.items():
+        if root.end is None:
+            continue  # request still in flight at export time
+        if since is not None and root.end < since:
+            continue
+        report.requests += 1
+        report.total_latency_s += root.duration
+        staged = True
+        saw_server_phase = False
+        for span in members[trace_id]:
+            if span is root or span.end is None:
+                continue
+            component = PHASE_COMPONENTS.get(span.name)
+            if component is not None:
+                report.component_s[component] = (
+                    report.component_s.get(component, 0.0) + span.duration)
+            if span.category == "server":
+                saw_server_phase = True
+                if span.name not in _STAGED_PHASES:
+                    staged = False
+        if staged and saw_server_phase:
+            report.staged_requests += 1
+    assigned = sum(report.component_s.values())
+    if report.total_latency_s > assigned:
+        report.component_s["other"] = (
+            report.component_s.get("other", 0.0)
+            + report.total_latency_s - assigned)
+    return report

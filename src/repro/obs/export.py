@@ -1,0 +1,252 @@
+"""Exporters: Chrome trace JSON, JSONL event log, Prometheus text.
+
+* :func:`export_chrome_trace` — the Chrome trace-event format (load the
+  file in Perfetto / ``chrome://tracing``): one complete (``"X"``) event
+  per span, one instant (``"i"``) per marker, one lane (``tid``) per
+  trace so a request's phases stack visually.
+* :func:`export_jsonl` — a line-delimited event log carrying the same
+  spans plus telemetry series and run metadata; the input format of
+  ``python -m repro.obs.report``.
+* :func:`export_prometheus` — a Prometheus text-format dump of the last
+  telemetry sample per metric (plus any stats registries passed in).
+* :func:`validate_chrome_trace` — the minimal schema check CI runs on
+  every traced smoke figure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.spans import Span
+
+__all__ = [
+    "export_chrome_trace",
+    "export_jsonl",
+    "export_prometheus",
+    "read_jsonl",
+    "validate_chrome_trace",
+]
+
+_US = 1e6  # chrome trace timestamps are microseconds
+
+
+def _chrome_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start * _US,
+            "pid": 1,
+            "tid": span.trace_id,
+            "id": span.span_id,
+        }
+        if end == span.start and span.category in ("mark", "fault"):
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = (end - span.start) * _US
+        args: Dict[str, Any] = dict(span.args) if span.args else {}
+        if span.parent_id is not None:
+            args["parent"] = span.parent_id
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def export_chrome_trace(context: Any, path: Union[str, IO[str]],
+                        meta: Optional[Dict[str, Any]] = None
+                        ) -> Dict[str, Any]:
+    """Write an ``ObsContext``'s spans as Chrome trace-event JSON.
+
+    Returns the payload dict (also what ``validate_chrome_trace``
+    checks). ``meta`` lands in ``otherData`` alongside span/drop counts.
+    """
+    recorder = context.spans
+    other: Dict[str, Any] = {
+        "spans": len(recorder.spans),
+        "dropped": recorder.dropped,
+    }
+    if meta:
+        other.update(meta)
+    payload = {
+        "traceEvents": _chrome_events(recorder.spans),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+    if isinstance(path, str):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.write("\n")
+    else:
+        json.dump(payload, path)
+    return payload
+
+
+def validate_chrome_trace(payload: Any) -> List[str]:
+    """Minimal schema check; returns a list of violations (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be an object, got {type(payload).__name__}"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            problems.append(f"{where}: missing name")
+        phase = event.get("ph")
+        if phase not in ("X", "i"):
+            problems.append(f"{where}: ph must be 'X' or 'i', got {phase!r}")
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"{where}: ts must be a number")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(f"{where}: X event needs dur >= 0")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key} must be an int")
+        if len(problems) >= 20:
+            problems.append("... further violations suppressed")
+            break
+    return problems
+
+
+# -- JSONL event log ---------------------------------------------------------
+
+def export_jsonl(context: Any, path: Union[str, IO[str]],
+                 meta: Optional[Dict[str, Any]] = None) -> int:
+    """Write spans + telemetry series as line-delimited JSON.
+
+    First line is a ``meta`` record (span/drop counts plus caller
+    metadata), then one ``span`` line per span, then one ``series`` line
+    per telemetry metric. Returns the number of lines written.
+    """
+    recorder = context.spans
+    header: Dict[str, Any] = {
+        "type": "meta",
+        "spans": len(recorder.spans),
+        "dropped": recorder.dropped,
+    }
+    if meta:
+        header.update(meta)
+    lines = [json.dumps(header, sort_keys=True)]
+    for span in recorder.spans:
+        record: Dict[str, Any] = {
+            "type": "span",
+            "id": span.span_id,
+            "trace": span.trace_id,
+            "name": span.name,
+            "cat": span.category,
+            "start": span.start,
+        }
+        if span.parent_id is not None:
+            record["parent"] = span.parent_id
+        if span.end is not None:
+            record["end"] = span.end
+        if span.args:
+            record["args"] = span.args
+        lines.append(json.dumps(record, sort_keys=True))
+    for _sim, telemetry in getattr(context, "telemetries", []):
+        for name, series in telemetry.series.items():
+            lines.append(json.dumps({
+                "type": "series",
+                "name": name,
+                "kind": series.kind,
+                "samples": [[t, v] for t, v in series.samples()],
+            }, sort_keys=True))
+    text = "\n".join(lines) + "\n"
+    if isinstance(path, str):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        path.write(text)
+    return len(lines)
+
+
+def read_jsonl(path: str) -> Tuple[Dict[str, Any], List[Span],
+                                   List[Dict[str, Any]]]:
+    """Parse a JSONL event log back into ``(meta, spans, series)``.
+
+    Spans come back as real :class:`~repro.obs.spans.Span` objects so
+    the report CLI and :func:`repro.obs.attribution.attribute` work on
+    exported files exactly as on live recorders.
+    """
+    meta: Dict[str, Any] = {}
+    spans: List[Span] = []
+    series: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: bad JSON: {exc}") from None
+            kind = record.get("type")
+            if kind == "meta":
+                meta = record
+            elif kind == "span":
+                span = Span(record["id"], record["trace"],
+                            record.get("parent"), record["name"],
+                            record["cat"], record["start"],
+                            record.get("args"))
+                span.end = record.get("end")
+                spans.append(span)
+            elif kind == "series":
+                series.append(record)
+    return meta, spans, series
+
+
+# -- Prometheus text dump ----------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_"
+                      for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"repro_{cleaned}"
+
+
+def export_prometheus(context: Any, path: Union[str, IO[str]],
+                      registries: Optional[Dict[str, Any]] = None) -> int:
+    """Write the final telemetry samples in Prometheus text format.
+
+    ``registries`` optionally adds ``{prefix: StatsRegistry}`` snapshots
+    (counters and gauges) to the dump. Returns the number of samples
+    written.
+    """
+    lines: List[str] = []
+    count = 0
+    for _sim, telemetry in getattr(context, "telemetries", []):
+        for name, series in telemetry.series.items():
+            last = series.last
+            if last is None:
+                continue
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} {series.kind}")
+            lines.append(f"{metric} {last[1]:g}")
+            count += 1
+    for prefix, registry in (registries or {}).items():
+        for name, value in registry.snapshot().items():
+            metric = _prom_name(f"{prefix}.{name}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {value:g}")
+            count += 1
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(path, str):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        path.write(text)
+    return count

@@ -1,0 +1,142 @@
+"""``python -m repro.obs.report`` — summarise a JSONL event log.
+
+Reads a file written by :func:`repro.obs.export.export_jsonl` and
+prints a per-run summary: run metadata (span/drop counts plus whatever
+the exporter attached), a per-category span table, the latency
+attribution table (:func:`repro.obs.attribution.attribute` run over the
+reconstructed spans), and a telemetry digest (gauges: mean/max, counters:
+total + mean rate).
+
+Usage::
+
+    python -m repro.obs.report trace.json.jsonl
+    python -m repro.obs.report --category readahead trace.json.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, IO, Iterable, List, Optional
+
+from repro.obs.attribution import COMPONENTS, attribute
+from repro.obs.export import read_jsonl
+from repro.obs.spans import Span
+
+__all__ = ["main", "render"]
+
+
+def _table(rows: List[List[str]], out: IO[str]) -> None:
+    if not rows:
+        return
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(rows[0]))]
+    for index, row in enumerate(rows):
+        cells = [cell.ljust(width) if j == 0 else cell.rjust(width)
+                 for j, (cell, width) in enumerate(zip(row, widths))]
+        out.write("  " + "  ".join(cells).rstrip() + "\n")
+        if index == 0:
+            out.write("  " + "  ".join("-" * w for w in widths) + "\n")
+
+
+def _span_table(spans: Iterable[Span], out: IO[str]) -> None:
+    stats: Dict[str, List[float]] = {}
+    for span in spans:
+        bucket = stats.setdefault(span.category, [0.0, 0.0])
+        bucket[0] += 1
+        bucket[1] += span.duration
+    rows = [["category", "spans", "total s"]]
+    for category in sorted(stats):
+        count, total = stats[category]
+        rows.append([category, f"{int(count)}", f"{total:.6f}"])
+    out.write("spans by category\n")
+    _table(rows, out)
+
+
+def _attribution_table(spans: List[Span], category: str,
+                       out: IO[str]) -> None:
+    report = attribute(spans, category=category)
+    out.write(f"latency attribution ({category!r} traces)\n")
+    if not report.requests:
+        out.write("  no completed traces\n")
+        return
+    rows = [["component", "mean ms", "share"]]
+    for component in COMPONENTS:
+        rows.append([component, f"{report.mean_ms(component):.4f}",
+                     f"{report.share(component) * 100:.1f}%"])
+    rows.append(["total", f"{report.mean_latency_ms:.4f}", "100.0%"])
+    _table(rows, out)
+    out.write(f"  requests={report.requests} "
+              f"staged={report.staged_fraction * 100:.1f}% "
+              f"reconciles={report.reconciles()}\n")
+
+
+def _series_table(series: List[Dict[str, Any]], out: IO[str]) -> None:
+    if not series:
+        return
+    out.write("telemetry\n")
+    rows = [["metric", "kind", "samples", "mean", "max/last"]]
+    for record in sorted(series, key=lambda r: r.get("name", "")):
+        samples = record.get("samples") or []
+        values = [v for _t, v in samples]
+        kind = record.get("kind", "gauge")
+        if kind == "counter":
+            # mean rate over the sampled window + final total
+            rate = 0.0
+            if len(samples) >= 2 and samples[-1][0] > samples[0][0]:
+                rate = ((samples[-1][1] - samples[0][1])
+                        / (samples[-1][0] - samples[0][0]))
+            rows.append([record["name"], kind, f"{len(samples)}",
+                         f"{rate:.3f}/s", f"{values[-1]:g}"
+                         if values else "-"])
+        else:
+            mean = sum(values) / len(values) if values else 0.0
+            peak = max(values) if values else 0.0
+            rows.append([record["name"], kind, f"{len(samples)}",
+                         f"{mean:.3f}", f"{peak:g}"])
+    _table(rows, out)
+
+
+def render(meta: Dict[str, Any], spans: List[Span],
+           series: List[Dict[str, Any]], category: str = "client",
+           out: Optional[IO[str]] = None) -> None:
+    """Print the full report for one parsed event log."""
+    out = out or sys.stdout
+    out.write("run\n")
+    for key in sorted(meta):
+        if key == "type":
+            continue
+        out.write(f"  {key}: {meta[key]}\n")
+    dropped = meta.get("dropped", 0)
+    if dropped:
+        out.write(f"  WARNING: {dropped} spans dropped at capacity — "
+                  "totals undercount\n")
+    _span_table(spans, out)
+    _attribution_table(spans, category, out)
+    _series_table(series, out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarise a repro.obs JSONL event log.")
+    parser.add_argument("path", help="JSONL file from export_jsonl "
+                        "(runner --trace-out writes PATH.jsonl)")
+    parser.add_argument("--category", default="client",
+                        help="root-span category to attribute "
+                        "(default: client)")
+    arguments = parser.parse_args(argv)
+    try:
+        meta, spans, series = read_jsonl(arguments.path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        render(meta, spans, series, category=arguments.category)
+    except BrokenPipeError:  # e.g. piped into head; not an error
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI test
+    sys.exit(main())

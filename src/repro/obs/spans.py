@@ -1,0 +1,171 @@
+"""Request-lifecycle spans: the causal skeleton of a traced run.
+
+A :class:`Span` is one named, timed phase of work attributed to a trace
+(one client request, one read-ahead fetch, ...). Spans form trees via
+``parent_id``; the instrumented layers open **phase** spans that tile
+their parent exactly — a client request's direct children partition the
+interval ``[root.start, root.end]`` with no gaps or overlaps, which is
+what lets :func:`repro.obs.attribution.attribute` decompose any
+request latency into queue / seek / rotation / transfer / staging
+components without ad-hoc accounting (pinned by
+``tests/test_obs_spans.py``).
+
+Recording is pure bookkeeping: opening or closing a span never creates
+simulator events, never consumes randomness and never mutates model
+state, so a traced run's simulated results are bit-identical to an
+untraced run (pinned by ``tests/test_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Span", "SpanRecorder", "span_trees"]
+
+
+class Span:
+    """One timed phase of work inside a trace.
+
+    ``end`` stays ``None`` while the span is open; instants are spans
+    with ``end == start``. ``args`` is a small free-form payload
+    (request ids, byte counts, error strings) — keep it JSON-friendly.
+    """
+
+    __slots__ = ("span_id", "trace_id", "parent_id", "name", "category",
+                 "start", "end", "args")
+
+    def __init__(self, span_id: int, trace_id: int,
+                 parent_id: Optional[int], name: str, category: str,
+                 start: float, args: Optional[Dict[str, Any]] = None):
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set_arg(self, key: str, value: Any) -> None:
+        """Attach one payload entry (creates the dict lazily)."""
+        if self.args is None:
+            self.args = {}
+        self.args[key] = value
+
+    def __repr__(self) -> str:
+        state = "open" if self.end is None else f"{self.duration * 1e3:.3f}ms"
+        return (f"<Span#{self.span_id} {self.name} trace={self.trace_id} "
+                f"parent={self.parent_id} {state}>")
+
+
+class SpanRecorder:
+    """Bounded append-only store of spans for one traced run.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum spans retained. Once full, *new* spans are counted in
+        ``dropped`` and discarded (the retained prefix keeps its
+        causality intact — dropping old spans would orphan children).
+        ``None`` keeps everything; only use unbounded capacity in tests.
+    """
+
+    def __init__(self, capacity: Optional[int] = 1_000_000):
+        self.capacity = capacity
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self._next_span = 1
+        self._next_trace = 1
+
+    # -- recording ----------------------------------------------------------
+    def begin(self, name: str, category: str, start: float,
+              trace_id: Optional[int] = None,
+              parent_id: Optional[int] = None,
+              args: Optional[Dict[str, Any]] = None) -> Span:
+        """Open a span; without ``trace_id`` it roots a new trace."""
+        span_id = self._next_span
+        self._next_span = span_id + 1
+        if trace_id is None:
+            trace_id = self._next_trace
+            self._next_trace = trace_id + 1
+        span = Span(span_id, trace_id, parent_id, name, category, start,
+                    args)
+        if self.capacity is not None and len(self.spans) >= self.capacity:
+            self.dropped += 1
+        else:
+            self.spans.append(span)
+        return span
+
+    def end(self, span: Span, end: float) -> None:
+        """Close ``span`` at time ``end``."""
+        span.end = end
+
+    def instant(self, name: str, category: str, now: float,
+                trace_id: Optional[int] = None,
+                parent_id: Optional[int] = None,
+                args: Optional[Dict[str, Any]] = None) -> Span:
+        """Record a zero-duration marker (retry, quarantine, GC cycle)."""
+        span = self.begin(name, category, now, trace_id=trace_id,
+                          parent_id=parent_id, args=args)
+        span.end = now
+        return span
+
+    def close_open(self, now: float) -> int:
+        """Close every still-open span at ``now`` (end-of-run flush).
+
+        Returns the number of spans closed; exporters call this so a
+        truncated run still produces a valid Chrome trace.
+        """
+        closed = 0
+        for span in self.spans:
+            if span.end is None:
+                span.end = now
+                span.set_arg("truncated", True)
+                closed += 1
+        return closed
+
+    # -- queries ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def by_category(self, category: str) -> List[Span]:
+        """Retained spans of one category, in recording order."""
+        return [s for s in self.spans if s.category == category]
+
+    def roots(self, category: Optional[str] = None) -> List[Span]:
+        """Parentless spans (one per trace), optionally by category."""
+        return [s for s in self.spans if s.parent_id is None
+                and (category is None or s.category == category)]
+
+    def __repr__(self) -> str:
+        return (f"<SpanRecorder spans={len(self.spans)} "
+                f"traces={self._next_trace - 1} dropped={self.dropped}>")
+
+
+def span_trees(spans: Iterable[Span]) -> Dict[int, Tuple[Span, Dict[int, List[Span]]]]:
+    """Group spans into per-trace trees.
+
+    Returns ``{trace_id: (root, children)}`` where ``children`` maps a
+    span id to its direct children (recording order). Traces whose root
+    was dropped (capacity overflow) are omitted.
+    """
+    by_trace: Dict[int, List[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    trees: Dict[int, Tuple[Span, Dict[int, List[Span]]]] = {}
+    for trace_id, members in by_trace.items():
+        root = None
+        children: Dict[int, List[Span]] = {}
+        for span in members:
+            if span.parent_id is None:
+                root = span
+            else:
+                children.setdefault(span.parent_id, []).append(span)
+        if root is not None:
+            trees[trace_id] = (root, children)
+    return trees

@@ -177,6 +177,13 @@ class Simulator:
         """Number of triggered-but-unprocessed events."""
         return len(self._heap)
 
+    @property
+    def idle(self) -> bool:
+        """True when no events remain — the drain condition self-
+        terminating housekeeping loops (server GC, the observability
+        telemetry sampler) test before rescheduling themselves."""
+        return not self._heap
+
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` when idle."""
         return self._heap[0][0] if self._heap else float("inf")

@@ -101,6 +101,26 @@ class TimeWeightedGauge:
         area = self._area + self._level * (end - self._last_time)
         return area / span
 
+    def merge(self, other: "TimeWeightedGauge") -> None:
+        """Fold another gauge's observation window into this one.
+
+        Shards observe independent windows, so the merged gauge reports
+        the duration-weighted mean of the two windows, the summed
+        instantaneous level (shards track disjoint populations), and the
+        combined extrema. Internally the windows are laid end to end —
+        ``mean()`` stays exact without keeping per-window history.
+        """
+        span_self = self._last_time - self._start
+        span_other = other._last_time - other._start
+        area_self = self.mean() * span_self
+        area_other = other.mean() * span_other
+        self._start = 0.0
+        self._last_time = span_self + span_other
+        self._area = area_self + area_other
+        self._level += other._level
+        self.max_level = max(self.max_level, other.max_level)
+        self.min_level = min(self.min_level, other.min_level)
+
     def __repr__(self) -> str:
         return f"<Gauge {self.name!r} level={self._level:g}>"
 
@@ -179,6 +199,44 @@ class LatencySampler:
         index = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[index]
 
+    def merge(self, other: "LatencySampler") -> None:
+        """Fold another sampler into this one (parallel-shard reduce).
+
+        Count/mean/variance combine exactly (Chan et al.'s parallel
+        Welford update); the reservoirs concatenate and, when over
+        capacity, thin by deterministic even-spaced selection — no
+        randomness, so sweep-executor merges are reproducible regardless
+        of shard arrival order being pinned upstream.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            self._reservoir = list(other._reservoir)
+            self._cursor = 0
+            self._stride = other._stride
+            return
+        n1, n2 = self.count, other.count
+        total = n1 + n2
+        delta = other._mean - self._mean
+        self._mean += delta * n2 / total
+        self._m2 += other._m2 + delta * delta * n1 * n2 / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        combined = self._reservoir + other._reservoir
+        if len(combined) > self._capacity:
+            step = len(combined) / self._capacity
+            combined = [combined[int(i * step)]
+                        for i in range(self._capacity)]
+        self._reservoir = combined
+        self._cursor = 0
+        self._stride = max(self._stride, other._stride)
+
     def __repr__(self) -> str:
         return (f"<LatencySampler {self.name!r} n={self.count} "
                 f"mean={self.mean * 1e3:.3f}ms>")
@@ -204,6 +262,14 @@ class Histogram:
             self.overflow += 1
         else:
             self.counts[index] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one (bounds must match)."""
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"histogram bounds differ: {self.bounds} vs {other.bounds}")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.overflow += other.overflow
 
     @property
     def total(self) -> int:
@@ -250,6 +316,14 @@ class IntervalRate:
             return 0.0
         return sum(rate for _start, rate in rows) / len(rows)
 
+    def merge(self, other: "IntervalRate") -> None:
+        """Fold another tracker into this one (intervals must match)."""
+        if self.interval != other.interval:
+            raise ValueError(
+                f"intervals differ: {self.interval} vs {other.interval}")
+        for window, nbytes in other._windows.items():
+            self._windows[window] = self._windows.get(window, 0) + nbytes
+
 
 class StatsRegistry:
     """A named bag of metrics so components can expose them uniformly."""
@@ -276,6 +350,23 @@ class StatsRegistry:
         if name not in self.latencies:
             self.latencies[name] = LatencySampler(name)
         return self.latencies[name]
+
+    def merge(self, other: "StatsRegistry") -> None:
+        """Fold another registry into this one, by metric name.
+
+        The shard-reduce path for parallel sweeps: every primitive knows
+        how to merge itself, and names absent on this side are created
+        empty first — so merging onto a fresh registry equals a copy.
+        Registries round-trip through pickle (the executor boundary), so
+        ``merge`` works identically on locally built and unpickled
+        shards (pinned by ``tests/test_stats_merge.py``).
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).merge(counter)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).merge(gauge)
+        for name, sampler in other.latencies.items():
+            self.latency(name).merge(sampler)
 
     def snapshot(self) -> Dict[str, float]:
         """Flat name→value view for quick assertions and reports."""

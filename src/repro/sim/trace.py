@@ -46,11 +46,17 @@ class Tracer:
         only use unbounded capacity in short tests.
     kinds:
         Optional whitelist of record kinds to retain.
+
+    ``dropped`` counts every record the buffer did not keep — kind-
+    filtered records *and* oldest records evicted at capacity (the
+    eviction was previously silent). The obs report surfaces it so a
+    truncated trace is never mistaken for a complete one.
     """
 
     def __init__(self, capacity: Optional[int] = 100_000,
                  kinds: Optional[Iterable[str]] = None):
         self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._capacity = capacity
         self._kinds = set(kinds) if kinds is not None else None
         self._sinks: List[Callable[[TraceRecord], None]] = []
         self.dropped = 0
@@ -68,6 +74,10 @@ class Tracer:
             return
         record = TraceRecord(time=time, source=source, kind=kind,
                              detail=detail)
+        if self._capacity is not None \
+                and len(self._records) == self._capacity:
+            # deque(maxlen=...) evicts the oldest silently; count it.
+            self.dropped += 1
         self._records.append(record)
         for sink in self._sinks:
             sink(record)
@@ -105,3 +115,9 @@ class Tracer:
         """Drop all retained records."""
         self._records.clear()
         self.dropped = 0
+
+    def __repr__(self) -> str:
+        capacity = "∞" if self._capacity is None else self._capacity
+        return (f"<Tracer records={len(self._records)}/{capacity} "
+                f"dropped={self.dropped} "
+                f"kernel_steps={self.kernel_steps}>")

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.io import BlockDevice, IORequest
 from repro.sim import Simulator
 from repro.sim.stats import LatencySampler
@@ -43,6 +44,10 @@ class StreamClient:
         self._position = spec.start_offset
         self._issued_bytes = 0
         self._bytes_baseline = 0
+        # Ambient observability, captured once (zero overhead when off:
+        # the hot loop tests one pre-computed boolean).
+        self._obs = obs.current()
+        self._obs_on = self._obs.enabled
 
     def reset_stats(self) -> None:
         """Restart latency sampling and the per-stream byte baseline
@@ -89,15 +94,30 @@ class StreamClient:
             if request is None:
                 return
             issued_at = self.sim.now
+            span = None
+            if self._obs_on:
+                # Root a fresh trace per request; every instrumented
+                # layer below hangs its phase spans off this one.
+                span = self._obs.spans.begin(
+                    "request", "client", issued_at,
+                    args={"stream": self.spec.stream_id,
+                          "offset": request.offset,
+                          "size": request.size})
+                self._obs.link(request, span)
             try:
                 yield self.device.submit(request)
-            except Exception:
+            except Exception as exc:
+                if span is not None:
+                    span.set_arg("error", type(exc).__name__)
+                    self._obs.spans.end(span, self.sim.now)
                 if not self.tolerate_errors:
                     raise
                 # Skip the bad block: _next_request already advanced
                 # the position, so the stream stays sequential.
                 self.errors += 1
                 continue
+            if span is not None:
+                self._obs.spans.end(span, self.sim.now)
             self.completed_bytes += request.size
             self.completed_requests += 1
             # Client-side response time (what the paper measures):

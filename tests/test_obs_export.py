@@ -1,0 +1,121 @@
+"""Exporters and CLIs: Chrome trace, JSONL round-trip, Prometheus,
+``python -m repro.obs.report`` and the runner's ``--trace-out``."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core import ServerParams, StreamServer
+from repro.disk.drive import DiskDrive, DriveConfig
+from repro.disk.mechanics import RotationMode
+from repro.disk.specs import DISKSIM_GENERIC
+from repro.experiments.runner import main as runner_main
+from repro.obs.attribution import attribute
+from repro.obs.export import (export_chrome_trace, export_jsonl,
+                              export_prometheus, read_jsonl,
+                              validate_chrome_trace)
+from repro.obs.report import main as report_main
+from repro.sim import Simulator
+from repro.units import KiB
+from repro.workload import ClientFleet, StreamSpec
+
+
+@pytest.fixture(scope="module")
+def traced_context():
+    """One telemetry-on traced run shared by the exporter tests."""
+    with obs.activated(
+            obs.ObsContext(telemetry_interval=0.02)) as context:
+        sim = Simulator()
+        drive = DiskDrive(sim, DISKSIM_GENERIC,
+                          DriveConfig(rotation_mode=RotationMode.EXPECTED))
+        server = StreamServer(sim, drive, ServerParams())
+        size = 64 * KiB
+        spacing = drive.capacity_bytes // 4
+        spacing -= spacing % size
+        specs = [StreamSpec(stream_id=i, disk_id=0,
+                            start_offset=i * spacing, request_size=size)
+                 for i in range(4)]
+        ClientFleet(sim, server, specs).run(duration=0.2)
+    context.spans.close_open(sim.now)
+    return context
+
+
+def test_chrome_trace_valid_and_viewable(tmp_path, traced_context):
+    path = tmp_path / "trace.json"
+    payload = export_chrome_trace(traced_context, str(path),
+                                  meta={"run": "unit"})
+    assert validate_chrome_trace(payload) == []
+    on_disk = json.loads(path.read_text())
+    assert validate_chrome_trace(on_disk) == []
+    assert on_disk["otherData"]["run"] == "unit"
+    assert on_disk["otherData"]["spans"] == len(traced_context.spans)
+    phases = {event["ph"] for event in on_disk["traceEvents"]}
+    assert "X" in phases
+    # Spans of one trace share a lane (tid) so phases stack visually.
+    tids = {event["tid"] for event in on_disk["traceEvents"]}
+    assert len(tids) > 1
+
+
+def test_chrome_validator_catches_garbage():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": [{"ph": "Z"}]}) != []
+    assert validate_chrome_trace({"traceEvents": []}) == []
+
+
+def test_jsonl_round_trip(tmp_path, traced_context):
+    path = tmp_path / "trace.jsonl"
+    lines = export_jsonl(traced_context, str(path), meta={"run": "unit"})
+    meta, spans, series = read_jsonl(str(path))
+    assert lines == 1 + len(spans) + len(series)
+    assert meta["run"] == "unit"
+    assert len(spans) == len(traced_context.spans)
+    assert series, "telemetry series missing from export"
+    # The round-tripped spans attribute identically to the live ones.
+    live = attribute(traced_context.spans.spans)
+    loaded = attribute(spans)
+    assert loaded.requests == live.requests
+    assert loaded.total_latency_s == pytest.approx(live.total_latency_s)
+    assert loaded.component_s == pytest.approx(live.component_s)
+
+
+def test_prometheus_dump(tmp_path, traced_context):
+    path = tmp_path / "metrics.prom"
+    count = export_prometheus(traced_context, str(path))
+    assert count > 0
+    text = path.read_text()
+    assert "# TYPE" in text
+    assert "server_completed" in text.replace(".", "_")
+
+
+def test_report_cli(tmp_path, traced_context, capsys):
+    path = tmp_path / "trace.jsonl"
+    export_jsonl(traced_context, str(path))
+    assert report_main([str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "latency attribution" in output
+    assert "telemetry" in output
+    assert report_main([str(tmp_path / "missing.jsonl")]) == 2
+
+
+def test_runner_trace_out(tmp_path, capsys):
+    """A traced smoke figure writes a valid Chrome trace + JSONL log."""
+    trace_path = tmp_path / "fig10-trace.json"
+    exit_code = runner_main(["fig10", "--scale", "smoke",
+                             "--trace-out", str(trace_path),
+                             "--telemetry", "0.05"])
+    assert exit_code == 0
+    payload = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(payload) == []
+    assert payload["traceEvents"], "traced run produced no events"
+    meta, spans, series = read_jsonl(str(trace_path) + ".jsonl")
+    assert meta["figures"] == ["fig10"]
+    assert spans
+    assert series, "telemetry series missing"
+    assert (tmp_path / "fig10-trace.json.prom").read_text()
+    assert "[trace:" in capsys.readouterr().out
+
+
+def test_runner_telemetry_requires_trace_out():
+    with pytest.raises(SystemExit):
+        runner_main(["fig10", "--telemetry", "0.05"])

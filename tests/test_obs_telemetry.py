@@ -1,0 +1,141 @@
+"""Time-series telemetry: ring buffers, the sampler, and auto-wiring."""
+
+import pytest
+
+from repro import obs
+from repro.core import ServerParams, StreamServer
+from repro.disk.drive import DiskDrive, DriveConfig
+from repro.disk.mechanics import RotationMode
+from repro.disk.specs import DISKSIM_GENERIC
+from repro.obs.telemetry import Telemetry, TimeSeries
+from repro.sim import Simulator
+from repro.units import KiB
+from repro.workload import ClientFleet, StreamSpec
+
+
+# ---------------------------------------------------------------------------
+# TimeSeries ring buffer
+# ---------------------------------------------------------------------------
+
+def test_timeseries_ring_buffer_evicts_oldest():
+    series = TimeSeries("m", capacity=3)
+    for index in range(5):
+        series.record(float(index), float(index * 10))
+    assert len(series) == 3
+    assert series.samples() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+    assert series.last == (4.0, 40.0)
+    assert series.mean() == pytest.approx(30.0)
+    assert series.max() == 40.0
+
+
+def test_timeseries_empty():
+    series = TimeSeries("m")
+    assert series.last is None
+    assert series.mean() == 0.0
+    assert series.max() == 0.0
+    assert series.rates() == []
+
+
+def test_timeseries_counter_rates():
+    series = TimeSeries("m", kind="counter")
+    series.record(0.0, 0.0)
+    series.record(2.0, 10.0)
+    series.record(4.0, 10.0)   # idle interval
+    series.record(5.0, 25.0)
+    assert series.rates() == [(2.0, 5.0), (4.0, 0.0), (5.0, 15.0)]
+
+
+# ---------------------------------------------------------------------------
+# Telemetry sampler
+# ---------------------------------------------------------------------------
+
+def test_duplicate_metric_rejected():
+    telemetry = Telemetry(Simulator(), interval=0.1)
+    telemetry.add_gauge("m", lambda: 0.0)
+    with pytest.raises(ValueError, match="already registered"):
+        telemetry.add_counter("m", lambda: 0.0)
+
+
+def test_bad_interval_rejected():
+    with pytest.raises(ValueError, match="interval"):
+        Telemetry(Simulator(), interval=0.0)
+
+
+def test_sampler_tracks_and_self_terminates():
+    sim = Simulator()
+    level = {"value": 0.0}
+    telemetry = Telemetry(sim, interval=0.5)
+    telemetry.add_gauge("level", lambda: level["value"])
+
+    def workload():
+        for step in range(1, 5):
+            yield sim.timeout(1.0)
+            level["value"] = float(step)
+
+    sim.process(workload())
+    telemetry.start()
+    telemetry.start()  # idempotent
+    sim.run()
+    # The sampler stopped itself instead of ticking an idle simulation.
+    assert not telemetry.running
+    assert sim.queue_length == 0
+    samples = telemetry.series["level"].samples()
+    assert telemetry.samples_taken == len(samples) >= 8
+    assert samples[0] == (0.0, 0.0)
+    assert telemetry.series["level"].max() >= 3.0
+    # The run ended when the workload did, modulo one final tick.
+    assert sim.now <= 4.0 + 0.5 + 1e-9
+
+
+def test_sample_direct_snapshot():
+    telemetry = Telemetry(Simulator(), interval=0.1)
+    telemetry.add_counter("c", lambda: 42)
+    telemetry.sample(now=1.25)
+    assert telemetry.series["c"].samples() == [(1.25, 42.0)]
+
+
+# ---------------------------------------------------------------------------
+# Auto-wiring through an activated context
+# ---------------------------------------------------------------------------
+
+def test_server_and_drive_metrics_wired():
+    with obs.activated(
+            obs.ObsContext(telemetry_interval=0.01)) as context:
+        sim = Simulator()
+        drive = DiskDrive(sim, DISKSIM_GENERIC,
+                          DriveConfig(rotation_mode=RotationMode.EXPECTED))
+        server = StreamServer(sim, drive, ServerParams())
+        size = 64 * KiB
+        spacing = drive.capacity_bytes // 4
+        spacing -= spacing % size
+        specs = [StreamSpec(stream_id=i, disk_id=0,
+                            start_offset=i * spacing, request_size=size)
+                 for i in range(4)]
+        fleet = ClientFleet(sim, server, specs)
+        fleet.run(duration=0.2)
+    assert len(context.telemetries) == 1
+    telemetry = context.telemetries[0][1]
+    series = telemetry.series
+    # Paper-relevant server gauges and counters are all present.
+    for name in ("server.dispatch_occupancy", "server.buffered_bytes",
+                 "server.readahead_depth", "server.gc_reclaimed_bytes",
+                 "server.retries", "server.completed"):
+        assert name in series, f"missing metric {name}"
+    assert f"disk.{drive.name}.queue_length" in series
+    assert telemetry.samples_taken > 0
+    # The sampled totals agree with the live counters at end of run.
+    last = series["server.completed"].last
+    assert last is not None
+    assert last[1] == server.stats.counter("completed").count
+    assert series["server.buffered_bytes"].max() > 0
+    assert series["server.dispatch_occupancy"].max() >= 1
+
+
+def test_spans_only_context_schedules_no_telemetry():
+    with obs.activated(obs.ObsContext()) as context:
+        sim = Simulator()
+        drive = DiskDrive(sim, DISKSIM_GENERIC,
+                          DriveConfig(rotation_mode=RotationMode.EXPECTED))
+        StreamServer(sim, drive, ServerParams())
+        assert context.telemetry_for(sim) is None
+    assert context.telemetries == []

@@ -24,6 +24,26 @@ def test_tracer_capacity_bounded():
     assert tracer.records()[0].detail == 15  # oldest retained
 
 
+def test_tracer_counts_capacity_evictions():
+    """Overflow was previously silent; ``dropped`` now counts it."""
+    tracer = Tracer(capacity=10)
+    for index in range(25):
+        tracer.emit(float(index), "src", "evt", index)
+    assert len(tracer) == 10
+    assert tracer.dropped == 15
+    tracer.clear()
+    assert tracer.dropped == 0
+
+
+def test_tracer_repr_surfaces_drops():
+    tracer = Tracer(capacity=2)
+    for index in range(3):
+        tracer.emit(float(index), "src", "evt")
+    assert "dropped=1" in repr(tracer)
+    assert "records=2/2" in repr(tracer)
+    assert "∞" in repr(Tracer(capacity=None))
+
+
 def test_tracer_kind_whitelist():
     tracer = Tracer(kinds={"keep"})
     tracer.emit(0.0, "s", "keep")
