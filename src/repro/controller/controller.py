@@ -134,8 +134,10 @@ class DiskController:
                                          self.sim.now,
                                          args={"disk": request.disk_id})
             self._obs.link(request, span)
+        admitted_at = self.sim.now
         grant = self._admission.request()
         yield grant
+        self._record_wait(request, admitted_at, "admission")
         try:
             yield from self._charge_cpu()
             if request.is_read:
@@ -151,6 +153,22 @@ class DiskController:
         finally:
             self._admission.release()
 
+    def _record_wait(self, request: IORequest, since: float,
+                     stage: str) -> None:
+        """Record time queued for a controller resource as ``ctl.port``.
+
+        Recorded after the fact (begin stamped at ``since``) and only
+        when the wait had non-zero duration, so the uncontended fast
+        path emits nothing. Without this span, time spent waiting for
+        the admission queue or a port command slot fell to ``other`` in
+        the latency breakdown.
+        """
+        if self._obs_on and self.sim.now > since:
+            span = self._obs.begin_child(
+                request, "ctl.port", "ctl", since,
+                args={"disk": request.disk_id, "stage": stage})
+            self._obs.spans.end(span, self.sim.now)
+
     def _charge_cpu(self):
         grant = self._cpu.request()
         yield grant
@@ -163,8 +181,10 @@ class DiskController:
         # One firmware command slot per port: a cache-hit check for a
         # disk waits behind an in-progress fetch for that disk.
         slot = self._port_slots[request.disk_id]
+        queued_at = self.sim.now
         grant = slot.request()
         yield grant
+        self._record_wait(request, queued_at, "port")
         try:
             if self.cache.covers(request.disk_id, request.offset,
                                  request.size):
@@ -232,8 +252,10 @@ class DiskController:
         self.cache.invalidate(request.disk_id, request.offset, request.size)
         yield from self.bus.transfer(request.size)
         slot = self._port_slots[request.disk_id]
+        queued_at = self.sim.now
         grant = slot.request()
         yield grant
+        self._record_wait(request, queued_at, "port")
         try:
             disk_event = self.disks[request.disk_id].submit(request)
             yield disk_event

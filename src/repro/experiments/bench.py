@@ -12,7 +12,11 @@ Writes ``BENCH_engine.json`` (next to the repo root by default) with two
 benchmark tiers:
 
 * **kernel** — the simulator's events/sec micro-workloads
-  (:mod:`repro.sim.microbench`).
+  (:mod:`repro.sim.microbench`), measured on the active event-core
+  backend (recorded in the report's ``eventcore`` field); a
+  ``kernel_backends`` section adds paired same-machine A/B rates for
+  every available backend (heapq / calendar / compiled), interleaved
+  round-robin so machine drift taxes each backend equally.
 * **domain** — the per-request storage path's ops/sec
   (:mod:`repro.experiments.domainbench`): geometry mapping, segmented
   cache churn, the drive service loop, and an end-to-end StreamServer
@@ -40,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import sys
@@ -49,6 +54,9 @@ from typing import List, Optional
 from repro.experiments import EXPERIMENTS, EXTENSIONS, FULL, QUICK, SMOKE
 from repro.experiments.domainbench import DOMAIN_WORKLOADS, ops_per_second
 from repro.experiments.executor import resolve_jobs
+from repro.sim.eventcore import (ENV_VAR as _EVENTCORE_ENV,
+                                 available_backends, backend_token,
+                                 resolve_backend)
 from repro.sim.microbench import WORKLOADS, events_per_second
 
 _SCALES = {"smoke": SMOKE, "quick": QUICK, "full": FULL}
@@ -63,6 +71,17 @@ DEFAULT_TOLERANCE = 0.20
 DEFAULT_REMEASURE = 3
 
 
+#: Kernel micro-workloads swing far more than the domain tier on busy
+#: machines (CPU-frequency drift alone is worth ~30%), so the per-backend
+#: A/B entries carry their own looser --check tolerance.
+KERNEL_AB_TOLERANCE = 0.35
+
+
+def active_eventcore() -> str:
+    """The event-core backend token the current environment selects."""
+    return backend_token(resolve_backend(None))
+
+
 def measure_kernel(repeats: int = 3) -> dict:
     """events/sec for every kernel micro-workload (best of ``repeats``)."""
     kernel = {}
@@ -71,6 +90,40 @@ def measure_kernel(repeats: int = 3) -> dict:
         kernel[name] = {"events_per_sec": round(rate, 1),
                         "events_per_run": events}
     return kernel
+
+
+def measure_kernel_backends(repeats: int = 2, rounds: int = 3) -> dict:
+    """Paired same-machine A/B: events/sec per event-core backend.
+
+    Backends are interleaved round-robin (heapq, calendar, compiled,
+    heapq, ...) so CPU-frequency drift during the run taxes every
+    backend equally; each entry keeps the best rate seen across all
+    ``rounds`` (with ``repeats`` best-of inside each round). The
+    backend is forced through the same ``REPRO_EVENTCORE`` environment
+    override users have, restoring the caller's value afterwards.
+    """
+    saved = os.environ.get(_EVENTCORE_ENV)
+    results: dict = {backend: {} for backend in available_backends()}
+    try:
+        for _ in range(rounds):
+            for backend, rates in results.items():
+                os.environ[_EVENTCORE_ENV] = backend
+                for name, workload in WORKLOADS.items():
+                    rate, events = events_per_second(workload,
+                                                     repeats=repeats)
+                    entry = rates.get(name)
+                    if entry is None or rate > entry["events_per_sec"]:
+                        rates[name] = {
+                            "events_per_sec": round(rate, 1),
+                            "events_per_run": events,
+                            "tolerance": KERNEL_AB_TOLERANCE,
+                        }
+    finally:
+        if saved is None:
+            os.environ.pop(_EVENTCORE_ENV, None)
+        else:
+            os.environ[_EVENTCORE_ENV] = saved
+    return results
 
 
 def measure_domain(repeats: int = 3) -> dict:
@@ -100,13 +153,51 @@ def measure_figures(figure_ids: List[str], scale, jobs: int,
     return figures
 
 
+def _backend_mismatch(report: dict) -> bool:
+    """True when the active event core differs from the recording one.
+
+    Only meaningful when the file carries the per-backend A/B section
+    for the active backend — otherwise there is nothing better to gate
+    against and the top-level numbers are used as-is.
+    """
+    backend = resolve_backend(None)
+    token = backend_token(backend)
+    return (report.get("eventcore", token) != token
+            and backend in report.get("kernel_backends", {}))
+
+
+def _recorded_kernel(report: dict) -> dict:
+    """The kernel-tier baseline entries that match the *active* backend.
+
+    The top-level ``kernel`` section reflects whatever backend was
+    active when the file was written (normally the compiled core). When
+    the file also carries the per-backend A/B section and the current
+    environment selects a different backend — a forced
+    ``REPRO_EVENTCORE`` CI leg, or a no-compiler install running on the
+    calendar fallback — comparing against the recording backend's rates
+    would be meaningless, so ``--check`` gates against the matching
+    ``kernel_backends`` entries instead.
+    """
+    if _backend_mismatch(report):
+        return report["kernel_backends"][resolve_backend(None)]
+    return report.get("kernel", {})
+
+
 def _recorded_rates(report: dict) -> dict:
-    """Flatten a trajectory file into {tier/workload: rate}."""
+    """Flatten a trajectory file into {tier/workload: rate}.
+
+    On a backend mismatch the domain tier is omitted: its
+    simulator-driven workloads (drive service, server smoke, tracing
+    overhead) were recorded on the recording backend, and there is no
+    per-backend domain baseline to gate against. The forced-backend CI
+    legs gate the kernel tier; the default leg gates everything.
+    """
     rates = {}
-    for name, entry in report.get("kernel", {}).items():
+    for name, entry in _recorded_kernel(report).items():
         rates[f"kernel/{name}"] = entry["events_per_sec"]
-    for name, entry in report.get("domain", {}).items():
-        rates[f"domain/{name}"] = entry["ops_per_sec"]
+    if not _backend_mismatch(report):
+        for name, entry in report.get("domain", {}).items():
+            rates[f"domain/{name}"] = entry["ops_per_sec"]
     return rates
 
 
@@ -118,9 +209,12 @@ def _recorded_tolerances(report: dict, default: float) -> dict:
     workload — the escape hatch for intrinsically noisy workloads.
     """
     tolerances = {}
-    for tier in ("kernel", "domain"):
-        for name, entry in report.get(tier, {}).items():
-            tolerances[f"{tier}/{name}"] = float(
+    for name, entry in _recorded_kernel(report).items():
+        tolerances[f"kernel/{name}"] = float(
+            entry.get("tolerance", default))
+    if not _backend_mismatch(report):
+        for name, entry in report.get("domain", {}).items():
+            tolerances[f"domain/{name}"] = float(
                 entry.get("tolerance", default))
     return tolerances
 
@@ -175,6 +269,14 @@ def run_check(path: str, tolerance: float, repeats: int,
         print(f"bench --check: no recorded workloads in {path}",
               file=sys.stderr)
         return 2
+    active = active_eventcore()
+    recorded_core = recorded.get("eventcore", "unrecorded")
+    print(f"bench --check: event core backend = {active} "
+          f"(recorded with {recorded_core})")
+    if _backend_mismatch(recorded):
+        print("bench --check: gating kernel tier against the matching "
+              "kernel_backends baseline; domain tier skipped (recorded "
+              f"with {recorded_core})")
     tolerances = _recorded_tolerances(recorded, tolerance)
     samples = {name: [rate] for name, rate in
                _measure_all(repeats).items()}
@@ -276,11 +378,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     jobs = resolve_jobs(arguments.jobs)
     scale = _SCALES[arguments.scale]
     report = {
-        "schema": "repro-bench-engine/2",
+        "schema": "repro-bench-engine/3",
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "eventcore": active_eventcore(),
         "kernel": measure_kernel(repeats=arguments.repeats),
+        "kernel_backends": measure_kernel_backends(),
         "domain": measure_domain(repeats=arguments.repeats),
     }
     if arguments.baseline:
@@ -310,7 +414,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         domain_summary = ", ".join(
             f"{name}={entry['ops_per_sec']:,.0f} op/s"
             for name, entry in report["domain"].items())
-        print(f"wrote {arguments.output}: {summary}; {domain_summary}")
+        print(f"wrote {arguments.output} (event core "
+              f"{report['eventcore']}): {summary}; {domain_summary}")
     return 0
 
 

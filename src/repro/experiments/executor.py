@@ -52,6 +52,7 @@ from typing import Any, Callable, Dict, FrozenSet, List, Mapping, Optional, \
 
 from repro.analysis import ExperimentResult
 from repro.experiments.base import ExperimentScale
+from repro.sim.eventcore import backend_token, resolve_backend
 
 __all__ = [
     "Point",
@@ -306,27 +307,38 @@ def code_fingerprint_for(point_fn: Callable) -> str:
     package). Falls back to the whole-package :func:`code_fingerprint`
     when the function's module has no reachable source (interactive
     definitions) — coarse, never stale.
+
+    The active event-core backend token (``compiled/<version>``,
+    ``calendar`` or ``heapq``; see :mod:`repro.sim.eventcore`) is mixed
+    into the returned digest: the compiled core's sources are not part
+    of any Python import closure, and although the backends are pinned
+    bit-identical by the equivalence suite, a cache entry must never
+    *assume* that pin holds for a backend that never actually ran it.
+    The source-closure part stays memoized; the token is applied per
+    call so flipping ``REPRO_EVENTCORE`` mid-process still misses.
     """
     module = getattr(point_fn, "__module__", "") or ""
     package = module.split(".", 1)[0]
     memo_key = (module, package)
-    cached = _CLOSURE_FINGERPRINTS.get(memo_key)
-    if cached is not None:
-        return cached
-    if not module or _module_source(module) is None:
-        return code_fingerprint()
-    digest = hashlib.sha256()
-    for name in sorted(import_closure(module, package)):
-        path = _module_source(name)
-        if path is None:
-            continue
-        digest.update(name.encode())
-        digest.update(b"\0")
-        digest.update(Path(path).read_bytes())
-        digest.update(b"\0")
-    fingerprint = digest.hexdigest()
-    _CLOSURE_FINGERPRINTS[memo_key] = fingerprint
-    return fingerprint
+    base = _CLOSURE_FINGERPRINTS.get(memo_key)
+    if base is None:
+        if not module or _module_source(module) is None:
+            base = code_fingerprint()
+        else:
+            digest = hashlib.sha256()
+            for name in sorted(import_closure(module, package)):
+                path = _module_source(name)
+                if path is None:
+                    continue
+                digest.update(name.encode())
+                digest.update(b"\0")
+                digest.update(Path(path).read_bytes())
+                digest.update(b"\0")
+            base = digest.hexdigest()
+            _CLOSURE_FINGERPRINTS[memo_key] = base
+    token = backend_token(resolve_backend(None))
+    return hashlib.sha256(
+        f"{base}|eventcore={token}".encode()).hexdigest()
 
 
 def point_key(point_fn: Callable, scale: ExperimentScale,

@@ -40,6 +40,7 @@ PHASE_COMPONENTS: Dict[str, str] = {
     "server.dispatchq": "staging",
     "server.copy": "staging",
     "server.memhit": "staging",
+    "ctl.port": "queue",
     "fault.straggle": "other",
 }
 

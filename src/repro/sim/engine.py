@@ -1,37 +1,33 @@
-"""The simulator core: clock, event heap, and run loop.
+"""The simulator core: clock, pluggable event core, and run loop.
 
-The ``run()`` loop is the hottest code in the repository — every
-experiment point pushes millions of events through it — so it trades a
-little repetition for speed:
+The kernel's hot state — the timestamped pending-event queue, the
+Timeout/Event free-lists, and the untraced dispatch loop — lives in a
+pluggable *event core* (:mod:`repro.sim.eventcore`): a compiled C
+extension when available, a pure-Python calendar queue otherwise, and
+the original ``heapq`` implementation kept verbatim as the reference.
+:class:`Simulator` owns everything else: the clock, failure propagation,
+tracing, and the ``until`` semantics of :meth:`Simulator.run`.
 
-* the heap, ``heappop`` and the free-lists are bound to locals outside
-  the loop, and the tracing branch is hoisted out of the no-trace path
-  entirely;
-* events sharing the head timestamp drain in one inner batch (one
-  ``self.now`` store and one ``until`` comparison per batch — disk
-  completions and bus grants cluster at identical instants; the cheap
-  failures check stays per-event so same-instant waiters absorb
-  failures exactly as the per-event reference loop would);
-* the single-waiter case (one process blocked on one event) dispatches
-  *directly* from the pop loop via the event's ``_sole_waiter`` slot,
-  skipping the callback-list machinery;
-* processed ``Timeout``/bootstrap events are recycled through bounded
-  free-lists instead of being reallocated, but only when
-  ``sys.getrefcount`` proves no user code still holds them — a held
-  reference never observes reuse, and traced runs never recycle at all.
+The factory entry points the hot paths call millions of times per
+experiment — ``sim.timeout``, ``sim.event``, ``sim._push``,
+``sim._wakeup`` — are the core's bound methods installed directly into
+instance slots at construction, so a pooled timeout is one call with no
+extra indirection regardless of backend (and one C call on the compiled
+core).
 
-Per-event work is inlined rather than delegated to
-:meth:`Simulator.step`, which remains the readable single-step reference
-implementation (``tests/test_sim_kernel_equivalence.py`` pins the two
-paths to identical traces).
+Traced runs always take the readable per-event reference path through
+``core.pop()`` + :meth:`Simulator.step`-equivalent dispatch: tracing is
+for debugging and validation, where the free-list recycling and inlined
+resume fast paths of ``core.drive`` would only obscure the event stream.
+``tests/test_sim_kernel_equivalence.py`` pins every backend and
+``step()`` to bit-identical behaviour.
 """
 
 from __future__ import annotations
 
-import heapq
-from heapq import heappop, heappush
 from typing import Any, Iterable, Optional
 
+from repro.sim import eventcore
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -43,15 +39,8 @@ from repro.sim.events import (
 
 __all__ = ["Simulator", "SimulationError"]
 
-try:  # CPython: exact liveness check for free-list recycling.
-    from sys import getrefcount as _getrefcount
-except ImportError:  # pragma: no cover - PyPy etc: never recycle
-    def _getrefcount(_obj: Any) -> int:
-        return -1
-
-#: Upper bound on each free-list; reuse is immediate, so a small cap
-#: suffices and bounds worst-case retained memory.
-_POOL_LIMIT = 1024
+#: Upper bound on each free-list (re-exported; the cores enforce it).
+_POOL_LIMIT = eventcore.POOL_LIMIT
 
 
 class SimulationError(RuntimeError):
@@ -70,63 +59,40 @@ class Simulator:
         Initial clock value in seconds (default ``0.0``).
     trace:
         Optional :class:`repro.sim.trace.Tracer` receiving kernel records.
+    backend:
+        Event-core backend name (``"compiled"``/``"calendar"``/
+        ``"heapq"``); default is automatic selection, overridable with
+        the ``REPRO_EVENTCORE`` environment variable. See
+        :mod:`repro.sim.eventcore`.
+
+    Attributes
+    ----------
+    timeout, event:
+        Event factories — the active core's bound methods, installed
+        into slots at construction (see the module docstring). Their
+        semantics are documented on :class:`repro.sim.eventcore.HeapqCore`.
     """
 
-    __slots__ = ("now", "trace", "_heap", "_sequence", "_failures",
-                 "_active", "_timeout_pool", "_event_pool")
+    __slots__ = ("now", "trace", "_failures", "_active", "_core",
+                 "timeout", "event", "_push", "_wakeup")
 
-    def __init__(self, start_time: float = 0.0, trace: Any = None):
+    def __init__(self, start_time: float = 0.0, trace: Any = None,
+                 backend: Optional[str] = None):
         self.now: float = float(start_time)
         self.trace = trace
-        self._heap: list[tuple[float, int, Event]] = []
-        self._sequence = 0
         self._failures: list[Process] = []
         self._active = True
-        #: free-lists of processed, provably-unreferenced events
-        self._timeout_pool: list[Timeout] = []
-        self._event_pool: list[Event] = []
+        core = eventcore.make_core(self, backend)
+        self._core = core
+        # Bound core methods installed as instance attributes: the
+        # hottest factory calls go straight to the core with no
+        # delegating Python frame in between.
+        self.timeout = core.timeout
+        self.event = core.event
+        self._push = core.push
+        self._wakeup = core.wakeup
 
     # -- factory helpers -----------------------------------------------------
-    def event(self, name: str = "") -> Event:
-        """Create a pending :class:`Event` owned by this simulator.
-
-        Draws from the event free-list when recycled instances are
-        available: completion events (one per request in every device
-        layer) and bare synchronisation events are the second-hottest
-        allocation site after timeouts.
-        """
-        pool = self._event_pool
-        if pool:
-            event = pool.pop()
-            # Pool entries are reset on entry (no callbacks, no waiter,
-            # value None, ok True); only name and state need setting.
-            event.name = name
-            event._state = 0  # Event.PENDING
-            return event
-        return Event(self, name=name)
-
-    def timeout(self, delay: float, value: Any = None,
-                name: str = "") -> Timeout:
-        """Create an event that fires ``delay`` seconds from now.
-
-        The dominant call shape (``sim.timeout(d)`` with no value and no
-        name) draws from the simulator's timeout free-list when recycled
-        instances are available, skipping object allocation entirely.
-        """
-        pool = self._timeout_pool
-        if pool and value is None and not name:
-            if delay < 0:
-                raise ValueError(f"negative timeout delay: {delay}")
-            timeout = pool.pop()
-            # Recycled instances were reset on entry to the pool
-            # (no callbacks, no waiter, value None, ok True, name "").
-            timeout.delay = delay
-            timeout._state = 1  # Event.TRIGGERED
-            self._sequence = sequence = self._sequence + 1
-            heappush(self._heap, (self.now + delay, sequence, timeout))
-            return timeout
-        return Timeout(self, delay, value=value, name=name)
-
     def process(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start ``generator`` as a process; returns the joinable Process."""
         return Process(self, generator, name=name)
@@ -140,32 +106,31 @@ class Simulator:
         return AnyOf(self, events, name=name)
 
     # -- kernel internals ------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Name of the active event-core backend."""
+        return self._core.backend
+
+    @property
+    def _sequence(self) -> int:
+        """Total events ever pushed (the FIFO tie-break counter)."""
+        return self._core.sequence
+
+    @property
+    def _timeout_pool(self) -> list[Timeout]:
+        """The active core's timeout free-list (tests/diagnostics)."""
+        return self._core.timeout_pool
+
+    @property
+    def _event_pool(self) -> list[Event]:
+        """The active core's event free-list (tests/diagnostics)."""
+        return self._core.event_pool
+
     def _schedule(self, event: Event, delay: float) -> None:
-        """Place a triggered event on the heap ``delay`` seconds from now."""
+        """Place a triggered event on the queue ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"negative schedule delay: {delay}")
-        self._sequence = sequence = self._sequence + 1
-        heappush(self._heap, (self.now + delay, sequence, event))
-
-    def _wakeup(self, process: Process, name: str) -> Event:
-        """Schedule an already-triggered event that direct-resumes
-        ``process`` on the next kernel step (bootstrap / interrupt).
-
-        Draws from the event free-list when possible — process bootstrap
-        is one of the kernel's hottest allocation sites.
-        """
-        pool = self._event_pool
-        if pool:
-            event = pool.pop()
-            event.name = name
-            event._state = 1  # Event.TRIGGERED
-        else:
-            event = Event(self, name=name)
-            event._state = 1
-        event._sole_waiter = process
-        self._sequence = sequence = self._sequence + 1
-        heappush(self._heap, (self.now, sequence, event))
-        return event
+        self._push(self.now + delay, event)
 
     def _register_failure(self, process: Process) -> None:
         """Remember a failed process so unhandled errors surface in run()."""
@@ -175,18 +140,18 @@ class Simulator:
     @property
     def queue_length(self) -> int:
         """Number of triggered-but-unprocessed events."""
-        return len(self._heap)
+        return len(self._core)
 
     @property
     def idle(self) -> bool:
         """True when no events remain — the drain condition self-
         terminating housekeeping loops (server GC, the observability
         telemetry sampler) test before rescheduling themselves."""
-        return not self._heap
+        return not len(self._core)
 
     def peek(self) -> float:
         """Time of the next event, or ``float('inf')`` when idle."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._core.peek()
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it).
@@ -196,7 +161,7 @@ class Simulator:
         equivalent to repeated ``step()`` calls (pinned by
         ``tests/test_sim_kernel_equivalence.py``).
         """
-        when, _seq, event = heapq.heappop(self._heap)
+        when, event = self._core.pop()
         self.now = when
         if self.trace is not None:
             self.trace.kernel(self.now, event)
@@ -216,27 +181,8 @@ class Simulator:
                 f"unhandled exception in process {process.name!r}"
             ) from process.value
 
-    def _recycle(self, event: Event) -> None:
-        """Return a processed, dispatch-complete event to its free-list.
-
-        Caller guarantees: state is PROCESSED, no waiter, no callbacks,
-        and (via ``sys.getrefcount``) no outstanding user references.
-        """
-        cls = event.__class__
-        if cls is Timeout:
-            pool = self._timeout_pool
-        elif cls is Event:
-            pool = self._event_pool
-        else:
-            return
-        if len(pool) < _POOL_LIMIT:
-            event._value = None
-            event._ok = True
-            event.name = ""
-            pool.append(event)
-
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or the clock passes ``until``.
+        """Run until the queue drains or the clock passes ``until``.
 
         Returns the final clock value.
 
@@ -245,126 +191,46 @@ class Simulator:
         * Events scheduled *exactly at* ``until`` **are** processed; the
           loop only stops at the first event strictly later than
           ``until``. Equal-time events keep their FIFO order.
-        * When the heap drains before ``until`` (or holds only later
+        * When the queue drains before ``until`` (or holds only later
           events), the clock is still advanced exactly to ``until`` —
           ``run(until=t)`` always returns with ``now == t`` when
           ``t >= now`` at entry, even if nothing fired.
         * ``until`` earlier than the current clock raises ``ValueError``.
 
-        This is the kernel's hot loop; see the module docstring for the
-        fast paths (same-timestamp batching, direct resume, free-list
-        recycling). All of them preserve the observable ``(time, seq)``
-        FIFO order; events a dispatched process schedules at the current
-        instant join the tail of the running batch exactly as they would
-        have been popped next by the per-event loop.
+        Untraced runs hand the whole loop to the active event core's
+        ``drive`` — the kernel's hot path (same-timestamp batching,
+        direct resume, free-list recycling; compiled when the C core is
+        active). All of its fast paths preserve the observable
+        ``(time, seq)`` FIFO order; events a dispatched process
+        schedules at the current instant join the tail of the running
+        batch exactly as they would have been popped next by the
+        per-event loop. Traced runs take the per-event reference path
+        below instead (and never recycle).
         """
-        heap = self._heap
-        pop = heappop
         trace = self.trace
-        getref = _getrefcount
-        tpool = self._timeout_pool
-        epool = self._event_pool
-        limit = _POOL_LIMIT
-        # self._failures keeps its identity until _raise_orphans swaps it
-        # (and _raise_orphans is only entered when it is non-empty), so a
-        # local alias is safe as long as it is re-bound after each call.
-        failures = self._failures
-        if until is None:
-            if trace is None:
-                while heap:
-                    when, _seq, event = pop(heap)
-                    self.now = when
-                    while True:
-                        waiter = event._sole_waiter
-                        if waiter is not None and not event.callbacks:
-                            # Direct resume (inlined fast path of
-                            # Event._process_callbacks).
-                            event._sole_waiter = None
-                            event._state = 2  # Event.PROCESSED
-                            waiter._resume(event)
-                            # Inlined _recycle: class test first so
-                            # non-poolable events skip the refcount call.
-                            cls = event.__class__
-                            if cls is Timeout:
-                                if getref(event) == 2 and len(tpool) < limit:
-                                    # Only the loop local + getrefcount's
-                                    # argument reference it: recyclable.
-                                    event._value = None
-                                    event._ok = True
-                                    event.name = ""
-                                    tpool.append(event)
-                            elif cls is Event:
-                                if getref(event) == 2 and len(epool) < limit:
-                                    event._value = None
-                                    event._ok = True
-                                    event.name = ""
-                                    epool.append(event)
-                        else:
-                            event._process_callbacks()
-                        if failures:
-                            # Checked per event, not per batch: a waiter
-                            # must be able to absorb a failure *before*
-                            # the failed process's own completion event
-                            # (same instant) clears its waiter slot.
-                            self._raise_orphans()
-                            failures = self._failures
-                        if heap and heap[0][0] == when:
-                            event = pop(heap)[2]
-                        else:
-                            break
-            else:
-                while heap:
-                    when, _seq, event = pop(heap)
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        if trace is None:
+            self._core.drive(until)
+        else:
+            core = self._core
+            if until is None:
+                while len(core):
+                    when, event = core.pop()
                     self.now = when
                     trace.kernel(when, event)
                     event._process_callbacks()
                     if self._failures:
                         self._raise_orphans()
-            return self.now
-
-        if until < self.now:
-            raise ValueError(f"until={until} is in the past (now={self.now})")
-        if trace is None:
-            while heap and heap[0][0] <= until:
-                when, _seq, event = pop(heap)
-                self.now = when
-                while True:
-                    waiter = event._sole_waiter
-                    if waiter is not None and not event.callbacks:
-                        event._sole_waiter = None
-                        event._state = 2  # Event.PROCESSED
-                        waiter._resume(event)
-                        cls = event.__class__
-                        if cls is Timeout:
-                            if getref(event) == 2 and len(tpool) < limit:
-                                event._value = None
-                                event._ok = True
-                                event.name = ""
-                                tpool.append(event)
-                        elif cls is Event:
-                            if getref(event) == 2 and len(epool) < limit:
-                                event._value = None
-                                event._ok = True
-                                event.name = ""
-                                epool.append(event)
-                    else:
-                        event._process_callbacks()
-                    if failures:
+            else:
+                while len(core) and core.peek() <= until:
+                    when, event = core.pop()
+                    self.now = when
+                    trace.kernel(when, event)
+                    event._process_callbacks()
+                    if self._failures:
                         self._raise_orphans()
-                        failures = self._failures
-                    if heap and heap[0][0] == when:
-                        event = pop(heap)[2]
-                    else:
-                        break
-        else:
-            while heap and heap[0][0] <= until:
-                when, _seq, event = pop(heap)
-                self.now = when
-                trace.kernel(when, event)
-                event._process_callbacks()
-                if self._failures:
-                    self._raise_orphans()
-        if until > self.now:
+        if until is not None and until > self.now:
             self.now = until
         return self.now
 
@@ -374,12 +240,13 @@ class Simulator:
         Raises the event's exception if it failed, or ``TimeoutError`` if
         ``limit`` seconds of simulated time pass first.
         """
+        core = self._core
         while not event.processed:
-            if not self._heap:
+            if not len(core):
                 raise SimulationError(
                     f"simulation drained before {event!r} fired"
                 )
-            if limit is not None and self._heap[0][0] > limit:
+            if limit is not None and core.peek() > limit:
                 raise TimeoutError(
                     f"{event!r} not processed by simulated t={limit}"
                 )
@@ -389,4 +256,5 @@ class Simulator:
         return event.value
 
     def __repr__(self) -> str:
-        return f"<Simulator t={self.now:g} queued={len(self._heap)}>"
+        return (f"<Simulator t={self.now:g} queued={len(self._core)} "
+                f"backend={self._core.backend}>")

@@ -14,7 +14,6 @@ Events are single-shot: triggering a triggered event raises
 from __future__ import annotations
 
 import typing
-from heapq import heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -114,9 +113,10 @@ class Event:
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with ``value`` after ``delay``.
 
-        The scheduling is inlined (rather than delegated to
+        The delay handling is inlined (rather than delegated to
         ``Simulator._schedule``) because grants, store hand-offs and
-        completion events all funnel through here with ``delay=0``.
+        completion events all funnel through here with ``delay=0``;
+        ``sim._push`` is the active event core's bound push method.
         """
         if self._state != 0:  # Event.PENDING
             raise EventAlreadyTriggered(f"{self!r} already triggered")
@@ -130,8 +130,7 @@ class Event:
             when = sim.now + delay
         else:
             when = sim.now
-        sim._sequence = sequence = sim._sequence + 1
-        heappush(sim._heap, (when, sequence, self))
+        sim._push(when, self)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -207,9 +206,8 @@ class Timeout(Event):
         self._state = 1  # Event.TRIGGERED
         self._sole_waiter = None
         self.delay = delay
-        # Inlined sim._schedule (delay already validated above).
-        sim._sequence = sequence = sim._sequence + 1
-        heappush(sim._heap, (sim.now + delay, sequence, self))
+        # Direct core push (delay already validated above).
+        sim._push(sim.now + delay, self)
 
     def __repr__(self) -> str:
         state = {0: "pending", 1: "triggered", 2: "processed"}[self._state]
@@ -360,9 +358,8 @@ class Process(Event):
         sim = self.sim
         if not ok:
             sim._register_failure(self)
-        # Inlined sim._schedule(self, 0.0): one completion per process.
-        sim._sequence = sequence = sim._sequence + 1
-        heappush(sim._heap, (sim.now, sequence, self))
+        # Direct core push (sim._schedule(self, 0.0) minus validation).
+        sim._push(sim.now, self)
 
 
 class Condition(Event):

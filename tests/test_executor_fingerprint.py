@@ -169,6 +169,28 @@ def test_point_key_uses_closure_fingerprint():
                             {"segment_size": 1024})
 
 
+def test_fingerprint_incorporates_event_core_backend(monkeypatch):
+    """Flipping REPRO_EVENTCORE must miss the sweep cache.
+
+    The backends are pinned bit-identical by the equivalence suite, but
+    a cached point must never be replayed under a backend that did not
+    actually produce it — the backend token is part of the code
+    fingerprint (and hence of every point key).
+    """
+    from repro.sim.eventcore import available_backends, resolve_backend
+
+    fingerprints = {}
+    for backend in available_backends():
+        monkeypatch.setenv("REPRO_EVENTCORE", backend)
+        fingerprints[backend] = code_fingerprint_for(fig06_segsize._point)
+    assert len(set(fingerprints.values())) == len(fingerprints), \
+        "distinct backends must produce distinct cache fingerprints"
+    # Without the override the auto-selected backend's token applies.
+    monkeypatch.delenv("REPRO_EVENTCORE")
+    assert (code_fingerprint_for(fig06_segsize._point)
+            == fingerprints[resolve_backend(None)])
+
+
 # -- spawn-safe pool -------------------------------------------------------
 
 def _identical(first, second):

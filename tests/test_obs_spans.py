@@ -195,6 +195,48 @@ def test_phase_map_covers_instrumented_phases(traced_run):
     assert not unmapped, f"unmapped phase spans: {unmapped}"
 
 
+def test_controller_waits_recorded_as_ctl_port(ctl_port_run):
+    """Admission/port-slot waits surface as ``ctl.port`` queue spans.
+
+    Before this phase existed, time a request spent parked on the
+    controller's bounded admission queue or waiting for the per-port
+    firmware command slot fell to ``other`` in the latency breakdown.
+    """
+    spans = ctl_port_run
+    waits = [s for s in spans if s.name == "ctl.port"]
+    assert waits, "contended controller run recorded no ctl.port spans"
+    stages = {s.args["stage"] for s in waits}
+    assert "admission" in stages  # queue_depth exceeded
+    assert "port" in stages       # one firmware slot per port
+    # Recorded after the fact: always closed, never zero-duration.
+    assert all(s.end is not None and s.end > s.start for s in waits)
+    # Attributed to the queue component, under the request's ctl span.
+    assert PHASE_COMPONENTS["ctl.port"] == "queue"
+    ctl_ids = {s.span_id for s in spans if s.name == "ctl.request"}
+    assert all(s.parent_id in ctl_ids for s in waits)
+
+
+@pytest.fixture()
+def ctl_port_run():
+    """A contended controller run: 6 reads, 2 queue slots, 1 port slot."""
+    from repro.controller import ControllerSpec, DiskController
+    from repro.io import IOKind, IORequest
+
+    with obs.activated(obs.ObsContext(span_capacity=None)) as context:
+        sim = Simulator()
+        drive = DiskDrive(sim, DISKSIM_GENERIC,
+                          DriveConfig(rotation_mode=RotationMode.EXPECTED),
+                          name="d0")
+        controller = DiskController(sim, ControllerSpec(queue_depth=2),
+                                    {0: drive})
+        for i in range(6):
+            controller.submit(IORequest(kind=IOKind.READ, disk_id=0,
+                                        offset=i * 1024 * KiB,
+                                        size=64 * KiB))
+        sim.run()
+    return context.spans.spans
+
+
 def test_memhit_traces_have_no_disk_spans(traced_run):
     """A memory-served request never descends to the device."""
     context, _report, _server = traced_run

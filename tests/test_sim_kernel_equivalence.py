@@ -1,13 +1,17 @@
-"""run() vs step() equivalence and free-list (pool) correctness.
+"""Backend/step equivalence and free-list (pool) correctness.
 
-The kernel's ``run()`` loop batches same-timestamp events, dispatches
-sole waiters directly and recycles provably-unreferenced events through
+The kernel's pending-event queue and untraced dispatch loop are
+pluggable (:mod:`repro.sim.eventcore`): a compiled C core, a
+pure-Python calendar queue, and the original ``heapq`` reference. Every
+backend's ``run()`` batches same-timestamp events, dispatches sole
+waiters directly and recycles provably-unreferenced events through
 free-lists; :meth:`Simulator.step` is the readable per-event reference
-with none of those fast paths. These tests pin the two to identical
-observable behaviour on a workload that exercises every event type —
-Timeout, bare Event, AllOf, AnyOf, Process joins and interrupts — and
-pin the pool's safety contract: a user-held reference to a processed
-event never observes reuse, and traced runs never recycle at all.
+with none of those fast paths. These tests pin *all available backends*
+and ``step()`` to bit-identical observable behaviour on a workload that
+exercises every event type — Timeout, bare Event, AllOf, AnyOf, Process
+joins and interrupts — and pin the pools' safety contract: a user-held
+reference to a processed event never observes reuse, and traced runs
+never recycle at all.
 """
 
 import random
@@ -16,7 +20,10 @@ import pytest
 
 from repro.sim import Simulator
 from repro.sim.engine import _POOL_LIMIT
+from repro.sim.eventcore import available_backends
 from repro.sim.events import Event, Interrupt, Timeout
+
+BACKENDS = available_backends()
 
 
 # -- mixed workload --------------------------------------------------------
@@ -94,16 +101,28 @@ def _build_workload(sim, log, seed=0):
 
 
 def _run_with_step(sim):
-    while sim._heap:
+    while sim.queue_length:
         sim.step()
     return sim.now
 
 
+class _StubTracer:
+    """Records the exact kernel event stream: (now, type, name)."""
+
+    def __init__(self):
+        self.records = []
+
+    def kernel(self, now, event):
+        self.records.append((now, type(event).__name__, event.name))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("seed", [0, 1, 7])
-def test_run_equals_step_on_mixed_workload(seed):
+def test_run_equals_step_on_mixed_workload(backend, seed):
     """run() and step() produce identical logs, clocks and sequences."""
     log_run, log_step = [], []
-    sim_run, sim_step = Simulator(), Simulator()
+    sim_run = Simulator(backend=backend)
+    sim_step = Simulator(backend=backend)
     _build_workload(sim_run, log_run, seed=seed)
     _build_workload(sim_step, log_step, seed=seed)
 
@@ -114,19 +133,52 @@ def test_run_equals_step_on_mixed_workload(seed):
     assert end_run == end_step
     # Identical event counts were scheduled and consumed.
     assert sim_run._sequence == sim_step._sequence
-    assert not sim_run._heap and not sim_step._heap
+    assert sim_run.queue_length == 0 and sim_step.queue_length == 0
 
 
-def test_run_until_equals_step_prefix():
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_backends_produce_identical_streams(seed):
+    """Every backend yields the bit-identical log, clock and sequence."""
+    results = {}
+    for backend in BACKENDS:
+        log = []
+        sim = Simulator(backend=backend)
+        _build_workload(sim, log, seed=seed)
+        end = sim.run()
+        results[backend] = (log, end, sim._sequence)
+    reference = results["heapq"]
+    for backend, got in results.items():
+        assert got == reference, f"{backend} diverged from heapq"
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_traced_kernel_streams_identical_across_backends(seed):
+    """The traced per-event kernel record stream is bit-identical."""
+    streams = {}
+    for backend in BACKENDS:
+        tracer = _StubTracer()
+        sim = Simulator(trace=tracer, backend=backend)
+        _build_workload(sim, [], seed=seed)
+        sim.run()
+        streams[backend] = tracer.records
+    reference = streams["heapq"]
+    assert reference, "tracer saw no kernel records"
+    for backend, got in streams.items():
+        assert got == reference, f"{backend} trace diverged from heapq"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_run_until_equals_step_prefix(backend):
     """run(until=t) consumes exactly the events step() would by t."""
     log_run, log_step = [], []
-    sim_run, sim_step = Simulator(), Simulator()
+    sim_run = Simulator(backend=backend)
+    sim_step = Simulator(backend=backend)
     _build_workload(sim_run, log_run)
     _build_workload(sim_step, log_step)
 
     horizon = 2.0
     sim_run.run(until=horizon)
-    while sim_step._heap and sim_step._heap[0][0] <= horizon:
+    while sim_step.queue_length and sim_step.peek() <= horizon:
         sim_step.step()
 
     assert log_run == log_step
@@ -137,7 +189,8 @@ def test_run_until_equals_step_prefix():
     assert log_run == log_step
 
 
-def test_run_equals_step_with_resources():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_run_equals_step_with_resources(backend):
     """Contention primitives ride the same fast paths identically."""
     from repro.sim.resources import Pipe, Resource, Store
 
@@ -165,7 +218,8 @@ def test_run_equals_step_with_resources():
         sim.process(consumer(sim, "b"))
 
     log_run, log_step = [], []
-    sim_run, sim_step = Simulator(), Simulator()
+    sim_run = Simulator(backend=backend)
+    sim_step = Simulator(backend=backend)
     _world(sim_run, log_run)
     _world(sim_step, log_step)
     assert sim_run.run() == _run_with_step(sim_step)
@@ -174,9 +228,10 @@ def test_run_equals_step_with_resources():
 
 # -- pool correctness -------------------------------------------------------
 
-def test_held_timeout_reference_never_observes_reuse():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_held_timeout_reference_never_observes_reuse(backend):
     """A processed Timeout the user still holds is never recycled."""
-    sim = Simulator()
+    sim = Simulator(backend=backend)
     held = sim.timeout(1.0, value="mine", name="held")
 
     def waiter(sim):
@@ -204,9 +259,10 @@ def test_held_timeout_reference_never_observes_reuse():
     assert fresh is not held
 
 
-def test_recycling_actually_happens():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_recycling_actually_happens(backend):
     """The free-lists fill on an unheld-timeout workload (not dead code)."""
-    sim = Simulator()
+    sim = Simulator(backend=backend)
 
     def churn(sim):
         for _ in range(50):
@@ -220,9 +276,10 @@ def test_recycling_actually_happens():
     assert all(type(event) is Event for event in sim._event_pool)
 
 
-def test_recycled_timeouts_are_clean_on_reuse():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_recycled_timeouts_are_clean_on_reuse(backend):
     """Pool hits come back with virgin state: no value, ok, no waiter."""
-    sim = Simulator()
+    sim = Simulator(backend=backend)
 
     def churn(sim):
         for _ in range(10):
@@ -243,9 +300,10 @@ def test_recycled_timeouts_are_clean_on_reuse():
     assert pooled_event._sole_waiter is None and not pooled_event.callbacks
 
 
-def test_pool_is_bounded():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pool_is_bounded(backend):
     """The free-lists never exceed _POOL_LIMIT entries."""
-    sim = Simulator()
+    sim = Simulator(backend=backend)
 
     def churn(sim, count):
         for _ in range(count):
@@ -258,18 +316,11 @@ def test_pool_is_bounded():
     assert len(sim._event_pool) <= _POOL_LIMIT
 
 
-def test_traced_runs_never_recycle():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_traced_runs_never_recycle(backend):
     """With a tracer attached, run() takes the reference path: no pools."""
-
-    class StubTracer:
-        def __init__(self):
-            self.records = []
-
-        def kernel(self, now, event):
-            self.records.append((now, type(event).__name__))
-
-    tracer = StubTracer()
-    sim = Simulator(trace=tracer)
+    tracer = _StubTracer()
+    sim = Simulator(trace=tracer, backend=backend)
 
     def churn(sim):
         for _ in range(20):
@@ -282,9 +333,10 @@ def test_traced_runs_never_recycle():
     assert not sim._event_pool
 
 
-def test_condition_events_never_enter_pools():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_condition_events_never_enter_pools(backend):
     """AllOf/AnyOf/Process instances are structurally non-poolable."""
-    sim = Simulator()
+    sim = Simulator(backend=backend)
 
     def fan(sim):
         yield sim.all_of([sim.timeout(0.1), sim.timeout(0.2)])
