@@ -445,7 +445,7 @@ class StreamServer:
             if fetch_span is not None:
                 self._obs.spans.end(fetch_span, self.sim.now)
             stream.fetch_failures = 0
-            self._buffer_filled(stream, buffer)
+            self._buffer_filled(stream, buffer, fetch_span)
         self._rotate(stream)
 
     def _record_fetch_failure(self, stream: StreamQueue,
@@ -508,8 +508,18 @@ class StreamServer:
         stream.fetch_next = min(stream.fetch_next, buffer.offset)
 
     def _buffer_filled(self, stream: StreamQueue,
-                       buffer: StreamBuffer) -> None:
-        """Completion path: issue-path work first, then client completions."""
+                       buffer: StreamBuffer,
+                       fetch_span=None) -> None:
+        """Completion path: issue-path work first, then client completions.
+
+        Under tracing, every client request this fill unblocks is
+        joined to the fetch that paid for it: the request's open phase
+        span gets a ``fetch_trace`` arg naming the fetch's trace, and
+        the fetch span counts its ``unblocked`` requests — the link the
+        report CLI's read-ahead join table aggregates into the §5.5
+        cost picture (fetches root their own traces, so without the
+        tag the causality would be unrecoverable from an export).
+        """
         waiters = self.buffered.mark_filled(buffer, self.sim.now)
         if self.buffered.find_in_stream(stream.stream_id, buffer.offset,
                                         1) is buffer:
@@ -517,9 +527,13 @@ class StreamServer:
         # Issue path gets priority (Section 4.2): admit/refill before
         # completing clients.
         self._admit_streams()
+        unblocked = 0
         for request, event in waiters:
             self._consume(stream, request)
             self._c_staged_hits.add(request.size)
+            if fetch_span is not None:
+                unblocked += 1
+                self._obs_join_fetch(request, fetch_span)
             self._finish_later(request, event)
         while stream.pending:
             request, event = stream.pending[0]
@@ -528,7 +542,18 @@ class StreamServer:
             stream.pending.popleft()
             self._consume(stream, request)
             self._c_staged_hits.add(request.size)
+            if fetch_span is not None:
+                unblocked += 1
+                self._obs_join_fetch(request, fetch_span)
             self._finish_later(request, event)
+        if fetch_span is not None:
+            fetch_span.set_arg("unblocked", unblocked)
+
+    def _obs_join_fetch(self, request: IORequest, fetch_span) -> None:
+        """Tag an unblocked request's phase span with its fetch's trace."""
+        span = request.annotations.get("obs.phase")
+        if span is not None:
+            span.set_arg("fetch_trace", fetch_span.trace_id)
 
     def _finish_later(self, request: IORequest, event: Event) -> None:
         self.sim.process(self._copy_complete(request, event),

@@ -21,6 +21,10 @@ benchmark tiers:
   (:mod:`repro.experiments.domainbench`): geometry mapping, segmented
   cache churn, the drive service loop, and an end-to-end StreamServer
   smoke run.
+* **sweep** — the distributed sweep fabric's dispatch rate
+  (:mod:`repro.experiments.fabricbench`): points/s through
+  ``Fabric.run_tasks`` on a cache-cold, wait-dominated sweep at 1, 4
+  and 8 local workers, gated per worker count (``sweep/<name>@wN``).
 
 ``--baseline PATH`` copies the kernel/domain rates recorded in an
 existing trajectory file into the new report's ``baseline`` section, so
@@ -54,6 +58,7 @@ from typing import List, Optional
 from repro.experiments import EXPERIMENTS, EXTENSIONS, FULL, QUICK, SMOKE
 from repro.experiments.domainbench import DOMAIN_WORKLOADS, ops_per_second
 from repro.experiments.executor import resolve_jobs
+from repro.experiments.fabricbench import measure_sweep
 from repro.sim.eventcore import (ENV_VAR as _EVENTCORE_ENV,
                                  available_backends, backend_token,
                                  resolve_backend)
@@ -198,6 +203,9 @@ def _recorded_rates(report: dict) -> dict:
     if not _backend_mismatch(report):
         for name, entry in report.get("domain", {}).items():
             rates[f"domain/{name}"] = entry["ops_per_sec"]
+        for name, entry in report.get("sweep", {}).items():
+            for workers, rate in entry.get("points_per_sec", {}).items():
+                rates[f"sweep/{name}@w{workers}"] = rate
     return rates
 
 
@@ -216,13 +224,24 @@ def _recorded_tolerances(report: dict, default: float) -> dict:
         for name, entry in report.get("domain", {}).items():
             tolerances[f"domain/{name}"] = float(
                 entry.get("tolerance", default))
+        for name, entry in report.get("sweep", {}).items():
+            allowed = float(entry.get("tolerance", default))
+            for workers in entry.get("points_per_sec", {}):
+                tolerances[f"sweep/{name}@w{workers}"] = allowed
     return tolerances
 
 
-def _measure_all(repeats: int) -> dict:
-    """One full measurement pass over both tiers."""
-    return _recorded_rates({"kernel": measure_kernel(repeats=repeats),
-                            "domain": measure_domain(repeats=repeats)})
+def _measure_all(repeats: int, sweep: bool = True) -> dict:
+    """One full measurement pass over all tiers.
+
+    ``sweep=False`` skips the fabric fan-out measurement (it spawns 13
+    worker processes) when the baseline has no sweep entries to gate.
+    """
+    report = {"kernel": measure_kernel(repeats=repeats),
+              "domain": measure_domain(repeats=repeats)}
+    if sweep:
+        report["sweep"] = measure_sweep()
+    return _recorded_rates(report)
 
 
 def _evaluate(baseline: dict, current: dict, tolerances: dict) -> tuple:
@@ -278,8 +297,9 @@ def run_check(path: str, tolerance: float, repeats: int,
               "kernel_backends baseline; domain tier skipped (recorded "
               f"with {recorded_core})")
     tolerances = _recorded_tolerances(recorded, tolerance)
+    need_sweep = any(name.startswith("sweep/") for name in baseline)
     samples = {name: [rate] for name, rate in
-               _measure_all(repeats).items()}
+               _measure_all(repeats, sweep=need_sweep).items()}
     current = {name: rates[0] for name, rates in samples.items()}
     rows, regressed_names, missing = _evaluate(baseline, current,
                                                tolerances)
@@ -287,7 +307,8 @@ def run_check(path: str, tolerance: float, repeats: int,
         print(f"bench --check: {len(regressed_names)} workload(s) look "
               f"regressed; re-measuring (median of {remeasure})")
         for _ in range(remeasure - 1):
-            for name, rate in _measure_all(repeats).items():
+            for name, rate in _measure_all(repeats,
+                                           sweep=need_sweep).items():
                 samples.setdefault(name, []).append(rate)
         current = {name: statistics.median(rates)
                    for name, rates in samples.items()}
@@ -378,7 +399,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     jobs = resolve_jobs(arguments.jobs)
     scale = _SCALES[arguments.scale]
     report = {
-        "schema": "repro-bench-engine/3",
+        "schema": "repro-bench-engine/4",
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -386,6 +407,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "kernel": measure_kernel(repeats=arguments.repeats),
         "kernel_backends": measure_kernel_backends(),
         "domain": measure_domain(repeats=arguments.repeats),
+        "sweep": measure_sweep(),
     }
     if arguments.baseline:
         with open(arguments.baseline, "r", encoding="utf-8") as handle:
@@ -414,8 +436,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         domain_summary = ", ".join(
             f"{name}={entry['ops_per_sec']:,.0f} op/s"
             for name, entry in report["domain"].items())
+        sweep_summary = ", ".join(
+            f"{name}: " + " ".join(
+                f"w{workers}={rate:,.1f} pt/s" for workers, rate in
+                sorted(entry["points_per_sec"].items(),
+                       key=lambda item: int(item[0])))
+            for name, entry in report["sweep"].items())
         print(f"wrote {arguments.output} (event core "
-              f"{report['eventcore']}): {summary}; {domain_summary}")
+              f"{report['eventcore']}): {summary}; {domain_summary}; "
+              f"{sweep_summary}")
     return 0
 
 

@@ -55,6 +55,7 @@ from repro.experiments.base import ExperimentScale
 from repro.sim.eventcore import backend_token, resolve_backend
 
 __all__ = [
+    "FABRIC_OFF",
     "Point",
     "PointTimeoutError",
     "SweepSpec",
@@ -65,6 +66,7 @@ __all__ = [
     "point_key",
     "resolve_jobs",
     "run_sweep",
+    "set_default_fabric",
     "simulated_points",
 ]
 
@@ -419,15 +421,34 @@ class SweepCache:
         return True, value
 
     def put(self, key: str, value: PointValue) -> None:
-        """Persist ``value`` atomically (rename over a temp file)."""
+        """Persist ``value`` atomically against concurrent readers
+        *and* writers on the same root.
+
+        The cache root is shared property: pool workers, fabric workers
+        on other hosts (via a network filesystem) and the coordinator
+        all write it concurrently. Three ingredients make that safe:
+
+        * a **per-writer temp name** (random suffix + pid in the
+          prefix), so two writers of the same key never clobber each
+          other's half-written temp file;
+        * an ``fsync`` before the rename, so the rename can never be
+          durably ordered ahead of the data it publishes (a crash
+          window that would leave a *committed* empty/truncated entry
+          — self-healing via eviction, but needlessly lost work);
+        * ``os.replace``, atomic on POSIX: a concurrent ``get`` sees
+          the old entry or the new one, never a torn mix (pinned by
+          the two-process stress test).
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
             "w", encoding="utf-8", dir=path.parent,
-            prefix=".tmp-", suffix=".json", delete=False)
+            prefix=f".tmp-{os.getpid()}-", suffix=".json", delete=False)
         try:
             with handle:
                 json.dump({"value": value}, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(handle.name, path)
         except BaseException:
             try:
@@ -522,10 +543,17 @@ def _worker_init(parent_sys_path: List[str]) -> None:
     ``point_fn`` by reference would fail. Replaying the parent's
     ``sys.path`` entries (order preserved, duplicates skipped) makes
     every task pickle-clean under both start methods.
+
+    Workers also enable the sweep-wide free-list arena
+    (:func:`repro.sim.eventcore.sweep_arena`): one worker process runs
+    many points back to back, and the arena hands each point's
+    simulator the previous one's warm Timeout/Event pools.
     """
     for entry in reversed(parent_sys_path):
         if entry not in sys.path:
             sys.path.insert(0, entry)
+    from repro.sim.eventcore import sweep_arena
+    sweep_arena().enable()
 
 
 #: Scales at or below this simulated duration count as "tiny": each
@@ -573,6 +601,58 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+# -- fabric ----------------------------------------------------------------
+#
+# The distributed alternative to the local pool: run_sweep(fabric=...)
+# ships pending points to a coordinator/worker fabric
+# (repro.experiments.fabric) instead of a ProcessPoolExecutor. The
+# fabric shares the same content-addressed cache keys, so its workers'
+# local caches, the coordinator's store and this process's store are
+# one coherent cache. Resolution order: explicit argument >
+# set_default_fabric() (the runner's --workers) > REPRO_FABRIC.
+
+#: Sentinel/spec value that disables the fabric even when REPRO_FABRIC
+#: is set (used by traced runs, whose spans must stay in-process).
+FABRIC_OFF = "off"
+
+_DEFAULT_FABRIC: Optional[Any] = None
+#: spec string -> started Fabric, shared across sweeps and closed at exit.
+_FABRICS: Dict[str, Any] = {}
+
+
+def set_default_fabric(fabric: Optional[Any]) -> Optional[Any]:
+    """Install a process-wide default fabric (spec string, Fabric
+    instance, or :data:`FABRIC_OFF`); returns the previous default."""
+    global _DEFAULT_FABRIC
+    previous = _DEFAULT_FABRIC
+    _DEFAULT_FABRIC = fabric
+    return previous
+
+
+def _fabric_for_spec(spec: str) -> Any:
+    """The shared Fabric for a spec string (created once, reused)."""
+    fabric = _FABRICS.get(spec)
+    if fabric is None:
+        import atexit
+        from repro.experiments.fabric import Fabric
+        fabric = _FABRICS[spec] = Fabric(spec)
+        atexit.register(fabric.close)
+    return fabric
+
+
+def _resolve_fabric(fabric: Optional[Any]) -> Optional[Any]:
+    """Resolve run_sweep's ``fabric`` argument to a Fabric or None."""
+    if fabric is None:
+        fabric = _DEFAULT_FABRIC
+    if fabric is None:
+        fabric = os.environ.get("REPRO_FABRIC", "").strip() or None
+    if fabric is None or fabric == FABRIC_OFF or fabric == "":
+        return None
+    if isinstance(fabric, str):
+        return _fabric_for_spec(fabric)
+    return fabric
+
+
 def build_result(spec: SweepSpec,
                  values: Sequence[PointValue]) -> ExperimentResult:
     """Reduce point values (in spec order) into an ExperimentResult."""
@@ -600,19 +680,28 @@ def build_result(spec: SweepSpec,
 
 def run_sweep(spec: SweepSpec, scale: ExperimentScale,
               jobs: Optional[int] = None, cache: bool = True,
-              cache_root: Optional[Union[str, Path]] = None) \
-        -> ExperimentResult:
+              cache_root: Optional[Union[str, Path]] = None,
+              fabric: Optional[Any] = None) -> ExperimentResult:
     """Execute a sweep: cache lookup → fan-out → write-back → reduce.
 
     ``jobs=1`` (or a single pending point) runs in-process with no pool
     overhead; that path is the reference the determinism test compares
     the pool against. ``cache=False`` or ``REPRO_NO_CACHE=1`` skips the
     on-disk cache but still deduplicates identical points in-sweep.
+
+    ``fabric`` (or the runner's ``--workers`` default, or
+    ``REPRO_FABRIC``) routes pending points to a distributed
+    coordinator/worker fabric instead of the local pool — a spec string
+    (``"4"`` for local spawns, ``"hostA:7070,hostB:7070"`` for remote
+    workers) or a started :class:`repro.experiments.fabric.Fabric`.
+    Points are pure, so fabric and pool runs are byte-identical; any
+    fabric failure falls back to local execution, like a broken pool.
     """
     global _SIMULATED_POINTS
     points = spec.points
     use_cache = cache and not os.environ.get("REPRO_NO_CACHE")
     store = SweepCache(cache_root) if use_cache else None
+    fabric = _resolve_fabric(fabric)
 
     fns = [p.fn or spec.point_fn for p in points]
     keys = [point_key(fn, scale, p.params)
@@ -637,31 +726,45 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale,
         tasks = [(fns[pending[key][0]], scale,
                   dict(points[pending[key][0]].params)) for key in order]
         _SIMULATED_POINTS += len(tasks)
-        workers = min(resolve_jobs(jobs), len(tasks))
-        if workers <= 1:
-            computed = [_invoke(task) for task in tasks]
-        else:
+        computed = None
+        if fabric is not None:
+            from repro.experiments.fabric import FabricError
             try:
-                with ProcessPoolExecutor(
-                        max_workers=workers,
-                        mp_context=_pool_context(),
-                        initializer=_worker_init,
-                        initargs=(list(sys.path),)) as pool:
-                    computed = list(pool.map(
-                        _invoke, tasks,
-                        chunksize=_chunksize(scale, len(tasks),
-                                             workers)))
-            except Exception as exc:
-                # A worker died (OOM-kill, segfault in an extension,
-                # hard crash) or the pool broke some other way. The
-                # points themselves are deterministic pure functions,
-                # so recompute the whole batch serially in-process
-                # rather than aborting the sweep.
+                computed = fabric.run_tasks(
+                    tasks, keys=order,
+                    use_cache=store is not None)
+            except FabricError as exc:
                 _log.warning(
-                    "sweep worker pool failed (%s: %s); recomputing "
-                    "%d point(s) serially",
-                    type(exc).__name__, exc, len(tasks))
+                    "sweep fabric failed (%s); recomputing %d point(s) "
+                    "locally", exc, len(tasks))
+                computed = None
+        if computed is None:
+            workers = min(resolve_jobs(jobs), len(tasks))
+            if workers <= 1:
                 computed = [_invoke(task) for task in tasks]
+            else:
+                try:
+                    with ProcessPoolExecutor(
+                            max_workers=workers,
+                            mp_context=_pool_context(),
+                            initializer=_worker_init,
+                            initargs=(list(sys.path),)) as pool:
+                        computed = list(pool.map(
+                            _invoke, tasks,
+                            chunksize=_chunksize(scale, len(tasks),
+                                                 workers)))
+                except Exception as exc:
+                    # A worker died (OOM-kill, segfault in an
+                    # extension, hard crash) or the pool broke some
+                    # other way. The points themselves are
+                    # deterministic pure functions, so recompute the
+                    # whole batch serially in-process rather than
+                    # aborting the sweep.
+                    _log.warning(
+                        "sweep worker pool failed (%s: %s); recomputing "
+                        "%d point(s) serially",
+                        type(exc).__name__, exc, len(tasks))
+                    computed = [_invoke(task) for task in tasks]
         for key, value in zip(order, computed):
             for index in pending[key]:
                 values[index] = value

@@ -1,0 +1,39 @@
+"""Distributed sweep fabric: a work queue + shared cache for sweeps.
+
+``repro.experiments.fabric`` turns the sweep executor's single-host
+process pool into a coordinator/worker fabric (push-based dispatch in
+the spirit of arXiv 1905.07113): a coordinator serializes
+``(point_fn, scale, params)`` tasks onto a length-prefixed TCP or
+Unix-socket work queue; N worker processes — spawned locally or
+listening on remote hosts — pull points, consult/populate the shared
+content-addressed :class:`~repro.experiments.executor.SweepCache`
+(worker-local disk first, then a ``cache_get`` round-trip to the
+coordinator's store), and stream ``(key, value)`` results back.
+Dispatch is straggler-aware: slow points are hedged onto idle workers
+and the first result wins (see
+:mod:`repro.experiments.fabric.coordinator` for the policy and the
+determinism argument).
+
+Entry points:
+
+* ``run_sweep(..., fabric=...)`` / ``REPRO_FABRIC`` — every figure can
+  run its points over a fabric instead of the local pool;
+* ``python -m repro.experiments.runner --workers 4`` (or
+  ``--workers hostA:7070,hostB:7070``) — the CLI wiring;
+* ``python -m repro.experiments.fabric worker --listen 0.0.0.0:7070``
+  — a remote worker; ``--connect`` is used by spawned local workers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fabric.coordinator import Fabric, FabricError
+from repro.experiments.fabric.protocol import (WorkerSpec, parse_address,
+                                               parse_spec)
+
+__all__ = [
+    "Fabric",
+    "FabricError",
+    "WorkerSpec",
+    "parse_address",
+    "parse_spec",
+]

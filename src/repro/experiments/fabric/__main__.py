@@ -1,0 +1,46 @@
+"""``python -m repro.experiments.fabric`` — fabric process entry points.
+
+Usage::
+
+    python -m repro.experiments.fabric worker --listen 0.0.0.0:7070
+    python -m repro.experiments.fabric worker --connect HOST:PORT
+
+``--listen`` starts a long-lived remote worker that serves one
+coordinator session at a time (point it at the coordinator with
+``runner --workers host:port,...``). ``--connect`` is the spawned-local
+mode the coordinator uses internally: connect once, serve the session,
+exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.fabric",
+        description="Sweep-fabric process entry points.")
+    commands = parser.add_subparsers(dest="command", required=True)
+    worker = commands.add_parser(
+        "worker", help="serve sweep points to a coordinator")
+    group = worker.add_mutually_exclusive_group(required=True)
+    group.add_argument("--connect", metavar="ADDR",
+                       help="dial a coordinator (host:port or Unix "
+                            "socket path), serve one session, exit")
+    group.add_argument("--listen", metavar="ADDR",
+                       help="accept coordinator sessions on ADDR "
+                            "until killed")
+    arguments = parser.parse_args(argv)
+    logging.basicConfig(level=logging.INFO,
+                        format="%(name)s: %(message)s")
+    from repro.experiments.fabric.worker import main as worker_main
+    return worker_main(connect_to=arguments.connect,
+                       listen_on=arguments.listen)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,14 @@ context and writes a Chrome trace (open in Perfetto), a JSONL event log
 text dump (``PATH.prom``). Tracing forces ``--jobs 1`` and disables the
 sweep cache: spans live in this process, and a cache hit would skip the
 simulation that produces them.
+
+``--workers SPEC`` dispatches sweep points over the distributed fabric
+(:mod:`repro.experiments.fabric`) instead of the local process pool: an
+integer spawns that many local worker processes, a comma-separated
+``host:port`` list dials long-lived remote workers. ``--fabric-trace
+PATH`` additionally writes the coordinator's per-worker telemetry
+(queue depth, hedges, cache hits) as a JSONL log that ``python -m
+repro.obs.report`` renders.
 """
 
 from __future__ import annotations
@@ -77,9 +85,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="with --trace-out: sample telemetry every "
                              "SECS simulated seconds and also write a "
                              "Prometheus text dump to PATH.prom")
+    parser.add_argument("--workers", metavar="SPEC", dest="workers",
+                        help="run sweep points on the distributed "
+                             "fabric: an integer spawns that many local "
+                             "worker processes, 'host:port,...' dials "
+                             "remote workers started with 'python -m "
+                             "repro.experiments.fabric worker --listen' "
+                             "(default: REPRO_FABRIC if set)")
+    parser.add_argument("--fabric-trace", metavar="PATH",
+                        dest="fabric_trace",
+                        help="with --workers: write per-worker fabric "
+                             "telemetry (queue depth, hedges, cache "
+                             "hits) as a repro.obs JSONL log to PATH "
+                             "(read with python -m repro.obs.report)")
     arguments = parser.parse_args(argv)
     if arguments.telemetry is not None and not arguments.trace_out:
         parser.error("--telemetry requires --trace-out")
+    if arguments.fabric_trace and not arguments.workers:
+        parser.error("--fabric-trace requires --workers")
+    if arguments.workers and arguments.trace_out:
+        parser.error("--workers is incompatible with --trace-out "
+                     "(spans live in the tracing process; fabric "
+                     "workers would compute points elsewhere)")
 
     requested = arguments.figures or sorted(EXPERIMENTS)
     unknown = [f for f in requested if f not in catalogue]
@@ -90,12 +117,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     jobs = resolve_jobs(arguments.jobs)
     use_cache = not arguments.no_cache
     obs_context = None
+    fabric = None
     if arguments.trace_out:
         from repro import obs
+        from repro.experiments import executor
         obs_context = obs.ObsContext(
             telemetry_interval=arguments.telemetry)
         jobs = 1          # spans live in this process, not workers
         use_cache = False  # a cache hit would skip the traced run
+        # A REPRO_FABRIC default would move points off-process too.
+        executor.set_default_fabric(executor.FABRIC_OFF)
+    elif arguments.workers:
+        from repro.experiments import executor
+        from repro.experiments.fabric import Fabric, FabricError
+        fabric = Fabric(arguments.workers)
+        try:
+            fabric.start()
+        except FabricError as exc:
+            print(f"error: fabric start failed: {exc}", file=sys.stderr)
+            return 2
+        executor.set_default_fabric(fabric)
     failures = 0
     report = {"scale": scale.name, "jobs": jobs,
               "cache": use_cache, "figures": {}}
@@ -134,6 +175,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"  shape check: OK")
         print()
     report["total_wall_s"] = time.time() - total_started
+
+    if fabric is not None:
+        stats = fabric.stats()
+        report["fabric"] = stats
+        if arguments.fabric_trace:
+            fabric.export_telemetry(
+                arguments.fabric_trace,
+                meta={"figures": requested, "scale": scale.name})
+            print(f"[fabric trace -> {arguments.fabric_trace}]")
+        print(f"[fabric: {stats['workers']} workers, "
+              f"{stats['completed']} computed, "
+              f"{stats['cache_local_hits'] + stats['cache_peer_hits']} "
+              f"cache hits, {stats['hedges_issued']} hedges "
+              f"({stats['hedges_won']} won), "
+              f"{stats['requeued']} requeued]")
+        fabric.close()
+        executor.set_default_fabric(None)
 
     if obs_context is not None:
         from repro.obs.export import (export_chrome_trace, export_jsonl,

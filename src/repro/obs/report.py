@@ -71,6 +71,40 @@ def _attribution_table(spans: List[Span], category: str,
               f"reconciles={report.reconciles()}\n")
 
 
+def _readahead_join_table(spans: List[Span], out: IO[str]) -> None:
+    """Join ``readahead`` fetch spans back to the client requests they
+    unblocked (server tags both sides: the fetch span carries an
+    ``unblocked`` count, each unblocked request's phase span carries the
+    fetch's ``fetch_trace`` id) and amortise the fetch cost over them —
+    the full §5.5 cost picture for coalesced fetches."""
+    fetches = [span for span in spans if span.category == "readahead"]
+    if not fetches:
+        return
+    joined: Dict[int, List[Span]] = {}
+    for span in spans:
+        trace = (span.args or {}).get("fetch_trace")
+        if trace is not None:
+            joined.setdefault(trace, []).append(span)
+    fetch_s = sum(span.duration for span in fetches)
+    unblocked = sum(int((span.args or {}).get("unblocked", 0))
+                    for span in fetches)
+    joined_spans = sum(len(members) for members in joined.values())
+    wait_s = sum(span.duration for members in joined.values()
+                 for span in members)
+    rows = [["metric", "value"],
+            ["fetches", f"{len(fetches)}"],
+            ["fetch total s", f"{fetch_s:.6f}"],
+            ["unblocked requests", f"{unblocked}"],
+            ["unblocked / fetch", f"{unblocked / len(fetches):.2f}"],
+            ["joined client spans", f"{joined_spans}"],
+            ["client wait total s", f"{wait_s:.6f}"]]
+    if unblocked:
+        rows.append(["fetch ms / unblocked",
+                     f"{fetch_s * 1e3 / unblocked:.4f}"])
+    out.write("readahead fetch join\n")
+    _table(rows, out)
+
+
 def _series_table(series: List[Dict[str, Any]], out: IO[str]) -> None:
     if not series:
         return
@@ -111,8 +145,10 @@ def render(meta: Dict[str, Any], spans: List[Span],
     if dropped:
         out.write(f"  WARNING: {dropped} spans dropped at capacity — "
                   "totals undercount\n")
-    _span_table(spans, out)
-    _attribution_table(spans, category, out)
+    if spans:
+        _span_table(spans, out)
+        _attribution_table(spans, category, out)
+        _readahead_join_table(spans, out)
     _series_table(series, out)
 
 

@@ -73,11 +73,13 @@ __all__ = [
     "POOL_LIMIT",
     "CalendarCore",
     "HeapqCore",
+    "SweepArena",
     "available_backends",
     "backend_token",
     "compiled_available",
     "make_core",
     "resolve_backend",
+    "sweep_arena",
 ]
 
 try:  # CPython: exact liveness check for free-list recycling.
@@ -156,13 +158,113 @@ def backend_token(name: Optional[str] = None) -> str:
 
 
 def make_core(sim: Any, backend: Optional[str] = None) -> Any:
-    """Build the event core for ``sim``; see :func:`resolve_backend`."""
+    """Build the event core for ``sim``; see :func:`resolve_backend`.
+
+    With the sweep arena active (:func:`sweep_arena`), the new core
+    inherits the previously built core's free-lists, so back-to-back
+    simulators in one worker process start with warm pools.
+    """
     backend = resolve_backend(backend)
     if backend == "compiled":
-        return _compiled.EventCore(sim, POOL_LIMIT)
-    if backend == "calendar":
-        return CalendarCore(sim)
-    return HeapqCore(sim)
+        core = _compiled.EventCore(sim, POOL_LIMIT)
+    elif backend == "calendar":
+        core = CalendarCore(sim)
+    else:
+        core = HeapqCore(sim)
+    arena = _ARENA
+    if arena.active:
+        arena.adopt(core, sim)
+    return core
+
+
+#: Environment switch for the sweep arena (``1`` enables it without a
+#: code change — what the pool's worker initializer and fabric workers
+#: rely on being cheap to check).
+ARENA_ENV_VAR = "REPRO_SWEEP_ARENA"
+
+
+class SweepArena:
+    """Carries event free-lists across simulators in one process.
+
+    The free-lists (``timeout_pool`` / ``event_pool``) are per-core, so
+    every new :class:`~repro.sim.engine.Simulator` used to start cold
+    and re-allocate its way up to ``POOL_LIMIT`` pooled objects. A
+    sweep worker builds one simulator per point — hundreds per process
+    — so that warm-up is pure waste. The arena, when enabled, moves the
+    previously built core's pooled objects into each new core at
+    construction time (:func:`make_core`), rebinding each object's
+    ``sim`` reference (pooled factories never touch ``.sim``, and
+    ``events.py`` hard-rejects events bound to a foreign simulator).
+
+    Safety: an object enters a pool only when the drive loop proved it
+    unreferenced (``getrefcount == 2``) and reset it, so the pool list
+    is its sole owner and moving it between cores cannot alias live
+    state. Stealing from a simulator that is still alive merely leaves
+    it with cold pools. Determinism is untouched — pooling only changes
+    *allocation*, never event order (the PR 6 equivalence suites run
+    with and without warm pools).
+
+    The arena is **off by default**: in-process runs (tests, traced
+    figures) keep their per-simulator pools. Sweep workers — the
+    fabric's and the local pool's — enable it at startup;
+    ``REPRO_SWEEP_ARENA=1`` forces it anywhere.
+    """
+
+    __slots__ = ("_enabled", "_source")
+
+    def __init__(self) -> None:
+        self._enabled = False
+        #: the most recently adopted core (strong ref: it holds the
+        #: warm pools until the next simulator claims them; one retained
+        #: core per process is the cost of the reuse).
+        self._source: Any = None
+
+    @property
+    def active(self) -> bool:
+        return self._enabled or os.environ.get(ARENA_ENV_VAR) == "1"
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Turn the arena off and drop the retained core."""
+        self._enabled = False
+        self._source = None
+
+    def adopt(self, core: Any, sim: Any) -> None:
+        """Move the retained core's pools into ``core`` (for ``sim``)."""
+        if getattr(sim, "trace", None) is not None:
+            # Traced runs take the reference path and never recycle:
+            # donated objects would strand there and break the traced
+            # "pools stay empty" pin. Skip the sim entirely — the warm
+            # chain continues from the last untraced core.
+            return
+        source = self._source
+        self._source = core
+        if source is None or source is core:
+            return
+        for name in ("timeout_pool", "event_pool"):
+            source_pool = getattr(source, name)
+            target_pool = getattr(core, name)
+            room = POOL_LIMIT - len(target_pool)
+            if room <= 0 or not source_pool:
+                del source_pool[:]
+                continue
+            moved = source_pool[:room]
+            # In-place mutation throughout: the compiled core exposes
+            # its pools as read-only members backed by real lists.
+            del source_pool[:]
+            for recycled in moved:
+                recycled.sim = sim
+            target_pool.extend(moved)
+
+
+_ARENA = SweepArena()
+
+
+def sweep_arena() -> SweepArena:
+    """The process-wide sweep arena singleton."""
+    return _ARENA
 
 
 class HeapqCore:

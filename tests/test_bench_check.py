@@ -148,3 +148,60 @@ def test_check_per_workload_tolerance_override(stub_rates, tmp_path,
     report["kernel"]["churn"]["events_per_sec"] = 110.0
     path.write_text(json.dumps(report))
     assert bench.run_check(str(path), tolerance=0.20, repeats=1) == 1
+
+
+# ---------------------------------------------------------------------------
+# Sweep tier (fabric fan-out) gating
+# ---------------------------------------------------------------------------
+
+_SWEEP_ENTRY = {"points_per_run": 16, "service_s": 0.05,
+                "points_per_sec": {"1": 20.0, "4": 80.0},
+                "tolerance": 0.5}
+
+
+def test_recorded_rates_flatten_sweep_per_worker_count():
+    report = {"sweep": {"sweep_fanout": dict(_SWEEP_ENTRY)}}
+    rates = bench._recorded_rates(report)
+    assert rates == {"sweep/sweep_fanout@w1": 20.0,
+                     "sweep/sweep_fanout@w4": 80.0}
+    tolerances = bench._recorded_tolerances(report, default=0.2)
+    assert tolerances["sweep/sweep_fanout@w1"] == 0.5
+    assert tolerances["sweep/sweep_fanout@w4"] == 0.5
+
+
+def test_sweep_tier_skipped_on_backend_mismatch():
+    from repro.sim.eventcore import resolve_backend
+    active = resolve_backend(None)
+    report = {"eventcore": "someone-elses-backend/0",
+              "kernel_backends": {active: {"churn": {
+                  "events_per_sec": 10.0, "events_per_run": 1}}},
+              "sweep": {"sweep_fanout": dict(_SWEEP_ENTRY)}}
+    rates = bench._recorded_rates(report)
+    assert not any(name.startswith("sweep/") for name in rates)
+
+
+def test_check_gates_sweep_and_skips_measuring_when_absent(
+        stub_rates, tmp_path, monkeypatch, capsys):
+    # Baseline without a sweep tier: the (expensive, process-spawning)
+    # fan-out measurement must not run at all.
+    def exploding_sweep():
+        raise AssertionError("measure_sweep called without baseline")
+    monkeypatch.setattr(bench, "measure_sweep", exploding_sweep)
+    path = _baseline(tmp_path, kernel_rate=100.0, domain_rate=50.0)
+    assert bench.run_check(path, tolerance=0.20, repeats=1) == 0
+
+    # Baseline with a sweep tier: gated like any workload.
+    monkeypatch.setattr(
+        bench, "measure_sweep",
+        lambda: {"sweep_fanout": {"points_per_sec": {"1": 20.0,
+                                                     "4": 30.0}}})
+    report = json.loads((tmp_path / "baseline.json").read_text())
+    report["sweep"] = {"sweep_fanout": dict(_SWEEP_ENTRY)}
+    sweep_path = tmp_path / "with_sweep.json"
+    sweep_path.write_text(json.dumps(report))
+    # w1 holds (20 vs 20); w4 fell 80 -> 30, past the 0.5 tolerance.
+    assert bench.run_check(str(sweep_path), tolerance=0.20, repeats=1,
+                           remeasure=1) == 1
+    captured = capsys.readouterr()
+    assert "sweep/sweep_fanout@w4" in captured.err
+    assert "REGRESSED" in captured.err

@@ -260,3 +260,44 @@ def test_readahead_fetches_root_their_own_traces(traced_run):
     assert fetches, "run staged nothing"
     client_traces = {r.trace_id for r in context.spans.roots("client")}
     assert all(f.trace_id not in client_traces for f in fetches)
+
+
+# ---------------------------------------------------------------------------
+# Readahead join: fetch spans <-> the client requests they unblocked
+# ---------------------------------------------------------------------------
+
+def test_fetch_spans_join_unblocked_client_requests(traced_run):
+    """Both sides of the §5.5 cost join are tagged and agree: each
+    completed fetch span counts the requests it unblocked, and each of
+    those requests' phase spans names the fetch's trace."""
+    context, _report, _server = traced_run
+    spans = context.spans.spans
+    fetches = [s for s in spans if s.category == "readahead"
+               and s.end is not None]
+    assert fetches, "traced run issued no coalesced fetches"
+    for fetch in fetches:
+        assert "unblocked" in (fetch.args or {})
+    total_unblocked = sum(fetch.args["unblocked"] for fetch in fetches)
+    assert total_unblocked > 0, "no request ever waited on a fetch"
+    fetch_traces = {fetch.trace_id for fetch in fetches}
+    tagged = [s for s in spans
+              if (s.args or {}).get("fetch_trace") is not None]
+    assert len(tagged) == total_unblocked
+    for span in tagged:
+        assert span.category == "server"
+        assert span.args["fetch_trace"] in fetch_traces
+
+
+def test_report_renders_readahead_join_table(traced_run):
+    import io
+
+    from repro.obs.report import render
+
+    context, _report, _server = traced_run
+    out = io.StringIO()
+    render({"type": "meta", "spans": len(context.spans.spans),
+            "dropped": 0}, list(context.spans.spans), [], out=out)
+    text = out.getvalue()
+    assert "readahead fetch join" in text
+    assert "unblocked requests" in text
+    assert "fetch ms / unblocked" in text
