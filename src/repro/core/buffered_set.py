@@ -6,11 +6,22 @@ arriving while the fetch is in flight attach to the buffer and complete
 when it fills. Total buffer memory is bounded by ``M``; the garbage
 collector reclaims buffers nobody read (a stream that stopped, a region
 misclassified as sequential).
+
+Lookup and reclamation are index-accelerated (DESIGN.md "data-plane
+indexes"): per-disk and per-stream start-sorted span indexes make
+:meth:`BufferedSet.find` / :meth:`BufferedSet.find_in_stream`
+O(log buffers) and a lazily-invalidated idle heap makes
+:meth:`BufferedSet.collect` touch only expired buffers. All three are
+pure accelerations — observable behaviour (results, tie-breaks, release
+order, callback order) is bit-identical to the reference linear scans,
+which ``tests/test_core_differential.py`` pins.
 """
 
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
+from heapq import heappop, heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.io import IORequest
@@ -69,6 +80,66 @@ class StreamBuffer:
                 f"[{self.offset},{self.end}) {state}>")
 
 
+class _SpanIndex:
+    """Start-sorted byte-span index over a group of buffers.
+
+    Same shape as ``BitmapTable``'s per-disk index: a plain-int start
+    list for cheap bisects plus a parallel ``(buffer_id, end)`` list,
+    mutated in lock-step. ``find`` bisects to the rightmost start at or
+    below the query offset and walks left no further than the widest
+    span ever inserted — any containing buffer must start within that
+    window. Buffer ids are globally monotonic, so equal starts stay in
+    allocation order and the min-id tie-break below reproduces "first
+    match in insertion order" exactly.
+    """
+
+    __slots__ = ("starts", "items", "max_span")
+
+    def __init__(self) -> None:
+        self.starts: List[int] = []
+        self.items: List[Tuple[int, int]] = []
+        self.max_span = 0
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def insert(self, buffer: StreamBuffer) -> None:
+        position = bisect_right(self.starts, buffer.offset)
+        self.starts.insert(position, buffer.offset)
+        self.items.insert(position, (buffer.buffer_id, buffer.end))
+        if buffer.size > self.max_span:
+            self.max_span = buffer.size
+
+    def remove(self, buffer: StreamBuffer) -> None:
+        position = bisect_right(self.starts, buffer.offset)
+        buffer_id = buffer.buffer_id
+        while position > 0 and self.starts[position - 1] == buffer.offset:
+            if self.items[position - 1][0] == buffer_id:
+                del self.starts[position - 1]
+                del self.items[position - 1]
+                return
+            position -= 1
+        raise ValueError(f"{buffer!r} not indexed")
+
+    def find(self, offset: int, size: int) -> Optional[int]:
+        """Lowest buffer id whose span contains the range, or None."""
+        starts = self.starts
+        position = bisect_right(starts, offset)
+        max_span = self.max_span
+        target_end = offset + size
+        best: Optional[int] = None
+        while position > 0:
+            start = starts[position - 1]
+            if offset - start >= max_span:
+                break
+            buffer_id, end = self.items[position - 1]
+            # start <= offset is implied by the bisect.
+            if target_end <= end and (best is None or buffer_id < best):
+                best = buffer_id
+            position -= 1
+        return best
+
+
 class BufferedSet:
     """All staged buffers, bounded by the memory budget ``M``."""
 
@@ -82,8 +153,19 @@ class BufferedSet:
         self.on_change = on_change
         self.in_use = 0
         self._buffers: Dict[int, StreamBuffer] = {}
-        #: stream_id -> buffer ids, oldest first (streams consume in order).
-        self._by_stream: Dict[int, List[int]] = {}
+        #: stream_id -> {buffer_id: buffer}, oldest first (streams
+        #: consume in order; dicts preserve allocation order and give
+        #: O(1) removal from the middle).
+        self._by_stream: Dict[int, Dict[int, StreamBuffer]] = {}
+        #: Span indexes behind find / find_in_stream.
+        self._disk_index: Dict[int, _SpanIndex] = {}
+        self._stream_index: Dict[int, _SpanIndex] = {}
+        #: (last_access, buffer_id) min-heap over *filled* buffers, with
+        #: lazy invalidation: every fill/consume pushes a fresh entry and
+        #: collect() skips entries whose buffer is gone or has a newer
+        #: last_access. Invariant: a filled buffer's current
+        #: (last_access, id) pair is always present.
+        self._idle_heap: List[Tuple[float, int]] = []
         self.peak_in_use = 0
         self.allocated_total = 0
         self.reclaimed_unread = 0
@@ -109,7 +191,18 @@ class BufferedSet:
                 f"{self.memory_budget}")
         buffer = StreamBuffer(stream_id, disk_id, offset, size, now)
         self._buffers[buffer.buffer_id] = buffer
-        self._by_stream.setdefault(stream_id, []).append(buffer.buffer_id)
+        siblings = self._by_stream.get(stream_id)
+        if siblings is None:
+            siblings = self._by_stream[stream_id] = {}
+        siblings[buffer.buffer_id] = buffer
+        disk_index = self._disk_index.get(disk_id)
+        if disk_index is None:
+            disk_index = self._disk_index[disk_id] = _SpanIndex()
+        disk_index.insert(buffer)
+        stream_index = self._stream_index.get(stream_id)
+        if stream_index is None:
+            stream_index = self._stream_index[stream_id] = _SpanIndex()
+        stream_index.insert(buffer)
         self.in_use += size
         self.allocated_total += 1
         self.peak_in_use = max(self.peak_in_use, self.in_use)
@@ -122,6 +215,7 @@ class BufferedSet:
         """Record fill completion; returns waiters to complete."""
         buffer.filled = True
         buffer.last_access = now
+        heappush(self._idle_heap, (now, buffer.buffer_id))
         waiters, buffer.waiters = buffer.waiters, []
         return waiters
 
@@ -130,23 +224,29 @@ class BufferedSet:
              size: int) -> Optional[StreamBuffer]:
         """The buffer containing the byte range, if any.
 
-        Scans only buffers of streams on the same disk; a stream holds at
-        most a residency's worth of buffers, so this stays small.
+        One bisect in the disk's span index plus a walk bounded by the
+        widest buffer on the disk (buffers are read-ahead sized, so the
+        walk sees at most a couple of overlapping spans).
         """
-        for buffer in self._buffers.values():
-            if buffer.disk_id == disk_id and buffer.contains(offset, size):
-                return buffer
-        return None
+        index = self._disk_index.get(disk_id)
+        if index is None:
+            return None
+        buffer_id = index.find(offset, size)
+        if buffer_id is None:
+            return None
+        return self._buffers[buffer_id]
 
     def find_in_stream(self, stream_id: int, offset: int,
                        size: int) -> Optional[StreamBuffer]:
-        """Like :meth:`find` but scoped to one stream's few buffers —
+        """Like :meth:`find` but scoped to one stream's buffers —
         the hot path once the classifier has routed a request."""
-        for buffer_id in self._by_stream.get(stream_id, ()):
-            buffer = self._buffers[buffer_id]
-            if buffer.contains(offset, size):
-                return buffer
-        return None
+        index = self._stream_index.get(stream_id)
+        if index is None:
+            return None
+        buffer_id = index.find(offset, size)
+        if buffer_id is None:
+            return None
+        return self._buffers[buffer_id]
 
     def consume(self, buffer: StreamBuffer, offset: int, size: int,
                 now: float) -> bool:
@@ -159,6 +259,8 @@ class BufferedSet:
         if buffer.fully_consumed:
             self._release(buffer)
             return True
+        if buffer.filled:
+            heappush(self._idle_heap, (now, buffer.buffer_id))
         return False
 
     # -- reclamation -----------------------------------------------------------
@@ -169,9 +271,19 @@ class BufferedSet:
         self.in_use -= buffer.size
         siblings = self._by_stream.get(buffer.stream_id)
         if siblings is not None:
-            siblings.remove(buffer.buffer_id)
+            siblings.pop(buffer.buffer_id, None)
             if not siblings:
                 del self._by_stream[buffer.stream_id]
+        disk_index = self._disk_index.get(buffer.disk_id)
+        if disk_index is not None:
+            disk_index.remove(buffer)
+            if not disk_index:
+                del self._disk_index[buffer.disk_id]
+        stream_index = self._stream_index.get(buffer.stream_id)
+        if stream_index is not None:
+            stream_index.remove(buffer)
+            if not stream_index:
+                del self._stream_index[buffer.stream_id]
         if self.on_change is not None:
             self.on_change(-1)
 
@@ -187,8 +299,7 @@ class BufferedSet:
     def release_stream(self, stream_id: int) -> int:
         """Drop all buffers of one stream; returns bytes reclaimed."""
         reclaimed = 0
-        for buffer_id in list(self._by_stream.get(stream_id, [])):
-            buffer = self._buffers[buffer_id]
+        for buffer in list(self._by_stream.get(stream_id, {}).values()):
             if not buffer.fully_consumed:
                 self.reclaimed_unread += 1
             reclaimed += buffer.size
@@ -200,20 +311,39 @@ class BufferedSet:
 
         In-flight buffers are never collected (the completion path still
         owns them). Returns bytes reclaimed.
+
+        Cost is O(expired + stale heap entries), not O(live buffers):
+        the heap's minimum bounds every buffer's idle time, so one
+        non-expired top entry proves nothing else qualifies. Expired
+        buffers release in ascending buffer-id order — the same order
+        the reference full scan produced (dict insertion order is
+        allocation order).
         """
+        heap = self._idle_heap
+        buffers = self._buffers
+        expired: Dict[int, StreamBuffer] = {}
+        while heap:
+            last_access, buffer_id = heap[0]
+            if now - last_access < timeout:
+                break
+            heappop(heap)
+            buffer = buffers.get(buffer_id)
+            if (buffer is None or buffer.last_access != last_access
+                    or not buffer.filled):
+                continue  # released since, or superseded by a newer entry
+            expired[buffer_id] = buffer
         reclaimed = 0
-        for buffer in list(self._buffers.values()):
-            if buffer.filled and now - buffer.last_access >= timeout:
-                if not buffer.fully_consumed:
-                    self.reclaimed_unread += 1
-                reclaimed += buffer.size
-                self._release(buffer)
+        for buffer_id in sorted(expired):
+            buffer = expired[buffer_id]
+            if not buffer.fully_consumed:
+                self.reclaimed_unread += 1
+            reclaimed += buffer.size
+            self._release(buffer)
         return reclaimed
 
     def stream_buffers(self, stream_id: int) -> Iterable[StreamBuffer]:
         """This stream's live buffers, oldest first."""
-        return [self._buffers[buffer_id]
-                for buffer_id in self._by_stream.get(stream_id, [])]
+        return list(self._by_stream.get(stream_id, {}).values())
 
     def __repr__(self) -> str:
         return (f"<BufferedSet {len(self._buffers)} buffers "

@@ -3,12 +3,22 @@
 At most ``D`` streams are dispatched at a time; each remains until it has
 issued ``N`` read-ahead requests (its *residency*), then rotates out for
 the next waiting stream under the replacement policy.
+
+The admission queue is indexed (DESIGN.md "data-plane indexes"): a
+waiting-id map makes :meth:`DispatchSet.is_waiting` /
+:meth:`DispatchSet.drop_waiting` O(1), per-disk FIFO queues plus an
+incrementally maintained per-disk member count make
+:meth:`DispatchSet.admit_next` cost O(disks with waiters) instead of
+O(waiting streams) — flat in stream count. Admission order is
+bit-identical to the reference single-deque scan, which
+``tests/test_core_differential.py`` pins.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Dict, List, Optional
+from collections import OrderedDict
+from heapq import merge
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.policies import ReplacementPolicy, RoundRobinPolicy
 from repro.core.stream import StreamQueue, StreamState
@@ -31,7 +41,17 @@ class DispatchSet:
         self.requests_per_residency = requests_per_residency
         self.policy = policy or RoundRobinPolicy()
         self._members: Dict[int, StreamQueue] = {}
-        self._waiting: Deque[StreamQueue] = deque()
+        #: stream_id -> arrival sequence number; the O(1) waiting-set
+        #: membership test and the global FIFO order in one map.
+        self._waiting_ids: Dict[int, int] = {}
+        #: disk_id -> {stream_id: stream} in arrival order (per-disk
+        #: FIFO); disks with no waiters are absent.
+        self._waiting_by_disk: Dict[int, "OrderedDict[int, StreamQueue]"] \
+            = {}
+        #: disk_id -> dispatched member count, maintained on admission
+        #: and rotation (disks at zero are absent).
+        self._disk_load: Dict[int, int] = {}
+        self._next_seq = 0
         #: Per-disk last dispatched offset, for offset-aware policies.
         self.last_offset: Dict[int, int] = {}
         self.admissions = 0
@@ -56,7 +76,7 @@ class DispatchSet:
     @property
     def waiting_count(self) -> int:
         """Streams queued for admission."""
-        return len(self._waiting)
+        return len(self._waiting_ids)
 
     def is_member(self, stream: StreamQueue) -> bool:
         """Is the stream currently dispatched?"""
@@ -64,14 +84,27 @@ class DispatchSet:
 
     def is_waiting(self, stream: StreamQueue) -> bool:
         """Is the stream queued for admission?"""
-        return any(s.stream_id == stream.stream_id for s in self._waiting)
+        return stream.stream_id in self._waiting_ids
 
     def enqueue(self, stream: StreamQueue) -> None:
         """Put a stream on the admission queue (idempotent)."""
-        if self.is_member(stream) or self.is_waiting(stream):
+        stream_id = stream.stream_id
+        if stream_id in self._members or stream_id in self._waiting_ids:
             return
         stream.state = StreamState.WAITING
-        self._waiting.append(stream)
+        self._waiting_ids[stream_id] = self._next_seq
+        self._next_seq += 1
+        per_disk = self._waiting_by_disk.get(stream.disk_id)
+        if per_disk is None:
+            per_disk = self._waiting_by_disk[stream.disk_id] = OrderedDict()
+        per_disk[stream_id] = stream
+
+    def _remove_waiting(self, stream: StreamQueue) -> None:
+        del self._waiting_ids[stream.stream_id]
+        per_disk = self._waiting_by_disk[stream.disk_id]
+        del per_disk[stream.stream_id]
+        if not per_disk:
+            del self._waiting_by_disk[stream.disk_id]
 
     def admit_next(self) -> Optional[StreamQueue]:
         """Admit one waiting stream if a slot is free.
@@ -81,22 +114,46 @@ class DispatchSet:
         replacement policy chooses among those. This keeps every spindle
         busy when ``D = #disks`` (Figure 13's configuration) instead of
         letting FIFO order stack several streams on one disk.
+
+        The default round-robin policy always takes the FIFO head
+        (``selects_first``), so admission reduces to the earliest
+        arrival among the lightest disks' queue heads — no candidate
+        list is materialised. Other policies see the same candidate
+        list the reference scan built: every waiting stream on a
+        lightest disk, in global arrival order.
         """
-        if not self._waiting or self.free_slots <= 0:
+        if not self._waiting_ids or self.width <= len(self._members):
             return None
-        load: Dict[int, int] = {}
-        for member in self._members.values():
-            load[member.disk_id] = load.get(member.disk_id, 0) + 1
-        lightest = min(load.get(s.disk_id, 0) for s in self._waiting)
-        candidates = [s for s in self._waiting
-                      if load.get(s.disk_id, 0) == lightest]
-        index = self.policy.select(candidates,
-                                   context={"last_offset": self.last_offset})
-        stream = candidates[index]
-        self._waiting.remove(stream)
+        load = self._disk_load
+        by_disk = self._waiting_by_disk
+        lightest = min(load.get(disk_id, 0) for disk_id in by_disk)
+        if getattr(self.policy, "selects_first", False):
+            waiting_ids = self._waiting_ids
+            best_seq = None
+            stream = None
+            for disk_id, per_disk in by_disk.items():
+                if load.get(disk_id, 0) != lightest:
+                    continue
+                head_id = next(iter(per_disk))
+                seq = waiting_ids[head_id]
+                if best_seq is None or seq < best_seq:
+                    best_seq = seq
+                    stream = per_disk[head_id]
+        else:
+            waiting_ids = self._waiting_ids
+            runs = [[(waiting_ids[stream_id], queued)
+                     for stream_id, queued in per_disk.items()]
+                    for disk_id, per_disk in by_disk.items()
+                    if load.get(disk_id, 0) == lightest]
+            candidates = [queued for _seq, queued in merge(*runs)]
+            index = self.policy.select(
+                candidates, context={"last_offset": self.last_offset})
+            stream = candidates[index]
+        self._remove_waiting(stream)
         stream.state = StreamState.DISPATCHED
         stream.issued_in_residency = 0
         self._members[stream.stream_id] = stream
+        load[stream.disk_id] = load.get(stream.disk_id, 0) + 1
         self.admissions += 1
         return stream
 
@@ -117,17 +174,20 @@ class DispatchSet:
         removed = self._members.pop(stream.stream_id, None)
         if removed is None:
             return
+        remaining = self._disk_load[stream.disk_id] - 1
+        if remaining:
+            self._disk_load[stream.disk_id] = remaining
+        else:
+            del self._disk_load[stream.disk_id]
         stream.state = StreamState.BUFFERED
         self.rotations += 1
 
     def drop_waiting(self, stream: StreamQueue) -> None:
         """Remove a stream from the admission queue (GC path)."""
-        try:
-            self._waiting.remove(stream)
-        except ValueError:
-            pass
+        if stream.stream_id in self._waiting_ids:
+            self._remove_waiting(stream)
 
     def __repr__(self) -> str:
         return (f"<DispatchSet {len(self._members)}/{self.width} "
-                f"waiting={len(self._waiting)} N="
+                f"waiting={len(self._waiting_ids)} N="
                 f"{self.requests_per_residency}>")

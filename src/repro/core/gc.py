@@ -48,6 +48,22 @@ class GarbageCollector:
                     or len(server.buffered)
                     or server.classifier.bitmaps.live_count)
 
+    def _idle_streams(self, now: float):
+        """Streams idle past the timeout, in reference drop order.
+
+        :class:`~repro.core.classifier.SequentialClassifier` tracks
+        streams in activity order, so the scan touches only idle
+        streams; duck-typed classifier replacements without that index
+        fall back to the full scan over ``streams``.
+        """
+        classifier = self.server.classifier
+        timeout = self.server.params.stream_timeout
+        candidates = getattr(classifier, "idle_candidates", None)
+        if candidates is not None:
+            return candidates(now, timeout)
+        return [stream for stream in list(classifier.streams.values())
+                if now - stream.last_activity >= timeout]
+
     def _loop(self):
         server = self.server
         params = server.params
@@ -63,9 +79,8 @@ class GarbageCollector:
                     args={"reclaimed": reclaimed,
                           "in_use": server.buffered.in_use})
             server.classifier.expire_bitmaps(now)
-            for stream in list(server.classifier.streams.values()):
-                idle = now - stream.last_activity
-                if idle < params.stream_timeout or stream.has_demand:
+            for stream in self._idle_streams(now):
+                if stream.has_demand:
                     continue
                 # Quiet stream: reclaim everything it holds.
                 server.buffered.release_stream(stream.stream_id)

@@ -25,6 +25,10 @@ class ReplacementPolicy(abc.ABC):
     """Chooses which waiting stream enters the dispatch set next."""
 
     name = "abstract"
+    #: True when ``select`` always returns 0 regardless of context; the
+    #: dispatch set then admits the FIFO head among the lightest disks
+    #: directly instead of materialising the candidate list.
+    selects_first = False
 
     @abc.abstractmethod
     def select(self, waiting: Sequence[StreamQueue],
@@ -39,6 +43,7 @@ class RoundRobinPolicy(ReplacementPolicy):
     """FIFO over the waiting list — the paper's default."""
 
     name = "round-robin"
+    selects_first = True
 
     def select(self, waiting: Sequence[StreamQueue],
                context: Optional[Dict] = None) -> int:

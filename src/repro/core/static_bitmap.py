@@ -77,8 +77,7 @@ class CoarseBitmapClassifier(SequentialClassifier):
             return None
         stream = StreamQueue(request.disk_id, request.end, now,
                              client_id=request.stream_id)
-        self.streams[stream.stream_id] = stream
-        self._by_next[(stream.disk_id, stream.client_next)] = stream
+        self._register_stream(stream)
         # Clear the detected run so a later stream in the same area must
         # re-establish evidence (the static design's closest analogue to
         # recycling a region bitmap).

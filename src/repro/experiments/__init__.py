@@ -24,6 +24,7 @@ from repro.experiments import (
 
 from repro.experiments import (
     ext_faults,
+    ext_fleet,
     ext_fragmentation,
     ext_insensitivity,
     ext_latency_breakdown,
@@ -49,6 +50,7 @@ EXPERIMENTS = {
 #: Beyond-the-paper experiments (DESIGN.md §5).
 EXTENSIONS = {
     "ext-faults": ext_faults.run,
+    "ext-fleet": ext_fleet.run,
     "ext-fragmentation": ext_fragmentation.run,
     "ext-insensitivity": ext_insensitivity.run,
     "ext-latency-breakdown": ext_latency_breakdown.run,

@@ -39,6 +39,10 @@ a genuine persistent slowdown still does. Tolerance is ``--tolerance``
 (default 20%) globally, overridable per workload by a ``"tolerance"``
 field on the baseline entry (e.g. a noisy allocation-heavy workload can
 carry ``"tolerance": 0.35`` without loosening the gate for the rest).
+``--check`` also enforces :data:`FLATNESS_GATES` — machine-independent
+relative-rate invariants between two workloads of the *same*
+measurement pass, e.g. the server data plane at 10k resident streams
+staying within 2x of its 100-stream per-request cost.
 
 Figure timings honour the sweep executor's ``--jobs`` and cache
 controls; pass ``--no-cache`` for honest cold-run wall times.
@@ -56,7 +60,8 @@ import time
 from typing import List, Optional
 
 from repro.experiments import EXPERIMENTS, EXTENSIONS, FULL, QUICK, SMOKE
-from repro.experiments.domainbench import DOMAIN_WORKLOADS, ops_per_second
+from repro.experiments.domainbench import (DOMAIN_TOLERANCES,
+                                           DOMAIN_WORKLOADS, ops_per_second)
 from repro.experiments.executor import resolve_jobs
 from repro.experiments.fabricbench import measure_sweep
 from repro.sim.eventcore import (ENV_VAR as _EVENTCORE_ENV,
@@ -80,6 +85,19 @@ DEFAULT_REMEASURE = 3
 #: machines (CPU-frequency drift alone is worth ~30%), so the per-backend
 #: A/B entries carry their own looser --check tolerance.
 KERNEL_AB_TOLERANCE = 0.35
+
+#: Relative-rate invariants ``--check`` enforces between two *measured*
+#: workloads of the same run: ``(slow, fast, max_ratio)`` fails when
+#: rate(fast) / rate(slow) exceeds ``max_ratio``. Unlike the per-workload
+#: regression gate (measured vs recorded, machine-speed sensitive) these
+#: compare two same-machine measurements, so the bound is absolute: the
+#: server data plane at 10k resident streams must stay within 2x of the
+#: per-request cost at 100 streams — the O(1)/O(log n) hot-path
+#: guarantee of DESIGN.md "data-plane indexes". Gates whose workloads
+#: are absent from the measurement (older baselines) are skipped.
+FLATNESS_GATES = [
+    ("domain/streams_scale_10k", "domain/streams_scale_100", 2.0),
+]
 
 
 def active_eventcore() -> str:
@@ -132,12 +150,20 @@ def measure_kernel_backends(repeats: int = 2, rounds: int = 3) -> dict:
 
 
 def measure_domain(repeats: int = 3) -> dict:
-    """ops/sec for every domain micro-workload (best of ``repeats``)."""
+    """ops/sec for every domain micro-workload (best of ``repeats``).
+
+    Workloads with an entry in
+    :data:`~repro.experiments.domainbench.DOMAIN_TOLERANCES` carry it
+    into the recorded baseline, so re-recording ``BENCH_engine.json``
+    never silently drops a per-workload ``--check`` tolerance.
+    """
     domain = {}
     for name, workload in DOMAIN_WORKLOADS.items():
         rate, ops = ops_per_second(workload, repeats=repeats)
         domain[name] = {"ops_per_sec": round(rate, 1),
                         "ops_per_run": ops}
+        if name in DOMAIN_TOLERANCES:
+            domain[name]["tolerance"] = DOMAIN_TOLERANCES[name]
     return domain
 
 
@@ -267,6 +293,25 @@ def _evaluate(baseline: dict, current: dict, tolerances: dict) -> tuple:
     return rows, regressed, missing
 
 
+def _evaluate_flatness(current: dict) -> tuple:
+    """(rows, failed gate names) for the relative-rate invariants."""
+    rows = []
+    failed = []
+    for slow, fast, max_ratio in FLATNESS_GATES:
+        slow_rate = current.get(slow)
+        fast_rate = current.get(fast)
+        if slow_rate is None or fast_rate is None:
+            continue  # older baseline without the paired workloads
+        ratio = fast_rate / slow_rate if slow_rate else float("inf")
+        status = "ok" if ratio <= max_ratio else "NOT FLAT"
+        name = f"flat {slow} vs {fast}"
+        rows.append(f"{name:58s} ratio={ratio:5.2f}x "
+                    f"(max {max_ratio:.1f}x) {status}")
+        if status != "ok":
+            failed.append(name)
+    return rows, failed
+
+
 def run_check(path: str, tolerance: float, repeats: int,
               remeasure: int = DEFAULT_REMEASURE) -> int:
     """Re-measure both tiers against ``path``; 0 = no regression.
@@ -303,9 +348,11 @@ def run_check(path: str, tolerance: float, repeats: int,
     current = {name: rates[0] for name, rates in samples.items()}
     rows, regressed_names, missing = _evaluate(baseline, current,
                                                tolerances)
-    if regressed_names and remeasure > 1:
-        print(f"bench --check: {len(regressed_names)} workload(s) look "
-              f"regressed; re-measuring (median of {remeasure})")
+    flat_rows, flat_failed = _evaluate_flatness(current)
+    if (regressed_names or flat_failed) and remeasure > 1:
+        print(f"bench --check: {len(regressed_names) + len(flat_failed)} "
+              f"workload(s)/gate(s) look regressed; re-measuring "
+              f"(median of {remeasure})")
         for _ in range(remeasure - 1):
             for name, rate in _measure_all(repeats,
                                            sweep=need_sweep).items():
@@ -314,7 +361,9 @@ def run_check(path: str, tolerance: float, repeats: int,
                    for name, rates in samples.items()}
         rows, regressed_names, missing = _evaluate(baseline, current,
                                                    tolerances)
-    failures = len(regressed_names) + missing
+        flat_rows, flat_failed = _evaluate_flatness(current)
+    rows += flat_rows
+    failures = len(regressed_names) + missing + len(flat_failed)
     for row in rows:
         print(row)
     if failures:

@@ -22,6 +22,13 @@ millions of times per sweep. These workloads time exactly those paths so
 * ``obs_overhead`` — the same end-to-end path with :mod:`repro.obs`
   off, pinning the zero-overhead-off guarantee of PR 5's dormant
   instrumentation hooks.
+* ``streams_scale_100`` / ``streams_scale_1k`` / ``streams_scale_10k``
+  — the server data plane over a zero-cost device at growing resident
+  stream counts. Same per-stream work at every size, so if the hot
+  paths are O(1)/O(log n) in the stream population (DESIGN.md
+  "data-plane indexes") the three rates stay flat; ``bench --check``
+  additionally enforces the flatness relation itself via
+  :data:`repro.experiments.bench.FLATNESS_GATES`.
 
 Every workload is deterministic (seeded or EXPECTED-rotation) and
 returns the number of domain operations it performed, so callers convert
@@ -37,6 +44,7 @@ from typing import Callable, Dict
 from repro.sim.microbench import events_per_second as ops_per_second
 
 __all__ = [
+    "DOMAIN_TOLERANCES",
     "DOMAIN_WORKLOADS",
     "cache_churn",
     "drive_service",
@@ -44,6 +52,7 @@ __all__ = [
     "obs_overhead",
     "ops_per_second",
     "server_smoke",
+    "streams_scale",
 ]
 
 
@@ -204,6 +213,85 @@ def obs_overhead(streams: int = 12, duration: float = 0.5) -> int:
     return server_smoke(streams=streams, duration=duration)
 
 
+def streams_scale(streams: int, per_stream: int = 16) -> int:
+    """Server data plane with ``streams`` concurrent sequential readers.
+
+    Every reader issues ``per_stream`` 64 KiB requests against a
+    :class:`~repro.core.server.StreamServer` whose device completes any
+    request after a fixed 200 µs — no geometry, no cache, no mechanics —
+    so wall time is dominated by the server's own per-request work:
+    classifier routing, dispatch-set admission, read-ahead staging and
+    buffered-set lookups. Per-stream work is identical at every size;
+    only the *resident population* grows (every classifier table,
+    waiting set and buffer index holds ``streams`` entries at once), so
+    the measured ops/sec directly exposes any O(streams) term left in a
+    hot path. The indexed data plane keeps the 100 → 10k rates near
+    flat, and ``bench --check`` fails if the 10k rate falls below half
+    the 100-stream rate (:data:`repro.experiments.bench.FLATNESS_GATES`).
+
+    Returns the number of client requests completed
+    (``streams * per_stream``, asserted).
+    """
+    from repro.core.params import ServerParams
+    from repro.core.server import StreamServer
+    from repro.io import IOKind, IORequest
+    from repro.sim import Simulator
+    from repro.units import GiB, KiB, MiB
+
+    size = 64 * KiB
+    num_disks = 8
+    latency = 200e-6
+
+    sim = Simulator()
+
+    class _FixedLatencyDisks:
+        """Completes every request after ``latency``; per-disk 1 TiB."""
+
+        capacity_bytes = 1024 * GiB
+
+        def submit(self, request):
+            request.complete_time = sim.now + latency
+            return sim.event("stub.io").succeed(request, delay=latency)
+
+    server = StreamServer(sim, _FixedLatencyDisks(),
+                          ServerParams(memory_budget=64 * MiB))
+    per_disk = -(-streams // num_disks)  # ceil
+    spacing = (1024 * GiB // per_disk) // MiB * MiB \
+        - (per_stream + 1) * size
+
+    def client(disk_id, start, stream_id):
+        offset = start
+        for _ in range(per_stream):
+            yield server.submit(IORequest(
+                kind=IOKind.READ, disk_id=disk_id, offset=offset,
+                size=size, stream_id=stream_id))
+            offset += size
+
+    processes = [
+        sim.process(client(index % num_disks,
+                           (index // num_disks) * spacing, index))
+        for index in range(streams)]
+    sim.run_until_event(sim.all_of(processes))
+    completed = server.stats.counter("completed").count
+    assert completed == streams * per_stream
+    return completed
+
+
+def streams_scale_100() -> int:
+    """100 resident streams — the flat-cost baseline point."""
+    return streams_scale(100)
+
+
+def streams_scale_1k() -> int:
+    """1,000 resident streams — the mid point."""
+    return streams_scale(1_000)
+
+
+def streams_scale_10k() -> int:
+    """10,000 resident streams — the fleet-scale point."""
+    return streams_scale(10_000)
+
+
 #: name -> zero-argument workload returning its domain-op count.
 DOMAIN_WORKLOADS: Dict[str, Callable[[], int]] = {
     "geometry_lookup": geometry_lookup,
@@ -211,4 +299,17 @@ DOMAIN_WORKLOADS: Dict[str, Callable[[], int]] = {
     "drive_service": drive_service,
     "server_smoke": server_smoke,
     "obs_overhead": obs_overhead,
+    "streams_scale_100": streams_scale_100,
+    "streams_scale_1k": streams_scale_1k,
+    "streams_scale_10k": streams_scale_10k,
+}
+
+#: Per-workload ``bench --check`` tolerance overrides recorded into each
+#: baseline entry. The streams_scale family builds 10k-process runs whose
+#: wall time swings more with allocator/GC state than the small steady
+#: workloads, so it carries the same loosened band as the kernel A/B tier.
+DOMAIN_TOLERANCES: Dict[str, float] = {
+    "streams_scale_100": 0.35,
+    "streams_scale_1k": 0.35,
+    "streams_scale_10k": 0.35,
 }

@@ -55,6 +55,7 @@ from repro.experiments.base import ExperimentScale
 from repro.sim.eventcore import backend_token, resolve_backend
 
 __all__ = [
+    "FABRIC_MIN_POINTS",
     "FABRIC_OFF",
     "Point",
     "PointTimeoutError",
@@ -615,6 +616,26 @@ def _pool_context():
 #: is set (used by traced runs, whose spans must stay in-process).
 FABRIC_OFF = "off"
 
+#: Mixed-mode floor: a sweep with fewer than this many *pending* points
+#: skips a resolved fabric and runs on the in-process pool instead.
+#: Shipping a point costs a network round-trip plus (first use) worker
+#: spawn/handshake, which dwarfs a 2-point residual sweep after a warm
+#: cache; big fan-outs still go distributed. Override with
+#: ``REPRO_FABRIC_MIN_POINTS`` (0 = always use the fabric).
+FABRIC_MIN_POINTS = 4
+
+
+def _fabric_min_points() -> int:
+    """The mixed-mode floor, honouring ``REPRO_FABRIC_MIN_POINTS``."""
+    raw = os.environ.get("REPRO_FABRIC_MIN_POINTS", "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            _log.warning("ignoring non-integer REPRO_FABRIC_MIN_POINTS"
+                         "=%r", raw)
+    return FABRIC_MIN_POINTS
+
 _DEFAULT_FABRIC: Optional[Any] = None
 #: spec string -> started Fabric, shared across sweeps and closed at exit.
 _FABRICS: Dict[str, Any] = {}
@@ -696,6 +717,11 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale,
     workers) or a started :class:`repro.experiments.fabric.Fabric`.
     Points are pure, so fabric and pool runs are byte-identical; any
     fabric failure falls back to local execution, like a broken pool.
+    Dispatch is **mixed-mode**: sweeps whose pending-point count is
+    below :data:`FABRIC_MIN_POINTS` (override:
+    ``REPRO_FABRIC_MIN_POINTS``) stay on the in-process pool even with
+    a fabric configured — a near-fully-cached figure's one residual
+    point is cheaper to simulate than to ship.
     """
     global _SIMULATED_POINTS
     points = spec.points
@@ -727,6 +753,15 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale,
                   dict(points[pending[key][0]].params)) for key in order]
         _SIMULATED_POINTS += len(tasks)
         computed = None
+        if fabric is not None and len(tasks) < _fabric_min_points():
+            # Mixed mode: the distributed path only pays off at fan-out
+            # scale, and the choice cannot change output bits (points
+            # are pure and both paths share the cache keys).
+            _log.debug("sweep %s: %d pending point(s) below the fabric "
+                       "floor (%d); running in-process",
+                       spec.experiment_id, len(tasks),
+                       _fabric_min_points())
+            fabric = None
         if fabric is not None:
             from repro.experiments.fabric import FabricError
             try:

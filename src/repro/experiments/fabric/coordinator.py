@@ -5,7 +5,10 @@ single-threaded ``selectors`` event loop. Per ``run_tasks`` call it
 pushes ``task`` messages to idle workers, serves their ``cache_get``
 round-trips from its in-memory results plus its on-disk
 :class:`~repro.experiments.executor.SweepCache`, and collects
-``result`` messages until every task has a value.
+``result`` messages until every task has a value. Freshly *computed*
+(non-NaN, cache-eligible) results are written back into that store as
+they arrive (``cache_writebacks``), so values computed on remote
+workers' disks become peer-cache hits for everyone on the next ask.
 
 Dispatch policy (the straggler-aware part, after arXiv 1805.06156):
 
@@ -151,6 +154,7 @@ class Fabric:
         self.requeued = 0
         self.cache_local_hits = 0
         self.cache_peer_hits = 0
+        self.cache_writebacks = 0
         self.duplicate_results = 0
         self.duplicate_mismatches = 0
         self.workers_lost = 0
@@ -399,6 +403,7 @@ class Fabric:
             "workers_lost": self.workers_lost,
             "cache_local_hits": self.cache_local_hits,
             "cache_peer_hits": self.cache_peer_hits,
+            "cache_writebacks": self.cache_writebacks,
             "duplicate_results": self.duplicate_results,
             "duplicate_mismatches": self.duplicate_mismatches,
         }
@@ -629,11 +634,42 @@ class _RunState:
                 and assignments[0] != worker.ident:
             worker.hedges_won += 1
             fabric.hedges_won += 1
-        self.results[task] = message.get("value")
+        value = message.get("value")
+        self.results[task] = value
         worker.completed += 1
         fabric.completed += 1
         fabric._record(f"fabric.w{worker.ident}.completed", "counter",
                        worker.completed)
+        if source == "compute":
+            self._write_back(task, value)
+
+    def _write_back(self, task: int, value: Any) -> None:
+        """Persist a freshly *computed* result in the coordinator's store.
+
+        Workers write computes to their own local cache, but a dial-out
+        worker's disk is not this coordinator's: without write-back the
+        shared tier only ever returns values the coordinator itself once
+        computed, and every new point stays a guaranteed ``cache_get``
+        miss for all peers. Writing the first copy of each computed
+        value here closes the loop — the next worker asking for this key
+        (a hedge survivor, a re-run, a different sweep sharing points)
+        hits the peer tier instead of recomputing. Cache-ineligible
+        tasks and NaN values (timed-out points, never cached anywhere)
+        are skipped; hedge duplicates never reach this path because the
+        first result already claimed ``results[task]``.
+        """
+        fabric = self.fabric
+        spec = self.messages[task]
+        key = spec.get("key")
+        if fabric._store is None or not spec.get("cache") or not key:
+            return
+        from repro.experiments.executor import _contains_nan
+        if _contains_nan(value):
+            return
+        fabric._store.put(key, value)
+        fabric.cache_writebacks += 1
+        fabric._record("fabric.cache_writebacks", "counter",
+                       fabric.cache_writebacks)
 
     # -- main loop ----------------------------------------------------------
 

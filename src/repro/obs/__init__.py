@@ -98,6 +98,11 @@ class ObsContext:
     ----------
     span_capacity:
         Maximum retained spans (overflow counted in ``spans.dropped``).
+    span_reserved:
+        Optional per-category span quotas, e.g. ``{"client": 50_000}``
+        — reserved categories keep recording at capacity while
+        unreserved (disk-phase) spans are the ones shed. See
+        :class:`~repro.obs.spans.SpanRecorder`.
     telemetry_interval:
         Simulated seconds between telemetry samples; ``None`` disables
         the sampler (spans only).
@@ -109,8 +114,10 @@ class ObsContext:
 
     def __init__(self, span_capacity: Optional[int] = 1_000_000,
                  telemetry_interval: Optional[float] = None,
-                 telemetry_capacity: Optional[int] = 4096):
-        self.spans = SpanRecorder(capacity=span_capacity)
+                 telemetry_capacity: Optional[int] = 4096,
+                 span_reserved: Optional[dict] = None):
+        self.spans = SpanRecorder(capacity=span_capacity,
+                                  reserved=span_reserved)
         self.telemetry_interval = telemetry_interval
         self.telemetry_capacity = telemetry_capacity
         #: One Telemetry per simulator seen (a sweep builds many sims).

@@ -73,12 +73,40 @@ class SpanRecorder:
         ``dropped`` and discarded (the retained prefix keeps its
         causality intact — dropping old spans would orphan children).
         ``None`` keeps everything; only use unbounded capacity in tests.
+    reserved:
+        Optional per-category slot quotas, e.g. ``{"client": 50_000}``.
+        A span of a reserved category consumes its category's quota
+        first and only competes for the shared pool (``capacity`` minus
+        the sum of all quotas) once the quota is exhausted. Long traced
+        runs use this to keep every client root span — the thing
+        percentile reporting needs — while high-volume disk-phase spans
+        are the ones shed at capacity. Per-category shed counts land in
+        ``dropped_by_category``.
     """
 
-    def __init__(self, capacity: Optional[int] = 1_000_000):
+    def __init__(self, capacity: Optional[int] = 1_000_000,
+                 reserved: Optional[Dict[str, int]] = None):
         self.capacity = capacity
+        self.reserved = dict(reserved) if reserved else None
+        if self.reserved is not None:
+            if any(quota < 0 for quota in self.reserved.values()):
+                raise ValueError(f"negative span quota: {self.reserved}")
+            self._quota_left = dict(self.reserved)
+            reserve_total = sum(self.reserved.values())
+            if capacity is not None and reserve_total > capacity:
+                raise ValueError(
+                    f"span quotas {reserve_total} exceed capacity "
+                    f"{capacity}")
+        else:
+            self._quota_left = None
+            reserve_total = 0
+        #: Slots not reserved for any category (None = unbounded).
+        self._shared_cap = (None if capacity is None
+                            else capacity - reserve_total)
+        self._shared_used = 0
         self.spans: List[Span] = []
         self.dropped = 0
+        self.dropped_by_category: Dict[str, int] = {}
         self._next_span = 1
         self._next_trace = 1
 
@@ -95,11 +123,28 @@ class SpanRecorder:
             self._next_trace = trace_id + 1
         span = Span(span_id, trace_id, parent_id, name, category, start,
                     args)
-        if self.capacity is not None and len(self.spans) >= self.capacity:
-            self.dropped += 1
-        else:
+        if self._retain(category):
             self.spans.append(span)
+        else:
+            self.dropped += 1
+            self.dropped_by_category[category] = \
+                self.dropped_by_category.get(category, 0) + 1
         return span
+
+    def _retain(self, category: str) -> bool:
+        """Take a slot for one span of ``category`` if any is left."""
+        if self.capacity is None:
+            return True
+        quota_left = self._quota_left
+        if quota_left is not None:
+            left = quota_left.get(category)
+            if left:
+                quota_left[category] = left - 1
+                return True
+        if self._shared_used < self._shared_cap:
+            self._shared_used += 1
+            return True
+        return False
 
     def end(self, span: Span, end: float) -> None:
         """Close ``span`` at time ``end``."""
@@ -143,8 +188,11 @@ class SpanRecorder:
                 and (category is None or s.category == category)]
 
     def __repr__(self) -> str:
+        shed = (f" shed={self.dropped_by_category}"
+                if self.dropped_by_category else "")
         return (f"<SpanRecorder spans={len(self.spans)} "
-                f"traces={self._next_trace - 1} dropped={self.dropped}>")
+                f"traces={self._next_trace - 1} "
+                f"dropped={self.dropped}{shed}>")
 
 
 def span_trees(spans: Iterable[Span]) -> Dict[int, Tuple[Span, Dict[int, List[Span]]]]:

@@ -151,6 +151,91 @@ def test_check_per_workload_tolerance_override(stub_rates, tmp_path,
 
 
 # ---------------------------------------------------------------------------
+# Flatness gates (relative-rate invariants between measured workloads)
+# ---------------------------------------------------------------------------
+
+
+def _stub_streams_scale(monkeypatch, rate_100, rate_10k):
+    """Stub both tiers so the streams_scale flatness pair is measured."""
+    monkeypatch.setattr(
+        bench, "measure_kernel",
+        lambda repeats=3: {"churn": {"events_per_sec": 100.0,
+                                     "events_per_run": 10}})
+    monkeypatch.setattr(
+        bench, "measure_domain",
+        lambda repeats=3: {
+            "streams_scale_100": {"ops_per_sec": rate_100,
+                                  "ops_per_run": 1600},
+            "streams_scale_10k": {"ops_per_sec": rate_10k,
+                                  "ops_per_run": 160000},
+        })
+
+
+def _flat_baseline(tmp_path, rate_100, rate_10k):
+    report = {
+        "kernel": {"churn": {"events_per_sec": 100.0,
+                             "events_per_run": 10}},
+        "domain": {
+            "streams_scale_100": {"ops_per_sec": rate_100,
+                                  "ops_per_run": 1600,
+                                  "tolerance": 0.35},
+            "streams_scale_10k": {"ops_per_sec": rate_10k,
+                                  "ops_per_run": 160000,
+                                  "tolerance": 0.35},
+        },
+    }
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_check_passes_when_scale_rates_flat(monkeypatch, tmp_path,
+                                            capsys):
+    _stub_streams_scale(monkeypatch, rate_100=80_000.0, rate_10k=55_000.0)
+    path = _flat_baseline(tmp_path, rate_100=80_000.0, rate_10k=55_000.0)
+    assert bench.run_check(path, tolerance=0.20, repeats=1,
+                           remeasure=1) == 0
+    captured = capsys.readouterr()
+    assert "flat domain/streams_scale_10k" in captured.out
+    assert "NOT FLAT" not in captured.out
+
+
+def test_check_fails_when_10k_rate_exceeds_2x_of_100(monkeypatch,
+                                                     tmp_path, capsys):
+    # Both workloads within their own regression tolerance vs the
+    # recorded baseline, but the *relation* between them broke: per-op
+    # cost at 10k streams is now 4x the 100-stream cost. Only the
+    # flatness gate can catch this.
+    _stub_streams_scale(monkeypatch, rate_100=80_000.0, rate_10k=20_000.0)
+    path = _flat_baseline(tmp_path, rate_100=80_000.0, rate_10k=21_000.0)
+    assert bench.run_check(path, tolerance=0.20, repeats=1,
+                           remeasure=1) == 1
+    captured = capsys.readouterr()
+    assert "NOT FLAT" in captured.err
+    assert "4.00x" in captured.err
+
+
+def test_flatness_gate_skipped_without_paired_workloads(stub_rates,
+                                                        tmp_path, capsys):
+    # Neither streams_scale workload in the measurement: no gate rows.
+    path = _baseline(tmp_path, kernel_rate=100.0, domain_rate=50.0)
+    assert bench.run_check(path, tolerance=0.20, repeats=1) == 0
+    assert "flat " not in capsys.readouterr().out
+
+
+def test_evaluate_flatness_ratio_math():
+    rows, failed = bench._evaluate_flatness({
+        "domain/streams_scale_100": 100.0,
+        "domain/streams_scale_10k": 50.0})
+    assert failed == []
+    assert "ratio= 2.00x" in rows[0]
+    rows, failed = bench._evaluate_flatness({
+        "domain/streams_scale_100": 100.0,
+        "domain/streams_scale_10k": 49.0})
+    assert len(failed) == 1
+
+
+# ---------------------------------------------------------------------------
 # Sweep tier (fabric fan-out) gating
 # ---------------------------------------------------------------------------
 

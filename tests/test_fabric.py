@@ -46,6 +46,10 @@ def _slow_point(scale, params):
     return float(params["x"]) + 0.5
 
 
+def _nan_point(scale, params):
+    return float("nan")
+
+
 def _die_once_point(scale, params):
     """Kills its worker process on first execution, succeeds on retry."""
     sentinel = params["sentinel"]
@@ -152,6 +156,39 @@ def test_run_sweep_falls_back_when_fabric_breaks():
     assert serial.as_dict() == degraded.as_dict()
 
 
+def test_mixed_mode_small_sweeps_skip_the_fabric(monkeypatch):
+    """Sweeps under the FABRIC_MIN_POINTS floor run in-process even
+    with a fabric configured; REPRO_FABRIC_MIN_POINTS=0 forces the
+    fabric for everything."""
+    from repro.experiments.executor import Point, SweepSpec
+
+    class CountingFabric:
+        def __init__(self):
+            self.calls = 0
+
+        def run_tasks(self, tasks, keys=None, use_cache=False):
+            self.calls += 1
+            return [fn(scale, params) for fn, scale, params in tasks]
+
+    spec = SweepSpec(
+        experiment_id="mixed-mode-tiny", title="t", x_label="x",
+        y_label="y", point_fn=_cheap_point,
+        points=(Point(series="y", x=1, params={"x": 1}),
+                Point(series="y", x=2, params={"x": 2})))
+    counting = CountingFabric()
+    small = run_sweep(spec, TINY, jobs=1, cache=False, fabric=counting)
+    assert counting.calls == 0  # 2 pending points < floor of 4
+    monkeypatch.setenv("REPRO_FABRIC_MIN_POINTS", "0")
+    forced = run_sweep(spec, TINY, jobs=1, cache=False, fabric=counting)
+    assert counting.calls == 1
+    assert small.as_dict() == forced.as_dict()  # route never changes bits
+    # A malformed override is ignored, not fatal: back to the default
+    # floor, so the 2-point sweep stays local again.
+    monkeypatch.setenv("REPRO_FABRIC_MIN_POINTS", "many")
+    run_sweep(spec, TINY, jobs=1, cache=False, fabric=counting)
+    assert counting.calls == 1
+
+
 # ---------------------------------------------------------------------------
 # End-to-end: spawned workers
 # ---------------------------------------------------------------------------
@@ -228,6 +265,53 @@ def test_cold_worker_reuses_warm_peer_result_via_coordinator(tmp_path):
                                 use_cache=True) == [123.5]
         assert fabric.cache_local_hits == 1
     assert SweepCache(str(worker_root)).get(key) == (True, 123.5)
+
+
+def test_computed_result_written_back_to_coordinator_store(tmp_path):
+    coord_root = tmp_path / "coord"
+    task = (_cheap_point, TINY, {"x": 9})
+    key = point_key(*task)
+    expected = _cheap_point(TINY, {"x": 9})
+    # The worker caches on a *different* disk than the coordinator — the
+    # dial-out shape where, without write-back, the coordinator's store
+    # never learns computed values.
+    with Fabric("1", cache_root=str(coord_root),
+                worker_env={"REPRO_SWEEP_CACHE": str(tmp_path / "w1")}
+                ) as fabric:
+        assert fabric.run_tasks([task], keys=[key],
+                                use_cache=True) == [expected]
+        assert fabric.cache_writebacks == 1
+        assert fabric.stats()["cache_writebacks"] == 1
+    # The computed value landed in the coordinator's store...
+    assert SweepCache(str(coord_root)).get(key) == (True, expected)
+    # ...so a fresh, cache-cold worker peer-hits instead of recomputing.
+    with Fabric("1", cache_root=str(coord_root),
+                worker_env={"REPRO_SWEEP_CACHE": str(tmp_path / "w2")}
+                ) as fabric:
+        assert fabric.run_tasks([task], keys=[key],
+                                use_cache=True) == [expected]
+        assert fabric.cache_peer_hits == 1
+        assert fabric.cache_writebacks == 0  # peer hits are not computes
+
+
+def test_cacheless_and_nan_results_are_not_written_back(tmp_path):
+    coord_root = tmp_path / "coord"
+    task = (_cheap_point, TINY, {"x": 1})
+    with Fabric("1", cache_root=str(coord_root),
+                worker_env={"REPRO_SWEEP_CACHE": str(tmp_path / "w")}
+                ) as fabric:
+        # No keys / cache disabled: nothing may touch the store.
+        fabric.run_tasks([task])
+        assert fabric.cache_writebacks == 0
+        # NaN (the timed-out-point sentinel) is never cached anywhere.
+        nan_task = (_nan_point, TINY, {})
+        values = fabric.run_tasks([nan_task],
+                                  keys=[point_key(*nan_task)],
+                                  use_cache=True)
+        assert len(values) == 1 and values[0] != values[0]
+        assert fabric.cache_writebacks == 0
+    assert not (coord_root / "").exists() or not any(
+        path.is_file() for path in coord_root.rglob("*"))
 
 
 def test_backend_mismatched_worker_is_refused():

@@ -34,7 +34,8 @@ def test_markdown_precision():
 
 
 def test_extensions_registry():
-    assert set(EXTENSIONS) == {"ext-faults", "ext-fragmentation",
+    assert set(EXTENSIONS) == {"ext-faults", "ext-fleet",
+                               "ext-fragmentation",
                                "ext-insensitivity",
                                "ext-latency-breakdown"}
 

@@ -51,6 +51,69 @@ def test_recorder_capacity_drops_new_spans():
     assert "dropped=2" in repr(recorder)
 
 
+def test_reserved_quota_keeps_category_recording_at_capacity():
+    # 2 of the 5 slots are reserved for client roots: disk-phase spans
+    # may fill (and overflow) the shared pool without ever displacing a
+    # client span.
+    recorder = SpanRecorder(capacity=5, reserved={"client": 2})
+    for i in range(6):
+        recorder.begin(f"d{i}", "disk", float(i))
+    clients = [recorder.begin(f"c{i}", "client", 10.0 + i)
+               for i in range(2)]
+    assert len(recorder) == 5
+    # Shared pool = 3 slots -> three disk spans kept, three shed.
+    assert [s.name for s in recorder.spans] == \
+        ["d0", "d1", "d2", "c0", "c1"]
+    assert recorder.dropped == 3
+    assert recorder.dropped_by_category == {"disk": 3}
+    assert recorder.roots("client") == clients
+    assert "shed={'disk': 3}" in repr(recorder)
+
+
+def test_reserved_category_spills_into_shared_pool():
+    # Quota exhausted -> reserved spans compete for shared slots like
+    # anyone else (and are counted per category once those run out too).
+    recorder = SpanRecorder(capacity=3, reserved={"client": 1})
+    for i in range(4):
+        recorder.begin(f"c{i}", "client", float(i))
+    assert [s.name for s in recorder.spans] == ["c0", "c1", "c2"]
+    assert recorder.dropped_by_category == {"client": 1}
+
+
+def test_reserved_quota_validation():
+    with pytest.raises(ValueError, match="negative span quota"):
+        SpanRecorder(capacity=10, reserved={"client": -1})
+    with pytest.raises(ValueError, match="exceed capacity"):
+        SpanRecorder(capacity=10, reserved={"client": 8, "server": 3})
+    # Unbounded capacity accepts any quota (it never sheds).
+    recorder = SpanRecorder(capacity=None, reserved={"client": 10**9})
+    for i in range(4):
+        recorder.begin(f"s{i}", "disk", float(i))
+    assert len(recorder) == 4 and recorder.dropped == 0
+
+
+def test_no_reserve_behaves_exactly_like_plain_capacity():
+    plain = SpanRecorder(capacity=2)
+    unreserved = SpanRecorder(capacity=2, reserved=None)
+    for recorder in (plain, unreserved):
+        for i in range(4):
+            recorder.begin(f"s{i}", "x", float(i))
+    assert [s.name for s in plain.spans] == \
+        [s.name for s in unreserved.spans]
+    assert plain.dropped == unreserved.dropped == 2
+
+
+def test_obs_context_threads_span_reserved_through():
+    import repro.obs as obs
+    context = obs.ObsContext(span_capacity=4,
+                             span_reserved={"client": 3})
+    for i in range(4):
+        context.spans.begin(f"d{i}", "disk", float(i))
+    span = context.spans.begin("c", "client", 9.0)
+    assert span in context.spans.spans
+    assert context.spans.dropped_by_category == {"disk": 3}
+
+
 def test_close_open_marks_truncated():
     recorder = SpanRecorder(capacity=None)
     span = recorder.begin("open", "test", 1.0)
