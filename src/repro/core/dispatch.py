@@ -78,6 +78,18 @@ class DispatchSet:
         """Streams queued for admission."""
         return len(self._waiting_ids)
 
+    @property
+    def load_factor(self) -> float:
+        """Dispatched + waiting streams relative to width.
+
+        1.0 means every slot busy with nothing queued; values above 1
+        measure backlog depth. The server's admission shedding scales
+        its retry-after hint by this, so clients of an overloaded
+        server are told to back off proportionally to the backlog
+        (DESIGN.md §9).
+        """
+        return (len(self._members) + len(self._waiting_ids)) / self.width
+
     def is_member(self, stream: StreamQueue) -> bool:
         """Is the stream currently dispatched?"""
         return stream.stream_id in self._members

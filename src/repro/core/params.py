@@ -99,6 +99,21 @@ class ServerParams:
     retry_backoff_jitter: float = 0.5
     retry_seed: int = 0
     quarantine_threshold: int = 0
+    #: Open-loop admission control (DESIGN.md §9). Default *off* (0 =
+    #: unbounded) so the fault-free path stays bit-identical.
+    #: ``admission_limit`` caps client requests in service at once;
+    #: overflow waits in a bounded FIFO of ``admission_queue_depth``
+    #: entries. When that queue is also full the *oldest* waiting
+    #: request is shed (FIFO shedding keeps the queue fresh) with an
+    #: ``AdmissionShedError`` carrying a retry-after hint:
+    #: ``shed_backoff_s`` with ``shed_backoff_jitter`` multiplicative
+    #: jitter from an ``admission_seed``-seeded RNG, scaled by
+    #: dispatch-set load.
+    admission_limit: int = 0
+    admission_queue_depth: int = 0
+    shed_backoff_s: float = 5e-3
+    shed_backoff_jitter: float = 0.5
+    admission_seed: int = 0
 
     def __post_init__(self):
         if self.read_ahead < 0 or self.read_ahead % SECTOR_BYTES:
@@ -144,6 +159,20 @@ class ServerParams:
             raise ValueError(
                 f"quarantine_threshold must be >= 0: "
                 f"{self.quarantine_threshold}")
+        if self.admission_limit < 0:
+            raise ValueError(
+                f"admission_limit must be >= 0: {self.admission_limit}")
+        if self.admission_queue_depth < 0:
+            raise ValueError(
+                f"admission_queue_depth must be >= 0: "
+                f"{self.admission_queue_depth}")
+        if self.shed_backoff_s <= 0:
+            raise ValueError(
+                f"shed_backoff_s must be positive: {self.shed_backoff_s}")
+        if not 0.0 <= self.shed_backoff_jitter < 1.0:
+            raise ValueError(
+                f"shed_backoff_jitter must be in [0, 1): "
+                f"{self.shed_backoff_jitter}")
         if self.read_ahead and self.memory_budget < self.residency_bytes:
             raise ValueError(
                 f"memory budget {self.memory_budget} below one residency "

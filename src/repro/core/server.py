@@ -21,6 +21,7 @@ paper's Section 4.2 ordering.
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Set
 
@@ -32,7 +33,11 @@ from repro.core.gc import GarbageCollector
 from repro.core.params import ServerParams
 from repro.core.policies import ReplacementPolicy
 from repro.core.stream import StreamQueue
-from repro.faults.errors import RequestTimeout, is_transient
+from repro.faults.errors import (
+    AdmissionShedError,
+    RequestTimeout,
+    is_transient,
+)
 from repro.io import BlockDevice, IOKind, IORequest, stamp_submit
 from repro.sim import Simulator
 from repro.sim.events import Event
@@ -64,6 +69,7 @@ class ServerReport:
     detected_streams: int
     gc_cycles: int
     quarantined_streams: int = 0
+    shed_requests: int = 0
 
     def __str__(self) -> str:
         return (
@@ -150,6 +156,18 @@ class StreamServer:
         self._c_timeouts = stats.counter("deadline_timeouts")
         self._c_quarantined = stats.counter("quarantined_streams")
         self._c_quarantine_bypass = stats.counter("quarantine_bypass")
+        # Open-loop admission control (DESIGN.md §9). Off by default:
+        # the off path adds one cached-boolean test to submit() and the
+        # routing body (_accept) is untouched, so fault-free runs stay
+        # bit-identical to the historical server.
+        self._admission_limit = self.params.admission_limit
+        self._admission_on = self._admission_limit > 0
+        self._admission_queue_depth = self.params.admission_queue_depth
+        self._in_service = 0
+        self._admission_queue: deque = deque()
+        self._admission_rng = random.Random(self.params.admission_seed)
+        self._c_shed = stats.counter("admission_shed")
+        self._c_admission_queued = stats.counter("admission_queued")
         # Ambient observability, captured once. Every hook below guards
         # on the cached boolean, so the default (obs off) adds exactly
         # one false test per hook site to the hot path.
@@ -201,9 +219,90 @@ class StreamServer:
 
     # -- BlockDevice protocol ---------------------------------------------------
     def submit(self, request: IORequest) -> Event:
-        """Accept a client request; returns its completion event."""
+        """Accept a client request; returns its completion event.
+
+        With admission control off (the default) this is a straight
+        hand-off to the routing body (:meth:`_accept`) — one boolean
+        test, bit-identical to the historical server. With it on, at
+        most ``admission_limit`` client requests are in service; the
+        overflow waits in a bounded FIFO, and when that is full too the
+        oldest waiting request is shed (DESIGN.md §9).
+        """
         stamp_submit(request, self.sim.now)
         event = self.sim.event(self._srv_name)
+        if not self._admission_on:
+            return self._accept(request, event)
+        if self._in_service < self._admission_limit:
+            self._admit(request, event)
+            return event
+        queue = self._admission_queue
+        if self._admission_queue_depth > 0:
+            if len(queue) >= self._admission_queue_depth:
+                # FIFO shedding: drop the *oldest* waiting request so
+                # the queue holds the freshest work (a stale request's
+                # client has likely given up on it anyway).
+                old_request, old_event = queue.popleft()
+                self._shed(old_request, old_event)
+            queue.append((request, event))
+            self._c_admission_queued.add(request.size)
+            return event
+        self._shed(request, event)
+        return event
+
+    # -- admission control (DESIGN.md §9) -----------------------------------
+    def _admit(self, request: IORequest, event: Event) -> None:
+        """Count the request in service; release when its event fires.
+
+        The release callback rides the completion event itself (fired
+        on success *and* failure), so every exit path — staged hit,
+        direct relay, quarantine drain, fetch abort — releases the
+        slot without per-site bookkeeping. The write-coalescer branch
+        returns its own event; the callback follows it there.
+        """
+        self._in_service += 1
+        out = self._accept(request, event)
+        if out is not event:
+            out.callbacks.append(
+                lambda fired, target=event: self._mirror_completion(
+                    fired, target))
+        out.callbacks.append(self._admission_release)
+
+    def _mirror_completion(self, fired: Event, target: Event) -> None:
+        """Relay a substitute completion onto the event the client holds."""
+        if fired.ok:
+            target.succeed(fired.value)
+        else:
+            target.fail(fired.value)
+
+    def _admission_release(self, _event: Event) -> None:
+        self._in_service -= 1
+        queue = self._admission_queue
+        while queue and self._in_service < self._admission_limit:
+            request, event = queue.popleft()
+            self._admit(request, event)
+
+    def _shed(self, request: IORequest, event: Event) -> None:
+        """Fail a request at the admission edge with a backoff hint."""
+        retry_after = self.params.shed_backoff_s
+        jitter = self.params.shed_backoff_jitter
+        if jitter:
+            retry_after *= 1.0 + jitter * (
+                2.0 * self._admission_rng.random() - 1.0)
+        # Scale the hint by dispatch-set load: the deeper the backlog,
+        # the longer a resubmit should wait.
+        retry_after *= 1.0 + self.dispatch.load_factor
+        self._c_shed.add(request.size)
+        if self._obs_on:
+            self._obs.instant_for(
+                request, "server.shed", "mark", self.sim.now,
+                args={"retry_after_s": retry_after})
+        event.fail(AdmissionShedError(
+            f"{request!r} shed at admission "
+            f"(in-service limit {self._admission_limit})",
+            retry_after_s=retry_after))
+
+    def _accept(self, request: IORequest, event: Event) -> Event:
+        """Route an admitted request; returns the client-facing event."""
         if not request.is_read:
             if self.write_coalescer is not None:
                 return self.write_coalescer.write(request)
@@ -615,6 +714,7 @@ class StreamServer:
             detected_streams=self.classifier.detected,
             gc_cycles=self.gc.cycles,
             quarantined_streams=self._c_quarantined.count,
+            shed_requests=self._c_shed.count,
         )
 
     @property

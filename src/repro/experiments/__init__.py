@@ -25,6 +25,7 @@ from repro.experiments import (
 from repro.experiments import (
     ext_faults,
     ext_fleet,
+    ext_fleet_openloop,
     ext_fragmentation,
     ext_insensitivity,
     ext_latency_breakdown,
@@ -51,6 +52,7 @@ EXPERIMENTS = {
 EXTENSIONS = {
     "ext-faults": ext_faults.run,
     "ext-fleet": ext_fleet.run,
+    "ext-fleet-openloop": ext_fleet_openloop.run,
     "ext-fragmentation": ext_fragmentation.run,
     "ext-insensitivity": ext_insensitivity.run,
     "ext-latency-breakdown": ext_latency_breakdown.run,

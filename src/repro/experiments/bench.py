@@ -61,7 +61,9 @@ from typing import List, Optional
 
 from repro.experiments import EXPERIMENTS, EXTENSIONS, FULL, QUICK, SMOKE
 from repro.experiments.domainbench import (DOMAIN_TOLERANCES,
-                                           DOMAIN_WORKLOADS, ops_per_second)
+                                           DOMAIN_WORKLOADS,
+                                           DRIVE_TOLERANCES,
+                                           DRIVE_WORKLOADS, ops_per_second)
 from repro.experiments.executor import resolve_jobs
 from repro.experiments.fabricbench import measure_sweep
 from repro.sim.eventcore import (ENV_VAR as _EVENTCORE_ENV,
@@ -97,6 +99,10 @@ KERNEL_AB_TOLERANCE = 0.35
 #: are absent from the measurement (older baselines) are skipped.
 FLATNESS_GATES = [
     ("domain/streams_scale_10k", "domain/streams_scale_100", 2.0),
+    # Slow tier (bench --slow): the same flatness relation over real
+    # DiskDrive mechanics instead of the zero-cost stub.
+    ("drive/streams_scale_drive_10k", "drive/streams_scale_drive_100",
+     2.0),
 ]
 
 
@@ -167,6 +173,18 @@ def measure_domain(repeats: int = 3) -> dict:
     return domain
 
 
+def measure_drive(repeats: int = 3) -> dict:
+    """ops/sec for the slow real-drive tier (``bench --slow`` only)."""
+    drive = {}
+    for name, workload in DRIVE_WORKLOADS.items():
+        rate, ops = ops_per_second(workload, repeats=repeats)
+        drive[name] = {"ops_per_sec": round(rate, 1),
+                       "ops_per_run": ops}
+        if name in DRIVE_TOLERANCES:
+            drive[name]["tolerance"] = DRIVE_TOLERANCES[name]
+    return drive
+
+
 def measure_figures(figure_ids: List[str], scale, jobs: int,
                     cache: bool) -> dict:
     """Wall time + series per figure via the sweep executor."""
@@ -214,7 +232,7 @@ def _recorded_kernel(report: dict) -> dict:
     return report.get("kernel", {})
 
 
-def _recorded_rates(report: dict) -> dict:
+def _recorded_rates(report: dict, slow: bool = False) -> dict:
     """Flatten a trajectory file into {tier/workload: rate}.
 
     On a backend mismatch the domain tier is omitted: its
@@ -222,6 +240,11 @@ def _recorded_rates(report: dict) -> dict:
     overhead) were recorded on the recording backend, and there is no
     per-backend domain baseline to gate against. The forced-backend CI
     legs gate the kernel tier; the default leg gates everything.
+
+    The slow real-drive tier is included only with ``slow`` — fast
+    ``--check`` runs must filter it from *both* sides of the
+    comparison, or a nightly-recorded baseline would fail every fast
+    check with MISSING entries.
     """
     rates = {}
     for name, entry in _recorded_kernel(report).items():
@@ -229,13 +252,17 @@ def _recorded_rates(report: dict) -> dict:
     if not _backend_mismatch(report):
         for name, entry in report.get("domain", {}).items():
             rates[f"domain/{name}"] = entry["ops_per_sec"]
+        if slow:
+            for name, entry in report.get("drive", {}).items():
+                rates[f"drive/{name}"] = entry["ops_per_sec"]
         for name, entry in report.get("sweep", {}).items():
             for workers, rate in entry.get("points_per_sec", {}).items():
                 rates[f"sweep/{name}@w{workers}"] = rate
     return rates
 
 
-def _recorded_tolerances(report: dict, default: float) -> dict:
+def _recorded_tolerances(report: dict, default: float,
+                         slow: bool = False) -> dict:
     """Per-workload tolerance overrides from the baseline file.
 
     A baseline entry may carry a ``"tolerance"`` field (fractional
@@ -250,6 +277,10 @@ def _recorded_tolerances(report: dict, default: float) -> dict:
         for name, entry in report.get("domain", {}).items():
             tolerances[f"domain/{name}"] = float(
                 entry.get("tolerance", default))
+        if slow:
+            for name, entry in report.get("drive", {}).items():
+                tolerances[f"drive/{name}"] = float(
+                    entry.get("tolerance", default))
         for name, entry in report.get("sweep", {}).items():
             allowed = float(entry.get("tolerance", default))
             for workers in entry.get("points_per_sec", {}):
@@ -257,17 +288,21 @@ def _recorded_tolerances(report: dict, default: float) -> dict:
     return tolerances
 
 
-def _measure_all(repeats: int, sweep: bool = True) -> dict:
+def _measure_all(repeats: int, sweep: bool = True,
+                 slow: bool = False) -> dict:
     """One full measurement pass over all tiers.
 
     ``sweep=False`` skips the fabric fan-out measurement (it spawns 13
-    worker processes) when the baseline has no sweep entries to gate.
+    worker processes) when the baseline has no sweep entries to gate;
+    ``slow`` adds the real-drive tier (nightly lane only).
     """
     report = {"kernel": measure_kernel(repeats=repeats),
               "domain": measure_domain(repeats=repeats)}
+    if slow:
+        report["drive"] = measure_drive(repeats=repeats)
     if sweep:
         report["sweep"] = measure_sweep()
-    return _recorded_rates(report)
+    return _recorded_rates(report, slow=slow)
 
 
 def _evaluate(baseline: dict, current: dict, tolerances: dict) -> tuple:
@@ -313,7 +348,8 @@ def _evaluate_flatness(current: dict) -> tuple:
 
 
 def run_check(path: str, tolerance: float, repeats: int,
-              remeasure: int = DEFAULT_REMEASURE) -> int:
+              remeasure: int = DEFAULT_REMEASURE,
+              slow: bool = False) -> int:
     """Re-measure both tiers against ``path``; 0 = no regression.
 
     Noise hardening: workloads that look regressed on the first
@@ -328,7 +364,7 @@ def run_check(path: str, tolerance: float, repeats: int,
         print(f"bench --check: cannot read {path}: {exc}",
               file=sys.stderr)
         return 2
-    baseline = _recorded_rates(recorded)
+    baseline = _recorded_rates(recorded, slow=slow)
     if not baseline:
         print(f"bench --check: no recorded workloads in {path}",
               file=sys.stderr)
@@ -341,10 +377,11 @@ def run_check(path: str, tolerance: float, repeats: int,
         print("bench --check: gating kernel tier against the matching "
               "kernel_backends baseline; domain tier skipped (recorded "
               f"with {recorded_core})")
-    tolerances = _recorded_tolerances(recorded, tolerance)
+    tolerances = _recorded_tolerances(recorded, tolerance, slow=slow)
     need_sweep = any(name.startswith("sweep/") for name in baseline)
     samples = {name: [rate] for name, rate in
-               _measure_all(repeats, sweep=need_sweep).items()}
+               _measure_all(repeats, sweep=need_sweep,
+                            slow=slow).items()}
     current = {name: rates[0] for name, rates in samples.items()}
     rows, regressed_names, missing = _evaluate(baseline, current,
                                                tolerances)
@@ -354,8 +391,8 @@ def run_check(path: str, tolerance: float, repeats: int,
               f"workload(s)/gate(s) look regressed; re-measuring "
               f"(median of {remeasure})")
         for _ in range(remeasure - 1):
-            for name, rate in _measure_all(repeats,
-                                           sweep=need_sweep).items():
+            for name, rate in _measure_all(repeats, sweep=need_sweep,
+                                           slow=slow).items():
                 samples.setdefault(name, []).append(rate)
         current = {name: statistics.median(rates)
                    for name, rates in samples.items()}
@@ -425,6 +462,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="median-of-N re-measure for workloads that "
                              "look regressed on the first --check pass "
                              f"(default {DEFAULT_REMEASURE}; 1 disables)")
+    parser.add_argument("--slow", action="store_true",
+                        help="include the real-drive scale tier "
+                             "(nightly lane): measured and recorded "
+                             "under 'drive', and gated by --check only "
+                             "when this flag is present")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         metavar="PATH",
                         help=f"output path (default {DEFAULT_OUTPUT}; "
@@ -436,7 +478,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--remeasure must be >= 1")
         return run_check(arguments.check, arguments.tolerance,
                          arguments.repeats,
-                         remeasure=arguments.remeasure)
+                         remeasure=arguments.remeasure,
+                         slow=arguments.slow)
 
     figure_ids = list(arguments.figures)
     if arguments.all_figures:
@@ -458,6 +501,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "domain": measure_domain(repeats=arguments.repeats),
         "sweep": measure_sweep(),
     }
+    if arguments.slow:
+        report["drive"] = measure_drive(repeats=arguments.repeats)
     if arguments.baseline:
         with open(arguments.baseline, "r", encoding="utf-8") as handle:
             previous = json.load(handle)

@@ -29,6 +29,18 @@ millions of times per sweep. These workloads time exactly those paths so
   "data-plane indexes") the three rates stay flat; ``bench --check``
   additionally enforces the flatness relation itself via
   :data:`repro.experiments.bench.FLATNESS_GATES`.
+* ``hedge_overhead`` — the ``server_smoke`` path routed through a
+  policies-off :class:`~repro.node.HedgedVolume`: hedging and EWMA
+  selection disabled, so the recorded rate prices the resilience
+  layer's dormant guards (one cached boolean per request) against the
+  bare-volume baseline (DESIGN.md §9's zero-overhead-off guarantee).
+
+A second, *slow* tier (``DRIVE_WORKLOADS``, nightly only via ``bench
+--slow``) repeats the streams-scale flatness experiment over **real**
+:class:`~repro.disk.drive.DiskDrive` instances — full queueing,
+geometry and cache mechanics on every fetch — instead of the zero-cost
+stub, so a stream-count-dependent cost hiding in the drive-facing path
+(rather than the server indexes) cannot slip past the stub tier.
 
 Every workload is deterministic (seeded or EXPECTED-rotation) and
 returns the number of domain operations it performed, so callers convert
@@ -46,13 +58,17 @@ from repro.sim.microbench import events_per_second as ops_per_second
 __all__ = [
     "DOMAIN_TOLERANCES",
     "DOMAIN_WORKLOADS",
+    "DRIVE_TOLERANCES",
+    "DRIVE_WORKLOADS",
     "cache_churn",
     "drive_service",
     "geometry_lookup",
+    "hedge_overhead",
     "obs_overhead",
     "ops_per_second",
     "server_smoke",
     "streams_scale",
+    "streams_scale_drive",
 ]
 
 
@@ -213,6 +229,43 @@ def obs_overhead(streams: int = 12, duration: float = 0.5) -> int:
     return server_smoke(streams=streams, duration=duration)
 
 
+def hedge_overhead(streams: int = 12, duration: float = 0.5) -> int:
+    """``server_smoke`` through a policies-off HedgedVolume.
+
+    Identical fleet and drive to :func:`server_smoke`, but every
+    request crosses :class:`~repro.node.HedgedVolume` with hedging and
+    EWMA selection disabled — the exact configuration DESIGN.md §9
+    guarantees is bit-identical to the bare volume. The recorded
+    ops/sec therefore prices the resilience layer's dormant guards;
+    a regression against the ``server_smoke`` baseline means work
+    leaked out of the ``if self._hedging`` fast-path checks.
+    """
+    from repro.core.params import ServerParams
+    from repro.core.server import StreamServer
+    from repro.node import HedgedVolume, HedgePolicy, base_topology, \
+        build_node
+    from repro.sim import Simulator
+    from repro.units import KiB
+    from repro.workload import ClientFleet, StreamSpec
+
+    sim = Simulator()
+    node = build_node(sim, base_topology())
+    volume = HedgedVolume(sim, node, list(node.disk_ids),
+                          policy=HedgePolicy(select="roundrobin",
+                                             hedge=False))
+    server = StreamServer(sim, volume, ServerParams())
+    size = 64 * KiB
+    spacing = volume.capacity_bytes // streams
+    spacing -= spacing % size
+    specs = [StreamSpec(stream_id=i, disk_id=0, start_offset=i * spacing,
+                        request_size=size) for i in range(streams)]
+    fleet = ClientFleet(sim, server, specs)
+    report = fleet.run(duration=duration)
+    completed = server.stats.counter("completed").count
+    assert report.total_bytes > 0
+    return completed
+
+
 def streams_scale(streams: int, per_stream: int = 16) -> int:
     """Server data plane with ``streams`` concurrent sequential readers.
 
@@ -292,6 +345,87 @@ def streams_scale_10k() -> int:
     return streams_scale(10_000)
 
 
+def streams_scale_drive(streams: int, per_stream: int = 4) -> int:
+    """Server data plane at scale over **real** drives (slow tier).
+
+    The same growing-population shape as :func:`streams_scale`, but the
+    device is eight full :class:`~repro.disk.drive.DiskDrive` instances
+    (DiskSim base spec, deterministic EXPECTED rotation) behind a
+    per-``disk_id`` router — every fetch pays queue policy, cylinder
+    mapping, cache lookup and completion, exactly like production
+    topologies. Per-stream work is constant, so the 100 → 10k rates
+    expose any O(streams) term in the *drive-facing* path that the
+    zero-cost-stub tier cannot see. Nightly only (``bench --slow``):
+    the 10k point builds tens of thousands of real drive requests.
+
+    Returns the number of client requests completed
+    (``streams * per_stream``, asserted).
+    """
+    from repro.core.params import ServerParams
+    from repro.core.server import StreamServer
+    from repro.disk.drive import DiskDrive, DriveConfig
+    from repro.disk.mechanics import RotationMode
+    from repro.disk.specs import DISKSIM_GENERIC
+    from repro.io import IOKind, IORequest
+    from repro.sim import Simulator
+    from repro.units import KiB, MiB
+
+    size = 64 * KiB
+    num_disks = 8
+
+    sim = Simulator()
+    drives = [DiskDrive(sim, DISKSIM_GENERIC,
+                        DriveConfig(rotation_mode=RotationMode.EXPECTED))
+              for _ in range(num_disks)]
+
+    class _DriveArray:
+        """Route ``request.disk_id`` to its drive; per-disk capacity."""
+
+        capacity_bytes = drives[0].capacity_bytes
+        disk_ids = list(range(num_disks))
+
+        def submit(self, request):
+            return drives[request.disk_id].submit(request)
+
+    server = StreamServer(sim, _DriveArray(),
+                          ServerParams(memory_budget=64 * MiB))
+    per_disk = -(-streams // num_disks)  # ceil
+    spacing = (drives[0].capacity_bytes // per_disk) // MiB * MiB \
+        - (per_stream + 1) * size
+
+    def client(disk_id, start, stream_id):
+        offset = start
+        for _ in range(per_stream):
+            yield server.submit(IORequest(
+                kind=IOKind.READ, disk_id=disk_id, offset=offset,
+                size=size, stream_id=stream_id))
+            offset += size
+
+    processes = [
+        sim.process(client(index % num_disks,
+                           (index // num_disks) * spacing, index))
+        for index in range(streams)]
+    sim.run_until_event(sim.all_of(processes))
+    completed = server.stats.counter("completed").count
+    assert completed == streams * per_stream
+    return completed
+
+
+def streams_scale_drive_100() -> int:
+    """100 streams over real drives — the slow-tier baseline point."""
+    return streams_scale_drive(100)
+
+
+def streams_scale_drive_1k() -> int:
+    """1,000 streams over real drives — the slow-tier mid point."""
+    return streams_scale_drive(1_000)
+
+
+def streams_scale_drive_10k() -> int:
+    """10,000 streams over real drives — the slow-tier scale point."""
+    return streams_scale_drive(10_000)
+
+
 #: name -> zero-argument workload returning its domain-op count.
 DOMAIN_WORKLOADS: Dict[str, Callable[[], int]] = {
     "geometry_lookup": geometry_lookup,
@@ -299,9 +433,27 @@ DOMAIN_WORKLOADS: Dict[str, Callable[[], int]] = {
     "drive_service": drive_service,
     "server_smoke": server_smoke,
     "obs_overhead": obs_overhead,
+    "hedge_overhead": hedge_overhead,
     "streams_scale_100": streams_scale_100,
     "streams_scale_1k": streams_scale_1k,
     "streams_scale_10k": streams_scale_10k,
+}
+
+#: Slow tier: real-drive scale workloads, measured only by
+#: ``bench --slow`` (the nightly lane) and recorded under ``"drive"``.
+DRIVE_WORKLOADS: Dict[str, Callable[[], int]] = {
+    "streams_scale_drive_100": streams_scale_drive_100,
+    "streams_scale_drive_1k": streams_scale_drive_1k,
+    "streams_scale_drive_10k": streams_scale_drive_10k,
+}
+
+#: ``bench --check --slow`` tolerances for the drive tier: the 10k
+#: point allocates tens of thousands of live requests, so wall time
+#: swings with allocator/GC state like the other scale workloads.
+DRIVE_TOLERANCES: Dict[str, float] = {
+    "streams_scale_drive_100": 0.35,
+    "streams_scale_drive_1k": 0.35,
+    "streams_scale_drive_10k": 0.35,
 }
 
 #: Per-workload ``bench --check`` tolerance overrides recorded into each

@@ -1,0 +1,198 @@
+"""Extension experiment — open-loop overload with hedged mirror reads.
+
+``ext-fleet``'s closed-loop populations cycle-limit at saturation (a
+slow server simply slows its clients), so queueing delay and capacity
+blur together. This experiment drives the same server shape with
+*open-loop* Poisson arrivals swept through saturation, under a
+deliberate straggler adversary: one member disk of the first mirror
+group is slowed 4× for the whole run (PR 4's
+:class:`~repro.faults.StragglerDevice`).
+
+Two placement policies run at every arrival rate on identical
+topologies and identical arrival sequences (same seeds — the arrivals
+are completion-independent, so the comparison is paired):
+
+* **round-robin** — reads rotate over mirror members blind to service
+  time, the paper's dispatch assumption; half of the straggler group's
+  fetches eat the 4× penalty.
+* **hedged** — :class:`~repro.node.HedgedVolume` EWMA routing plus
+  duplicate reads for aged requests; the slow member is organically
+  avoided and stragglers are cut off by the hedge.
+
+The server's bounded admission queue is on (DESIGN.md §9): past
+saturation the shed rate reports the overload honestly while admitted
+requests keep a bounded tail. Each point reports client p50/p99/p999
+(from ``repro.obs`` client root spans, errored roots excluded) and the
+shed percentage.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.analysis import ExperimentResult
+from repro.core import ServerParams, StreamServer
+from repro.disk.specs import WD800JD
+from repro.experiments.base import QUICK, ExperimentScale
+from repro.experiments.executor import Point, SweepSpec, run_sweep
+from repro.faults import StragglerDevice
+from repro.node import HedgePolicy, HedgedVolume, build_node, large_topology
+from repro.sim import Simulator
+from repro.units import KiB, MiB
+from repro.workload import OpenLoopFleet, StreamSpec
+
+__all__ = ["run", "sweep", "ARRIVAL_RATES", "MIRROR_WIDTH", "NUM_DISKS"]
+
+#: Eight spindles paired into four mirror groups.
+NUM_DISKS = 8
+MIRROR_WIDTH = 2
+NUM_GROUPS = NUM_DISKS // MIRROR_WIDTH
+#: Aggregate arrival rates (requests/s) swept through saturation.
+ARRIVAL_RATES = [500, 1500, 4500]
+NUM_STREAMS = 24
+REQUEST_SIZE = 64 * KiB
+READ_AHEAD = 1 * MiB
+REQUESTS_PER_RESIDENCY = 4
+#: One member of group 0 runs this much slower, for the whole run.
+STRAGGLER_SLOWDOWN = 8.0
+STRAGGLER_DISK = 0
+#: Admission edge: in-service cap + bounded FIFO waiting room.
+ADMISSION_LIMIT = 200
+ADMISSION_QUEUE_DEPTH = 50
+
+POLICIES = ("hedged", "round-robin")
+WARMUP_FLOOR_S = 0.5
+SPAN_CAPACITY = 400_000
+CLIENT_SPAN_RESERVE = 250_000
+
+
+def _hedge_policy(policy: str) -> HedgePolicy:
+    if policy == "hedged":
+        return HedgePolicy(select="ewma", hedge=True,
+                           hedge_k=2.0, hedge_min_s=2e-2)
+    return HedgePolicy(select="roundrobin", hedge=False)
+
+
+class _GroupedVolumes:
+    """Route ``request.disk_id`` (a mirror-group index) to its volume.
+
+    Presents the mirror groups to the stream server as one device with
+    ``NUM_GROUPS`` virtual disks, each the size of a single member (a
+    mirror stores copies, not capacity).
+    """
+
+    def __init__(self, sim: Simulator, node, groups):
+        self.sim = sim
+        self.node = node
+        self.groups = list(groups)
+        self.disk_ids = list(range(len(self.groups)))
+        self.capacity_bytes = node.capacity_bytes
+
+    def submit(self, request):
+        return self.groups[request.disk_id].submit(request)
+
+    def register_buffers(self, count: int) -> None:
+        self.node.register_buffers(count)
+
+
+def _percentile(ordered: list, q: float) -> float:
+    """Exact q-quantile of a sorted sample (0.0 when empty)."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def _point(scale: ExperimentScale, params: dict) -> dict:
+    """One (arrival rate, policy) cell → tail latency + shed series."""
+    rate = params["rate"]
+    policy = params["policy"]
+    with obs.activated(obs.ObsContext(
+            span_capacity=SPAN_CAPACITY,
+            span_reserved={"client": CLIENT_SPAN_RESERVE})) as context:
+        sim = Simulator()
+        node = build_node(sim, large_topology(NUM_DISKS,
+                                              disk_spec=WD800JD,
+                                              seed=1))
+        adversary = StragglerDevice(sim, node,
+                                    slowdown=STRAGGLER_SLOWDOWN,
+                                    disk_id=STRAGGLER_DISK)
+        hedge = _hedge_policy(policy)
+        groups = [
+            HedgedVolume(sim, adversary,
+                         list(range(g * MIRROR_WIDTH,
+                                    (g + 1) * MIRROR_WIDTH)),
+                         policy=hedge)
+            for g in range(NUM_GROUPS)
+        ]
+        volume = _GroupedVolumes(sim, node, groups)
+        server_params = ServerParams(
+            read_ahead=READ_AHEAD,
+            dispatch_width=NUM_DISKS,
+            requests_per_residency=REQUESTS_PER_RESIDENCY,
+            memory_budget=2 * NUM_DISKS * READ_AHEAD
+            * REQUESTS_PER_RESIDENCY,
+            admission_limit=ADMISSION_LIMIT,
+            admission_queue_depth=ADMISSION_QUEUE_DEPTH)
+        server = StreamServer(sim, volume, server_params)
+        per_group = NUM_STREAMS // NUM_GROUPS
+        stride = (volume.capacity_bytes // per_group
+                  // REQUEST_SIZE * REQUEST_SIZE)
+        specs = [
+            StreamSpec(stream_id=index, disk_id=index % NUM_GROUPS,
+                       start_offset=(index // NUM_GROUPS) * stride,
+                       request_size=REQUEST_SIZE)
+            for index in range(NUM_STREAMS)
+        ]
+        # Same arrival seed for every policy: arrivals are open-loop
+        # (completion-independent), so both policies face the identical
+        # request sequence and the comparison is paired.
+        fleet = OpenLoopFleet(sim, server, specs, rate=float(rate),
+                              seed=int(rate))
+        # Stream detection needs ~3 requests per stream before the
+        # coalescing path exists at all; floor the warm-up so the
+        # measured window starts past the cold-start herd even at SMOKE.
+        warmup = max(scale.warmup, WARMUP_FLOOR_S)
+        report = fleet.run(duration=scale.duration, warmup=warmup)
+    boundary = sim.now - scale.duration
+    latencies = sorted(
+        root.duration for root in context.spans.roots("client")
+        if root.end is not None and root.end >= boundary
+        and not (root.args and "error" in root.args))
+    return {
+        f"{policy} p50 (ms)": _percentile(latencies, 0.50) * 1e3,
+        f"{policy} p99 (ms)": _percentile(latencies, 0.99) * 1e3,
+        f"{policy} p999 (ms)": _percentile(latencies, 0.999) * 1e3,
+        f"{policy} shed (%)": report.shed_rate * 100.0,
+    }
+
+
+def sweep() -> SweepSpec:
+    """One point per (rate, policy); each fans into its metric series."""
+    points = tuple(
+        Point(series=f"{policy} p99 (ms)", x=rate,
+              params={"rate": rate, "policy": policy})
+        for rate in ARRIVAL_RATES
+        for policy in POLICIES)
+    series_order = tuple(
+        f"{policy} {metric}"
+        for policy in POLICIES
+        for metric in ("p50 (ms)", "p99 (ms)", "p999 (ms)", "shed (%)"))
+    return SweepSpec(
+        experiment_id="ext-fleet-openloop",
+        title=f"Open-loop overload: hedged vs round-robin mirrors "
+              f"({NUM_GROUPS}x{MIRROR_WIDTH} disks, "
+              f"{STRAGGLER_SLOWDOWN:g}x straggler)",
+        x_label="arrival rate (req/s)",
+        y_label="see series (msec or % shed)",
+        notes="extension: Poisson open-loop arrivals through saturation "
+              "under a straggler adversary; bounded admission with FIFO "
+              "shedding; percentiles from repro.obs client root spans",
+        point_fn=_point,
+        points=points,
+        series_order=series_order)
+
+
+def run(scale: ExperimentScale = QUICK, jobs: int | None = None,
+        cache: bool = True) -> ExperimentResult:
+    """Tail latency + shed rate vs arrival rate, hedged vs round-robin."""
+    return run_sweep(sweep(), scale, jobs=jobs, cache=cache)

@@ -27,13 +27,17 @@ Entry points:
 from __future__ import annotations
 
 from repro.experiments.fabric.coordinator import Fabric, FabricError
-from repro.experiments.fabric.protocol import (WorkerSpec, parse_address,
-                                               parse_spec)
+from repro.experiments.fabric.protocol import (AUTH_ENV, WorkerSpec,
+                                               auth_proof, fabric_secret,
+                                               parse_address, parse_spec)
 
 __all__ = [
+    "AUTH_ENV",
     "Fabric",
     "FabricError",
     "WorkerSpec",
+    "auth_proof",
+    "fabric_secret",
     "parse_address",
     "parse_spec",
 ]

@@ -46,6 +46,7 @@ machinery as a simulation trace.
 
 from __future__ import annotations
 
+import hmac
 import itertools
 import logging
 import os
@@ -59,10 +60,12 @@ import time
 from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.experiments.fabric.protocol import (Address, FrameBuffer,
-                                               FrameError, WorkerSpec,
-                                               connect, format_address,
-                                               parse_spec, send_msg)
+from repro.experiments.fabric.protocol import (AUTH_ENV, Address,
+                                               FrameBuffer, FrameError,
+                                               WorkerSpec, auth_proof,
+                                               connect, fabric_secret,
+                                               format_address, parse_spec,
+                                               send_msg)
 
 _log = logging.getLogger("repro.fabric")
 
@@ -130,13 +133,18 @@ class Fabric:
 
     def __init__(self, spec: str, cache_root: Optional[str] = None,
                  hedge_k: float = 3.0, hedge_min_s: float = 1.0,
-                 worker_env: Optional[Dict[str, str]] = None):
+                 worker_env: Optional[Dict[str, str]] = None,
+                 secret: Optional[str] = None):
         self.spec: WorkerSpec = parse_spec(spec)
         self.spec_text = spec
         self.hedge_k = hedge_k
         self.hedge_min_s = hedge_min_s
         self._cache_root = cache_root
         self._worker_env = dict(worker_env or {})
+        #: Shared auth secret: explicit argument wins, else the
+        #: environment (REPRO_FABRIC_SECRET); "" means auth off.
+        self._secret = fabric_secret() if secret is None \
+            else (secret or None)
         self._store = None  # lazy SweepCache
         self._selector: Optional[selectors.BaseSelector] = None
         self._listener: Optional[socket.socket] = None
@@ -252,6 +260,11 @@ class Fabric:
         env["PYTHONPATH"] = os.pathsep.join(
             entry for entry in sys.path if entry)
         env.update(self._worker_env)
+        # Spawned workers inherit an explicitly-passed secret unless
+        # the caller deliberately overrode it via worker_env (tests
+        # use that to exercise the mismatch path).
+        if self._secret is not None and AUTH_ENV not in self._worker_env:
+            env[AUTH_ENV] = self._secret
         command = [sys.executable, "-m", "repro.experiments.fabric",
                    "worker", "--connect",
                    format_address(self._listen_address)]
@@ -336,6 +349,22 @@ class Fabric:
                 pass
             sock.close()
             return
+        if self._secret is not None:
+            if not self._authenticate(sock, hello):
+                return
+        elif hello.get("auth"):
+            # The worker holds a secret we do not: it will refuse our
+            # first task anyway, so fail fast with a clear reason.
+            _log.warning(
+                "fabric: refusing worker pid=%s: it requires "
+                "authentication but %s is unset here",
+                hello.get("pid"), AUTH_ENV)
+            try:
+                send_msg(sock, {"type": "shutdown"})
+            except OSError:
+                pass
+            sock.close()
+            return
         sock.settimeout(None)
         sock.setblocking(False)
         worker = _Worker(next(self._ident), sock, process=process)
@@ -343,6 +372,51 @@ class Fabric:
         worker.host = hello.get("host", "")
         self._workers[worker.ident] = worker
         self._selector.register(sock, selectors.EVENT_READ, data=worker)
+
+    def _authenticate(self, sock: socket.socket, hello: dict) -> bool:
+        """Mutual challenge/response with a just-helloed worker.
+
+        We prove knowledge of the secret first (HMAC over the worker's
+        hello nonce), the worker answers with its HMAC over our fresh
+        nonce. Any failure closes the socket before a single task byte
+        flows; returns whether the worker may join the fabric.
+        """
+        from repro.experiments.fabric.protocol import recv_msg
+
+        def refuse(reason: str) -> bool:
+            _log.warning("fabric: refusing worker pid=%s: %s",
+                         hello.get("pid"), reason)
+            try:
+                send_msg(sock, {"type": "shutdown"})
+            except OSError:
+                pass
+            sock.close()
+            return False
+
+        worker_nonce = hello.get("nonce")
+        if not isinstance(worker_nonce, str) or not worker_nonce:
+            return refuse("hello carries no auth nonce "
+                          "(worker predates authentication?)")
+        challenge_nonce = os.urandom(16).hex()
+        try:
+            send_msg(sock, {
+                "type": "challenge", "nonce": challenge_nonce,
+                "proof": auth_proof(self._secret, "coordinator",
+                                    worker_nonce)})
+            reply = recv_msg(sock)
+        except (OSError, FrameError) as exc:
+            _log.warning("fabric: worker auth handshake failed: %s", exc)
+            sock.close()
+            return False
+        if reply is None or reply.get("type") != "auth":
+            return refuse(f"expected auth reply, got "
+                          f"{None if reply is None else reply.get('type')!r}")
+        mac = reply.get("mac")
+        expected = auth_proof(self._secret, "worker", challenge_nonce)
+        if not isinstance(mac, str) \
+                or not hmac.compare_digest(mac, expected):
+            return refuse("bad auth proof (secret mismatch)")
+        return True
 
     def _drop_worker(self, worker: _Worker, requeue: bool) -> None:
         """Unregister a dead/closing worker; optionally re-queue its

@@ -15,7 +15,18 @@ type           direction  payload
 ``hello``      w -> c     ``pid``, ``host``, ``eventcore`` (backend
                           token; the coordinator refuses workers whose
                           kernel backend differs from its own — mixed
-                          backends would mix cache fingerprints)
+                          backends would mix cache fingerprints),
+                          ``nonce`` (worker's challenge material),
+                          ``auth`` (bool: the worker holds a secret and
+                          demands mutual authentication)
+``challenge``  c -> w     ``nonce`` (coordinator's challenge material),
+                          ``proof`` — HMAC-SHA256 over the *worker's*
+                          hello nonce keyed by the shared secret; sent
+                          only by coordinators holding a secret, and
+                          always before any ``task`` bytes flow
+``auth``       w -> c     ``mac`` — the worker's HMAC over the
+                          coordinator's challenge nonce; closes the
+                          mutual handshake
 ``task``       c -> w     ``task`` (id), ``key`` (cache key or null),
                           ``fn`` ("module:qualname"), ``scale``
                           ({name, duration, warmup}), ``params``,
@@ -42,27 +53,64 @@ coordinator to spawn that many local worker processes over a private
 socket; a comma list ``"hostA:7070,hostB:7070"`` (or Unix-socket paths)
 dials out to workers started with ``python -m repro.experiments.fabric
 worker --listen ADDR``.
+
+Authentication (:func:`auth_proof`): when both sides export
+``REPRO_FABRIC_SECRET`` the hello is followed by a
+challenge/response — each side proves knowledge of the shared secret
+by HMAC-ing the *other* side's fresh nonce (so a recorded handshake
+replays nothing), and either side closes the connection before any
+task bytes flow if the peer's proof does not verify. An empty
+environment value means "no secret": the fabric stays open, matching
+the trusted-transport default documented in the ROADMAP.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
+import os
 import socket
 import struct
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 __all__ = [
+    "AUTH_ENV",
     "MAX_MESSAGE",
     "FrameError",
     "WorkerSpec",
+    "auth_proof",
     "connect",
+    "fabric_secret",
     "format_address",
     "parse_address",
     "parse_spec",
     "recv_msg",
     "send_msg",
 ]
+
+#: Environment variable holding the fabric's shared authentication
+#: secret. Unset or empty means authentication is off.
+AUTH_ENV = "REPRO_FABRIC_SECRET"
+
+
+def fabric_secret() -> Optional[str]:
+    """The process's fabric secret, or None when auth is off."""
+    secret = os.environ.get(AUTH_ENV, "")
+    return secret or None
+
+
+def auth_proof(secret: str, role: str, nonce: str) -> str:
+    """HMAC-SHA256 proof that ``role`` knows ``secret`` for ``nonce``.
+
+    The role tag ("coordinator" / "worker") keeps the two directions
+    of the mutual handshake from being mirrors of each other: a proof
+    recorded from one side can never satisfy the other side's check.
+    """
+    return hmac.new(secret.encode("utf-8"),
+                    f"{role}:{nonce}".encode("utf-8"),
+                    hashlib.sha256).hexdigest()
 
 _HEADER = struct.Struct("!I")
 

@@ -28,6 +28,7 @@ free-lists instead of re-allocating its way up to ``POOL_LIMIT``.
 
 from __future__ import annotations
 
+import hmac
 import logging
 import math
 import os
@@ -36,8 +37,9 @@ import time
 from typing import Any, Dict, Optional
 
 from repro.experiments.base import ExperimentScale
-from repro.experiments.fabric.protocol import (FrameError, recv_msg,
-                                               send_msg)
+from repro.experiments.fabric.protocol import (AUTH_ENV, FrameError,
+                                               auth_proof, fabric_secret,
+                                               recv_msg, send_msg)
 from repro.sim.eventcore import backend_token, sweep_arena
 
 _log = logging.getLogger("repro.fabric.worker")
@@ -133,15 +135,47 @@ def handle_task(sock: socket.socket, message: Dict[str, Any],
 
 
 def serve_connection(sock: socket.socket, cache=None) -> None:
-    """Run the worker protocol over an established connection."""
+    """Run the worker protocol over an established connection.
+
+    With ``REPRO_FABRIC_SECRET`` set the first coordinator message
+    must be a valid ``challenge`` (its proof HMACs our hello nonce);
+    anything else — including a bare ``task`` from an unauthenticated
+    coordinator — closes the connection before any point runs.
+    """
     if cache is None:
         from repro.experiments.executor import SweepCache
         cache = SweepCache()
+    secret = fabric_secret()
+    nonce = os.urandom(16).hex()
     send_msg(sock, {"type": "hello", "pid": os.getpid(),
                     "host": socket.gethostname(),
-                    "eventcore": backend_token()})
-    while True:
+                    "eventcore": backend_token(),
+                    "nonce": nonce,
+                    "auth": secret is not None})
+    message = recv_msg(sock)
+    if secret is not None:
+        if message is None or message.get("type") == "shutdown":
+            return  # the coordinator refused us first; nothing to do
+        if message.get("type") != "challenge":
+            _log.warning(
+                "coordinator sent %r before authenticating; closing",
+                message.get("type"))
+            return
+        proof = message.get("proof")
+        expected = auth_proof(secret, "coordinator", nonce)
+        if not isinstance(proof, str) \
+                or not hmac.compare_digest(proof, expected):
+            _log.warning("coordinator failed authentication; closing")
+            return
+        send_msg(sock, {"type": "auth",
+                        "mac": auth_proof(secret, "worker",
+                                          str(message.get("nonce")))})
         message = recv_msg(sock)
+    elif message is not None and message.get("type") == "challenge":
+        _log.warning("coordinator requires authentication but %s is "
+                     "unset here; closing", AUTH_ENV)
+        return
+    while True:
         if message is None or message.get("type") == "shutdown":
             return
         if message.get("type") == "task":
@@ -149,6 +183,7 @@ def serve_connection(sock: socket.socket, cache=None) -> None:
         else:
             raise FrameError(
                 f"unexpected coordinator message {message.get('type')!r}")
+        message = recv_msg(sock)
 
 
 def main(connect_to: Optional[str] = None,

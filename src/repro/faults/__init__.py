@@ -9,6 +9,7 @@ device.
 
 from repro.faults.device import FaultyDevice, StragglerDevice
 from repro.faults.errors import (
+    AdmissionShedError,
     DeviceError,
     DiskDeadError,
     MediaError,
@@ -28,6 +29,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "AdmissionShedError",
     "DeviceError",
     "DiskDeath",
     "DiskDeadError",

@@ -14,11 +14,18 @@ policies care about is *transient* vs *permanent*:
 request exceeded its per-request deadline (usually because a straggler
 device inflated its service time). It is transient — the device is
 alive, just slow — so retry policies treat it as retryable.
+
+:class:`AdmissionShedError` is likewise server-raised: the bounded
+admission queue was full and the request was shed at the edge before
+touching any device. It is transient by construction — the client
+should back off for the deterministic-jitter hint in ``retry_after_s``
+and resubmit.
 """
 
 from __future__ import annotations
 
 __all__ = [
+    "AdmissionShedError",
     "DeviceError",
     "DiskDeadError",
     "MediaError",
@@ -56,6 +63,21 @@ class DiskDeadError(PermanentDeviceError):
 
 class RequestTimeout(TransientDeviceError):
     """A request missed its per-request deadline (straggler device)."""
+
+
+class AdmissionShedError(TransientDeviceError):
+    """Shed at the server's admission edge; retry after ``retry_after_s``.
+
+    The request never reached a device: the server's in-service limit
+    was hit and its bounded waiting queue was full, so the oldest
+    waiting request was dropped (FIFO shedding keeps the queue fresh).
+    ``retry_after_s`` carries the server's deterministic-jitter backoff
+    hint, scaled by dispatch-set load.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 def is_transient(exc: BaseException) -> bool:

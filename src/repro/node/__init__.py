@@ -5,6 +5,7 @@ single :class:`~repro.io.BlockDevice`; :mod:`repro.node.topology` provides
 the paper's three configurations (base 1×1, medium 2×4, large 15-16×4).
 """
 
+from repro.node.hedging import HedgedVolume, HedgePolicy
 from repro.node.node import HostParams, StorageNode
 from repro.node.striping import StripedVolume
 from repro.node.topology import (
@@ -16,6 +17,8 @@ from repro.node.topology import (
 )
 
 __all__ = [
+    "HedgePolicy",
+    "HedgedVolume",
     "HostParams",
     "NodeTopology",
     "StorageNode",

@@ -3,6 +3,12 @@
 from repro.workload.client import ClientFleet, FleetReport, StreamClient
 from repro.workload.generators import StreamSpec, uniform_streams
 from repro.workload.mixed import random_requests, zipf_requests
+from repro.workload.openloop import (
+    OpenLoopClient,
+    OpenLoopFleet,
+    OpenLoopReport,
+    poisson_arrivals,
+)
 from repro.workload.trace import (
     TraceRecordEntry,
     TraceReplayer,
@@ -15,12 +21,16 @@ from repro.workload.xdd import XddReport, run_xdd
 __all__ = [
     "ClientFleet",
     "FleetReport",
+    "OpenLoopClient",
+    "OpenLoopFleet",
+    "OpenLoopReport",
     "StreamClient",
     "StreamSpec",
     "TraceRecordEntry",
     "TraceReplayer",
     "XddReport",
     "load_trace",
+    "poisson_arrivals",
     "random_requests",
     "record_fleet_trace",
     "run_xdd",

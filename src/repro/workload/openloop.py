@@ -1,0 +1,312 @@
+"""Open-loop clients: arrivals that do not wait for completions.
+
+The closed-loop :class:`~repro.workload.client.StreamClient` issues its
+next request only after the previous one returns, so an overloaded
+server simply cycle-limits the clients — queueing delay and capacity
+blur together (ROADMAP: the ``ext-fleet`` 4k/10k populations sit in
+exactly this regime). An *open-loop* client issues requests at arrival
+times drawn independently of completions — a Poisson process at a
+configured rate, or an explicit trace of arrival times — so offered
+load can be swept *through* saturation: latency, backlog, and the
+server's admission shedding become visible as functions of arrival
+rate.
+
+Every arrival is issued fire-and-forget; a collector process awaits
+each completion, counting successes, admission sheds
+(:class:`~repro.faults.errors.AdmissionShedError` — expected under
+overload, always tolerated) and other errors separately. Arrival
+times come from a stream-seeded :class:`random.Random`, so a run is
+deterministic per ``(seed, stream_id)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro import obs
+from repro.faults.errors import AdmissionShedError
+from repro.io import BlockDevice, IORequest
+from repro.sim import Simulator
+from repro.sim.stats import LatencySampler
+from repro.workload.generators import StreamSpec
+
+__all__ = [
+    "OpenLoopClient",
+    "OpenLoopFleet",
+    "OpenLoopReport",
+    "poisson_arrivals",
+]
+
+
+def poisson_arrivals(rate: float, duration: float, seed: int = 0,
+                     start: float = 0.0) -> List[float]:
+    """Absolute arrival times of a Poisson process over a window.
+
+    Handy for trace-mode clients and for replaying the exact arrival
+    pattern a rate-mode client would generate.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive: {rate}")
+    if duration < 0:
+        raise ValueError(f"duration must be >= 0: {duration}")
+    rng = random.Random(seed)
+    times = []
+    now = start
+    while True:
+        now += rng.expovariate(rate)
+        if now >= start + duration:
+            return times
+        times.append(now)
+
+
+class OpenLoopClient:
+    """One open-loop sequential stream against a block device.
+
+    Exactly one of ``rate`` (Poisson arrivals, mean ``rate`` requests
+    per second) or ``arrivals`` (explicit absolute arrival times —
+    trace mode) must be given. Requests walk the stream's address
+    space sequentially, advancing at *issue* time; the client stops
+    arriving once ``total_bytes`` (or the device end) is reached.
+
+    Admission sheds are always tolerated — they are the server's
+    overload answer, counted in ``shed``. Other failures count in
+    ``errors`` and re-raise unless ``tolerate_errors``.
+    """
+
+    def __init__(self, sim: Simulator, device: BlockDevice,
+                 spec: StreamSpec, rate: Optional[float] = None,
+                 arrivals: Optional[Sequence[float]] = None,
+                 seed: int = 0, tolerate_errors: bool = False):
+        if (rate is None) == (arrivals is None):
+            raise ValueError("exactly one of rate/arrivals required")
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive: {rate}")
+        self.sim = sim
+        self.device = device
+        self.spec = spec
+        self.tolerate_errors = tolerate_errors
+        self._rate = rate
+        self._trace = list(arrivals) if arrivals is not None else None
+        #: Per-(seed, stream) RNG so fleets are deterministic and
+        #: streams are independent.
+        self._rng = random.Random(seed * 1_000_003 + spec.stream_id)
+        self.issued = 0
+        self.completed = 0
+        self.shed = 0
+        self.errors = 0
+        self.in_flight = 0
+        self.completed_bytes = 0
+        self.latency = LatencySampler(f"openloop{spec.stream_id}")
+        self._position = spec.start_offset
+        self._issued_bytes = 0
+        self._issued_base = 0
+        self._completed_base = 0
+        self._shed_base = 0
+        self._errors_base = 0
+        self._bytes_base = 0
+        self._obs = obs.current()
+        self._obs_on = self._obs.enabled
+
+    def reset_stats(self) -> None:
+        """Restart sampling at the warm-up/measurement boundary."""
+        self.latency = LatencySampler(f"openloop{self.spec.stream_id}")
+        self._issued_base = self.issued
+        self._completed_base = self.completed
+        self._shed_base = self.shed
+        self._errors_base = self.errors
+        self._bytes_base = self.completed_bytes
+
+    @property
+    def measured_issued(self) -> int:
+        return self.issued - self._issued_base
+
+    @property
+    def measured_completed(self) -> int:
+        return self.completed - self._completed_base
+
+    @property
+    def measured_shed(self) -> int:
+        return self.shed - self._shed_base
+
+    @property
+    def measured_errors(self) -> int:
+        return self.errors - self._errors_base
+
+    @property
+    def measured_bytes(self) -> int:
+        return self.completed_bytes - self._bytes_base
+
+    def start(self):
+        """Spawn the arrival process."""
+        return self.sim.process(
+            self._run(), name=f"openloop{self.spec.stream_id}.arrive")
+
+    def _next_request(self) -> Optional[IORequest]:
+        spec = self.spec
+        if spec.total_bytes is not None \
+                and self._issued_bytes >= spec.total_bytes:
+            return None
+        if self._position + spec.request_size > self.device.capacity_bytes:
+            return None
+        request = IORequest(kind=spec.kind, disk_id=spec.disk_id,
+                            offset=self._position, size=spec.request_size,
+                            stream_id=spec.stream_id)
+        self._position += spec.request_size
+        self._issued_bytes += spec.request_size
+        return request
+
+    def _run(self):
+        if self._trace is not None:
+            for when in self._trace:
+                delay = when - self.sim.now
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+                if not self._issue():
+                    return
+            return
+        rate = self._rate
+        rng = self._rng
+        while True:
+            yield self.sim.timeout(rng.expovariate(rate))
+            if not self._issue():
+                return
+
+    def _issue(self) -> bool:
+        """Fire one arrival; returns False once the stream is exhausted."""
+        request = self._next_request()
+        if request is None:
+            return False
+        self.issued += 1
+        issued_at = self.sim.now
+        span = None
+        if self._obs_on:
+            span = self._obs.spans.begin(
+                "request", "client", issued_at,
+                args={"stream": self.spec.stream_id,
+                      "offset": request.offset,
+                      "size": request.size})
+            self._obs.link(request, span)
+        self.in_flight += 1
+        completion = self.device.submit(request)
+        self.sim.process(
+            self._collect(request, completion, span, issued_at),
+            name=f"openloop{self.spec.stream_id}.wait")
+        return True
+
+    def _collect(self, request: IORequest, completion, span, issued_at):
+        try:
+            yield completion
+        except AdmissionShedError as exc:
+            self.in_flight -= 1
+            if span is not None:
+                span.set_arg("error", type(exc).__name__)
+                self._obs.spans.end(span, self.sim.now)
+            self.shed += 1
+            return
+        except Exception as exc:
+            self.in_flight -= 1
+            if span is not None:
+                span.set_arg("error", type(exc).__name__)
+                self._obs.spans.end(span, self.sim.now)
+            self.errors += 1
+            if not self.tolerate_errors:
+                raise
+            return
+        self.in_flight -= 1
+        if span is not None:
+            self._obs.spans.end(span, self.sim.now)
+        self.completed += 1
+        self.completed_bytes += request.size
+        self.latency.observe(self.sim.now - issued_at)
+
+
+@dataclass
+class OpenLoopReport:
+    """Aggregate results of an open-loop fleet run (measured window)."""
+
+    elapsed: float
+    num_streams: int
+    issued: int
+    completed: int
+    shed: int
+    errors: int
+    completed_bytes: int
+    #: Requests issued in the window but unresolved when it closed.
+    in_flight: int
+    mean_latency: float
+    p99_latency: float
+
+    @property
+    def offered_rate(self) -> float:
+        """Arrivals per second the fleet actually generated."""
+        return self.issued / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of issued requests shed at the admission edge."""
+        return self.shed / self.issued if self.issued else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Completed bytes per second."""
+        return (self.completed_bytes / self.elapsed
+                if self.elapsed > 0 else 0.0)
+
+
+class OpenLoopFleet:
+    """Run open-loop streams at an aggregate arrival rate and report.
+
+    ``rate`` is the fleet-wide offered load in requests per second,
+    split evenly across the stream specs (each stream is an
+    independent Poisson source, so the superposition is Poisson at
+    the full rate).
+    """
+
+    def __init__(self, sim: Simulator, device: BlockDevice,
+                 specs: Sequence[StreamSpec], rate: float, seed: int = 0,
+                 tolerate_errors: bool = False):
+        if not specs:
+            raise ValueError("fleet needs at least one stream")
+        if rate <= 0:
+            raise ValueError(f"rate must be positive: {rate}")
+        self.sim = sim
+        self.device = device
+        per_stream = rate / len(specs)
+        self.clients = [
+            OpenLoopClient(sim, device, spec, rate=per_stream, seed=seed,
+                           tolerate_errors=tolerate_errors)
+            for spec in specs
+        ]
+
+    def run(self, duration: float, warmup: float = 0.0) -> OpenLoopReport:
+        """Run warm-up then a measured window; returns window metrics."""
+        for client in self.clients:
+            client.start()
+        if warmup > 0:
+            self.sim.run(until=self.sim.now + warmup)
+        for client in self.clients:
+            client.reset_stats()
+        start = self.sim.now
+        self.sim.run(until=start + duration)
+        merged = LatencySampler("openloop-fleet")
+        for client in self.clients:
+            for sample in client.latency._reservoir:
+                merged.observe(sample)
+        total_samples = sum(c.latency.count for c in self.clients)
+        mean = 0.0
+        if total_samples:
+            mean = sum(c.latency.mean * c.latency.count
+                       for c in self.clients) / total_samples
+        return OpenLoopReport(
+            elapsed=duration,
+            num_streams=len(self.clients),
+            issued=sum(c.measured_issued for c in self.clients),
+            completed=sum(c.measured_completed for c in self.clients),
+            shed=sum(c.measured_shed for c in self.clients),
+            errors=sum(c.measured_errors for c in self.clients),
+            completed_bytes=sum(c.measured_bytes for c in self.clients),
+            in_flight=sum(c.in_flight for c in self.clients),
+            mean_latency=mean,
+            p99_latency=merged.percentile(0.99))

@@ -145,3 +145,104 @@ def test_chaos_deterministic(seed):
         [c.errors for c in second.clients]
     assert [c.finished_at for c in first.clients] == \
         [c.finished_at for c in second.clients]
+
+
+# ---------------------------------------------------------------------------
+# Hedged-mirror chaos: the resilience layer under the same fault mixes
+# ---------------------------------------------------------------------------
+
+def _hedged_plan_for(seed: int) -> FaultPlan:
+    """The base fault mix, plus a mid-run death of mirror member 0 on
+    a quarter of the seeds — the degraded-mode path hedging must keep
+    invisible to clients."""
+    import dataclasses
+
+    from repro.faults import DiskDeath
+
+    base = _plan_for(seed)
+    if seed % 4 == 1:
+        # Early enough that most of the run happens degraded (the
+        # whole workload is a few hundredths of a simulated second).
+        return dataclasses.replace(
+            base, deaths=(DiskDeath(disk_id=0, at=0.01),))
+    return base
+
+
+def _hedged_chaos_run(seed: int):
+    """One chaos run through a two-member HedgedVolume mirror."""
+    from repro.node import HedgedVolume, HedgePolicy, medium_topology
+
+    sim = Simulator()
+    node = build_node(sim, medium_topology(seed=seed))
+    faulty = FaultyDevice(sim, node, _hedged_plan_for(seed))
+    policy = HedgePolicy(
+        select="ewma" if seed % 2 else "roundrobin",
+        hedge=(seed % 5 != 0),  # a fifth of the seeds run redirect-only
+        hedge_k=1.0, hedge_min_s=1e-3)
+    volume = HedgedVolume(sim, faulty, [0, 1], policy=policy)
+    server = StreamServer(sim, volume, _params_for(seed))
+    specs = uniform_streams(NUM_STREAMS, [0], volume.capacity_bytes,
+                            request_size=REQUEST_SIZE,
+                            total_bytes=PER_STREAM_BYTES)
+    fleet = ClientFleet(sim, server, specs, tolerate_errors=True)
+    fleet.run(duration=TIME_CAP)
+    return fleet, server, volume, sim
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_hedged_chaos_invariants(seed):
+    fleet, server, volume, sim = _hedged_chaos_run(seed)
+    expected = PER_STREAM_BYTES // REQUEST_SIZE
+
+    # Termination + completion: hedge copies in flight never strand a
+    # request — every issue resolves exactly once, in time.
+    for client in fleet.clients:
+        assert client.finished_at is not None, \
+            f"seed {seed}: stream {client.spec.stream_id} never finished"
+        assert client.completed_requests + client.errors == expected
+
+    # Byte conservation with hedges racing: a request completed through
+    # *either* copy counts its bytes exactly once.
+    for client in fleet.clients:
+        assert client.completed_bytes == \
+            client.completed_requests * REQUEST_SIZE
+    report = server.report()
+    assert report.completed_bytes == sum(
+        c.completed_bytes for c in fleet.clients)
+
+    # Hedge bookkeeping sanity: losers are cancelled, never completed
+    # twice; every launched copy has drained by the end of the run.
+    stats = volume.stats
+    issued = stats.counter("hedges_issued").count
+    assert stats.counter("hedges_won").count <= issued
+    assert stats.counter("hedges_cancelled").count <= issued
+    assert all(count == 0 for count in volume._inflight.values()), \
+        f"seed {seed}: leaked in-flight copies {volume._inflight}"
+
+    # A killed member degrades the mirror but never surfaces
+    # DiskDeadError to clients: reads redirect to the survivor.
+    if seed % 4 == 1:
+        assert volume.degraded
+        assert 0 in volume.dead_disks
+
+    # No buffered-set leaks, hedged or not.
+    sim.run(until=sim.now + 10.0)
+    assert server.buffered.in_use == 0
+    assert server.memory_in_use == 0
+
+
+@pytest.mark.parametrize("seed", [s for s in SEEDS if s % 6 == 1][:3])
+def test_hedged_chaos_deterministic(seed):
+    """Same seed => bit-identical outcomes with hedges racing."""
+    first_fleet, _, first_volume, _ = _hedged_chaos_run(seed)
+    second_fleet, _, second_volume, _ = _hedged_chaos_run(seed)
+    assert [c.completed_bytes for c in first_fleet.clients] == \
+        [c.completed_bytes for c in second_fleet.clients]
+    assert [c.errors for c in first_fleet.clients] == \
+        [c.errors for c in second_fleet.clients]
+    assert [c.finished_at for c in first_fleet.clients] == \
+        [c.finished_at for c in second_fleet.clients]
+    for name in ("hedges_issued", "hedges_won", "hedges_cancelled",
+                 "redirects", "completed"):
+        assert first_volume.stats.counter(name).count == \
+            second_volume.stats.counter(name).count, name

@@ -314,6 +314,68 @@ def test_cacheless_and_nan_results_are_not_written_back(tmp_path):
         path.is_file() for path in coord_root.rglob("*"))
 
 
+def test_authenticated_fabric_runs_points(monkeypatch):
+    """Matched secrets: the mutual handshake completes and the fabric
+    serves points exactly as an open fabric would."""
+    monkeypatch.delenv("REPRO_FABRIC_SECRET", raising=False)
+    secret = "tail-latency-pr-secret"
+    with Fabric("2", secret=secret) as fabric:
+        values = fabric.run_tasks([(_cheap_point, TINY, {"x": i})
+                                   for i in range(4)])
+    assert values == [_cheap_point(TINY, {"x": i}) for i in range(4)]
+
+
+def test_secret_mismatch_refuses_workers_before_tasks_flow(monkeypatch):
+    """Coordinator and worker with different secrets never exchange a
+    task: every worker is refused at the handshake and start() fails."""
+    monkeypatch.delenv("REPRO_FABRIC_SECRET", raising=False)
+    fabric = Fabric("1", secret="right-secret",
+                    worker_env={"REPRO_FABRIC_SECRET": "wrong-secret"})
+    try:
+        with pytest.raises(FabricError):
+            fabric.start()
+        assert fabric.completed == 0
+    finally:
+        fabric.close()
+
+
+def test_unauthenticated_worker_refused_by_secret_coordinator(
+        monkeypatch):
+    """A worker with no secret cannot join a secret-holding
+    coordinator's fabric (empty env value means auth off)."""
+    monkeypatch.delenv("REPRO_FABRIC_SECRET", raising=False)
+    fabric = Fabric("1", secret="right-secret",
+                    worker_env={"REPRO_FABRIC_SECRET": ""})
+    try:
+        with pytest.raises(FabricError):
+            fabric.start()
+    finally:
+        fabric.close()
+
+
+def test_secretless_coordinator_refuses_auth_demanding_worker(
+        monkeypatch):
+    """The refusal is symmetric: a worker that demands auth is turned
+    away by a coordinator that cannot provide it."""
+    monkeypatch.delenv("REPRO_FABRIC_SECRET", raising=False)
+    fabric = Fabric("1", secret="",
+                    worker_env={"REPRO_FABRIC_SECRET": "worker-secret"})
+    try:
+        with pytest.raises(FabricError):
+            fabric.start()
+    finally:
+        fabric.close()
+
+
+def test_auth_proof_binds_role_and_nonce():
+    from repro.experiments.fabric import auth_proof
+    proof = auth_proof("s", "coordinator", "n")
+    assert proof != auth_proof("s", "worker", "n")  # role-tagged
+    assert proof != auth_proof("s", "coordinator", "m")  # nonce-bound
+    assert proof != auth_proof("t", "coordinator", "n")  # keyed
+    assert proof == auth_proof("s", "coordinator", "n")  # deterministic
+
+
 def test_backend_mismatched_worker_is_refused():
     """Cache keys embed the coordinator's event-core token, so a worker
     on a different backend must not serve points."""

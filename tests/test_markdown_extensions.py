@@ -35,6 +35,7 @@ def test_markdown_precision():
 
 def test_extensions_registry():
     assert set(EXTENSIONS) == {"ext-faults", "ext-fleet",
+                               "ext-fleet-openloop",
                                "ext-fragmentation",
                                "ext-insensitivity",
                                "ext-latency-breakdown"}
