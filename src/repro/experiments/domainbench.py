@@ -34,6 +34,10 @@ millions of times per sweep. These workloads time exactly those paths so
   selection disabled, so the recorded rate prices the resilience
   layer's dormant guards (one cached boolean per request) against the
   bare-volume baseline (DESIGN.md §9's zero-overhead-off guarantee).
+* ``sketch_ingest`` — the observability plane's percentile engine:
+  per-worker :class:`~repro.obs.sketch.QuantileSketch` ingest, the
+  coordinator's merge reduce, and the SLO quantile reads (DESIGN.md
+  §10), over a deterministic heavy-tailed sample stream.
 
 A second, *slow* tier (``DRIVE_WORKLOADS``, nightly only via ``bench
 --slow``) repeats the streams-scale flatness experiment over **real**
@@ -51,6 +55,7 @@ in pytest-benchmark for local statistics.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict
 
 from repro.sim.microbench import events_per_second as ops_per_second
@@ -67,6 +72,7 @@ __all__ = [
     "obs_overhead",
     "ops_per_second",
     "server_smoke",
+    "sketch_ingest",
     "streams_scale",
     "streams_scale_drive",
 ]
@@ -266,6 +272,41 @@ def hedge_overhead(streams: int = 12, duration: float = 0.5) -> int:
     return completed
 
 
+def sketch_ingest(samples: int = 120_000, shards: int = 8) -> int:
+    """Quantile-sketch hot path: ingest, merge, read (DESIGN.md §10).
+
+    Feeds a deterministic heavy-tailed latency-like stream (a seeded
+    LCG driving an exponential-ish transform, no ``random`` module
+    state) across ``shards`` per-worker sketches, merges them into one
+    fleet aggregate — the coordinator's reduce step — and reads the SLO
+    quantiles. One op per ingested sample; the merge/read tail is fixed
+    cost, so the recorded rate prices ``QuantileSketch.add`` the way
+    ``ext-fleet`` and the SLO engine exercise it.
+    """
+    from repro.obs.sketch import QuantileSketch
+
+    sketches = [QuantileSketch() for _ in range(shards)]
+    state = 0x2545F4914F6CDD1D
+    scale = 1.0 / 2 ** 63
+    for index in range(samples):
+        # xorshift64*: cheap, seeded, full-period — the value stream is
+        # identical on every run and every platform.
+        state ^= (state >> 12) & 0xFFFFFFFFFFFFFFFF
+        state = (state ^ (state << 25)) & 0xFFFFFFFFFFFFFFFF
+        state ^= state >> 27
+        uniform = ((state * 0x2545F4914F6CDD1D) & 0xFFFFFFFFFFFFFFFF) >> 1
+        # ~exponential via inverse CDF, latencies in the 1e-4..1 s band.
+        value = 1e-4 - 2e-2 * math.log(1.0 - uniform * scale)
+        sketches[index % shards].add(value)
+    fleet = QuantileSketch()
+    for shard in sketches:
+        fleet.merge(shard)
+    assert fleet.count == samples
+    for q in (0.5, 0.99, 0.999):
+        assert fleet.quantile(q) > 0.0
+    return samples
+
+
 def streams_scale(streams: int, per_stream: int = 16) -> int:
     """Server data plane with ``streams`` concurrent sequential readers.
 
@@ -434,6 +475,7 @@ DOMAIN_WORKLOADS: Dict[str, Callable[[], int]] = {
     "server_smoke": server_smoke,
     "obs_overhead": obs_overhead,
     "hedge_overhead": hedge_overhead,
+    "sketch_ingest": sketch_ingest,
     "streams_scale_100": streams_scale_100,
     "streams_scale_1k": streams_scale_1k,
     "streams_scale_10k": streams_scale_10k,
@@ -461,6 +503,9 @@ DRIVE_TOLERANCES: Dict[str, float] = {
 #: wall time swings more with allocator/GC state than the small steady
 #: workloads, so it carries the same loosened band as the kernel A/B tier.
 DOMAIN_TOLERANCES: Dict[str, float] = {
+    # Pure-Python ingest loop: the rate swings with allocator/GC state
+    # like the scale family, so it carries the same loosened band.
+    "sketch_ingest": 0.35,
     "streams_scale_100": 0.35,
     "streams_scale_1k": 0.35,
     "streams_scale_10k": 0.35,

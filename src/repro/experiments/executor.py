@@ -764,10 +764,33 @@ def run_sweep(spec: SweepSpec, scale: ExperimentScale,
             fabric = None
         if fabric is not None:
             from repro.experiments.fabric import FabricError
+            # With an ambient obs context active, the fabric runs every
+            # point traced: workers record spans/telemetry locally and
+            # ship them back with their results, and run_tasks merges
+            # the payloads into this context worker-tagged (DESIGN.md
+            # §10) — so a distributed traced run yields one coherent
+            # trace instead of N invisible ones. Tracing forces the
+            # shared cache off (a hit would skip the simulation that
+            # produces the spans); the runner's --trace-out path
+            # already disables the local cache for the same reason.
+            from repro import obs as _obs
+            context = _obs.current()
+            trace_config = None
+            if getattr(context, "enabled", False):
+                recorder = context.spans
+                trace_config = {
+                    "span_capacity": recorder.capacity,
+                    "span_reserved": recorder.reserved,
+                    "telemetry_interval": context.telemetry_interval,
+                    "telemetry_capacity": context.telemetry_capacity,
+                }
             try:
                 computed = fabric.run_tasks(
                     tasks, keys=order,
-                    use_cache=store is not None)
+                    use_cache=(store is not None
+                               and trace_config is None),
+                    trace=trace_config,
+                    obs_context=context if trace_config else None)
             except FabricError as exc:
                 _log.warning(
                     "sweep fabric failed (%s); recomputing %d point(s) "

@@ -21,6 +21,14 @@ Only tractable because the server data plane is index-accelerated
 per-event cost grew with the stream count and a 10k-stream simulation
 was dominated by bookkeeping loops instead of the modeled disks (the
 ``streams_scale`` bench workloads record the flat-cost guarantee).
+
+Percentiles come from a :class:`repro.obs.sketch.QuantileSketch`
+(DESIGN.md §10) rather than a sorted raw list: bounded memory at any
+request count, and every reported quantile is within
+``PERCENTILE_ACCURACY`` relative error of the exact value (pinned by
+``tests/test_obs_sketch.py``). ``SLO_SMOKE`` publishes the figure's
+shape claims as a machine-checkable spec for
+``python -m repro.obs.report slo``.
 """
 
 from __future__ import annotations
@@ -32,11 +40,12 @@ from repro.disk.specs import WD800JD
 from repro.experiments.base import QUICK, ExperimentScale, spread_streams
 from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.node import build_node, large_topology
+from repro.obs.sketch import QuantileSketch
 from repro.sim import Simulator
 from repro.units import KiB, MiB
 from repro.workload import ClientFleet
 
-__all__ = ["run", "sweep", "NUM_DISKS", "STREAM_COUNTS"]
+__all__ = ["run", "sweep", "NUM_DISKS", "SLO_SMOKE", "STREAM_COUNTS"]
 
 STREAM_COUNTS = [1000, 4000, 10000]
 NUM_DISKS = 60
@@ -52,14 +61,26 @@ SERIES_P999 = "p999 (ms)"
 #: shared pool. FULL at 10k streams is the sizing case: ~400k requests.
 SPAN_CAPACITY = 1_000_000
 CLIENT_SPAN_RESERVE = 600_000
+#: Guaranteed relative error of the reported percentiles (sketch alpha).
+PERCENTILE_ACCURACY = 0.01
 
-
-def _percentile(ordered: list, q: float) -> float:
-    """Exact q-quantile of a sorted sample (0.0 when empty)."""
-    if not ordered:
-        return 0.0
-    index = min(len(ordered) - 1, int(q * len(ordered)))
-    return ordered[index]
+#: Machine-checkable gate for a SMOKE-scale run of this figure
+#: (``python -m repro.obs.report slo --spec
+#: repro.experiments.ext_fleet:SLO_SMOKE --runner-json ... --figure
+#: ext-fleet``). Bounds are deliberately loose shape claims — the fleet
+#: keeps moving data and the p999 tail stays earthbound even at 10k
+#: streams — not regression pins.
+SLO_SMOKE = {
+    "name": "ext-fleet-smoke",
+    "objectives": [
+        {"name": "throughput floor", "kind": "series_min",
+         "series": SERIES_THROUGHPUT, "min": 1.0},
+        {"name": "p99 ceiling at 1k streams", "kind": "series_max",
+         "series": SERIES_P99, "max": 2000.0, "x": "1000"},
+        {"name": "p999 ceiling", "kind": "series_max",
+         "series": SERIES_P999, "max": 60000.0},
+    ],
+}
 
 
 def _point(scale: ExperimentScale, params: dict) -> dict:
@@ -86,14 +107,16 @@ def _point(scale: ExperimentScale, params: dict) -> dict:
         report = fleet.run(duration=scale.duration, warmup=scale.warmup,
                            settle_requests=2)
     boundary = sim.now - scale.duration
-    latencies = sorted(
+    sketch = QuantileSketch(relative_accuracy=PERCENTILE_ACCURACY)
+    sketch.extend(
         root.duration for root in context.spans.roots("client")
         if root.end is not None and root.end >= boundary)
+    p50, p99, p999 = sketch.quantiles((0.50, 0.99, 0.999))
     return {
         SERIES_THROUGHPUT: report.throughput_mb,
-        SERIES_P50: _percentile(latencies, 0.50) * 1e3,
-        SERIES_P99: _percentile(latencies, 0.99) * 1e3,
-        SERIES_P999: _percentile(latencies, 0.999) * 1e3,
+        SERIES_P50: p50 * 1e3,
+        SERIES_P99: p99 * 1e3,
+        SERIES_P999: p999 * 1e3,
     }
 
 

@@ -22,8 +22,11 @@ are completion-independent, so the comparison is paired):
 The server's bounded admission queue is on (DESIGN.md §9): past
 saturation the shed rate reports the overload honestly while admitted
 requests keep a bounded tail. Each point reports client p50/p99/p999
-(from ``repro.obs`` client root spans, errored roots excluded) and the
-shed percentage.
+(from ``repro.obs`` client root spans, errored roots excluded, via a
+:class:`repro.obs.sketch.QuantileSketch` with a guaranteed
+``PERCENTILE_ACCURACY`` relative-error bound) and the shed percentage.
+``SLO_SMOKE`` publishes the figure's overload-honesty claims as a
+machine-checkable spec for ``python -m repro.obs.report slo``.
 """
 
 from __future__ import annotations
@@ -36,11 +39,13 @@ from repro.experiments.base import QUICK, ExperimentScale
 from repro.experiments.executor import Point, SweepSpec, run_sweep
 from repro.faults import StragglerDevice
 from repro.node import HedgePolicy, HedgedVolume, build_node, large_topology
+from repro.obs.sketch import QuantileSketch
 from repro.sim import Simulator
 from repro.units import KiB, MiB
 from repro.workload import OpenLoopFleet, StreamSpec
 
-__all__ = ["run", "sweep", "ARRIVAL_RATES", "MIRROR_WIDTH", "NUM_DISKS"]
+__all__ = ["run", "sweep", "ARRIVAL_RATES", "MIRROR_WIDTH", "NUM_DISKS",
+           "SLO_SMOKE"]
 
 #: Eight spindles paired into four mirror groups.
 NUM_DISKS = 8
@@ -63,6 +68,27 @@ POLICIES = ("hedged", "round-robin")
 WARMUP_FLOOR_S = 0.5
 SPAN_CAPACITY = 400_000
 CLIENT_SPAN_RESERVE = 250_000
+#: Guaranteed relative error of the reported percentiles (sketch alpha).
+PERCENTILE_ACCURACY = 0.01
+
+#: Machine-checkable gate for a SMOKE-scale run of this figure
+#: (``python -m repro.obs.report slo --spec
+#: repro.experiments.ext_fleet_openloop:SLO_SMOKE --runner-json ...
+#: --figure ext-fleet-openloop``). The claims: pre-saturation nothing
+#: is shed and the hedged tail stays bounded despite the straggler;
+#: past saturation the admission edge keeps the admitted hedged tail
+#: from running away.
+SLO_SMOKE = {
+    "name": "ext-fleet-openloop-smoke",
+    "objectives": [
+        {"name": "no shedding pre-saturation", "kind": "series_max",
+         "series": "hedged shed (%)", "max": 1.0, "x": "500"},
+        {"name": "hedged p99 pre-saturation", "kind": "series_max",
+         "series": "hedged p99 (ms)", "max": 2000.0, "x": "500"},
+        {"name": "hedged p999 bounded under overload", "kind": "series_max",
+         "series": "hedged p999 (ms)", "max": 5000.0},
+    ],
+}
 
 
 def _hedge_policy(policy: str) -> HedgePolicy:
@@ -92,14 +118,6 @@ class _GroupedVolumes:
 
     def register_buffers(self, count: int) -> None:
         self.node.register_buffers(count)
-
-
-def _percentile(ordered: list, q: float) -> float:
-    """Exact q-quantile of a sorted sample (0.0 when empty)."""
-    if not ordered:
-        return 0.0
-    index = min(len(ordered) - 1, int(q * len(ordered)))
-    return ordered[index]
 
 
 def _point(scale: ExperimentScale, params: dict) -> dict:
@@ -154,14 +172,16 @@ def _point(scale: ExperimentScale, params: dict) -> dict:
         warmup = max(scale.warmup, WARMUP_FLOOR_S)
         report = fleet.run(duration=scale.duration, warmup=warmup)
     boundary = sim.now - scale.duration
-    latencies = sorted(
+    sketch = QuantileSketch(relative_accuracy=PERCENTILE_ACCURACY)
+    sketch.extend(
         root.duration for root in context.spans.roots("client")
         if root.end is not None and root.end >= boundary
         and not (root.args and "error" in root.args))
+    p50, p99, p999 = sketch.quantiles((0.50, 0.99, 0.999))
     return {
-        f"{policy} p50 (ms)": _percentile(latencies, 0.50) * 1e3,
-        f"{policy} p99 (ms)": _percentile(latencies, 0.99) * 1e3,
-        f"{policy} p999 (ms)": _percentile(latencies, 0.999) * 1e3,
+        f"{policy} p50 (ms)": p50 * 1e3,
+        f"{policy} p99 (ms)": p99 * 1e3,
+        f"{policy} p999 (ms)": p999 * 1e3,
         f"{policy} shed (%)": report.shed_rate * 100.0,
     }
 

@@ -92,7 +92,8 @@ class _Worker:
 
     __slots__ = ("ident", "sock", "frames", "task", "dispatched_at",
                  "ewma_s", "completed", "hedges_won", "cache_local",
-                 "cache_peer", "pid", "host", "process")
+                 "cache_peer", "cache_misses", "computed", "writebacks",
+                 "pid", "host", "process")
 
     def __init__(self, ident: int, sock: socket.socket,
                  process: Optional[subprocess.Popen] = None):
@@ -108,6 +109,11 @@ class _Worker:
         self.hedges_won = 0
         self.cache_local = 0
         self.cache_peer = 0
+        #: Cache-enabled tasks that fell through both tiers to compute.
+        self.cache_misses = 0
+        self.computed = 0
+        #: Computed values this worker contributed to the shared store.
+        self.writebacks = 0
         self.pid: Optional[int] = None
         self.host = ""
         self.process = process
@@ -482,23 +488,76 @@ class Fabric:
             "duplicate_mismatches": self.duplicate_mismatches,
         }
 
+    def prometheus_metrics(self) -> List[Tuple[str, str, float]]:
+        """Fleet + per-worker rows for the Prometheus dump.
+
+        ``(name, kind, value)`` rows suitable for the ``extra``
+        argument of :func:`repro.obs.export.export_prometheus`: the
+        lifetime fabric counters, then per worker its completion and
+        cache hit/miss/writeback counters and its dispatch-latency
+        EWMA — the numbers that previously only surfaced as raw
+        ``--fabric-trace`` events.
+        """
+        rows: List[Tuple[str, str, float]] = []
+        for name, value in self.stats().items():
+            if isinstance(value, (int, float)):
+                kind = "gauge" if name == "workers" else "counter"
+                rows.append((f"fabric.{name}", kind, float(value)))
+        for ident in sorted(self._workers):
+            worker = self._workers[ident]
+            prefix = f"fabric.w{ident}"
+            rows.extend([
+                (f"{prefix}.completed", "counter",
+                 float(worker.completed)),
+                (f"{prefix}.computed", "counter", float(worker.computed)),
+                (f"{prefix}.cache_local_hits", "counter",
+                 float(worker.cache_local)),
+                (f"{prefix}.cache_peer_hits", "counter",
+                 float(worker.cache_peer)),
+                (f"{prefix}.cache_misses", "counter",
+                 float(worker.cache_misses)),
+                (f"{prefix}.cache_writebacks", "counter",
+                 float(worker.writebacks)),
+                (f"{prefix}.hedges_won", "counter",
+                 float(worker.hedges_won)),
+                (f"{prefix}.ewma_seconds", "gauge", worker.ewma_s),
+            ])
+        return rows
+
+    def export_prometheus(self, path: str) -> int:
+        """Write :meth:`prometheus_metrics` as a Prometheus text file."""
+        from repro.obs.export import export_prometheus
+        return export_prometheus(None, path,
+                                 extra=self.prometheus_metrics())
+
     # -- the run loop -------------------------------------------------------
 
     def run_tasks(self, tasks: List[Tuple[Any, Any, dict]],
                   keys: Optional[List[Optional[str]]] = None,
-                  use_cache: bool = False) -> List[Any]:
+                  use_cache: bool = False,
+                  trace: Optional[Dict[str, Any]] = None,
+                  obs_context: Optional[Any] = None) -> List[Any]:
         """Execute ``(point_fn, scale, params)`` tasks; values in order.
 
         ``keys[i]`` is task i's sweep-cache key (or None); with
         ``use_cache`` the workers consult/populate the shared cache
-        under those keys. Raises :class:`FabricError` when the fabric
-        cannot produce every value.
+        under those keys. With ``trace`` (an obs span/telemetry config
+        dict, DESIGN.md §10) every task runs traced on its worker and
+        ships spans + telemetry back with its result; the payloads are
+        merged into ``obs_context`` in task order — deterministic
+        regardless of completion order — tagged with the computing
+        worker's ident. Tracing forces the cache off (a hit would skip
+        the simulation that produces the spans). Raises
+        :class:`FabricError` when the fabric cannot produce every
+        value.
         """
         self.start()
         if keys is None:
             keys = [None] * len(tasks)
         if len(keys) != len(tasks):
             raise ValueError("keys and tasks must align")
+        if trace:
+            use_cache = False
         if use_cache and self._store is None:
             from repro.experiments.executor import SweepCache
             self._store = SweepCache(self._cache_root)
@@ -511,22 +570,35 @@ class Fabric:
         messages = []
         for index, ((fn, scale, params), key) in enumerate(
                 zip(tasks, keys)):
-            messages.append({
+            message = {
                 "type": "task", "task": index, "run": run_id, "key": key,
                 "fn": f"{fn.__module__}:{fn.__qualname__}",
                 "scale": [scale.name, scale.duration, scale.warmup],
                 "params": dict(params),
                 "cache": bool(use_cache and key),
-            })
+            }
+            if trace:
+                message["trace"] = dict(trace)
+            messages.append(message)
 
         run = _RunState(self, messages)
         try:
-            return run.execute()
+            values = run.execute()
         finally:
             # Whatever happened, no worker may stay marked busy with a
             # task id from a finished run.
             for worker in self._workers.values():
                 worker.task = None
+        if obs_context is not None:
+            # Task order, not arrival order: the merged trace's span
+            # ids are then a pure function of the task list, identical
+            # across runs whatever the workers' relative speeds.
+            for index in range(len(messages)):
+                entry = run.obs_payloads.get(index)
+                if entry is not None:
+                    ident, payload = entry
+                    obs_context.ingest_payload(payload, worker=ident)
+        return values
 
     # -- pieces used by _RunState ------------------------------------------
 
@@ -554,6 +626,9 @@ class _RunState:
         self.dispatched_at: Dict[int, float] = {}
         self.results: Dict[int, Any] = {}
         self.requeues: Dict[int, int] = {}
+        #: task -> (worker ident, obs payload) for traced tasks; like
+        #: results, first arrival wins.
+        self.obs_payloads: Dict[int, Tuple[int, dict]] = {}
 
     # -- dispatch -----------------------------------------------------------
 
@@ -715,9 +790,16 @@ class _RunState:
         fabric._record(f"fabric.w{worker.ident}.completed", "counter",
                        worker.completed)
         if source == "compute":
-            self._write_back(task, value)
+            worker.computed += 1
+            if self.messages[task].get("cache"):
+                worker.cache_misses += 1
+            payload = message.get("obs")
+            if payload is not None:
+                self.obs_payloads[task] = (worker.ident, payload)
+            self._write_back(task, value, worker)
 
-    def _write_back(self, task: int, value: Any) -> None:
+    def _write_back(self, task: int, value: Any,
+                    worker: _Worker) -> None:
         """Persist a freshly *computed* result in the coordinator's store.
 
         Workers write computes to their own local cache, but a dial-out
@@ -742,6 +824,7 @@ class _RunState:
             return
         fabric._store.put(key, value)
         fabric.cache_writebacks += 1
+        worker.writebacks += 1
         fabric._record("fabric.cache_writebacks", "counter",
                        fabric.cache_writebacks)
 

@@ -30,13 +30,25 @@ type           direction  payload
 ``task``       c -> w     ``task`` (id), ``key`` (cache key or null),
                           ``fn`` ("module:qualname"), ``scale``
                           ({name, duration, warmup}), ``params``,
-                          ``cache`` (bool)
+                          ``cache`` (bool), optional ``trace`` — obs
+                          config ({span_capacity, span_reserved,
+                          telemetry_interval, telemetry_capacity}): run
+                          the point under a worker-local ObsContext and
+                          ship the observations back (tracing implies
+                          cache off — a hit would skip the simulation)
 ``cache_get``  w -> c     ``key`` — remote lookup in the coordinator's
                           store on a worker-local miss
 ``cache_value`` c -> w    ``hit``, ``value``
 ``result``     w -> c     ``task``, ``key``, ``value``, ``source``
                           ("compute" / "local-cache" / "peer-cache"),
-                          ``elapsed`` (worker wall seconds)
+                          ``elapsed`` (worker wall seconds), optional
+                          ``obs`` (traced tasks only; DESIGN.md §10):
+                          ``spans`` — packed span records
+                          ([id, trace, parent, name, cat, start, end,
+                          args], parents before children), ``dropped``
+                          + ``dropped_by_category`` — worker-side
+                          capacity shed, ``series`` — telemetry rows
+                          ({name, kind, samples: [[t, v], ...]})
 ``error``      w -> c     ``task``, ``error`` — the point function
                           raised; the worker itself is still healthy
 ``shutdown``   c -> w     none; the worker exits its serve loop

@@ -90,6 +90,37 @@ def _peer_cache_get(sock: socket.socket, key: str):
     return bool(reply.get("hit")), reply.get("value")
 
 
+def _invoke_traced(task: tuple, trace: Dict[str, Any]) -> tuple:
+    """Compute one point under a worker-local obs context.
+
+    Activates an :class:`~repro.obs.ObsContext` configured from the
+    coordinator's ``trace`` field around the point invocation, so every
+    instrumented component the point builds records into it — exactly
+    what the serial ``--trace-out`` path does in-process. Returns
+    ``(value, payload)`` where ``payload`` is the context's packed
+    spans + telemetry (DESIGN.md §10 wire form) ready to ride back in
+    the result message.
+    """
+    from repro import obs
+    from repro.experiments.executor import _invoke
+    reserved = trace.get("span_reserved")
+    with obs.activated(obs.ObsContext(
+            span_capacity=trace.get("span_capacity"),
+            telemetry_interval=trace.get("telemetry_interval"),
+            telemetry_capacity=trace.get("telemetry_capacity"),
+            span_reserved=dict(reserved) if reserved else None)) as context:
+        value = _invoke(task)
+    # No simulator handle survives the point, so flush still-open spans
+    # at the latest timestamp the trace itself knows about (an open
+    # span may start after every closed end, so take both into
+    # account — a flush time below a span's start would export a
+    # negative duration).
+    last = max((span.end if span.end is not None else span.start
+                for span in context.spans.spans), default=0.0)
+    context.spans.close_open(last)
+    return value, context.pack_payload()
+
+
 def handle_task(sock: socket.socket, message: Dict[str, Any],
                 cache) -> None:
     """Serve one ``task`` message; always answers exactly once."""
@@ -99,10 +130,15 @@ def handle_task(sock: socket.socket, message: Dict[str, Any],
         scale = ExperimentScale(*message["scale"])
         params = dict(message.get("params") or {})
         key: Optional[str] = message.get("key")
+        trace = message.get("trace")
+        # A traced task must actually *run* — a cache hit would return
+        # the right value but no spans — so tracing disables both cache
+        # tiers regardless of what the task says.
         use_cache = bool(message.get("cache")) and key is not None \
-            and cache is not None
+            and cache is not None and not trace
         started = time.monotonic()
         value = None
+        obs_payload = None
         source = "compute"
         if use_cache:
             hit, value = cache.get(key)
@@ -114,8 +150,12 @@ def handle_task(sock: socket.socket, message: Dict[str, Any],
                     source = "peer-cache"
                     cache.put(key, value)
         if source == "compute":
-            from repro.experiments.executor import _invoke
-            value = _invoke((point_fn, scale, params))
+            if trace:
+                value, obs_payload = _invoke_traced(
+                    (point_fn, scale, params), trace)
+            else:
+                from repro.experiments.executor import _invoke
+                value = _invoke((point_fn, scale, params))
             if use_cache and not _contains_nan(value):
                 cache.put(key, value)
     except SystemExit:
@@ -127,11 +167,14 @@ def handle_task(sock: socket.socket, message: Dict[str, Any],
                         "run": message.get("run"),
                         "error": f"{type(exc).__name__}: {exc}"})
         return
-    send_msg(sock, {"type": "result", "task": task_id,
-                    "run": message.get("run"),
-                    "key": message.get("key"), "value": value,
-                    "source": source,
-                    "elapsed": time.monotonic() - started})
+    reply = {"type": "result", "task": task_id,
+             "run": message.get("run"),
+             "key": message.get("key"), "value": value,
+             "source": source,
+             "elapsed": time.monotonic() - started}
+    if obs_payload is not None:
+        reply["obs"] = obs_payload
+    send_msg(sock, reply)
 
 
 def serve_connection(sock: socket.socket, cache=None) -> None:

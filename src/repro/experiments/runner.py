@@ -33,6 +33,13 @@ integer spawns that many local worker processes, a comma-separated
 PATH`` additionally writes the coordinator's per-worker telemetry
 (queue depth, hedges, cache hits) as a JSONL log that ``python -m
 repro.obs.report`` renders.
+
+``--workers`` composes with ``--trace-out`` (DESIGN.md §10): each
+worker runs its points under a worker-local obs context and ships
+spans + telemetry back with its results; the coordinator merges them
+into one worker-tagged Chrome trace, and ``PATH.prom`` becomes the
+fleet-wide Prometheus dump (worker telemetry plus the fabric's
+per-worker cache/dispatch counters).
 """
 
 from __future__ import annotations
@@ -103,10 +110,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--telemetry requires --trace-out")
     if arguments.fabric_trace and not arguments.workers:
         parser.error("--fabric-trace requires --workers")
-    if arguments.workers and arguments.trace_out:
-        parser.error("--workers is incompatible with --trace-out "
-                     "(spans live in the tracing process; fabric "
-                     "workers would compute points elsewhere)")
 
     requested = arguments.figures or sorted(EXPERIMENTS)
     unknown = [f for f in requested if f not in catalogue]
@@ -123,11 +126,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.experiments import executor
         obs_context = obs.ObsContext(
             telemetry_interval=arguments.telemetry)
-        jobs = 1          # spans live in this process, not workers
+        jobs = 1          # local fallbacks stay in this traced process
         use_cache = False  # a cache hit would skip the traced run
-        # A REPRO_FABRIC default would move points off-process too.
-        executor.set_default_fabric(executor.FABRIC_OFF)
-    elif arguments.workers:
+        if not arguments.workers:
+            # A REPRO_FABRIC default would move points off-process
+            # untraced; with --workers the fabric *is* the traced path
+            # (workers ship their spans back, see DESIGN.md §10).
+            executor.set_default_fabric(executor.FABRIC_OFF)
+    if arguments.workers:
         from repro.experiments import executor
         from repro.experiments.fabric import Fabric, FabricError
         fabric = Fabric(arguments.workers)
@@ -176,9 +182,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
     report["total_wall_s"] = time.time() - total_started
 
+    fabric_metrics = None
     if fabric is not None:
         stats = fabric.stats()
         report["fabric"] = stats
+        # Snapshot before close(): per-worker rows need live workers.
+        fabric_metrics = fabric.prometheus_metrics()
         if arguments.fabric_trace:
             fabric.export_telemetry(
                 arguments.fabric_trace,
@@ -201,12 +210,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         truncated = obs_context.spans.close_open(last)
         meta = {"figures": requested, "scale": scale.name,
                 "truncated": truncated}
+        if fabric_metrics is not None:
+            meta["fabric"] = arguments.workers
         export_chrome_trace(obs_context, arguments.trace_out, meta=meta)
         export_jsonl(obs_context, arguments.trace_out + ".jsonl",
                      meta=meta)
         written = [arguments.trace_out, arguments.trace_out + ".jsonl"]
-        if arguments.telemetry is not None:
-            export_prometheus(obs_context, arguments.trace_out + ".prom")
+        if arguments.telemetry is not None or fabric_metrics is not None:
+            # The fleet-wide Prometheus dump: local + worker-shipped
+            # telemetry plus the fabric's per-worker counters/EWMAs.
+            export_prometheus(obs_context, arguments.trace_out + ".prom",
+                              extra=fabric_metrics)
             written.append(arguments.trace_out + ".prom")
         print(f"[trace: {len(obs_context.spans.spans)} spans "
               f"({obs_context.spans.dropped} dropped) -> "

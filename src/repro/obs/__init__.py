@@ -46,12 +46,14 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, List, Optional, Tuple
 
+from repro.obs.sketch import QuantileSketch
 from repro.obs.spans import Span, SpanRecorder, span_trees
 from repro.obs.telemetry import Telemetry, TimeSeries
 
 __all__ = [
     "OBS_OFF",
     "ObsContext",
+    "QuantileSketch",
     "Span",
     "SpanRecorder",
     "Telemetry",
@@ -122,6 +124,10 @@ class ObsContext:
         self.telemetry_capacity = telemetry_capacity
         #: One Telemetry per simulator seen (a sweep builds many sims).
         self.telemetries: List[Tuple[Any, Telemetry]] = []
+        #: Telemetry series shipped back by fabric workers (DESIGN.md
+        #: §10): ``{"name", "kind", "samples": [[t, v], ...]}`` dicts,
+        #: names already prefixed with their worker tag.
+        self.remote_series: List[dict] = []
 
     def telemetry_for(self, sim: Any) -> Optional[Telemetry]:
         """The (lazily created) sampler bound to ``sim``.
@@ -166,6 +172,55 @@ class ObsContext:
             return self.spans.instant(name, category, now, args=args)
         return self.spans.instant(name, category, now, trace_id=ref[0],
                                   parent_id=ref[1], args=args)
+
+    # -- cross-process shipping (DESIGN.md §10) ------------------------------
+    def pack_payload(self) -> dict:
+        """This context's spans + telemetry as one JSON-safe payload.
+
+        The fabric worker calls this after running a traced point; the
+        payload rides back inside the result message's ``obs`` field
+        and is merged into the coordinator-side context with
+        :meth:`ingest_payload`.
+        """
+        series = []
+        for _, telemetry in self.telemetries:
+            for ts in telemetry.series.values():
+                series.append({
+                    "name": ts.name,
+                    "kind": ts.kind,
+                    "samples": [[t, v] for t, v in ts.samples()],
+                })
+        return {
+            "spans": self.spans.pack(),
+            "dropped": self.spans.dropped,
+            "dropped_by_category": dict(self.spans.dropped_by_category),
+            "series": series,
+        }
+
+    def ingest_payload(self, payload: dict, worker: int) -> int:
+        """Merge one worker's :meth:`pack_payload` into this context.
+
+        Spans are remapped onto this context's id space tagged with
+        ``worker``; worker-side capacity drops are carried over into
+        the local drop counters (so the merged trace reports total
+        shed, not just local shed); telemetry series land in
+        :attr:`remote_series` under a ``w{worker}.`` name prefix.
+        Returns the number of spans retained.
+        """
+        kept = self.spans.ingest(payload.get("spans") or [], worker=worker)
+        self.spans.dropped += payload.get("dropped", 0)
+        for category, shed in (payload.get("dropped_by_category")
+                               or {}).items():
+            self.spans.dropped_by_category[category] = \
+                self.spans.dropped_by_category.get(category, 0) + shed
+        for series in payload.get("series") or []:
+            self.remote_series.append({
+                "name": f"w{worker}.{series['name']}",
+                "kind": series.get("kind", "gauge"),
+                "samples": [tuple(sample)
+                            for sample in series.get("samples", [])],
+            })
+        return kept
 
     def __repr__(self) -> str:
         return (f"<ObsContext spans={len(self.spans)} "

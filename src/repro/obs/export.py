@@ -35,11 +35,19 @@ def _chrome_events(spans: Iterable[Span]) -> List[Dict[str, Any]]:
     events: List[Dict[str, Any]] = []
     for span in spans:
         end = span.end if span.end is not None else span.start
+        # Spans ingested from fabric workers carry a "worker" arg; the
+        # merged trace maps each worker to its own pid lane so Perfetto
+        # groups the fleet by process. Locally recorded spans keep pid 1.
+        pid = 1
+        if span.args:
+            worker = span.args.get("worker")
+            if isinstance(worker, int):
+                pid = worker + 1
         event: Dict[str, Any] = {
             "name": span.name,
             "cat": span.category,
             "ts": span.start * _US,
-            "pid": 1,
+            "pid": pid,
             "tid": span.trace_id,
             "id": span.span_id,
         }
@@ -163,6 +171,13 @@ def export_jsonl(context: Any, path: Union[str, IO[str]],
                 "kind": series.kind,
                 "samples": [[t, v] for t, v in series.samples()],
             }, sort_keys=True))
+    for series in getattr(context, "remote_series", None) or []:
+        lines.append(json.dumps({
+            "type": "series",
+            "name": series["name"],
+            "kind": series.get("kind", "gauge"),
+            "samples": [[t, v] for t, v in series.get("samples", [])],
+        }, sort_keys=True))
     text = "\n".join(lines) + "\n"
     if isinstance(path, str):
         with open(path, "w", encoding="utf-8") as handle:
@@ -219,12 +234,18 @@ def _prom_name(name: str) -> str:
 
 
 def export_prometheus(context: Any, path: Union[str, IO[str]],
-                      registries: Optional[Dict[str, Any]] = None) -> int:
+                      registries: Optional[Dict[str, Any]] = None,
+                      extra: Optional[Iterable[Tuple[str, str, float]]]
+                      = None) -> int:
     """Write the final telemetry samples in Prometheus text format.
 
     ``registries`` optionally adds ``{prefix: StatsRegistry}`` snapshots
-    (counters and gauges) to the dump. Returns the number of samples
-    written.
+    (counters and gauges) to the dump; ``extra`` adds pre-computed
+    ``(name, kind, value)`` rows — the fabric coordinator uses it to
+    surface per-worker cache and dispatch metrics in the fleet dump.
+    Series shipped back by fabric workers (``context.remote_series``)
+    are included alongside local telemetry. Returns the number of
+    samples written.
     """
     lines: List[str] = []
     count = 0
@@ -237,12 +258,25 @@ def export_prometheus(context: Any, path: Union[str, IO[str]],
             lines.append(f"# TYPE {metric} {series.kind}")
             lines.append(f"{metric} {last[1]:g}")
             count += 1
+    for series in getattr(context, "remote_series", None) or []:
+        samples = series.get("samples")
+        if not samples:
+            continue
+        metric = _prom_name(series["name"])
+        lines.append(f"# TYPE {metric} {series.get('kind', 'gauge')}")
+        lines.append(f"{metric} {samples[-1][1]:g}")
+        count += 1
     for prefix, registry in (registries or {}).items():
         for name, value in registry.snapshot().items():
             metric = _prom_name(f"{prefix}.{name}")
             lines.append(f"# TYPE {metric} gauge")
             lines.append(f"{metric} {value:g}")
             count += 1
+    for name, kind, value in extra or []:
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f"{metric} {value:g}")
+        count += 1
     text = "\n".join(lines) + ("\n" if lines else "")
     if isinstance(path, str):
         with open(path, "w", encoding="utf-8") as handle:

@@ -5,17 +5,30 @@ prints a per-run summary: run metadata (span/drop counts plus whatever
 the exporter attached), a per-category span table, the latency
 attribution table (:func:`repro.obs.attribution.attribute` run over the
 reconstructed spans), and a telemetry digest (gauges: mean/max, counters:
-total + mean rate).
+total + mean rate). ``--format json`` emits the same tables as one
+machine-readable JSON document (see :func:`summarise`), so CI and
+controllers consume reports without scraping text.
+
+The ``slo`` subcommand evaluates a declarative SLO spec
+(:mod:`repro.obs.slo`) against a trace and/or a runner ``--json``
+report and exits non-zero on violation — the machine-checkable gate
+form of "hedged p99 beats round-robin p99".
 
 Usage::
 
     python -m repro.obs.report trace.json.jsonl
     python -m repro.obs.report --category readahead trace.json.jsonl
+    python -m repro.obs.report --format json trace.json.jsonl
+    python -m repro.obs.report slo \\
+        --spec repro.experiments.ext_fleet:SLO_SMOKE \\
+        --runner-json fleet.json --figure ext-fleet
+    python -m repro.obs.report slo --spec slo.json trace.json.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Dict, IO, Iterable, List, Optional
 
@@ -23,7 +36,7 @@ from repro.obs.attribution import COMPONENTS, attribute
 from repro.obs.export import read_jsonl
 from repro.obs.spans import Span
 
-__all__ = ["main", "render"]
+__all__ = ["main", "render", "summarise"]
 
 
 def _table(rows: List[List[str]], out: IO[str]) -> None:
@@ -152,15 +165,164 @@ def render(meta: Dict[str, Any], spans: List[Span],
     _series_table(series, out)
 
 
+def summarise(meta: Dict[str, Any], spans: List[Span],
+              series: List[Dict[str, Any]],
+              category: str = "client") -> Dict[str, Any]:
+    """Every table of :func:`render` as one JSON-safe document.
+
+    The ``--format json`` payload: run metadata, per-category span
+    counts/totals, the latency attribution breakdown, the read-ahead
+    fetch join, and a telemetry digest keyed by metric name.
+    """
+    summary: Dict[str, Any] = {
+        "run": {key: value for key, value in meta.items()
+                if key != "type"},
+    }
+    by_category: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        bucket = by_category.setdefault(
+            span.category, {"spans": 0, "total_s": 0.0})
+        bucket["spans"] += 1
+        bucket["total_s"] += span.duration
+    summary["spans_by_category"] = by_category
+
+    report = attribute(spans, category=category) if spans else None
+    if report is not None and report.requests:
+        summary["attribution"] = {
+            "category": category,
+            "requests": report.requests,
+            "mean_latency_ms": report.mean_latency_ms,
+            "staged_fraction": report.staged_fraction,
+            "reconciles": report.reconciles(),
+            "components": {
+                component: {"mean_ms": report.mean_ms(component),
+                            "share": report.share(component)}
+                for component in COMPONENTS},
+        }
+    else:
+        summary["attribution"] = None
+
+    fetches = [span for span in spans if span.category == "readahead"]
+    if fetches:
+        joined: Dict[int, int] = {}
+        wait_s = 0.0
+        for span in spans:
+            trace = (span.args or {}).get("fetch_trace")
+            if trace is not None:
+                joined[trace] = joined.get(trace, 0) + 1
+                wait_s += span.duration
+        unblocked = sum(int((span.args or {}).get("unblocked", 0))
+                        for span in fetches)
+        summary["readahead_join"] = {
+            "fetches": len(fetches),
+            "fetch_total_s": sum(span.duration for span in fetches),
+            "unblocked_requests": unblocked,
+            "joined_client_spans": sum(joined.values()),
+            "client_wait_total_s": wait_s,
+        }
+    else:
+        summary["readahead_join"] = None
+
+    telemetry: Dict[str, Dict[str, Any]] = {}
+    for record in series:
+        samples = record.get("samples") or []
+        values = [value for _t, value in samples]
+        digest: Dict[str, Any] = {
+            "kind": record.get("kind", "gauge"),
+            "samples": len(samples),
+            "mean": sum(values) / len(values) if values else 0.0,
+            "max": max(values) if values else 0.0,
+            "last": values[-1] if values else None,
+        }
+        if digest["kind"] == "counter" and len(samples) >= 2 \
+                and samples[-1][0] > samples[0][0]:
+            digest["mean_rate"] = ((samples[-1][1] - samples[0][1])
+                                   / (samples[-1][0] - samples[0][0]))
+        telemetry[record.get("name", "")] = digest
+    summary["telemetry"] = telemetry
+    return summary
+
+
+def _slo_main(argv: List[str]) -> int:
+    """The ``slo`` subcommand: evaluate a spec, exit 1 on violation."""
+    from repro.obs.slo import evaluate, load_spec
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report slo",
+        description="Evaluate a declarative SLO spec against a trace "
+                    "and/or a runner --json report; exits 1 when any "
+                    "objective is violated.")
+    parser.add_argument("trace", nargs="?",
+                        help="JSONL event log (spans feed latency "
+                        "objectives, series feed burn-rate objectives)")
+    parser.add_argument("--spec", required=True,
+                        help="SLO spec: a JSON file path or "
+                        "module:ATTRIBUTE (e.g. "
+                        "repro.experiments.ext_fleet:SLO_SMOKE)")
+    parser.add_argument("--runner-json", dest="runner_json",
+                        metavar="PATH",
+                        help="runner --json output providing result "
+                        "series for series_min/series_max objectives")
+    parser.add_argument("--figure", help="figure id inside --runner-json"
+                        " (required with it)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="verdict output format")
+    arguments = parser.parse_args(argv)
+    if bool(arguments.runner_json) != bool(arguments.figure):
+        parser.error("--runner-json and --figure go together")
+    if not arguments.trace and not arguments.runner_json:
+        parser.error("need a trace file and/or --runner-json")
+    try:
+        spec = load_spec(arguments.spec)
+    except (OSError, ValueError) as exc:
+        print(f"error: bad SLO spec: {exc}", file=sys.stderr)
+        return 2
+    spans: List[Span] = []
+    telemetry: List[Dict[str, Any]] = []
+    series_map: Dict[str, Dict[Any, float]] = {}
+    if arguments.trace:
+        try:
+            _meta, spans, telemetry = read_jsonl(arguments.trace)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if arguments.runner_json:
+        try:
+            with open(arguments.runner_json, encoding="utf-8") as handle:
+                figures = json.load(handle)["figures"]
+            series_map = figures[arguments.figure]["series"]
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read series for figure "
+                  f"{arguments.figure!r} from {arguments.runner_json}: "
+                  f"{exc!r}", file=sys.stderr)
+            return 2
+    report = evaluate(spec, spans=spans, series=series_map,
+                      telemetry=telemetry)
+    if arguments.format == "json":
+        json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        report.render(sys.stdout)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "slo":
+        return _slo_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
-        description="Summarise a repro.obs JSONL event log.")
+        description="Summarise a repro.obs JSONL event log "
+                    "(subcommand 'slo': evaluate an SLO spec).")
     parser.add_argument("path", help="JSONL file from export_jsonl "
                         "(runner --trace-out writes PATH.jsonl)")
     parser.add_argument("--category", default="client",
                         help="root-span category to attribute "
                         "(default: client)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="text tables (default) or one JSON "
+                        "document with the same content")
     arguments = parser.parse_args(argv)
     try:
         meta, spans, series = read_jsonl(arguments.path)
@@ -168,7 +330,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        render(meta, spans, series, category=arguments.category)
+        if arguments.format == "json":
+            json.dump(summarise(meta, spans, series,
+                                category=arguments.category),
+                      sys.stdout, indent=2, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            render(meta, spans, series, category=arguments.category)
     except BrokenPipeError:  # e.g. piped into head; not an error
         return 0
     return 0

@@ -1,0 +1,301 @@
+"""Mergeable streaming quantile sketch (DDSketch-style log buckets).
+
+The percentile engine of the fleet observability plane (DESIGN.md §10).
+``ext-fleet`` at 10k streams produces hundreds of thousands of client
+latencies per point; holding them as raw lists and sorting at report
+time is O(n) memory and the one remaining per-request cost that grows
+with run length. A :class:`QuantileSketch` replaces the list with a
+fixed grid of *logarithmic* buckets:
+
+* value ``v > 0`` lands in bucket ``ceil(log_gamma(v))`` where
+  ``gamma = (1 + alpha) / (1 - alpha)`` for the configured relative
+  accuracy ``alpha``;
+* bucket ``i`` covers ``(gamma^(i-1), gamma^i]`` and reports the
+  estimate ``2 * gamma^i / (gamma + 1)``, whose relative error against
+  any value in the bucket is at most ``alpha`` — the **guaranteed
+  relative-error bound**: for every quantile ``q`` with
+  ``count >= 1``, ``|quantile(q) - exact_q| <= alpha * exact_q``
+  (exact_q taken over the ingested multiset, nearest-rank);
+* negative values mirror into a second store keyed on ``|v|``; values
+  whose magnitude is below ``min_value`` collapse into an exact zero
+  bucket (reported as ``0.0``, which satisfies the bound because the
+  caller declared them indistinguishable from zero).
+
+Memory is bounded: the bucket count grows with the *logarithm* of the
+data's dynamic range, never with the sample count — at the default
+``alpha = 0.01``, latencies spanning 1 ns to 1 hour need ~1500 buckets.
+``max_bins`` is a hard backstop: on overflow the lowest-index buckets
+collapse together, which can only degrade the *lowest* quantiles (tail
+percentiles — the SLO inputs — keep their bound).
+
+Merging is exact bucket-wise addition, so it is **associative and
+commutative**: per-stream, per-disk and per-worker sketches compose
+into fleet aggregates in any order and any grouping with identical
+results (pinned by ``tests/test_obs_sketch.py``). Sketches pickle and
+round-trip through :meth:`to_dict`/:meth:`from_dict` (the fabric wire
+form) without loss.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["QuantileSketch", "sketch_of"]
+
+#: Default guaranteed relative error (1%).
+DEFAULT_ACCURACY = 0.01
+
+#: Magnitudes below this are exactly representable as "zero" — one
+#: nanosecond is far below any simulated service time.
+DEFAULT_MIN_VALUE = 1e-9
+
+#: Hard per-store bucket-count backstop (collapse threshold). At the
+#: default accuracy this supports ~10^35 of dynamic range before any
+#: collapse happens, so in practice it never triggers.
+DEFAULT_MAX_BINS = 4096
+
+
+class QuantileSketch:
+    """Streaming quantiles with a guaranteed relative-error bound.
+
+    Parameters
+    ----------
+    relative_accuracy:
+        ``alpha`` in (0, 1): every reported quantile is within
+        ``alpha`` *relative* error of the exact nearest-rank quantile
+        of the ingested values (values below ``min_value`` in
+        magnitude count as exactly zero).
+    min_value:
+        Smallest representable magnitude; smaller values collapse into
+        the exact zero bucket.
+    max_bins:
+        Hard cap on buckets per sign store; overflow collapses the
+        lowest-index (smallest-magnitude) buckets together.
+    """
+
+    __slots__ = ("relative_accuracy", "min_value", "max_bins", "_gamma",
+                 "_inv_log_gamma", "_pos", "_neg", "zeros", "count",
+                 "min", "max", "sum")
+
+    def __init__(self, relative_accuracy: float = DEFAULT_ACCURACY,
+                 min_value: float = DEFAULT_MIN_VALUE,
+                 max_bins: int = DEFAULT_MAX_BINS):
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1): {relative_accuracy}")
+        if min_value <= 0.0:
+            raise ValueError(f"min_value must be positive: {min_value}")
+        if max_bins < 2:
+            raise ValueError(f"max_bins must be >= 2: {max_bins}")
+        self.relative_accuracy = relative_accuracy
+        self.min_value = min_value
+        self.max_bins = max_bins
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._inv_log_gamma = 1.0 / math.log(self._gamma)
+        #: bucket index -> count, per sign (keyed on magnitude).
+        self._pos: Dict[int, int] = {}
+        self._neg: Dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+        self.sum = 0.0
+
+    # -- ingest --------------------------------------------------------------
+
+    def _key(self, magnitude: float) -> int:
+        return math.ceil(math.log(magnitude) * self._inv_log_gamma)
+
+    def _value(self, key: int) -> float:
+        # Midpoint (in relative terms) of (gamma^(k-1), gamma^k].
+        return 2.0 * self._gamma ** key / (self._gamma + 1.0)
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Ingest ``value`` (``count`` occurrences)."""
+        if count <= 0:
+            raise ValueError(f"count must be positive: {count}")
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("cannot ingest NaN")
+        self.count += count
+        self.sum += value * count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        magnitude = abs(value)
+        if magnitude < self.min_value:
+            self.zeros += count
+            return
+        store = self._pos if value > 0.0 else self._neg
+        key = self._key(magnitude)
+        store[key] = store.get(key, 0) + count
+        if len(store) > self.max_bins:
+            self._collapse(store)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Ingest every value of an iterable."""
+        for value in values:
+            self.add(value)
+
+    def _collapse(self, store: Dict[int, int]) -> None:
+        """Fold the smallest-magnitude buckets together (backstop).
+
+        Collapsing moves mass *upward* into the lowest retained bucket,
+        so only the lowest quantiles lose their bound — the tail
+        percentiles the SLO layer reads stay guaranteed.
+        """
+        keys = sorted(store)
+        spill = 0
+        while len(keys) > self.max_bins:
+            spill += store.pop(keys.pop(0))
+        if spill:
+            store[keys[0]] = store.get(keys[0], 0) + spill
+
+    # -- read ----------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all ingested values (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]), nearest-rank, within the bound.
+
+        Returns 0.0 for an empty sketch. Results are clamped to the
+        exact observed ``[min, max]``, so q=0 and q=1 are exact.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = q * (self.count - 1)
+        # Walk stores in ascending value order: most-negative first.
+        seen = 0
+        estimate: Optional[float] = None
+        for key in sorted(self._neg, reverse=True):
+            seen += self._neg[key]
+            if seen > rank:
+                estimate = -self._value(key)
+                break
+        if estimate is None:
+            seen += self.zeros
+            if seen > rank:
+                estimate = 0.0
+        if estimate is None:
+            for key in sorted(self._pos):
+                seen += self._pos[key]
+                if seen > rank:
+                    estimate = self._value(key)
+                    break
+        if estimate is None:  # floating slack at q == 1.0
+            estimate = self.max
+        return min(self.max, max(self.min, estimate))
+
+    def quantiles(self, qs: Iterable[float]) -> List[float]:
+        """Batch :meth:`quantile` (one pass per q; qs are few)."""
+        return [self.quantile(q) for q in qs]
+
+    # -- compose -------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch into this one (bucket-wise addition).
+
+        Associative and commutative; both sketches must share the same
+        ``relative_accuracy`` and ``min_value`` (their grids must
+        align — merging mismatched grids would silently void the
+        error bound, so it raises instead).
+        """
+        if (other.relative_accuracy != self.relative_accuracy
+                or other.min_value != self.min_value):
+            raise ValueError(
+                f"sketch grids differ: alpha {self.relative_accuracy} vs "
+                f"{other.relative_accuracy}, min_value {self.min_value} "
+                f"vs {other.min_value}")
+        for key, count in other._pos.items():
+            self._pos[key] = self._pos.get(key, 0) + count
+        for key, count in other._neg.items():
+            self._neg[key] = self._neg.get(key, 0) + count
+        if len(self._pos) > self.max_bins:
+            self._collapse(self._pos)
+        if len(self._neg) > self.max_bins:
+            self._collapse(self._neg)
+        self.zeros += other.zeros
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def copy(self) -> "QuantileSketch":
+        """An independent deep copy."""
+        clone = QuantileSketch(self.relative_accuracy, self.min_value,
+                               self.max_bins)
+        clone.merge(self)
+        return clone
+
+    # -- wire form -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe state (the fabric/export wire form)."""
+        return {
+            "alpha": self.relative_accuracy,
+            "min_value": self.min_value,
+            "max_bins": self.max_bins,
+            "count": self.count,
+            "zeros": self.zeros,
+            "sum": self.sum,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "pos": sorted(self._pos.items()),
+            "neg": sorted(self._neg.items()),
+        }
+
+    @classmethod
+    def from_dict(cls, state: Dict[str, Any]) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`to_dict` output (lossless)."""
+        sketch = cls(relative_accuracy=state["alpha"],
+                     min_value=state["min_value"],
+                     max_bins=state.get("max_bins", DEFAULT_MAX_BINS))
+        sketch.count = int(state["count"])
+        sketch.zeros = int(state["zeros"])
+        sketch.sum = float(state["sum"])
+        if sketch.count:
+            sketch.min = float(state["min"])
+            sketch.max = float(state["max"])
+        sketch._pos = {int(key): int(count)
+                       for key, count in state.get("pos", [])}
+        sketch._neg = {int(key): int(count)
+                       for key, count in state.get("neg", [])}
+        return sketch
+
+    # -- pickling (``__slots__`` classes need explicit state) ---------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return self.to_dict()
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        restored = QuantileSketch.from_dict(state)
+        for slot in QuantileSketch.__slots__:
+            object.__setattr__(self, slot, getattr(restored, slot))
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return (f"<QuantileSketch alpha={self.relative_accuracy:g} "
+                f"n={self.count} bins={len(self._pos) + len(self._neg)}"
+                f" p50={self.quantile(0.5):g}>" if self.count else
+                f"<QuantileSketch alpha={self.relative_accuracy:g} empty>")
+
+
+def sketch_of(values: Iterable[float],
+              relative_accuracy: float = DEFAULT_ACCURACY) -> QuantileSketch:
+    """Build a sketch over ``values`` in one call (experiment helper)."""
+    sketch = QuantileSketch(relative_accuracy=relative_accuracy)
+    sketch.extend(values)
+    return sketch

@@ -1,0 +1,334 @@
+"""Declarative SLO specs evaluated against traces and telemetry.
+
+The third piece of the fleet observability plane (DESIGN.md §10):
+"hedged p99 beats round-robin p99" style guarantees become data, not
+ad-hoc CI assertions. A spec is a plain JSON-able dict::
+
+    {
+      "name": "ext-fleet-smoke",
+      "objectives": [
+        {"name": "client p99", "kind": "latency",
+         "category": "client", "q": 0.99, "max_ms": 250.0},
+        {"name": "tail ceiling", "kind": "series_max",
+         "series": "p999 (ms)", "max": 4000.0},
+        {"name": "throughput floor", "kind": "series_min",
+         "series": "throughput (MB/s)", "min": 1.0, "x": "10000"},
+        {"name": "retry burn", "kind": "burn_rate",
+         "metric": "server.retries", "window_s": 1.0,
+         "max_per_s": 50.0},
+      ],
+    }
+
+Objective kinds
+---------------
+``latency``
+    Builds a :class:`~repro.obs.sketch.QuantileSketch` over the
+    durations of the closed, error-free **root** spans of ``category``
+    and compares the ``q``-quantile (milliseconds) against ``max_ms``.
+``series_min`` / ``series_max``
+    A floor/ceiling on a named result series (throughput floors, shed
+    and tail ceilings). Checks every x by default; ``"x"`` restricts
+    the objective to one sweep point (keys compare as strings, matching
+    the runner's JSON).
+``burn_rate``
+    Worst sliding-window rate of a telemetry **counter** (see
+    :func:`repro.obs.telemetry.max_windowed_rate`) against
+    ``max_per_s`` — the classic error-budget burn alarm shape.
+
+Missing data *fails* the objective: a gate that silently passes
+because a degraded run produced no samples would defeat the point.
+
+Evaluation is pure read-side analysis — no simulator, no ambient obs
+context, no mutation of the inputs — so importing and evaluating SLOs
+keeps the zero-overhead-off guarantee untouched (pinned by
+``tests/test_obs_slo.py``).
+
+The CLI surface is ``python -m repro.obs.report slo`` (see
+:mod:`repro.obs.report`); experiments publish gate specs as module
+attributes (``repro.experiments.ext_fleet:SLO_SMOKE``) so CI references
+them by name.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, IO, Iterable, List, Mapping, Optional
+
+from repro.obs.sketch import QuantileSketch
+from repro.obs.spans import Span
+from repro.obs.telemetry import max_windowed_rate
+
+__all__ = [
+    "ObjectiveResult",
+    "SLOReport",
+    "SLOSpec",
+    "evaluate",
+    "load_spec",
+]
+
+#: Default sketch accuracy for latency objectives (documented bound).
+LATENCY_ACCURACY = 0.01
+
+_KINDS = ("latency", "series_min", "series_max", "burn_rate")
+
+
+class SLOSpec:
+    """A validated SLO spec: a name plus a list of objectives."""
+
+    def __init__(self, name: str, objectives: List[Dict[str, Any]]):
+        self.name = name
+        self.objectives = objectives
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "SLOSpec":
+        """Validate a raw spec dict; raises ``ValueError`` on nonsense."""
+        name = raw.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("SLO spec needs a non-empty 'name'")
+        objectives = raw.get("objectives")
+        if not isinstance(objectives, (list, tuple)) or not objectives:
+            raise ValueError(
+                f"SLO spec {name!r} needs a non-empty 'objectives' list")
+        validated = []
+        for index, objective in enumerate(objectives):
+            where = f"{name!r} objective #{index}"
+            if not isinstance(objective, Mapping):
+                raise ValueError(f"{where}: not an object")
+            kind = objective.get("kind")
+            if kind not in _KINDS:
+                raise ValueError(
+                    f"{where}: kind must be one of {_KINDS}, got {kind!r}")
+            checked = dict(objective)
+            checked.setdefault("name", f"{kind}#{index}")
+            if kind == "latency":
+                q = checked.get("q")
+                if not isinstance(q, (int, float)) or not 0.0 <= q <= 1.0:
+                    raise ValueError(f"{where}: latency needs q in [0, 1]")
+                if not isinstance(checked.get("category"), str):
+                    raise ValueError(f"{where}: latency needs a category")
+                _require_number(checked, "max_ms", where)
+            elif kind in ("series_min", "series_max"):
+                if not isinstance(checked.get("series"), str):
+                    raise ValueError(f"{where}: needs a 'series' label")
+                bound = "min" if kind == "series_min" else "max"
+                _require_number(checked, bound, where)
+            else:  # burn_rate
+                if not isinstance(checked.get("metric"), str):
+                    raise ValueError(f"{where}: burn_rate needs a metric")
+                _require_number(checked, "window_s", where)
+                _require_number(checked, "max_per_s", where)
+            validated.append(checked)
+        return cls(name, validated)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "objectives": list(self.objectives)}
+
+    def __repr__(self) -> str:
+        return f"<SLOSpec {self.name!r} objectives={len(self.objectives)}>"
+
+
+def _require_number(objective: Dict[str, Any], key: str,
+                    where: str) -> None:
+    if not isinstance(objective.get(key), (int, float)):
+        raise ValueError(f"{where}: needs numeric {key!r}")
+
+
+def load_spec(ref: str) -> SLOSpec:
+    """Resolve an SLO spec reference: a JSON file path or
+    ``module:ATTRIBUTE`` naming a spec dict published by an experiment
+    (e.g. ``repro.experiments.ext_fleet:SLO_SMOKE``)."""
+    if ":" in ref and not _looks_like_path(ref):
+        module_name, _, attribute = ref.partition(":")
+        import importlib
+        module = importlib.import_module(module_name)
+        try:
+            raw = getattr(module, attribute)
+        except AttributeError:
+            raise ValueError(
+                f"{module_name} has no SLO spec {attribute!r}") from None
+        return SLOSpec.from_dict(raw)
+    with open(ref, "r", encoding="utf-8") as handle:
+        return SLOSpec.from_dict(json.load(handle))
+
+
+def _looks_like_path(ref: str) -> bool:
+    import os
+    return os.sep in ref or ref.endswith(".json") or os.path.exists(ref)
+
+
+@dataclass
+class ObjectiveResult:
+    """One evaluated objective: measured vs target."""
+
+    name: str
+    kind: str
+    measured: Optional[float]
+    target: float
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "kind": self.kind,
+                "measured": self.measured, "target": self.target,
+                "ok": self.ok, "detail": self.detail}
+
+
+class SLOReport:
+    """Evaluation outcome: per-objective rows plus a pass/fail verdict."""
+
+    def __init__(self, spec: SLOSpec, results: List[ObjectiveResult]):
+        self.spec = spec
+        self.results = results
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def violations(self) -> List[ObjectiveResult]:
+        return [result for result in self.results if not result.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"slo": self.spec.name, "ok": self.ok,
+                "objectives": [r.to_dict() for r in self.results]}
+
+    def render(self, out: IO[str]) -> None:
+        """Human-readable verdict table."""
+        verdict = "OK" if self.ok else "VIOLATED"
+        out.write(f"SLO {self.spec.name}: {verdict} "
+                  f"({len(self.results)} objectives, "
+                  f"{len(self.violations)} violated)\n")
+        width = max((len(r.name) for r in self.results), default=4)
+        for result in self.results:
+            measured = ("n/a" if result.measured is None
+                        else f"{result.measured:.3f}")
+            mark = "ok  " if result.ok else "FAIL"
+            detail = f"  [{result.detail}]" if result.detail else ""
+            out.write(f"  {mark} {result.name:<{width}} "
+                      f"{result.kind:<10} measured={measured} "
+                      f"target={result.target:g}{detail}\n")
+
+
+def evaluate(spec: SLOSpec, spans: Optional[Iterable[Span]] = None,
+             series: Optional[Mapping[str, Mapping[Any, float]]] = None,
+             telemetry: Optional[Iterable[Mapping[str, Any]]] = None,
+             relative_accuracy: float = LATENCY_ACCURACY) -> SLOReport:
+    """Evaluate every objective of ``spec`` against the given evidence.
+
+    ``spans`` feeds ``latency`` objectives, ``series`` (a
+    ``{label: {x: y}}`` map, the runner's JSON shape) feeds
+    ``series_min``/``series_max``, and ``telemetry`` (an iterable of
+    ``{"name", "kind", "samples"}`` records, the JSONL shape) feeds
+    ``burn_rate``. Evidence kinds an objective does not use may be
+    omitted; an objective whose evidence is missing **fails**.
+    """
+    span_list = list(spans) if spans is not None else []
+    series_map = dict(series) if series is not None else {}
+    metric_samples: Dict[str, List[List[float]]] = {}
+    for record in telemetry or []:
+        metric_samples[record["name"]] = list(record.get("samples", []))
+
+    sketches: Dict[str, QuantileSketch] = {}
+    results: List[ObjectiveResult] = []
+    for objective in spec.objectives:
+        kind = objective["kind"]
+        if kind == "latency":
+            results.append(_eval_latency(objective, span_list, sketches,
+                                         relative_accuracy))
+        elif kind in ("series_min", "series_max"):
+            results.append(_eval_series(objective, series_map))
+        else:
+            results.append(_eval_burn_rate(objective, metric_samples))
+    return SLOReport(spec, results)
+
+
+def _latency_sketch(category: str, spans: List[Span],
+                    sketches: Dict[str, QuantileSketch],
+                    relative_accuracy: float) -> QuantileSketch:
+    """Sketch of root-span durations for one category (memoised —
+    several objectives usually target the same category)."""
+    sketch = sketches.get(category)
+    if sketch is None:
+        sketch = QuantileSketch(relative_accuracy=relative_accuracy)
+        for span in spans:
+            if (span.parent_id is None and span.category == category
+                    and span.end is not None
+                    and not (span.args and "error" in span.args)):
+                sketch.add(span.duration)
+        sketches[category] = sketch
+    return sketch
+
+
+def _eval_latency(objective: Dict[str, Any], spans: List[Span],
+                  sketches: Dict[str, QuantileSketch],
+                  relative_accuracy: float) -> ObjectiveResult:
+    category = objective["category"]
+    target = float(objective["max_ms"])
+    sketch = _latency_sketch(category, spans, sketches,
+                             relative_accuracy)
+    if sketch.count == 0:
+        return ObjectiveResult(
+            objective["name"], "latency", None, target, False,
+            f"no closed error-free root spans of category "
+            f"{category!r}")
+    measured = sketch.quantile(float(objective["q"])) * 1e3
+    return ObjectiveResult(
+        objective["name"], "latency", measured, target,
+        measured <= target,
+        f"p{float(objective['q']) * 100:g} of {sketch.count} samples "
+        f"(±{relative_accuracy * 100:g}%)")
+
+
+def _eval_series(objective: Dict[str, Any],
+                 series_map: Mapping[str, Mapping[Any, float]]
+                 ) -> ObjectiveResult:
+    kind = objective["kind"]
+    label = objective["series"]
+    floor = kind == "series_min"
+    target = float(objective["min" if floor else "max"])
+    points = series_map.get(label)
+    if not points:
+        return ObjectiveResult(objective["name"], kind, None, target,
+                               False, f"series {label!r} missing/empty")
+    at = objective.get("x")
+    if at is not None:
+        # Runner JSON stringifies x keys while in-process series keep
+        # their native ints; normalise both sides through str so a spec
+        # works unchanged against either source.
+        value = points.get(at)
+        if value is None:
+            value = {str(key): point
+                     for key, point in points.items()}.get(str(at))
+        if value is None:
+            return ObjectiveResult(
+                objective["name"], kind, None, target, False,
+                f"series {label!r} has no point x={at!r}")
+        chosen = [float(value)]
+        where = f"at x={at}"
+    else:
+        chosen = [float(v) for v in points.values()]
+        where = f"over {len(chosen)} points"
+    measured = min(chosen) if floor else max(chosen)
+    ok = measured >= target if floor else measured <= target
+    return ObjectiveResult(objective["name"], kind, measured, target,
+                           ok, f"{'min' if floor else 'max'} {where}")
+
+
+def _eval_burn_rate(objective: Dict[str, Any],
+                    metric_samples: Mapping[str, List[List[float]]]
+                    ) -> ObjectiveResult:
+    metric = objective["metric"]
+    target = float(objective["max_per_s"])
+    samples = metric_samples.get(metric)
+    if not samples:
+        return ObjectiveResult(objective["name"], "burn_rate", None,
+                               target, False,
+                               f"metric {metric!r} missing/empty")
+    window = float(objective["window_s"])
+    measured = max_windowed_rate(
+        [(float(t), float(v)) for t, v in samples], window)
+    return ObjectiveResult(
+        objective["name"], "burn_rate", measured, target,
+        measured <= target,
+        f"worst {window:g}s window over {len(samples)} samples")

@@ -174,6 +174,62 @@ class SpanRecorder:
                 closed += 1
         return closed
 
+    # -- cross-process merge (DESIGN.md §10) ---------------------------------
+    def pack(self) -> List[list]:
+        """Retained spans as compact JSON-safe records for the wire.
+
+        One record per span: ``[span_id, trace_id, parent_id, name,
+        category, start, end, args]``. Recording order is preserved,
+        which guarantees parents precede their children (a child span
+        is always opened after its parent) — :meth:`ingest` relies on
+        that for single-pass id remapping.
+        """
+        return [[span.span_id, span.trace_id, span.parent_id, span.name,
+                 span.category, span.start, span.end, span.args]
+                for span in self.spans]
+
+    def ingest(self, records: Iterable[list],
+               worker: Optional[int] = None) -> int:
+        """Merge packed spans from another recorder into this one.
+
+        Every ingested span gets fresh span/trace ids from this
+        recorder's counters (the sender's ids would collide across
+        workers); parent links are remapped in the same single pass,
+        which is sound because :meth:`pack` emits parents before
+        children. ``worker`` tags each span's args so the merged trace
+        stays attributable per worker. Capacity quotas apply exactly as
+        for locally recorded spans; returns the number retained.
+        """
+        span_map: Dict[int, int] = {}
+        trace_map: Dict[int, int] = {}
+        kept = 0
+        for (old_id, old_trace, old_parent, name, category, start, end,
+             args) in records:
+            span_id = self._next_span
+            self._next_span = span_id + 1
+            trace_id = trace_map.get(old_trace)
+            if trace_id is None:
+                trace_id = self._next_trace
+                self._next_trace = trace_id + 1
+                trace_map[old_trace] = trace_id
+            parent_id = (span_map.get(old_parent)
+                         if old_parent is not None else None)
+            span_map[old_id] = span_id
+            args = dict(args) if args else {}
+            if worker is not None:
+                args["worker"] = worker
+            span = Span(span_id, trace_id, parent_id, name, category,
+                        start, args or None)
+            span.end = end
+            if self._retain(category):
+                self.spans.append(span)
+                kept += 1
+            else:
+                self.dropped += 1
+                self.dropped_by_category[category] = \
+                    self.dropped_by_category.get(category, 0) + 1
+        return kept
+
     # -- queries ------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.spans)

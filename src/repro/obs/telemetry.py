@@ -22,7 +22,36 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-__all__ = ["Telemetry", "TimeSeries"]
+__all__ = ["Telemetry", "TimeSeries", "max_windowed_rate"]
+
+
+def max_windowed_rate(samples: List[Tuple[float, float]],
+                      window: float) -> float:
+    """Worst-case burn rate of a counter over any sliding window.
+
+    ``samples`` are ``(time, monotonic_total)`` rows (a counter
+    :meth:`TimeSeries.samples` list, or the same shape read back from a
+    JSONL export). For every sample the increase over the trailing
+    ``window`` seconds is divided by the actual elapsed span, and the
+    maximum such rate is returned — the number an SLO burn-rate ceiling
+    compares against (DESIGN.md §10). Returns 0.0 with fewer than two
+    samples.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive: {window}")
+    worst = 0.0
+    left = 0
+    for right in range(1, len(samples)):
+        now, total = samples[right]
+        while left < right - 1 and samples[left + 1][0] <= now - window:
+            left += 1
+        then, base = samples[left]
+        elapsed = now - then
+        if elapsed > 0:
+            rate = (total - base) / elapsed
+            if rate > worst:
+                worst = rate
+    return worst
 
 
 class TimeSeries:
@@ -74,6 +103,10 @@ class TimeSeries:
                              / (now - previous[0])))
             previous = (now, value)
         return rows
+
+    def window_rate(self, window: float) -> float:
+        """Worst-case sliding-window rate (see :func:`max_windowed_rate`)."""
+        return max_windowed_rate(list(self._samples), window)
 
     def __len__(self) -> int:
         return len(self._samples)

@@ -144,7 +144,8 @@ def test_run_sweep_falls_back_when_fabric_breaks():
     class BrokenFabric:
         calls = 0
 
-        def run_tasks(self, tasks, keys=None, use_cache=False):
+        def run_tasks(self, tasks, keys=None, use_cache=False,
+                      trace=None, obs_context=None):
             BrokenFabric.calls += 1
             raise FabricError("fabric unreachable")
 
@@ -166,7 +167,8 @@ def test_mixed_mode_small_sweeps_skip_the_fabric(monkeypatch):
         def __init__(self):
             self.calls = 0
 
-        def run_tasks(self, tasks, keys=None, use_cache=False):
+        def run_tasks(self, tasks, keys=None, use_cache=False,
+                      trace=None, obs_context=None):
             self.calls += 1
             return [fn(scale, params) for fn, scale, params in tasks]
 

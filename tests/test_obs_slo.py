@@ -1,0 +1,247 @@
+"""Declarative SLO engine: spec validation, evaluation, CLI gates.
+
+The machine-checkable half of DESIGN.md §10: specs validate strictly
+(a typo'd objective must fail loudly at load time, not silently pass at
+evaluate time), every objective kind measures what it claims against
+spans / result series / telemetry counters, missing evidence *fails*
+the objective, and ``python -m repro.obs.report slo`` exits non-zero on
+a violated spec — the property CI's fleet gates lean on.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import report as report_cli
+from repro.obs.slo import SLOSpec, evaluate, load_spec
+from repro.obs.spans import SpanRecorder
+
+
+def make_spans(durations, category="client", error_at=()):
+    """Closed root spans with the given durations (+ optional errored)."""
+    recorder = SpanRecorder(capacity=None)
+    for index, duration in enumerate(durations):
+        span = recorder.begin("request", category, float(index))
+        recorder.end(span, float(index) + duration)
+        if index in error_at:
+            span.set_arg("error", "timeout")
+    return recorder.spans
+
+
+# ---------------------------------------------------------------------------
+# spec validation
+# ---------------------------------------------------------------------------
+
+def test_spec_requires_name_and_objectives():
+    with pytest.raises(ValueError):
+        SLOSpec.from_dict({"objectives": [{"kind": "latency"}]})
+    with pytest.raises(ValueError):
+        SLOSpec.from_dict({"name": "x", "objectives": []})
+
+
+@pytest.mark.parametrize("objective", [
+    {"kind": "nonsense"},
+    {"kind": "latency", "category": "client", "q": 1.5, "max_ms": 1.0},
+    {"kind": "latency", "category": "client", "q": 0.99},
+    {"kind": "latency", "q": 0.99, "max_ms": 1.0},
+    {"kind": "series_max", "max": 1.0},
+    {"kind": "series_min", "series": "s"},
+    {"kind": "burn_rate", "metric": "m", "window_s": 1.0},
+    {"kind": "burn_rate", "window_s": 1.0, "max_per_s": 1.0},
+])
+def test_spec_rejects_malformed_objectives(objective):
+    with pytest.raises(ValueError):
+        SLOSpec.from_dict({"name": "x", "objectives": [objective]})
+
+
+def test_spec_round_trips_and_names_objectives():
+    spec = SLOSpec.from_dict({"name": "x", "objectives": [
+        {"kind": "series_max", "series": "s", "max": 1.0}]})
+    assert spec.objectives[0]["name"] == "series_max#0"
+    assert SLOSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()
+
+
+def test_load_spec_module_attribute_and_file(tmp_path):
+    spec = load_spec("repro.experiments.ext_fleet:SLO_SMOKE")
+    assert spec.name == "ext-fleet-smoke"
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+    assert load_spec(str(path)).to_dict() == spec.to_dict()
+    with pytest.raises(ValueError):
+        load_spec("repro.experiments.ext_fleet:NO_SUCH_SPEC")
+
+
+# ---------------------------------------------------------------------------
+# objective evaluation
+# ---------------------------------------------------------------------------
+
+def test_latency_objective_pass_and_fail():
+    spans = make_spans([0.010] * 95 + [0.500] * 5)
+    spec = SLOSpec.from_dict({"name": "lat", "objectives": [
+        {"name": "p50", "kind": "latency", "category": "client",
+         "q": 0.5, "max_ms": 20.0},
+        {"name": "p99", "kind": "latency", "category": "client",
+         "q": 0.99, "max_ms": 20.0},
+    ]})
+    report = evaluate(spec, spans=spans)
+    by_name = {r.name: r for r in report.results}
+    assert by_name["p50"].ok and by_name["p50"].measured < 20.0
+    assert not by_name["p99"].ok and by_name["p99"].measured > 400.0
+    assert not report.ok and len(report.violations) == 1
+
+
+def test_latency_excludes_errored_and_foreign_spans():
+    spans = make_spans([0.001] * 10, error_at=(3,))
+    spans += make_spans([9.9] * 5, category="server")
+    spec = SLOSpec.from_dict({"name": "lat", "objectives": [
+        {"kind": "latency", "category": "client", "q": 1.0,
+         "max_ms": 2.0}]})
+    report = evaluate(spec, spans=spans)
+    assert report.ok, report.results[0]
+
+
+def test_latency_without_evidence_fails():
+    spec = SLOSpec.from_dict({"name": "lat", "objectives": [
+        {"kind": "latency", "category": "client", "q": 0.5,
+         "max_ms": 1e9}]})
+    report = evaluate(spec)
+    assert not report.ok
+    assert report.results[0].measured is None
+
+
+def test_series_objectives_all_x_and_single_x():
+    series = {"throughput (MB/s)": {"100": 40.0, "1000": 9.0},
+              "p99 (ms)": {100: 15.0, 1000: 80.0}}
+    spec = SLOSpec.from_dict({"name": "s", "objectives": [
+        {"name": "floor-all", "kind": "series_min",
+         "series": "throughput (MB/s)", "min": 10.0},
+        {"name": "floor-at-100", "kind": "series_min",
+         "series": "throughput (MB/s)", "min": 10.0, "x": "100"},
+        {"name": "ceiling-int-keys", "kind": "series_max",
+         "series": "p99 (ms)", "max": 20.0, "x": "100"},
+        {"name": "missing-x", "kind": "series_max",
+         "series": "p99 (ms)", "max": 20.0, "x": "7"},
+        {"name": "missing-series", "kind": "series_max",
+         "series": "nope", "max": 20.0},
+    ]})
+    by_name = {r.name: r for r in evaluate(spec, series=series).results}
+    assert not by_name["floor-all"].ok          # min over all = 9.0
+    assert by_name["floor-at-100"].ok           # 40.0 at x=100
+    assert by_name["ceiling-int-keys"].ok       # int key via str fallback
+    assert not by_name["missing-x"].ok
+    assert not by_name["missing-series"].ok
+
+
+def test_burn_rate_objective():
+    telemetry = [{"name": "server.shed", "kind": "counter",
+                  "samples": [[0.0, 0], [1.0, 5], [2.0, 10],
+                              [3.0, 200], [4.0, 205]]}]
+    spec = SLOSpec.from_dict({"name": "b", "objectives": [
+        {"name": "slow-ok", "kind": "burn_rate", "metric": "server.shed",
+         "window_s": 10.0, "max_per_s": 100.0},
+        {"name": "burst-caught", "kind": "burn_rate",
+         "metric": "server.shed", "window_s": 1.0, "max_per_s": 100.0},
+        {"name": "missing", "kind": "burn_rate", "metric": "nope",
+         "window_s": 1.0, "max_per_s": 100.0},
+    ]})
+    by_name = {r.name: r
+               for r in evaluate(spec, telemetry=telemetry).results}
+    assert by_name["slow-ok"].ok           # ~67/s amortised over 3 s
+    assert not by_name["burst-caught"].ok  # the 190/s spike at t=3
+    assert not by_name["missing"].ok
+
+
+def test_report_render_and_to_dict():
+    spec = SLOSpec.from_dict({"name": "r", "objectives": [
+        {"kind": "series_max", "series": "s", "max": 1.0}]})
+    report = evaluate(spec, series={"s": {"0": 2.0}})
+    out = io.StringIO()
+    report.render(out)
+    assert "VIOLATED" in out.getvalue()
+    doc = report.to_dict()
+    assert doc["slo"] == "r" and doc["ok"] is False
+    assert doc["objectives"][0]["measured"] == 2.0
+
+
+# ---------------------------------------------------------------------------
+# CLI gate semantics
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def trace_jsonl(tmp_path):
+    """A small exported event log with client spans + a shed counter."""
+    from repro import obs
+    from repro.obs.export import export_jsonl
+    context = obs.ObsContext(telemetry_interval=None)
+    recorder = context.spans
+    for index in range(50):
+        span = recorder.begin("request", "client", float(index))
+        recorder.end(span, float(index) + 0.020)
+    path = tmp_path / "trace.jsonl"
+    export_jsonl(context, str(path), meta={"figures": ["test"]})
+    return str(path)
+
+
+def test_cli_slo_pass_exit_zero(trace_jsonl, tmp_path, capsys):
+    spec = {"name": "gate", "objectives": [
+        {"kind": "latency", "category": "client", "q": 0.99,
+         "max_ms": 100.0}]}
+    spec_path = tmp_path / "gate.json"
+    spec_path.write_text(json.dumps(spec), encoding="utf-8")
+    assert report_cli.main(["slo", "--spec", str(spec_path),
+                            trace_jsonl]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_cli_slo_degraded_exit_nonzero(trace_jsonl, tmp_path, capsys):
+    spec = {"name": "gate", "objectives": [
+        {"kind": "latency", "category": "client", "q": 0.5,
+         "max_ms": 1.0}]}
+    spec_path = tmp_path / "gate.json"
+    spec_path.write_text(json.dumps(spec), encoding="utf-8")
+    assert report_cli.main(["slo", "--spec", str(spec_path),
+                            trace_jsonl]) == 1
+    assert "VIOLATED" in capsys.readouterr().out
+
+
+def test_cli_slo_runner_json_series(tmp_path, capsys):
+    runner_json = tmp_path / "run.json"
+    runner_json.write_text(json.dumps({"figures": {"fig": {"series": {
+        "p99 (ms)": {"500": 120.0}}}}}), encoding="utf-8")
+    spec_path = tmp_path / "gate.json"
+    spec_path.write_text(json.dumps({"name": "g", "objectives": [
+        {"kind": "series_max", "series": "p99 (ms)", "max": 200.0}]}),
+        encoding="utf-8")
+    assert report_cli.main(["slo", "--spec", str(spec_path),
+                            "--runner-json", str(runner_json),
+                            "--figure", "fig", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True and doc["objectives"][0]["measured"] == 120.0
+
+
+def test_cli_slo_bad_spec_exit_two(trace_jsonl, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"name": "b", "objectives": [
+        {"kind": "wat"}]}), encoding="utf-8")
+    assert report_cli.main(["slo", "--spec", str(bad), trace_jsonl]) == 2
+
+
+def test_cli_report_format_json(trace_jsonl, capsys):
+    assert report_cli.main(["--format", "json", trace_jsonl]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["spans_by_category"]["client"]["spans"] == 50
+    assert doc["run"]["figures"] == ["test"]
+    assert "telemetry" in doc and "attribution" in doc
+
+
+# ---------------------------------------------------------------------------
+# zero-overhead-off: importing/evaluating SLOs leaves obs dormant
+# ---------------------------------------------------------------------------
+
+def test_slo_layer_keeps_obs_off():
+    from repro import obs
+    assert not obs.current().enabled
+    spec = load_spec("repro.experiments.ext_fleet_openloop:SLO_SMOKE")
+    evaluate(spec, series={})
+    assert not obs.current().enabled
